@@ -1,0 +1,136 @@
+//! Naive (textbook) synthesis of Pauli-rotation programs, plus the
+//! peephole-optimized variant that stands in for "Qiskit" in the evaluation.
+
+use quclear_circuit::{optimize, Circuit};
+use quclear_pauli::PauliRotation;
+
+/// Synthesizes the textbook V-shaped circuit for every rotation: basis
+/// changes, a CNOT ladder down the support, the `Rz`, and the mirrored
+/// uncomputation. No optimization is applied — this is the "native" gate
+/// count of Table II.
+///
+/// # Panics
+///
+/// Panics if the rotations act on different register sizes.
+///
+/// # Examples
+///
+/// ```
+/// use quclear_baselines::synthesize_naive;
+/// use quclear_pauli::PauliRotation;
+///
+/// let program = vec![PauliRotation::parse("ZZZZ", 0.3)?];
+/// assert_eq!(synthesize_naive(&program).cnot_count(), 6);
+/// # Ok::<(), quclear_pauli::ParsePauliError>(())
+/// ```
+#[must_use]
+pub fn synthesize_naive(rotations: &[PauliRotation]) -> Circuit {
+    let n = rotations
+        .first()
+        .map_or(0, quclear_pauli::PauliRotation::num_qubits);
+    let mut qc = Circuit::new(n);
+    for rotation in rotations {
+        assert_eq!(rotation.num_qubits(), n, "register size mismatch");
+        if rotation.is_trivial() {
+            continue;
+        }
+        append_v_shape(&mut qc, rotation, None);
+    }
+    qc
+}
+
+/// The "Qiskit-like" baseline: naive synthesis followed by the peephole
+/// optimizer (inverse cancellation, rotation merging, single-qubit fusion).
+/// This plays the role of Qiskit optimization level 3 in Table III.
+#[must_use]
+pub fn synthesize_qiskit_like(rotations: &[PauliRotation]) -> Circuit {
+    optimize(&synthesize_naive(rotations))
+}
+
+/// Appends one V-shaped Pauli-rotation gadget. The CNOT ladder runs down the
+/// support in ascending qubit order unless an explicit order is given.
+pub(crate) fn append_v_shape(qc: &mut Circuit, rotation: &PauliRotation, order: Option<&[usize]>) {
+    let n = rotation.num_qubits();
+    let basis = quclear_core_basis(n, rotation);
+    let support = match order {
+        Some(order) => order.to_vec(),
+        None => rotation.pauli().support(),
+    };
+    let mut ladder = Circuit::new(n);
+    for pair in support.windows(2) {
+        ladder.cx(pair[0], pair[1]);
+    }
+    qc.append(&basis);
+    qc.append(&ladder);
+    qc.rz(*support.last().expect("non-trivial rotation has support"), rotation.angle());
+    qc.append(&ladder.inverse());
+    qc.append(&basis.inverse());
+}
+
+/// Basis-change layer (H for X, S†H for Y) for a rotation.
+fn quclear_core_basis(n: usize, rotation: &PauliRotation) -> Circuit {
+    let mut circuit = Circuit::new(n);
+    for (q, op) in rotation.pauli().ops() {
+        match op {
+            quclear_pauli::PauliOp::X => circuit.h(q),
+            quclear_pauli::PauliOp::Y => {
+                circuit.sdg(q);
+                circuit.h(q);
+            }
+            _ => {}
+        }
+    }
+    circuit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rot(s: &str, a: f64) -> PauliRotation {
+        PauliRotation::parse(s, a).unwrap()
+    }
+
+    #[test]
+    fn native_counts_match_rotation_cost_model() {
+        let program = vec![rot("ZZZZ", 0.1), rot("XYZI", 0.2), rot("IIXX", 0.3)];
+        let circuit = synthesize_naive(&program);
+        let expected_cnots: usize = program.iter().map(PauliRotation::native_cnot_cost).sum();
+        let expected_singles: usize = program
+            .iter()
+            .map(PauliRotation::native_single_qubit_cost)
+            .sum();
+        assert_eq!(circuit.cnot_count(), expected_cnots);
+        assert_eq!(circuit.single_qubit_count(), expected_singles);
+    }
+
+    #[test]
+    fn trivial_rotations_are_skipped() {
+        let program = vec![rot("III", 0.5), rot("ZZI", 0.0)];
+        assert!(synthesize_naive(&program).is_empty());
+    }
+
+    #[test]
+    fn qiskit_like_cancels_adjacent_identical_gadgets() {
+        // Two identical ZZ gadgets: the inner CX pair cancels and the Rz merge.
+        let program = vec![rot("ZZ", 0.3), rot("ZZ", 0.4)];
+        let naive = synthesize_naive(&program);
+        let optimized = synthesize_qiskit_like(&program);
+        assert_eq!(naive.cnot_count(), 4);
+        assert_eq!(optimized.cnot_count(), 2);
+    }
+
+    #[test]
+    fn qiskit_like_never_increases_counts() {
+        let program = vec![rot("XXII", 0.1), rot("IXXI", 0.2), rot("IIXX", 0.3), rot("ZZZZ", 0.4)];
+        let naive = synthesize_naive(&program);
+        let optimized = synthesize_qiskit_like(&program);
+        assert!(optimized.cnot_count() <= naive.cnot_count());
+        assert!(optimized.single_qubit_count() <= naive.single_qubit_count());
+    }
+
+    #[test]
+    fn empty_program_is_empty_circuit() {
+        assert!(synthesize_naive(&[]).is_empty());
+    }
+}

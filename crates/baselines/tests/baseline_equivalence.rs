@@ -1,0 +1,59 @@
+//! Every baseline must implement exactly the unitary of the input program;
+//! this is checked against the naive reference with the state-vector
+//! simulator on random programs.
+
+use proptest::prelude::*;
+use quclear_baselines::{
+    synthesize_naive, synthesize_paulihedral_like, synthesize_qiskit_like, synthesize_rustiq_like,
+    synthesize_tket_like,
+};
+use quclear_pauli::{PauliOp, PauliRotation, PauliString};
+use quclear_sim::StateVector;
+
+fn rotation_strategy(n: usize, len: usize) -> impl Strategy<Value = Vec<PauliRotation>> {
+    let single = (prop::collection::vec(0u8..4, n), -2.5f64..2.5).prop_map(move |(ops, angle)| {
+        let ops: Vec<PauliOp> = ops
+            .into_iter()
+            .map(|v| match v {
+                0 => PauliOp::I,
+                1 => PauliOp::X,
+                2 => PauliOp::Y,
+                _ => PauliOp::Z,
+            })
+            .collect();
+        PauliRotation::new(PauliString::from_ops(&ops), angle)
+    });
+    prop::collection::vec(single, 1..=len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn qiskit_like_preserves_the_unitary(program in rotation_strategy(4, 6)) {
+        let reference = StateVector::from_circuit(&synthesize_naive(&program));
+        let circuit = synthesize_qiskit_like(&program);
+        prop_assert!(StateVector::from_circuit(&circuit).approx_eq_up_to_phase(&reference, 1e-8));
+    }
+
+    #[test]
+    fn paulihedral_like_preserves_the_unitary(program in rotation_strategy(4, 6)) {
+        let reference = StateVector::from_circuit(&synthesize_naive(&program));
+        let circuit = synthesize_paulihedral_like(&program);
+        prop_assert!(StateVector::from_circuit(&circuit).approx_eq_up_to_phase(&reference, 1e-8));
+    }
+
+    #[test]
+    fn rustiq_like_preserves_the_unitary(program in rotation_strategy(4, 6)) {
+        let reference = StateVector::from_circuit(&synthesize_naive(&program));
+        let circuit = synthesize_rustiq_like(&program);
+        prop_assert!(StateVector::from_circuit(&circuit).approx_eq_up_to_phase(&reference, 1e-8));
+    }
+
+    #[test]
+    fn tket_like_preserves_the_unitary(program in rotation_strategy(4, 6)) {
+        let reference = StateVector::from_circuit(&synthesize_naive(&program));
+        let circuit = synthesize_tket_like(&program);
+        prop_assert!(StateVector::from_circuit(&circuit).approx_eq_up_to_phase(&reference, 1e-8));
+    }
+}

@@ -1,0 +1,71 @@
+//! Criterion micro-benchmarks of Clifford Absorption (Table IV: runtime
+//! versus number of observables / measured states).
+
+use std::collections::BTreeMap;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use quclear_core::{compile, QuClearConfig};
+use quclear_pauli::{PauliOp, PauliString, SignedPauli};
+use quclear_workloads::Benchmark;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_observables(n: usize, count: usize, seed: u64) -> Vec<SignedPauli> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let ops: Vec<PauliOp> = (0..n)
+                .map(|_| match rng.gen_range(0..4) {
+                    0 => PauliOp::I,
+                    1 => PauliOp::X,
+                    2 => PauliOp::Y,
+                    _ => PauliOp::Z,
+                })
+                .collect();
+            SignedPauli::positive(PauliString::from_ops(&ops))
+        })
+        .collect()
+}
+
+fn bench_observable_absorption(c: &mut Criterion) {
+    // UCC-(4,8) keeps the compile step short while exercising the same code
+    // path as the paper's UCC-(10,20) measurement.
+    let bench = Benchmark::Ucc(4, 8);
+    let result = compile(&bench.rotations(), &QuClearConfig::default());
+    let n = bench.num_qubits();
+
+    let mut group = c.benchmark_group("observable_absorption");
+    for count in [10usize, 100, 1000] {
+        let observables = random_observables(n, count, 0xA0 + count as u64);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(count),
+            &observables,
+            |b, obs| {
+                b.iter(|| result.absorb_observables(obs));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_state_post_processing(c: &mut Criterion) {
+    let bench = Benchmark::MaxCutRegular { n: 20, degree: 12 };
+    let result = compile(&bench.rotations(), &QuClearConfig::default());
+    let absorber = result.probability_absorber().expect("QAOA is absorbable");
+    let mut rng = StdRng::seed_from_u64(7);
+
+    let mut group = c.benchmark_group("state_post_processing");
+    for count in [10usize, 100, 1000] {
+        let mut counts: BTreeMap<usize, u64> = BTreeMap::new();
+        while counts.len() < count {
+            *counts.entry(rng.gen_range(0..1 << 20)).or_insert(0) += 1;
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(count), &counts, |b, counts| {
+            b.iter(|| absorber.post_process_counts(counts));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_observable_absorption, bench_state_post_processing);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion micro-benchmarks comparing the compile time of QuCLEAR with the
+//! baseline compilers (the compile-time columns of Table III in miniature).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use quclear_baselines::Method;
+use quclear_workloads::Benchmark;
+
+fn bench_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile_time");
+    group.sample_size(10);
+    for bench in [Benchmark::Ucc(2, 6), Benchmark::MaxCutRegular { n: 15, degree: 4 }] {
+        let rotations = bench.rotations();
+        for method in Method::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(method.name(), bench.name()),
+                &rotations,
+                |b, rotations| {
+                    b.iter(|| method.compile(rotations));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

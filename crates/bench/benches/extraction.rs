@@ -1,0 +1,47 @@
+//! Criterion micro-benchmarks of the Clifford Extraction pass (compile-time
+//! component of Table III).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use quclear_core::{compile, extract_clifford, ExtractionConfig, QuClearConfig};
+use quclear_workloads::Benchmark;
+
+fn bench_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clifford_extraction");
+    group.sample_size(10);
+    for bench in [
+        Benchmark::Ucc(2, 4),
+        Benchmark::Ucc(2, 6),
+        Benchmark::Molecule(quclear_workloads::Molecule::LiH),
+        Benchmark::MaxCutRegular { n: 15, degree: 4 },
+        Benchmark::Labs(10),
+    ] {
+        let rotations = bench.rotations();
+        group.bench_with_input(
+            BenchmarkId::new("extract", bench.name()),
+            &rotations,
+            |b, rotations| {
+                b.iter(|| extract_clifford(rotations, &ExtractionConfig::default()));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quclear_pipeline");
+    group.sample_size(10);
+    for bench in [Benchmark::Ucc(2, 6), Benchmark::MaxCutRegular { n: 20, degree: 8 }] {
+        let rotations = bench.rotations();
+        group.bench_with_input(
+            BenchmarkId::new("compile", bench.name()),
+            &rotations,
+            |b, rotations| {
+                b.iter(|| compile(rotations, &QuClearConfig::default()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_extraction, bench_full_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion micro-benchmarks of the recursive CNOT-tree synthesis
+//! (Algorithm 1) and the underlying tableau conjugation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use quclear_core::TreeSynthesizer;
+use quclear_pauli::{PauliOp, PauliString};
+use quclear_tableau::{random_clifford_circuit, CliffordTableau};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_pauli(n: usize, rng: &mut StdRng) -> PauliString {
+    let ops: Vec<PauliOp> = (0..n)
+        .map(|_| match rng.gen_range(0..4) {
+            0 => PauliOp::I,
+            1 => PauliOp::X,
+            2 => PauliOp::Y,
+            _ => PauliOp::Z,
+        })
+        .collect();
+    PauliString::from_ops(&ops)
+}
+
+fn bench_tree_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_synthesis");
+    for n in [8usize, 16, 32] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let lookahead: Vec<PauliString> = (0..8).map(|_| random_pauli(n, &mut rng)).collect();
+        let phi = CliffordTableau::identity(n);
+        let support: Vec<usize> = (0..n).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let synth = TreeSynthesizer::new(&lookahead, &phi, true);
+            b.iter(|| synth.synthesize(&support));
+        });
+    }
+    group.finish();
+}
+
+fn bench_tableau_conjugation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tableau_conjugation");
+    for n in [16usize, 32, 64] {
+        let mut rng = StdRng::seed_from_u64(100 + n as u64);
+        let circuit = random_clifford_circuit(n, 20 * n, &mut rng);
+        let tableau = CliffordTableau::from_circuit(&circuit);
+        let pauli = random_pauli(n, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| tableau.apply(&pauli));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tree_synthesis, bench_tableau_conjugation);
+criterion_main!(benches);

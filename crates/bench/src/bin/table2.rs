@@ -1,0 +1,45 @@
+//! Regenerates Table II: benchmark inventory (qubits, #Pauli, native #CNOT,
+//! native #1-qubit gates).
+//!
+//! Run with `cargo run -p quclear-bench --release --bin table2`.
+
+use quclear_bench::{save_json, suite_from_args, TablePrinter};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    benchmark: String,
+    category: String,
+    qubits: usize,
+    num_pauli: usize,
+    native_cnot: usize,
+    native_single_qubit: usize,
+}
+
+fn main() {
+    let mut table = TablePrinter::new(&["Type", "Name", "#qubits", "#Pauli", "#CNOT", "#1Q"]);
+    let mut rows = Vec::new();
+    for bench in suite_from_args() {
+        let rotations = bench.rotations();
+        let row = Row {
+            benchmark: bench.name(),
+            category: bench.category().name().to_string(),
+            qubits: bench.num_qubits(),
+            num_pauli: rotations.len(),
+            native_cnot: bench.native_cnot_count(),
+            native_single_qubit: bench.native_single_qubit_count(),
+        };
+        table.add_row(vec![
+            row.category.clone(),
+            row.benchmark.clone(),
+            row.qubits.to_string(),
+            row.num_pauli.to_string(),
+            row.native_cnot.to_string(),
+            row.native_single_qubit.to_string(),
+        ]);
+        rows.push(row);
+    }
+    println!("Table II: benchmark information (native, unoptimized circuits)\n");
+    table.print();
+    save_json("table2", &rows);
+}

@@ -1,0 +1,225 @@
+//! OpenQASM 2.0 export.
+//!
+//! The optimized circuits produced by QuCLEAR are meant to be executed by an
+//! external stack ("the optimized circuit is then executed on quantum devices
+//! using any quantum software and hardware" — Section IV of the paper).
+//! Exporting to OpenQASM 2.0 makes the output of this reproduction directly
+//! consumable by Qiskit, tket, and most simulators.
+
+use std::fmt::Write as _;
+
+use crate::{Circuit, Gate};
+
+/// Serializes a circuit as an OpenQASM 2.0 program.
+///
+/// `Sx`/`Sx†` are emitted with the standard-library names `sx`/`sxdg`; SWAP
+/// and CZ use their `qelib1.inc` definitions.
+///
+/// # Examples
+///
+/// ```
+/// use quclear_circuit::{qasm::to_qasm, Circuit};
+///
+/// let mut qc = Circuit::new(2);
+/// qc.h(0);
+/// qc.cx(0, 1);
+/// qc.rz(1, 0.5);
+/// let text = to_qasm(&qc);
+/// assert!(text.contains("OPENQASM 2.0"));
+/// assert!(text.contains("cx q[0], q[1];"));
+/// ```
+#[must_use]
+pub fn to_qasm(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    out.push_str("OPENQASM 2.0;\n");
+    out.push_str("include \"qelib1.inc\";\n");
+    let _ = writeln!(out, "qreg q[{}];", circuit.num_qubits());
+    for gate in circuit.gates() {
+        let line = match *gate {
+            Gate::H(q) => format!("h q[{q}];"),
+            Gate::S(q) => format!("s q[{q}];"),
+            Gate::Sdg(q) => format!("sdg q[{q}];"),
+            Gate::X(q) => format!("x q[{q}];"),
+            Gate::Y(q) => format!("y q[{q}];"),
+            Gate::Z(q) => format!("z q[{q}];"),
+            Gate::SqrtX(q) => format!("sx q[{q}];"),
+            Gate::SqrtXdg(q) => format!("sxdg q[{q}];"),
+            Gate::Rz { qubit, angle } => format!("rz({angle:.16}) q[{qubit}];"),
+            Gate::Rx { qubit, angle } => format!("rx({angle:.16}) q[{qubit}];"),
+            Gate::Ry { qubit, angle } => format!("ry({angle:.16}) q[{qubit}];"),
+            Gate::Cx { control, target } => format!("cx q[{control}], q[{target}];"),
+            Gate::Cz { a, b } => format!("cz q[{a}], q[{b}];"),
+            Gate::Swap { a, b } => format!("swap q[{a}], q[{b}];"),
+        };
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Error returned by [`from_qasm`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseQasmError {
+    /// 1-based line number of the offending statement.
+    pub line: usize,
+    /// Explanation of the failure.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseQasmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "QASM parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseQasmError {}
+
+/// Parses the subset of OpenQASM 2.0 emitted by [`to_qasm`] back into a
+/// circuit (single register, the workspace gate set, no classical registers).
+///
+/// # Errors
+///
+/// Returns an error describing the first statement that cannot be parsed.
+pub fn from_qasm(text: &str) -> Result<Circuit, ParseQasmError> {
+    let mut num_qubits = 0usize;
+    let mut gates: Vec<Gate> = Vec::new();
+    for (idx, raw_line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw_line.split("//").next().unwrap_or("").trim();
+        if line.is_empty()
+            || line.starts_with("OPENQASM")
+            || line.starts_with("include")
+            || line.starts_with("barrier")
+            || line.starts_with("creg")
+        {
+            continue;
+        }
+        let err = |message: String| ParseQasmError { line: line_no, message };
+        let statement = line.strip_suffix(';').ok_or_else(|| err("missing `;`".into()))?;
+        if let Some(rest) = statement.strip_prefix("qreg") {
+            let size = rest
+                .trim()
+                .strip_prefix("q[")
+                .and_then(|s| s.strip_suffix(']'))
+                .and_then(|s| s.parse::<usize>().ok())
+                .ok_or_else(|| err(format!("cannot parse register declaration `{statement}`")))?;
+            num_qubits = size;
+            continue;
+        }
+        let (head, args) = statement
+            .split_once(' ')
+            .ok_or_else(|| err(format!("cannot parse statement `{statement}`")))?;
+        let qubits: Vec<usize> = args
+            .split(',')
+            .map(|a| {
+                a.trim()
+                    .strip_prefix("q[")
+                    .and_then(|s| s.strip_suffix(']'))
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .ok_or_else(|| err(format!("cannot parse qubit operand `{a}`")))
+            })
+            .collect::<Result<_, _>>()?;
+        let (name, angle) = match head.split_once('(') {
+            Some((name, rest)) => {
+                let angle: f64 = rest
+                    .strip_suffix(')')
+                    .and_then(|s| s.trim().parse().ok())
+                    .ok_or_else(|| err(format!("cannot parse angle in `{head}`")))?;
+                (name, Some(angle))
+            }
+            None => (head, None),
+        };
+        let gate = match (name, qubits.as_slice(), angle) {
+            ("h", [q], None) => Gate::H(*q),
+            ("s", [q], None) => Gate::S(*q),
+            ("sdg", [q], None) => Gate::Sdg(*q),
+            ("x", [q], None) => Gate::X(*q),
+            ("y", [q], None) => Gate::Y(*q),
+            ("z", [q], None) => Gate::Z(*q),
+            ("sx", [q], None) => Gate::SqrtX(*q),
+            ("sxdg", [q], None) => Gate::SqrtXdg(*q),
+            ("rz", [q], Some(a)) => Gate::Rz { qubit: *q, angle: a },
+            ("rx", [q], Some(a)) => Gate::Rx { qubit: *q, angle: a },
+            ("ry", [q], Some(a)) => Gate::Ry { qubit: *q, angle: a },
+            ("cx", [c, t], None) => Gate::Cx { control: *c, target: *t },
+            ("cz", [a, b], None) => Gate::Cz { a: *a, b: *b },
+            ("swap", [a, b], None) => Gate::Swap { a: *a, b: *b },
+            _ => return Err(err(format!("unsupported statement `{statement}`"))),
+        };
+        gates.push(gate);
+    }
+    if gates.iter().any(|g| g.qubits().iter().any(|&q| q >= num_qubits)) {
+        return Err(ParseQasmError {
+            line: 0,
+            message: "gate uses a qubit outside the declared register".into(),
+        });
+    }
+    Ok(Circuit::from_gates(num_qubits, gates))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_circuit() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.h(0);
+        c.sdg(1);
+        c.cx(0, 1);
+        c.rz(1, 0.375);
+        c.swap(1, 2);
+        c.cz(0, 2);
+        c.push(Gate::SqrtX(2));
+        c.ry(0, -1.25);
+        c
+    }
+
+    #[test]
+    fn export_contains_header_and_all_gates() {
+        let text = to_qasm(&sample_circuit());
+        assert!(text.starts_with("OPENQASM 2.0;"));
+        assert!(text.contains("qreg q[3];"));
+        assert!(text.contains("swap q[1], q[2];"));
+        assert!(text.contains("rz(0.375"));
+        assert_eq!(text.lines().count(), 3 + sample_circuit().len());
+    }
+
+    #[test]
+    fn roundtrip_preserves_the_circuit() {
+        let original = sample_circuit();
+        let parsed = from_qasm(&to_qasm(&original)).unwrap();
+        assert_eq!(parsed.num_qubits(), original.num_qubits());
+        assert_eq!(parsed.gates().len(), original.gates().len());
+        for (a, b) in parsed.gates().iter().zip(original.gates()) {
+            match (a, b) {
+                (Gate::Rz { qubit: qa, angle: aa }, Gate::Rz { qubit: qb, angle: ab })
+                | (Gate::Ry { qubit: qa, angle: aa }, Gate::Ry { qubit: qb, angle: ab }) => {
+                    assert_eq!(qa, qb);
+                    assert!((aa - ab).abs() < 1e-12);
+                }
+                _ => assert_eq!(a, b),
+            }
+        }
+    }
+
+    #[test]
+    fn parse_rejects_unknown_gates_with_line_numbers() {
+        let text = "OPENQASM 2.0;\nqreg q[2];\nccx q[0], q[1];\n";
+        let err = from_qasm(text).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.to_string().contains("unsupported"));
+    }
+
+    #[test]
+    fn parse_rejects_out_of_range_qubits() {
+        let text = "qreg q[1];\ncx q[0], q[1];\n";
+        assert!(from_qasm(text).is_err());
+    }
+
+    #[test]
+    fn parse_ignores_comments_and_blank_lines() {
+        let text = "OPENQASM 2.0;\n\n// a comment\nqreg q[1];\nh q[0]; // trailing\n";
+        let circuit = from_qasm(text).unwrap();
+        assert_eq!(circuit.len(), 1);
+    }
+}

@@ -1,0 +1,455 @@
+//! Clifford Extraction (Algorithm 2 of the QuCLEAR paper).
+//!
+//! The extractor walks the rotation sequence front to back. For each rotation
+//! it synthesizes only the *forward* half of the textbook circuit — the
+//! single-qubit basis changes, the CNOT tree and the `Rz` — and defers the
+//! mirrored uncomputation to the end of the circuit, where it accumulates
+//! into one Clifford subcircuit `U_CL`. Every later rotation is rewritten
+//! through the Heisenberg map `P ↦ U_CL† P U_CL` (maintained as a stabilizer
+//! tableau), and within each commuting block the rotation that becomes
+//! cheapest is scheduled next.
+
+use quclear_circuit::{Circuit, Gate};
+use quclear_pauli::{PauliOp, PauliRotation, PauliString};
+use quclear_tableau::{conjugate_pauli_by_gate, CliffordTableau};
+
+use crate::blocks::CommutingBlocks;
+use crate::tree::TreeSynthesizer;
+
+/// Configuration of the Clifford Extraction pass.
+#[derive(Clone, Copy, Debug)]
+pub struct ExtractionConfig {
+    /// Use the recursive CNOT-tree synthesis (Section V-B). When `false`,
+    /// subtrees are chained in index order (the non-recursive variant used as
+    /// the cost model and in the ablation of Figure 10).
+    pub recursive_tree: bool,
+    /// Reorder rotations within commuting blocks with `find_next_pauli`
+    /// (Section V-C). When `false`, the original order is kept.
+    pub reorder_commuting: bool,
+    /// How many future Pauli strings the tree synthesizer may look at.
+    pub lookahead_depth: usize,
+}
+
+impl Default for ExtractionConfig {
+    fn default() -> Self {
+        ExtractionConfig {
+            recursive_tree: true,
+            reorder_commuting: true,
+            lookahead_depth: 16,
+        }
+    }
+}
+
+/// The output of Clifford Extraction.
+///
+/// The original program satisfies `U = U_CL · U'` (as matrices), i.e. running
+/// [`ExtractionResult::optimized`] followed by [`ExtractionResult::extracted`]
+/// reproduces the input circuit exactly. The extracted part is pure Clifford
+/// and is meant to be absorbed classically (see [`crate::absorb`]).
+#[derive(Clone, Debug)]
+pub struct ExtractionResult {
+    /// The optimized (non-Clifford) circuit `U'` to run on hardware.
+    pub optimized: Circuit,
+    /// The extracted Clifford subcircuit `U_CL`, in execution order, that
+    /// formally follows `optimized`.
+    pub extracted: Circuit,
+    /// The Heisenberg map `P ↦ U_CL† · P · U_CL` used to absorb observables.
+    pub heisenberg: CliffordTableau,
+}
+
+impl ExtractionResult {
+    /// The full circuit `optimized` followed by `extracted`; implements the
+    /// same unitary as the original rotation sequence (used for verification
+    /// and for the ablation stages that do not yet absorb the Clifford).
+    #[must_use]
+    pub fn full_circuit(&self) -> Circuit {
+        let mut full = self.optimized.clone();
+        full.append(&self.extracted);
+        full
+    }
+
+    /// CNOT count of the optimized circuit alone (what actually runs on the
+    /// quantum device once the Clifford is absorbed).
+    #[must_use]
+    pub fn optimized_cnot_count(&self) -> usize {
+        self.optimized.cnot_count()
+    }
+
+    /// CNOT count of the extracted Clifford subcircuit.
+    #[must_use]
+    pub fn extracted_cnot_count(&self) -> usize {
+        self.extracted.cnot_count()
+    }
+}
+
+/// Runs Clifford Extraction over a Pauli rotation sequence.
+///
+/// # Panics
+///
+/// Panics if the rotations act on different register sizes.
+///
+/// # Examples
+///
+/// ```
+/// use quclear_core::{extract_clifford, ExtractionConfig};
+/// use quclear_pauli::PauliRotation;
+///
+/// // The paper's motivating example: e^{iZZZZ t1} e^{iYYXX t2}.
+/// let rotations = vec![
+///     PauliRotation::parse("ZZZZ", 0.3)?,
+///     PauliRotation::parse("YYXX", 0.7)?,
+/// ];
+/// let result = extract_clifford(&rotations, &ExtractionConfig::default());
+/// // The optimized circuit needs at most 4 CNOTs (down from 12 native).
+/// assert!(result.optimized.cnot_count() <= 4);
+/// # Ok::<(), quclear_pauli::ParsePauliError>(())
+/// ```
+#[must_use]
+pub fn extract_clifford(rotations: &[PauliRotation], config: &ExtractionConfig) -> ExtractionResult {
+    let n = rotations
+        .first()
+        .map_or(0, quclear_pauli::PauliRotation::num_qubits);
+    for r in rotations {
+        assert_eq!(r.num_qubits(), n, "all rotations must act on the same register");
+    }
+
+    let mut blocks = if config.reorder_commuting {
+        CommutingBlocks::from_rotations(rotations)
+    } else {
+        CommutingBlocks::singletons(rotations)
+    };
+
+    let mut state = Extractor {
+        n,
+        config: *config,
+        optimized: Circuit::new(n),
+        segments: Vec::new(),
+        phi: CliffordTableau::identity(n),
+    };
+
+    let num_blocks = blocks.num_blocks();
+    for block_idx in 0..num_blocks {
+        let block_len = blocks.blocks()[block_idx].len();
+        for pos in 0..block_len {
+            // Choose which commuting rotation to schedule at this position.
+            if config.reorder_commuting && pos + 1 < block_len {
+                let chosen = state.find_next_pauli(&blocks, block_idx, pos);
+                if chosen != pos {
+                    let block = &mut blocks.blocks_mut()[block_idx];
+                    let rotation = block.remove(chosen);
+                    block.insert(pos, rotation);
+                }
+            }
+            let lookahead = state.collect_lookahead(&blocks, block_idx, pos);
+            let rotation = blocks.blocks()[block_idx][pos].clone();
+            state.process_rotation(&rotation, &lookahead);
+        }
+    }
+
+    // The extracted Clifford in execution order: the segment extracted last
+    // sits closest to the optimized circuit, the one extracted first at the
+    // very end (U_CL = W1† · W2† · … · Wk† as matrices).
+    let mut extracted = Circuit::new(n);
+    for segment in state.segments.iter().rev() {
+        extracted.extend(segment.iter().copied());
+    }
+
+    ExtractionResult {
+        optimized: state.optimized,
+        extracted,
+        heisenberg: state.phi,
+    }
+}
+
+struct Extractor {
+    n: usize,
+    config: ExtractionConfig,
+    optimized: Circuit,
+    /// Extracted subcircuits, one per processed rotation, each in execution
+    /// order. The final extracted Clifford is their reverse concatenation.
+    segments: Vec<Vec<Gate>>,
+    /// `P ↦ U_CL† P U_CL` for the Clifford extracted so far.
+    phi: CliffordTableau,
+}
+
+impl Extractor {
+    /// Collects the Pauli strings that follow the rotation at
+    /// (`block_idx`, `pos`), in execution order, up to the lookahead depth.
+    /// Lookahead crosses block boundaries: later blocks cannot be reordered
+    /// but their strings still guide the tree structure.
+    fn collect_lookahead(
+        &self,
+        blocks: &CommutingBlocks,
+        block_idx: usize,
+        pos: usize,
+    ) -> Vec<PauliString> {
+        let mut out = Vec::new();
+        let mut b = block_idx;
+        let mut p = pos + 1;
+        while out.len() < self.config.lookahead_depth && b < blocks.num_blocks() {
+            let block = &blocks.blocks()[b];
+            if p < block.len() {
+                out.push(block[p].pauli().clone());
+                p += 1;
+            } else {
+                b += 1;
+                p = 0;
+            }
+        }
+        out
+    }
+
+    /// The greedy `find_next_pauli` of Algorithm 2: among the not-yet-scheduled
+    /// rotations of the current commuting block, pick the one with the fewest
+    /// non-identity operators after extracting the current rotation's Clifford
+    /// subcircuit (evaluated with the non-recursive tree as the cost model).
+    fn find_next_pauli(&self, blocks: &CommutingBlocks, block_idx: usize, pos: usize) -> usize {
+        let block = &blocks.blocks()[block_idx];
+        let current = self.phi.apply(block[pos].pauli()).into_pauli();
+        if current.is_identity() {
+            return pos + 1;
+        }
+        let mut best = pos + 1;
+        let mut best_cost = usize::MAX;
+        for candidate_idx in pos + 1..block.len() {
+            let candidate = block[candidate_idx].pauli();
+            let cost = self.extraction_cost(&current, candidate);
+            if cost < best_cost {
+                best_cost = cost;
+                best = candidate_idx;
+            }
+        }
+        best
+    }
+
+    /// Cost of `candidate` (number of non-identity operators) after extracting
+    /// the Clifford subcircuit that would be synthesized for `current` when
+    /// optimizing for `candidate`, using the non-recursive tree.
+    fn extraction_cost(&self, current: &PauliString, candidate: &PauliString) -> usize {
+        let candidate_updated = self.phi.apply(candidate).into_pauli();
+        if current.is_identity() {
+            return candidate_updated.weight();
+        }
+        // Basis layer of the current rotation.
+        let basis = basis_change_circuit(self.n, current);
+        let mut phi_local = self.phi.clone();
+        for gate in basis.gates() {
+            phi_local.then_gate(gate);
+        }
+        let lookahead = vec![candidate.clone()];
+        let synth = TreeSynthesizer::new(&lookahead, &phi_local, self.config.recursive_tree);
+        let support = current.support();
+        let (tree_gates, _) = synth.synthesize(&support);
+        // Conjugate the candidate through basis layer + tree.
+        let mut updated = phi_local.apply(candidate);
+        for gate in &tree_gates {
+            updated = conjugate_pauli_by_gate(&updated, gate);
+        }
+        updated.weight()
+    }
+
+    /// Emits the optimized half-circuit for one rotation and extends the
+    /// extracted Clifford with its mirror.
+    fn process_rotation(&mut self, rotation: &PauliRotation, lookahead: &[PauliString]) {
+        let updated = self.phi.apply(rotation.pauli());
+        let angle = rotation.angle() * updated.sign();
+        let pauli = updated.into_pauli();
+        if pauli.is_identity() || rotation.angle() == 0.0 {
+            // Global phase only; nothing to synthesize.
+            return;
+        }
+
+        // Single-qubit basis changes (X → H, Y → S†·H) so every non-identity
+        // operator becomes Z.
+        let basis = basis_change_circuit(self.n, &pauli);
+        let mut phi_after_basis = self.phi.clone();
+        for gate in basis.gates() {
+            phi_after_basis.then_gate(gate);
+        }
+
+        // CNOT tree optimized for the following Pauli strings.
+        let support = pauli.support();
+        let (tree_gates, root) = if support.len() == 1 {
+            (Vec::new(), support[0])
+        } else {
+            let synth =
+                TreeSynthesizer::new(lookahead, &phi_after_basis, self.config.recursive_tree);
+            synth.synthesize(&support)
+        };
+
+        // Emit [basis][tree][Rz] into the optimized circuit.
+        let mut forward = basis;
+        forward.extend(tree_gates.iter().copied());
+        self.optimized.append(&forward);
+        self.optimized.rz(root, angle);
+
+        // The mirror of the forward Clifford is deferred to the end.
+        self.segments.push(forward.inverse().gates().to_vec());
+
+        // Update the Heisenberg map: φ ← (P ↦ W φ(P) W†) with W the forward
+        // Clifford just emitted.
+        self.phi = phi_after_basis;
+        for gate in &tree_gates {
+            self.phi.then_gate(gate);
+        }
+    }
+}
+
+/// Builds the single-qubit basis-change layer of a Pauli rotation: `H` on
+/// every `X`, `S†` then `H` on every `Y`, nothing on `Z`/`I`. Conjugating the
+/// Pauli by this circuit turns every non-identity operator into `Z` with a
+/// positive sign.
+#[must_use]
+pub fn basis_change_circuit(n: usize, pauli: &PauliString) -> Circuit {
+    let mut circuit = Circuit::new(n);
+    for (q, op) in pauli.ops() {
+        match op {
+            PauliOp::X => circuit.h(q),
+            PauliOp::Y => {
+                circuit.sdg(q);
+                circuit.h(q);
+            }
+            PauliOp::I | PauliOp::Z => {}
+        }
+    }
+    circuit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rot(s: &str, angle: f64) -> PauliRotation {
+        PauliRotation::parse(s, angle).unwrap()
+    }
+
+    /// Reference textbook synthesis of a rotation sequence (V-shaped blocks),
+    /// used to validate the extraction against the tableau algebra.
+    fn naive_reference(rotations: &[PauliRotation]) -> Circuit {
+        let n = rotations[0].num_qubits();
+        let mut qc = Circuit::new(n);
+        for r in rotations {
+            if r.is_trivial() {
+                continue;
+            }
+            let basis = basis_change_circuit(n, r.pauli());
+            let support = r.pauli().support();
+            let mut ladder = Circuit::new(n);
+            for pair in support.windows(2) {
+                ladder.cx(pair[0], pair[1]);
+            }
+            qc.append(&basis);
+            qc.append(&ladder);
+            qc.rz(*support.last().unwrap(), r.angle());
+            qc.append(&ladder.inverse());
+            qc.append(&basis.inverse());
+        }
+        qc
+    }
+
+    #[test]
+    fn basis_change_maps_everything_to_z() {
+        let p: PauliString = "XYZI".parse().unwrap();
+        let circuit = basis_change_circuit(4, &p);
+        let map = CliffordTableau::from_circuit(&circuit);
+        let image = map.apply(&p);
+        assert_eq!(image.to_string(), "+ZZZI");
+    }
+
+    #[test]
+    fn motivating_example_reduces_to_four_cnots() {
+        // e^{iZZZZ t1} e^{iYYXX t2}: 12 CNOTs natively, 4 after extraction
+        // (Figure 2 of the paper).
+        let rotations = vec![rot("ZZZZ", 0.3), rot("YYXX", 0.7)];
+        let result = extract_clifford(&rotations, &ExtractionConfig::default());
+        assert_eq!(naive_reference(&rotations).cnot_count(), 12);
+        assert!(
+            result.optimized.cnot_count() <= 4,
+            "expected ≤ 4 CNOTs, got {}",
+            result.optimized.cnot_count()
+        );
+    }
+
+    #[test]
+    fn full_circuit_reproduces_the_unitary_on_paulis() {
+        // Compare the tableau action of the Clifford parts and spot-check the
+        // full unitary with the simulator in the integration tests; here we
+        // verify structural invariants.
+        let rotations = vec![rot("ZZI", 0.4), rot("IXX", 0.2), rot("YIZ", 0.9)];
+        let result = extract_clifford(&rotations, &ExtractionConfig::default());
+        assert!(result.extracted.is_clifford());
+        // Optimized circuit contains exactly one Rz per non-trivial rotation.
+        let rz_count = result
+            .optimized
+            .gates()
+            .iter()
+            .filter(|g| matches!(g, Gate::Rz { .. }))
+            .count();
+        assert_eq!(rz_count, 3);
+        // The Heisenberg tableau matches the extracted circuit.
+        assert_eq!(
+            result.heisenberg,
+            CliffordTableau::heisenberg_from_circuit(&result.extracted)
+        );
+    }
+
+    #[test]
+    fn identity_and_zero_angle_rotations_are_skipped() {
+        let rotations = vec![rot("III", 0.5), rot("ZZI", 0.0), rot("ZIZ", 0.3)];
+        let result = extract_clifford(&rotations, &ExtractionConfig::default());
+        let rz_count = result
+            .optimized
+            .gates()
+            .iter()
+            .filter(|g| matches!(g, Gate::Rz { .. }))
+            .count();
+        assert_eq!(rz_count, 1);
+    }
+
+    #[test]
+    fn single_rotation_has_no_uncompute() {
+        let rotations = vec![rot("ZZZZ", 0.5)];
+        let result = extract_clifford(&rotations, &ExtractionConfig::default());
+        // Half of the native 6 CNOTs stay, half are extracted.
+        assert_eq!(result.optimized.cnot_count(), 3);
+        assert_eq!(result.extracted.cnot_count(), 3);
+    }
+
+    #[test]
+    fn extraction_halves_uccsd_like_blocks() {
+        // A weight-4 XXYY-type excitation block (8 Paulis) typical of UCCSD.
+        let paulis = ["XXXY", "XXYX", "XYXX", "YXXX", "YYYX", "YYXY", "YXYY", "XYYY"];
+        let rotations: Vec<PauliRotation> = paulis.iter().map(|p| rot(p, 0.11)).collect();
+        let native = naive_reference(&rotations).cnot_count();
+        let result = extract_clifford(&rotations, &ExtractionConfig::default());
+        assert!(
+            result.optimized.cnot_count() * 2 < native,
+            "extraction should cut CNOTs by more than half: {} vs native {}",
+            result.optimized.cnot_count(),
+            native
+        );
+    }
+
+    #[test]
+    fn disabling_reordering_and_recursion_still_valid() {
+        let rotations = vec![rot("ZZII", 0.1), rot("IZZI", 0.2), rot("XXXX", 0.3)];
+        let config = ExtractionConfig {
+            recursive_tree: false,
+            reorder_commuting: false,
+            lookahead_depth: 4,
+        };
+        let result = extract_clifford(&rotations, &config);
+        assert!(result.extracted.is_clifford());
+        assert_eq!(
+            result.heisenberg,
+            CliffordTableau::heisenberg_from_circuit(&result.extracted)
+        );
+    }
+
+    #[test]
+    fn empty_input_gives_empty_result() {
+        let result = extract_clifford(&[], &ExtractionConfig::default());
+        assert!(result.optimized.is_empty());
+        assert!(result.extracted.is_empty());
+    }
+}

@@ -1,0 +1,203 @@
+//! Dense GF(2) linear algebra for the probability post-processing of
+//! Clifford Absorption.
+
+use std::fmt;
+
+/// A square matrix over GF(2).
+///
+/// Used to represent the action of a CNOT network on computational basis
+/// states: the network maps `|x⟩ ↦ |A·x ⊕ b⟩` for an invertible `A`.
+///
+/// # Examples
+///
+/// ```
+/// use quclear_core::Gf2Matrix;
+///
+/// let mut m = Gf2Matrix::identity(3);
+/// m.set(0, 2, true);
+/// let v = m.mul_vec(&[false, false, true]);
+/// assert_eq!(v, vec![true, false, true]);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Gf2Matrix {
+    n: usize,
+    rows: Vec<Vec<bool>>,
+}
+
+impl Gf2Matrix {
+    /// The `n × n` identity matrix.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let rows = (0..n).map(|i| (0..n).map(|j| i == j).collect()).collect();
+        Gf2Matrix { n, rows }
+    }
+
+    /// The `n × n` zero matrix.
+    #[must_use]
+    pub fn zeros(n: usize) -> Self {
+        Gf2Matrix {
+            n,
+            rows: vec![vec![false; n]; n],
+        }
+    }
+
+    /// Builds a matrix from explicit rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows do not form a square matrix.
+    #[must_use]
+    pub fn from_rows(rows: Vec<Vec<bool>>) -> Self {
+        let n = rows.len();
+        for row in &rows {
+            assert_eq!(row.len(), n, "Gf2Matrix rows must form a square matrix");
+        }
+        Gf2Matrix { n, rows }
+    }
+
+    /// Matrix dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Entry accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[must_use]
+    pub fn get(&self, row: usize, col: usize) -> bool {
+        self.rows[row][col]
+    }
+
+    /// Entry mutator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn set(&mut self, row: usize, col: usize, value: bool) {
+        self.rows[row][col] = value;
+    }
+
+    /// Matrix–vector product over GF(2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector length differs from the dimension.
+    #[must_use]
+    pub fn mul_vec(&self, v: &[bool]) -> Vec<bool> {
+        assert_eq!(v.len(), self.n, "vector length must match matrix dimension");
+        self.rows
+            .iter()
+            .map(|row| row.iter().zip(v).fold(false, |acc, (&m, &x)| acc ^ (m && x)))
+            .collect()
+    }
+
+    /// Applies the matrix to a basis-state index (bit `q` of the index is the
+    /// value of qubit `q`).
+    #[must_use]
+    pub fn mul_index(&self, index: usize) -> usize {
+        let v: Vec<bool> = (0..self.n).map(|q| index & (1 << q) != 0).collect();
+        let out = self.mul_vec(&v);
+        out.iter()
+            .enumerate()
+            .fold(0usize, |acc, (q, &bit)| if bit { acc | (1 << q) } else { acc })
+    }
+
+    /// The inverse matrix, if it exists.
+    #[must_use]
+    pub fn inverse(&self) -> Option<Gf2Matrix> {
+        let n = self.n;
+        let mut a = self.rows.clone();
+        let mut inv = Gf2Matrix::identity(n).rows;
+        for col in 0..n {
+            let pivot = (col..n).find(|&r| a[r][col])?;
+            a.swap(col, pivot);
+            inv.swap(col, pivot);
+            for r in 0..n {
+                if r != col && a[r][col] {
+                    for c in 0..n {
+                        a[r][c] ^= a[col][c];
+                        inv[r][c] ^= inv[col][c];
+                    }
+                }
+            }
+        }
+        Some(Gf2Matrix { n, rows: inv })
+    }
+
+    /// Returns `true` if the matrix is invertible over GF(2).
+    #[must_use]
+    pub fn is_invertible(&self) -> bool {
+        self.inverse().is_some()
+    }
+}
+
+impl fmt::Debug for Gf2Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Gf2Matrix {}x{}:", self.n, self.n)?;
+        for row in &self.rows {
+            for &b in row {
+                write!(f, "{}", u8::from(b))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_acts_trivially() {
+        let m = Gf2Matrix::identity(4);
+        assert_eq!(m.mul_index(0b1011), 0b1011);
+        assert_eq!(m.inverse().unwrap(), m);
+    }
+
+    #[test]
+    fn cnot_like_matrix_and_inverse() {
+        // x0' = x0, x1' = x0 ⊕ x1 (a CNOT from qubit 0 to qubit 1).
+        let mut m = Gf2Matrix::identity(2);
+        m.set(1, 0, true);
+        assert_eq!(m.mul_index(0b01), 0b11);
+        assert_eq!(m.mul_index(0b10), 0b10);
+        let inv = m.inverse().unwrap();
+        // A CNOT is its own inverse.
+        assert_eq!(inv, m);
+    }
+
+    #[test]
+    fn singular_matrix_has_no_inverse() {
+        let m = Gf2Matrix::zeros(3);
+        assert!(!m.is_invertible());
+        let mut m = Gf2Matrix::identity(3);
+        m.set(2, 2, false);
+        assert!(m.inverse().is_none());
+    }
+
+    #[test]
+    fn inverse_roundtrip_on_random_like_matrix() {
+        let rows = vec![
+            vec![true, true, false, true],
+            vec![false, true, true, false],
+            vec![true, false, true, false],
+            vec![false, false, true, true],
+        ];
+        let m = Gf2Matrix::from_rows(rows);
+        if let Some(inv) = m.inverse() {
+            for idx in 0..16 {
+                assert_eq!(inv.mul_index(m.mul_index(idx)), idx);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn non_square_rejected() {
+        let _ = Gf2Matrix::from_rows(vec![vec![true, false]]);
+    }
+}

@@ -1,0 +1,170 @@
+//! Measurement grouping of Pauli observables.
+//!
+//! After Clifford Absorption a VQE workload still has to measure one Pauli
+//! observable per term. Section VI-A of the paper notes that because Clifford
+//! conjugation preserves commutation relations, the transformed observables
+//! can be grouped for simultaneous measurement exactly like the originals
+//! (citing the O(n³) measurement-reduction technique). This module provides
+//! the standard *qubit-wise commuting* (QWC) grouping: observables in one
+//! group share a single measurement-basis circuit, so the number of circuit
+//! executions drops from one per observable to one per group.
+
+use quclear_circuit::Circuit;
+use quclear_pauli::{PauliOp, PauliString, SignedPauli};
+
+/// A group of qubit-wise commuting observables together with the shared
+/// measurement basis.
+#[derive(Clone, Debug)]
+pub struct MeasurementGroup {
+    /// Indices (into the original observable list) of the group's members.
+    pub members: Vec<usize>,
+    /// Per-qubit measurement basis: the non-identity operator measured on
+    /// each qubit (identity where no member touches the qubit).
+    pub basis: PauliString,
+}
+
+impl MeasurementGroup {
+    /// The single-qubit rotation circuit shared by every member of the group.
+    #[must_use]
+    pub fn measurement_circuit(&self) -> Circuit {
+        crate::extract::basis_change_circuit(self.basis.num_qubits(), &self.basis)
+    }
+}
+
+/// Returns `true` if two Pauli strings commute *qubit-wise*: on every qubit
+/// their operators are equal or at least one is the identity.
+#[must_use]
+pub fn qubit_wise_commute(a: &PauliString, b: &PauliString) -> bool {
+    a.ops().all(|(q, op_a)| {
+        let op_b = b.op(q);
+        op_a.is_identity() || op_b.is_identity() || op_a == op_b
+    })
+}
+
+/// Greedily partitions observables into qubit-wise commuting groups
+/// (first-fit on the shared basis). Observables within one group can be
+/// estimated from the same set of measurement shots.
+///
+/// # Examples
+///
+/// ```
+/// use quclear_core::group_qubitwise_commuting;
+/// use quclear_pauli::SignedPauli;
+///
+/// let observables: Vec<SignedPauli> =
+///     vec!["ZZI".parse()?, "ZIZ".parse()?, "XXI".parse()?];
+/// let groups = group_qubitwise_commuting(&observables);
+/// assert_eq!(groups.len(), 2); // {ZZI, ZIZ} and {XXI}
+/// # Ok::<(), quclear_pauli::ParsePauliError>(())
+/// ```
+#[must_use]
+pub fn group_qubitwise_commuting(observables: &[SignedPauli]) -> Vec<MeasurementGroup> {
+    let mut groups: Vec<MeasurementGroup> = Vec::new();
+    for (idx, observable) in observables.iter().enumerate() {
+        let pauli = observable.pauli();
+        let slot = groups.iter_mut().find(|g| compatible(&g.basis, pauli));
+        match slot {
+            Some(group) => {
+                merge_into_basis(&mut group.basis, pauli);
+                group.members.push(idx);
+            }
+            None => groups.push(MeasurementGroup {
+                members: vec![idx],
+                basis: pauli.clone(),
+            }),
+        }
+    }
+    groups
+}
+
+/// A Pauli is compatible with a group basis if it is qubit-wise consistent
+/// with it (equal or identity on every qubit).
+fn compatible(basis: &PauliString, pauli: &PauliString) -> bool {
+    qubit_wise_commute(basis, pauli)
+}
+
+fn merge_into_basis(basis: &mut PauliString, pauli: &PauliString) {
+    for (q, op) in pauli.ops() {
+        if basis.op(q) == PauliOp::I && !op.is_identity() {
+            basis.set_op(q, op);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(strings: &[&str]) -> Vec<SignedPauli> {
+        strings.iter().map(|s| s.parse().unwrap()).collect()
+    }
+
+    #[test]
+    fn qubit_wise_commutation_examples() {
+        let a: PauliString = "ZZI".parse().unwrap();
+        assert!(qubit_wise_commute(&a, &"ZIZ".parse().unwrap()));
+        assert!(qubit_wise_commute(&a, &"IZI".parse().unwrap()));
+        assert!(!qubit_wise_commute(&a, &"XZI".parse().unwrap()));
+        // ZZ and XX commute globally but NOT qubit-wise.
+        assert!(!qubit_wise_commute(&"ZZ".parse().unwrap(), &"XX".parse().unwrap()));
+    }
+
+    #[test]
+    fn grouping_reduces_measurement_count() {
+        let observables = obs(&["ZIII", "IZII", "ZZII", "IIZZ", "XXII", "IIXX", "XXXX"]);
+        let groups = group_qubitwise_commuting(&observables);
+        // All-Z observables share one group; the X observables share another.
+        assert!(groups.len() <= 3);
+        let covered: usize = groups.iter().map(|g| g.members.len()).sum();
+        assert_eq!(covered, observables.len());
+    }
+
+    #[test]
+    fn group_members_are_all_consistent_with_the_basis() {
+        let observables = obs(&["ZZI", "ZIZ", "IZZ", "XIX", "IYY", "XXI"]);
+        let groups = group_qubitwise_commuting(&observables);
+        for group in &groups {
+            for &member in &group.members {
+                assert!(
+                    qubit_wise_commute(&group.basis, observables[member].pauli()),
+                    "member {member} incompatible with basis {}",
+                    group.basis
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_observable_is_its_own_group() {
+        let observables = obs(&["XYZ"]);
+        let groups = group_qubitwise_commuting(&observables);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].basis.to_string(), "XYZ");
+        assert_eq!(groups[0].measurement_circuit().len(), 1 + 2 + 0);
+    }
+
+    #[test]
+    fn grouping_transformed_observables_matches_grouping_originals_in_size() {
+        // Clifford conjugation preserves qubit counts and commutation, so the
+        // number of groups of the absorbed observables stays comparable.
+        use quclear_circuit::Circuit;
+        use quclear_tableau::CliffordTableau;
+        let observables = obs(&["ZZII", "IZZI", "IIZZ", "XXII", "IXXI", "IIXX"]);
+        let mut clifford = Circuit::new(4);
+        clifford.cx(0, 1);
+        clifford.cx(2, 3);
+        clifford.h(1);
+        let map = CliffordTableau::heisenberg_from_circuit(&clifford);
+        let transformed: Vec<SignedPauli> =
+            observables.iter().map(|o| map.apply_signed(o)).collect();
+        let before = group_qubitwise_commuting(&observables).len();
+        let after = group_qubitwise_commuting(&transformed).len();
+        assert!(after <= observables.len());
+        assert!(before <= observables.len());
+    }
+
+    #[test]
+    fn empty_input_gives_no_groups() {
+        assert!(group_qubitwise_commuting(&[]).is_empty());
+    }
+}

@@ -1,0 +1,316 @@
+//! Recursive CNOT-tree synthesis (Algorithm 1 of the QuCLEAR paper).
+//!
+//! Given the support of the current (basis-changed) Pauli rotation, the
+//! synthesizer picks a CNOT parity tree whose extraction maximally simplifies
+//! the *following* Pauli strings: qubits are grouped by the next Pauli's
+//! operator (I/X/Y/Z subtrees), subtrees are synthesized recursively using the
+//! Pauli after next, and subtree roots are connected with CNOTs chosen by the
+//! Table-I reduction rules.
+
+use quclear_circuit::Gate;
+use quclear_pauli::{PauliOp, PauliString, SignedPauli};
+use quclear_tableau::{conjugate_pauli_by_gate, CliffordTableau};
+
+/// CNOT-tree synthesizer for one Pauli rotation.
+///
+/// `lookahead[0]` is the Pauli string immediately following the current
+/// rotation (in the already-reordered sequence), `lookahead[1]` the one after
+/// it, and so on. `phi` is the Heisenberg map of everything extracted so far
+/// *including* the current rotation's single-qubit basis layer, so
+/// `phi.apply(lookahead[d])` is exactly the paper's `update_pauli(P, extr_clf)`.
+#[derive(Debug)]
+pub struct TreeSynthesizer<'a> {
+    lookahead: &'a [PauliString],
+    phi: &'a CliffordTableau,
+    recursive: bool,
+}
+
+impl<'a> TreeSynthesizer<'a> {
+    /// Creates a synthesizer.
+    #[must_use]
+    pub fn new(lookahead: &'a [PauliString], phi: &'a CliffordTableau, recursive: bool) -> Self {
+        TreeSynthesizer {
+            lookahead,
+            phi,
+            recursive,
+        }
+    }
+
+    /// Synthesizes the CNOT tree over `support` (the qubits carrying
+    /// non-identity operators of the current rotation after basis change).
+    ///
+    /// Returns the CNOT gates in execution order and the root qubit (where
+    /// the `Rz` rotation is placed). For a single-qubit support no gates are
+    /// emitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `support` is empty.
+    #[must_use]
+    pub fn synthesize(&self, support: &[usize]) -> (Vec<Gate>, usize) {
+        assert!(!support.is_empty(), "cannot synthesize a tree over an empty support");
+        let mut gates = Vec::new();
+        let root = self.synth_rec(support, 0, &mut gates);
+        (gates, root)
+    }
+
+    fn synth_rec(&self, tree_idxs: &[usize], depth: usize, gates: &mut Vec<Gate>) -> usize {
+        if tree_idxs.len() == 1 {
+            return tree_idxs[0];
+        }
+        if !self.recursive && depth > 0 {
+            return chain(tree_idxs, gates);
+        }
+        let Some(next_raw) = self.lookahead.get(depth) else {
+            // No further Pauli to optimize for: any tree is as good as any
+            // other; use a simple chain.
+            return chain(tree_idxs, gates);
+        };
+        let next_pauli = self.phi.apply(next_raw).into_pauli();
+
+        // Step 1: partition the qubits by the next Pauli's operator.
+        let mut groups: [Vec<usize>; 4] = Default::default();
+        for &q in tree_idxs {
+            let slot = match next_pauli.op(q) {
+                PauliOp::Z => 0,
+                PauliOp::I => 1,
+                PauliOp::Y => 2,
+                PauliOp::X => 3,
+            };
+            groups[slot].push(q);
+        }
+
+        // Step 2: synthesize each subtree (recursively, using the Pauli after
+        // next to order the qubits inside the subtree).
+        let mut roots: Vec<usize> = Vec::new();
+        for group in &groups {
+            match group.len() {
+                0 => {}
+                1 => roots.push(group[0]),
+                _ => {
+                    let root = if self.recursive {
+                        self.synth_rec(group, depth + 1, gates)
+                    } else {
+                        chain(group, gates)
+                    };
+                    roots.push(root);
+                }
+            }
+        }
+
+        // Step 3: connect the subtree roots, preferring CNOTs that reduce the
+        // next Pauli according to Table I. Residual operators at the roots
+        // are tracked live through the gates emitted so far for this tree.
+        self.connect_roots(&roots, &next_pauli, gates)
+    }
+
+    /// Connects the given roots into a single tree root, greedily choosing
+    /// (control, target) pairs that minimize the next Pauli's weight.
+    fn connect_roots(&self, roots: &[usize], next_pauli: &PauliString, gates: &mut Vec<Gate>) -> usize {
+        let mut remaining: Vec<usize> = roots.to_vec();
+        // Live view of the next Pauli conjugated through the tree built so far.
+        let mut live = SignedPauli::positive(next_pauli.clone());
+        for gate in gates.iter() {
+            live = conjugate_pauli_by_gate(&live, gate);
+        }
+        while remaining.len() > 1 {
+            let mut best: Option<(usize, usize, i32)> = None;
+            for (ci, &control) in remaining.iter().enumerate() {
+                for (ti, &target) in remaining.iter().enumerate() {
+                    if ci == ti {
+                        continue;
+                    }
+                    let gate = Gate::Cx { control, target };
+                    let after = conjugate_pauli_by_gate(&live, &gate);
+                    let before_weight = weight_at(&live, control) + weight_at(&live, target);
+                    let after_weight = weight_at(&after, control) + weight_at(&after, target);
+                    let reduction = before_weight as i32 - after_weight as i32;
+                    if best.is_none_or(|(_, _, r)| reduction > r) {
+                        best = Some((control, target, reduction));
+                    }
+                }
+            }
+            let (control, target, _) = best.expect("at least two roots remain");
+            let gate = Gate::Cx { control, target };
+            live = conjugate_pauli_by_gate(&live, &gate);
+            gates.push(gate);
+            remaining.retain(|&q| q != control);
+        }
+        remaining[0]
+    }
+}
+
+/// Connects the qubits in index order with a CNOT chain and returns the last
+/// qubit as the root.
+fn chain(tree_idxs: &[usize], gates: &mut Vec<Gate>) -> usize {
+    for pair in tree_idxs.windows(2) {
+        gates.push(Gate::Cx {
+            control: pair[0],
+            target: pair[1],
+        });
+    }
+    *tree_idxs.last().expect("chain called with empty index list")
+}
+
+fn weight_at(pauli: &SignedPauli, qubit: usize) -> usize {
+    usize::from(!pauli.pauli().op(qubit).is_identity())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quclear_circuit::Circuit;
+
+    /// Checks the defining parity-tree property: conjugating the all-Z string
+    /// on the support through the tree circuit leaves a single Z on the root.
+    fn assert_valid_parity_tree(n: usize, support: &[usize], gates: &[Gate], root: usize) {
+        let mut z_all = PauliString::identity(n);
+        for &q in support {
+            z_all.set_op(q, PauliOp::Z);
+        }
+        let mut sp = SignedPauli::positive(z_all);
+        for g in gates {
+            sp = conjugate_pauli_by_gate(&sp, g);
+        }
+        let expected = PauliString::single(n, root, PauliOp::Z);
+        assert_eq!(sp.pauli(), &expected, "tree must map ∏Z(support) to Z(root)");
+        assert!(!sp.is_negative());
+        // And the CNOT count is |support| - 1.
+        assert_eq!(gates.len(), support.len() - 1);
+    }
+
+    fn phi_identity(n: usize) -> CliffordTableau {
+        CliffordTableau::identity(n)
+    }
+
+    #[test]
+    fn single_qubit_support_needs_no_gates() {
+        let phi = phi_identity(3);
+        let lookahead = vec!["XYZ".parse().unwrap()];
+        let synth = TreeSynthesizer::new(&lookahead, &phi, true);
+        let (gates, root) = synth.synthesize(&[1]);
+        assert!(gates.is_empty());
+        assert_eq!(root, 1);
+    }
+
+    #[test]
+    fn chain_fallback_without_lookahead() {
+        let phi = phi_identity(4);
+        let lookahead: Vec<PauliString> = Vec::new();
+        let synth = TreeSynthesizer::new(&lookahead, &phi, true);
+        let support = [0, 1, 3];
+        let (gates, root) = synth.synthesize(&support);
+        assert_valid_parity_tree(4, &support, &gates, root);
+    }
+
+    #[test]
+    fn full_support_tree_is_valid_parity_tree() {
+        let n = 7;
+        let phi = phi_identity(n);
+        // The paper's example: P2' = ZZZIXYX, P3' = YZYXIYX.
+        let lookahead: Vec<PauliString> =
+            vec!["ZZZIXYX".parse().unwrap(), "YZYXIYX".parse().unwrap()];
+        let synth = TreeSynthesizer::new(&lookahead, &phi, true);
+        let support: Vec<usize> = (0..n).collect();
+        let (gates, root) = synth.synthesize(&support);
+        assert_valid_parity_tree(n, &support, &gates, root);
+    }
+
+    /// The paper's running example (Section V-A): extracting the synthesized
+    /// tree for P1 (full support) must optimize P2' = ZZZIXYX down to weight 3
+    /// (IIIIXYX in the paper).
+    #[test]
+    fn paper_example_reduces_p2_to_weight_three() {
+        let n = 7;
+        let phi = phi_identity(n);
+        let p2: PauliString = "ZZZIXYX".parse().unwrap();
+        let p3: PauliString = "YZYXIYX".parse().unwrap();
+        let lookahead = vec![p2.clone(), p3.clone()];
+        let synth = TreeSynthesizer::new(&lookahead, &phi, true);
+        let support: Vec<usize> = (0..n).collect();
+        let (gates, root) = synth.synthesize(&support);
+        assert_valid_parity_tree(n, &support, &gates, root);
+
+        // Extracting the tree conjugates the following Paulis by the mirrored
+        // tree, i.e. by the tree circuit itself in the Heisenberg picture:
+        // P' = W P W† where W is the tree circuit.
+        let mut tree_circuit = Circuit::new(n);
+        tree_circuit.extend(gates.iter().copied());
+        let map = CliffordTableau::from_circuit(&tree_circuit);
+        let p2_updated = map.apply(&p2);
+        assert!(
+            p2_updated.weight() <= 3,
+            "P2' should be reduced to weight ≤ 3, got {} ({})",
+            p2_updated.weight(),
+            p2_updated
+        );
+        // With the recursive tree, P3' should also be reduced (the paper
+        // reaches weight 5: IIXXIYX).
+        let p3_updated = map.apply(&p3);
+        assert!(
+            p3_updated.weight() <= 5,
+            "P3' should be reduced to weight ≤ 5, got {} ({})",
+            p3_updated.weight(),
+            p3_updated
+        );
+    }
+
+    #[test]
+    fn recursive_beats_or_matches_non_recursive_on_paper_example() {
+        let n = 7;
+        let phi = phi_identity(n);
+        let p2: PauliString = "ZZZIXYX".parse().unwrap();
+        let p3: PauliString = "YZYXIYX".parse().unwrap();
+        let lookahead = vec![p2, p3.clone()];
+        let support: Vec<usize> = (0..n).collect();
+
+        let weight_after = |recursive: bool| {
+            let synth = TreeSynthesizer::new(&lookahead, &phi, recursive);
+            let (gates, _) = synth.synthesize(&support);
+            let mut tree_circuit = Circuit::new(n);
+            tree_circuit.extend(gates.iter().copied());
+            CliffordTableau::from_circuit(&tree_circuit).apply(&p3).weight()
+        };
+        assert!(weight_after(true) <= weight_after(false));
+    }
+
+    #[test]
+    fn all_z_next_pauli_collapses_to_single_z() {
+        // If the next Pauli is all-Z on the support, extracting the chain
+        // reduces it to a single Z (the paper's ZZ…Z → II…IZ observation).
+        let n = 5;
+        let phi = phi_identity(n);
+        let next: PauliString = "ZZZZZ".parse().unwrap();
+        let lookahead = vec![next.clone()];
+        let synth = TreeSynthesizer::new(&lookahead, &phi, true);
+        let support: Vec<usize> = (0..n).collect();
+        let (gates, root) = synth.synthesize(&support);
+        assert_valid_parity_tree(n, &support, &gates, root);
+        let mut tree_circuit = Circuit::new(n);
+        tree_circuit.extend(gates.iter().copied());
+        let updated = CliffordTableau::from_circuit(&tree_circuit).apply(&next);
+        assert_eq!(updated.weight(), 1, "ZZZZZ should collapse to a single Z, got {updated}");
+    }
+
+    #[test]
+    fn disjoint_supports_are_left_untouched() {
+        // If the next Pauli is identity on the support, no reduction is
+        // possible but the tree must still be valid.
+        let n = 6;
+        let phi = phi_identity(n);
+        let lookahead: Vec<PauliString> = vec!["IIIIXX".parse().unwrap()];
+        let synth = TreeSynthesizer::new(&lookahead, &phi, true);
+        let support = [0, 1, 2, 3];
+        let (gates, root) = synth.synthesize(&support);
+        assert_valid_parity_tree(n, &support, &gates, root);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty support")]
+    fn empty_support_panics() {
+        let phi = phi_identity(2);
+        let lookahead: Vec<PauliString> = Vec::new();
+        let synth = TreeSynthesizer::new(&lookahead, &phi, true);
+        let _ = synth.synthesize(&[]);
+    }
+}

@@ -1,0 +1,307 @@
+//! A small fixed-length bit vector backed by `u64` words.
+//!
+//! [`BitVec`] is the storage primitive behind [`PauliString`](crate::PauliString):
+//! a Pauli string over `n` qubits is a pair of length-`n` bit vectors (the X
+//! block and the Z block of the symplectic representation). The type is kept
+//! deliberately small — only the operations needed by the Pauli/Clifford
+//! algebra are provided — but those operations are word-parallel so that
+//! conjugating Pauli strings through large Clifford tableaus stays cheap.
+
+use std::fmt;
+
+/// Number of bits per storage word.
+const WORD_BITS: usize = 64;
+
+/// A fixed-length vector of bits.
+///
+/// The length is fixed at construction time; all binary operations panic if
+/// the lengths disagree, which turns qubit-count mismatches into loud errors
+/// instead of silent truncation.
+///
+/// # Examples
+///
+/// ```
+/// use quclear_pauli::BitVec;
+///
+/// let mut bits = BitVec::zeros(70);
+/// bits.set(3, true);
+/// bits.set(69, true);
+/// assert_eq!(bits.count_ones(), 2);
+/// assert!(bits.get(69));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BitVec {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitVec {
+    /// Creates a bit vector of `len` zero bits.
+    #[must_use]
+    pub fn zeros(len: usize) -> Self {
+        let nwords = len.div_ceil(WORD_BITS);
+        BitVec {
+            len,
+            words: vec![0; nwords],
+        }
+    }
+
+    /// Creates a bit vector from an iterator of booleans.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use quclear_pauli::BitVec;
+    /// let bits = BitVec::from_bools([true, false, true]);
+    /// assert_eq!(bits.len(), 3);
+    /// assert_eq!(bits.count_ones(), 2);
+    /// ```
+    #[must_use]
+    pub fn from_bools<I: IntoIterator<Item = bool>>(bools: I) -> Self {
+        let bools: Vec<bool> = bools.into_iter().collect();
+        let mut bv = BitVec::zeros(bools.len());
+        for (i, b) in bools.iter().enumerate() {
+            bv.set(i, *b);
+        }
+        bv
+    }
+
+    /// Number of bits in the vector.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the vector has zero length.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns the bit at position `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.len()`.
+    #[must_use]
+    pub fn get(&self, idx: usize) -> bool {
+        assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
+        (self.words[idx / WORD_BITS] >> (idx % WORD_BITS)) & 1 == 1
+    }
+
+    /// Sets the bit at position `idx` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.len()`.
+    pub fn set(&mut self, idx: usize, value: bool) {
+        assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
+        let word = &mut self.words[idx / WORD_BITS];
+        let mask = 1u64 << (idx % WORD_BITS);
+        if value {
+            *word |= mask;
+        } else {
+            *word &= !mask;
+        }
+    }
+
+    /// Flips the bit at position `idx`, returning its new value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.len()`.
+    pub fn toggle(&mut self, idx: usize) -> bool {
+        let new = !self.get(idx);
+        self.set(idx, new);
+        new
+    }
+
+    /// Number of bits set to one.
+    #[must_use]
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if no bit is set.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// XORs `other` into `self` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn xor_with(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "length mismatch in BitVec::xor_with");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a ^= b;
+        }
+    }
+
+    /// Returns the number of positions where both vectors have a one bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    #[must_use]
+    pub fn and_count(&self, other: &BitVec) -> usize {
+        assert_eq!(self.len, other.len, "length mismatch in BitVec::and_count");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Parity (XOR) of the AND of the two vectors; this is the symplectic
+    /// building block used for commutation checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    #[must_use]
+    pub fn and_parity(&self, other: &BitVec) -> bool {
+        self.and_count(other) % 2 == 1
+    }
+
+    /// Iterator over the indices of set bits, in increasing order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(move |(wi, &word)| {
+            let base = wi * WORD_BITS;
+            let len = self.len;
+            IterWordOnes { word, base }.filter(move |&i| i < len)
+        })
+    }
+
+    /// Resets every bit to zero.
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+}
+
+struct IterWordOnes {
+    word: u64,
+    base: usize,
+}
+
+impl Iterator for IterWordOnes {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.word == 0 {
+            None
+        } else {
+            let tz = self.word.trailing_zeros() as usize;
+            self.word &= self.word - 1;
+            Some(self.base + tz)
+        }
+    }
+}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVec[")?;
+        for i in 0..self.len {
+            write!(f, "{}", u8::from(self.get(i)))?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_is_empty_of_ones() {
+        let b = BitVec::zeros(130);
+        assert_eq!(b.len(), 130);
+        assert_eq!(b.count_ones(), 0);
+        assert!(b.is_zero());
+    }
+
+    #[test]
+    fn set_get_roundtrip_across_word_boundary() {
+        let mut b = BitVec::zeros(130);
+        for idx in [0, 1, 63, 64, 65, 127, 128, 129] {
+            b.set(idx, true);
+            assert!(b.get(idx), "bit {idx} should be set");
+        }
+        assert_eq!(b.count_ones(), 8);
+        b.set(64, false);
+        assert!(!b.get(64));
+        assert_eq!(b.count_ones(), 7);
+    }
+
+    #[test]
+    fn toggle_flips() {
+        let mut b = BitVec::zeros(5);
+        assert!(b.toggle(2));
+        assert!(!b.toggle(2));
+        assert!(b.is_zero());
+    }
+
+    #[test]
+    fn xor_with_combines() {
+        let a = BitVec::from_bools([true, false, true, false]);
+        let b = BitVec::from_bools([true, true, false, false]);
+        let mut c = a.clone();
+        c.xor_with(&b);
+        assert_eq!(c, BitVec::from_bools([false, true, true, false]));
+    }
+
+    #[test]
+    fn and_count_and_parity() {
+        let a = BitVec::from_bools([true, true, true, false]);
+        let b = BitVec::from_bools([true, true, false, true]);
+        assert_eq!(a.and_count(&b), 2);
+        assert!(!a.and_parity(&b));
+        let c = BitVec::from_bools([true, false, false, false]);
+        assert!(a.and_parity(&c));
+    }
+
+    #[test]
+    fn iter_ones_yields_sorted_indices() {
+        let mut b = BitVec::zeros(200);
+        let idxs = [3, 64, 65, 150, 199];
+        for &i in &idxs {
+            b.set(i, true);
+        }
+        let collected: Vec<usize> = b.iter_ones().collect();
+        assert_eq!(collected, idxs);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let b = BitVec::zeros(4);
+        let _ = b.get(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn xor_length_mismatch_panics() {
+        let mut a = BitVec::zeros(4);
+        let b = BitVec::zeros(5);
+        a.xor_with(&b);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut b = BitVec::from_bools([true, true, true]);
+        b.clear();
+        assert!(b.is_zero());
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn from_bools_empty() {
+        let b = BitVec::from_bools(std::iter::empty());
+        assert!(b.is_empty());
+        assert!(b.is_zero());
+    }
+}

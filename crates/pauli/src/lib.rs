@@ -1,0 +1,115 @@
+//! Pauli-string algebra for the QuCLEAR reproduction.
+//!
+//! This crate provides the foundational data types used by every other crate
+//! in the workspace:
+//!
+//! * [`BitVec`] — a small word-packed bit vector,
+//! * [`PauliOp`] — a single-qubit Pauli operator,
+//! * [`PauliString`] — a phase-free multi-qubit Pauli string in symplectic
+//!   representation,
+//! * [`SignedPauli`] — a Pauli string with a ±1 sign (the result type of
+//!   Clifford conjugation),
+//! * [`PauliRotation`] — the exponentiated Pauli block `exp(-i·θ/2·P)` that
+//!   quantum-simulation circuits are made of.
+//!
+//! # Examples
+//!
+//! ```
+//! use quclear_pauli::{PauliRotation, PauliString};
+//!
+//! // The motivating example of the QuCLEAR paper: e^{iZZZZ t1} e^{iYYXX t2}.
+//! let p1: PauliString = "ZZZZ".parse()?;
+//! let p2: PauliString = "YYXX".parse()?;
+//! assert!(p1.commutes_with(&p2));
+//!
+//! let block = PauliRotation::new(p1, 0.3);
+//! assert_eq!(block.native_cnot_cost(), 6);
+//! # Ok::<(), quclear_pauli::ParsePauliError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod bits;
+mod op;
+mod rotation;
+mod signed;
+mod string;
+
+pub use bits::BitVec;
+pub use op::PauliOp;
+pub use rotation::PauliRotation;
+pub use signed::SignedPauli;
+pub use string::PauliString;
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when parsing Pauli strings from text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParsePauliError {
+    /// The input contained a character other than `I`, `X`, `Y`, `Z`
+    /// (or a leading sign for [`SignedPauli`]).
+    InvalidCharacter(char),
+    /// The input contained no Pauli characters.
+    Empty,
+}
+
+impl fmt::Display for ParsePauliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParsePauliError::InvalidCharacter(c) => {
+                write!(f, "invalid Pauli character `{c}`; expected I, X, Y or Z")
+            }
+            ParsePauliError::Empty => write!(f, "empty Pauli string"),
+        }
+    }
+}
+
+impl Error for ParsePauliError {}
+
+/// Convenience helper that parses a slice of textual Pauli strings.
+///
+/// # Errors
+///
+/// Returns the first parse error encountered.
+///
+/// # Examples
+///
+/// ```
+/// let paulis = quclear_pauli::parse_paulis(&["ZZI", "IXX"])?;
+/// assert_eq!(paulis.len(), 2);
+/// # Ok::<(), quclear_pauli::ParsePauliError>(())
+/// ```
+pub fn parse_paulis(strings: &[&str]) -> Result<Vec<PauliString>, ParsePauliError> {
+    strings.iter().map(|s| s.parse()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_paulis_helper() {
+        let ps = parse_paulis(&["XX", "ZZ"]).unwrap();
+        assert_eq!(ps[0].to_string(), "XX");
+        assert!(parse_paulis(&["XX", "A"]).is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ParsePauliError::InvalidCharacter('q');
+        assert!(e.to_string().contains('q'));
+        assert!(ParsePauliError::Empty.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BitVec>();
+        assert_send_sync::<PauliOp>();
+        assert_send_sync::<PauliString>();
+        assert_send_sync::<SignedPauli>();
+        assert_send_sync::<PauliRotation>();
+    }
+}

@@ -1,0 +1,241 @@
+//! Single-qubit Pauli operators.
+
+use std::fmt;
+
+/// A single-qubit Pauli operator.
+///
+/// The symplectic encoding used throughout the workspace is
+/// `(x, z)` with `I = (0,0)`, `X = (1,0)`, `Y = (1,1)`, `Z = (0,1)`,
+/// i.e. `Y` stands for the literal Hermitian Pauli `Y = i·X·Z`.
+///
+/// # Examples
+///
+/// ```
+/// use quclear_pauli::PauliOp;
+///
+/// assert_eq!(PauliOp::from_xz(true, true), PauliOp::Y);
+/// assert_eq!(PauliOp::Y.xz(), (true, true));
+/// assert!(!PauliOp::X.commutes_with(PauliOp::Z));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum PauliOp {
+    /// The identity operator.
+    #[default]
+    I,
+    /// The Pauli X operator.
+    X,
+    /// The Pauli Y operator.
+    Y,
+    /// The Pauli Z operator.
+    Z,
+}
+
+impl PauliOp {
+    /// All four operators, in `I, X, Y, Z` order.
+    pub const ALL: [PauliOp; 4] = [PauliOp::I, PauliOp::X, PauliOp::Y, PauliOp::Z];
+
+    /// Builds an operator from its symplectic `(x, z)` bits.
+    #[must_use]
+    pub fn from_xz(x: bool, z: bool) -> Self {
+        match (x, z) {
+            (false, false) => PauliOp::I,
+            (true, false) => PauliOp::X,
+            (true, true) => PauliOp::Y,
+            (false, true) => PauliOp::Z,
+        }
+    }
+
+    /// Returns the symplectic `(x, z)` bits of the operator.
+    #[must_use]
+    pub fn xz(self) -> (bool, bool) {
+        match self {
+            PauliOp::I => (false, false),
+            PauliOp::X => (true, false),
+            PauliOp::Y => (true, true),
+            PauliOp::Z => (false, true),
+        }
+    }
+
+    /// Returns `true` for the identity operator.
+    #[must_use]
+    pub fn is_identity(self) -> bool {
+        self == PauliOp::I
+    }
+
+    /// Returns `true` if the two single-qubit operators commute.
+    ///
+    /// Two non-identity Paulis commute exactly when they are equal.
+    #[must_use]
+    pub fn commutes_with(self, other: PauliOp) -> bool {
+        self == PauliOp::I || other == PauliOp::I || self == other
+    }
+
+    /// Multiplies two single-qubit Paulis.
+    ///
+    /// Returns the resulting operator together with the exponent `k` (mod 4)
+    /// such that `self · other = i^k · result`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use quclear_pauli::PauliOp;
+    /// // X · Y = i Z
+    /// assert_eq!(PauliOp::X.mul(PauliOp::Y), (PauliOp::Z, 1));
+    /// // Y · X = -i Z
+    /// assert_eq!(PauliOp::Y.mul(PauliOp::X), (PauliOp::Z, 3));
+    /// ```
+    #[must_use]
+    pub fn mul(self, other: PauliOp) -> (PauliOp, u8) {
+        let (x1, z1) = self.xz();
+        let (x2, z2) = other.xz();
+        let result = PauliOp::from_xz(x1 ^ x2, z1 ^ z2);
+        let g = phase_exponent(x1, z1, x2, z2);
+        (result, g)
+    }
+
+    /// Parses an operator from its single-character name.
+    ///
+    /// Accepts upper- or lower-case `I`, `X`, `Y`, `Z`. Returns `None` for any
+    /// other character.
+    #[must_use]
+    pub fn from_char(c: char) -> Option<Self> {
+        match c.to_ascii_uppercase() {
+            'I' => Some(PauliOp::I),
+            'X' => Some(PauliOp::X),
+            'Y' => Some(PauliOp::Y),
+            'Z' => Some(PauliOp::Z),
+            _ => None,
+        }
+    }
+
+    /// Returns the single-character name of the operator.
+    #[must_use]
+    pub fn to_char(self) -> char {
+        match self {
+            PauliOp::I => 'I',
+            PauliOp::X => 'X',
+            PauliOp::Y => 'Y',
+            PauliOp::Z => 'Z',
+        }
+    }
+}
+
+/// Phase exponent contribution of multiplying literal single-qubit Paulis.
+///
+/// Returns `k` (mod 4) such that `P1 · P2 = i^k · P3` where `P1 = (x1, z1)`,
+/// `P2 = (x2, z2)` and `P3 = (x1^x2, z1^z2)` are literal Paulis
+/// (`Y` meaning the Hermitian `Y`).
+#[must_use]
+pub(crate) fn phase_exponent(x1: bool, z1: bool, x2: bool, z2: bool) -> u8 {
+    // Signed contribution in {-1, 0, 1}, following Aaronson & Gottesman's `g`.
+    let g: i8 = match (x1, z1) {
+        (false, false) => 0,
+        (true, true) => i8::from(z2) - i8::from(x2),
+        (true, false) => {
+            if z2 {
+                2 * i8::from(x2) - 1
+            } else {
+                0
+            }
+        }
+        (false, true) => {
+            if x2 {
+                1 - 2 * i8::from(z2)
+            } else {
+                0
+            }
+        }
+    };
+    g.rem_euclid(4) as u8
+}
+
+impl fmt::Display for PauliOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xz_roundtrip() {
+        for op in PauliOp::ALL {
+            let (x, z) = op.xz();
+            assert_eq!(PauliOp::from_xz(x, z), op);
+        }
+    }
+
+    #[test]
+    fn char_roundtrip() {
+        for op in PauliOp::ALL {
+            assert_eq!(PauliOp::from_char(op.to_char()), Some(op));
+        }
+        assert_eq!(PauliOp::from_char('x'), Some(PauliOp::X));
+        assert_eq!(PauliOp::from_char('Q'), None);
+    }
+
+    #[test]
+    fn commutation_table() {
+        use PauliOp::*;
+        assert!(X.commutes_with(X));
+        assert!(I.commutes_with(Z));
+        assert!(!X.commutes_with(Y));
+        assert!(!Y.commutes_with(Z));
+        assert!(!Z.commutes_with(X));
+    }
+
+    /// Check the full single-qubit multiplication table against the
+    /// textbook relations.
+    #[test]
+    fn multiplication_table() {
+        use PauliOp::*;
+        // (a, b, result, i-exponent)
+        let table = [
+            (I, I, I, 0),
+            (I, X, X, 0),
+            (X, I, X, 0),
+            (X, X, I, 0),
+            (Y, Y, I, 0),
+            (Z, Z, I, 0),
+            (X, Y, Z, 1),
+            (Y, X, Z, 3),
+            (Y, Z, X, 1),
+            (Z, Y, X, 3),
+            (Z, X, Y, 1),
+            (X, Z, Y, 3),
+            (I, Y, Y, 0),
+            (Y, I, Y, 0),
+            (I, Z, Z, 0),
+            (Z, I, Z, 0),
+        ];
+        for (a, b, want, phase) in table {
+            assert_eq!(a.mul(b), (want, phase), "{a} * {b}");
+        }
+    }
+
+    /// Anti-commutation: for distinct non-identity Paulis, P·Q = -Q·P.
+    #[test]
+    fn anticommutation_phases_are_opposite() {
+        use PauliOp::*;
+        for a in [X, Y, Z] {
+            for b in [X, Y, Z] {
+                if a == b {
+                    continue;
+                }
+                let (r1, p1) = a.mul(b);
+                let (r2, p2) = b.mul(a);
+                assert_eq!(r1, r2);
+                assert_eq!((p1 + 2) % 4, p2, "{a}{b} should anticommute");
+            }
+        }
+    }
+
+    #[test]
+    fn default_is_identity() {
+        assert_eq!(PauliOp::default(), PauliOp::I);
+        assert!(PauliOp::I.is_identity());
+        assert!(!PauliOp::X.is_identity());
+    }
+}

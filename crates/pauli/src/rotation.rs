@@ -1,0 +1,174 @@
+//! Pauli rotations: the building block `exp(-i·θ/2 · P)` of quantum
+//! simulation circuits.
+
+use std::fmt;
+
+use crate::{PauliString, SignedPauli};
+
+/// An exponentiated Pauli string `exp(-i·angle/2 · P)`.
+///
+/// This is the elementary block of Trotterized Hamiltonian simulation, UCCSD
+/// ansätze and QAOA layers. The sign convention matches the usual `Rz(θ)`
+/// convention so that a weight-1 `Z` rotation is literally an `Rz` gate on
+/// that qubit.
+///
+/// Conjugating the Pauli by a Clifford can introduce a −1 sign
+/// (`C† P C = -P'`), which is equivalent to negating the rotation angle
+/// (`e^{i(−P)t} = e^{iP(−t)}` in the paper's notation); see
+/// [`PauliRotation::with_signed_pauli`].
+///
+/// # Examples
+///
+/// ```
+/// use quclear_pauli::PauliRotation;
+///
+/// let rot = PauliRotation::parse("ZZII", 0.25)?;
+/// assert_eq!(rot.pauli().weight(), 2);
+/// assert_eq!(rot.angle(), 0.25);
+/// # Ok::<(), quclear_pauli::ParsePauliError>(())
+/// ```
+#[derive(Clone, PartialEq, Debug)]
+pub struct PauliRotation {
+    pauli: PauliString,
+    angle: f64,
+}
+
+impl PauliRotation {
+    /// Creates a rotation `exp(-i·angle/2 · pauli)`.
+    #[must_use]
+    pub fn new(pauli: PauliString, angle: f64) -> Self {
+        PauliRotation { pauli, angle }
+    }
+
+    /// Parses the Pauli string and creates the rotation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `pauli` is not a valid Pauli string.
+    pub fn parse(pauli: &str, angle: f64) -> Result<Self, crate::ParsePauliError> {
+        Ok(PauliRotation::new(pauli.parse()?, angle))
+    }
+
+    /// Creates a rotation from a signed Pauli, folding the sign into the
+    /// angle: `exp(-i·θ/2·(−P)) = exp(-i·(−θ)/2·P)`.
+    #[must_use]
+    pub fn with_signed_pauli(signed: SignedPauli, angle: f64) -> Self {
+        let angle = if signed.is_negative() { -angle } else { angle };
+        PauliRotation::new(signed.into_pauli(), angle)
+    }
+
+    /// The rotation axis.
+    #[must_use]
+    pub fn pauli(&self) -> &PauliString {
+        &self.pauli
+    }
+
+    /// The rotation angle θ in `exp(-i·θ/2·P)`.
+    #[must_use]
+    pub fn angle(&self) -> f64 {
+        self.angle
+    }
+
+    /// Number of qubits the rotation acts on.
+    #[must_use]
+    pub fn num_qubits(&self) -> usize {
+        self.pauli.num_qubits()
+    }
+
+    /// Pauli weight of the rotation axis.
+    #[must_use]
+    pub fn weight(&self) -> usize {
+        self.pauli.weight()
+    }
+
+    /// Returns `true` if the rotation is trivial: identity axis or zero angle.
+    #[must_use]
+    pub fn is_trivial(&self) -> bool {
+        self.pauli.is_identity() || self.angle == 0.0
+    }
+
+    /// Number of CNOT gates of the textbook (unoptimized) V-shaped synthesis:
+    /// `2·(weight − 1)` for non-trivial rotations, `0` otherwise.
+    #[must_use]
+    pub fn native_cnot_cost(&self) -> usize {
+        let w = self.weight();
+        if w <= 1 {
+            0
+        } else {
+            2 * (w - 1)
+        }
+    }
+
+    /// Number of single-qubit gates of the textbook synthesis: two basis
+    /// changes per X operator, four per Y operator (`H`/`S†H` pairs and their
+    /// mirrors), plus the `Rz` itself.
+    #[must_use]
+    pub fn native_single_qubit_cost(&self) -> usize {
+        if self.is_trivial() {
+            return 0;
+        }
+        let (_, nx, ny, _) = self.pauli.op_histogram();
+        2 * nx + 4 * ny + 1
+    }
+}
+
+impl fmt::Display for PauliRotation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "exp(-i·{:.6}/2·{})", self.angle, self.pauli)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_accessors() {
+        let r = PauliRotation::parse("XYZI", 1.5).unwrap();
+        assert_eq!(r.num_qubits(), 4);
+        assert_eq!(r.weight(), 3);
+        assert_eq!(r.angle(), 1.5);
+        assert!(!r.is_trivial());
+    }
+
+    #[test]
+    fn signed_pauli_flips_angle() {
+        let sp: SignedPauli = "-ZZ".parse().unwrap();
+        let r = PauliRotation::with_signed_pauli(sp, 0.7);
+        assert_eq!(r.angle(), -0.7);
+        assert_eq!(r.pauli().to_string(), "ZZ");
+
+        let sp: SignedPauli = "+ZZ".parse().unwrap();
+        let r = PauliRotation::with_signed_pauli(sp, 0.7);
+        assert_eq!(r.angle(), 0.7);
+    }
+
+    #[test]
+    fn trivial_rotations() {
+        assert!(PauliRotation::parse("III", 0.4).unwrap().is_trivial());
+        assert!(PauliRotation::parse("XYZ", 0.0).unwrap().is_trivial());
+        assert!(!PauliRotation::parse("XYZ", 0.4).unwrap().is_trivial());
+    }
+
+    #[test]
+    fn native_costs_match_table_ii_conventions() {
+        // A weight-4 all-Z string costs 6 CNOTs and 1 single-qubit gate.
+        let r = PauliRotation::parse("ZZZZ", 0.1).unwrap();
+        assert_eq!(r.native_cnot_cost(), 6);
+        assert_eq!(r.native_single_qubit_cost(), 1);
+        // An XX string costs 2 CNOTs and 2·2 + 1 = 5 single-qubit gates.
+        let r = PauliRotation::parse("XX", 0.1).unwrap();
+        assert_eq!(r.native_cnot_cost(), 2);
+        assert_eq!(r.native_single_qubit_cost(), 5);
+        // A weight-1 rotation needs no CNOTs.
+        let r = PauliRotation::parse("IXI", 0.1).unwrap();
+        assert_eq!(r.native_cnot_cost(), 0);
+        assert_eq!(r.native_single_qubit_cost(), 3);
+    }
+
+    #[test]
+    fn display_contains_axis() {
+        let r = PauliRotation::parse("XZ", 0.5).unwrap();
+        assert!(r.to_string().contains("XZ"));
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for the Pauli algebra.
+
+use proptest::prelude::*;
+use quclear_pauli::{PauliOp, PauliString, SignedPauli};
+
+/// Strategy producing a random Pauli string on `n` qubits.
+fn pauli_string(n: usize) -> impl Strategy<Value = PauliString> {
+    prop::collection::vec(0u8..4, n).prop_map(|ops| {
+        let ops: Vec<PauliOp> = ops
+            .into_iter()
+            .map(|v| match v {
+                0 => PauliOp::I,
+                1 => PauliOp::X,
+                2 => PauliOp::Y,
+                _ => PauliOp::Z,
+            })
+            .collect();
+        PauliString::from_ops(&ops)
+    })
+}
+
+proptest! {
+    /// Parsing the display form gives back the same Pauli string.
+    #[test]
+    fn display_parse_roundtrip(p in pauli_string(12)) {
+        let parsed: PauliString = p.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, p);
+    }
+
+    /// The commutation relation is symmetric.
+    #[test]
+    fn commutation_is_symmetric(a in pauli_string(8), b in pauli_string(8)) {
+        prop_assert_eq!(a.commutes_with(&b), b.commutes_with(&a));
+    }
+
+    /// Every Pauli commutes with itself and with the identity.
+    #[test]
+    fn commutes_with_self_and_identity(a in pauli_string(10)) {
+        prop_assert!(a.commutes_with(&a));
+        prop_assert!(a.commutes_with(&PauliString::identity(10)));
+    }
+
+    /// P·P = I with no phase.
+    #[test]
+    fn self_product_is_identity(a in pauli_string(9)) {
+        let (prod, phase) = a.mul(&a);
+        prop_assert!(prod.is_identity());
+        prop_assert_eq!(phase, 0);
+    }
+
+    /// Multiplication is associative, including phases.
+    #[test]
+    fn multiplication_is_associative(
+        a in pauli_string(6),
+        b in pauli_string(6),
+        c in pauli_string(6),
+    ) {
+        let (ab, k_ab) = a.mul(&b);
+        let (ab_c, k_ab_c) = ab.mul(&c);
+        let left_phase = (k_ab + k_ab_c) % 4;
+
+        let (bc, k_bc) = b.mul(&c);
+        let (a_bc, k_a_bc) = a.mul(&bc);
+        let right_phase = (k_bc + k_a_bc) % 4;
+
+        prop_assert_eq!(ab_c, a_bc);
+        prop_assert_eq!(left_phase, right_phase);
+    }
+
+    /// Commutation matches the phase relation: A·B = ±B·A, with + iff they
+    /// commute.
+    #[test]
+    fn commutation_matches_product_phases(a in pauli_string(7), b in pauli_string(7)) {
+        let (p1, k1) = a.mul(&b);
+        let (p2, k2) = b.mul(&a);
+        prop_assert_eq!(p1, p2);
+        if a.commutes_with(&b) {
+            prop_assert_eq!(k1, k2);
+        } else {
+            prop_assert_eq!((k1 + 2) % 4, k2);
+        }
+    }
+
+    /// Weight equals the size of the support and is bounded by qubit count.
+    #[test]
+    fn weight_equals_support_len(a in pauli_string(11)) {
+        prop_assert_eq!(a.weight(), a.support().len());
+        prop_assert!(a.weight() <= a.num_qubits());
+    }
+
+    /// The op histogram sums to the number of qubits.
+    #[test]
+    fn histogram_sums_to_qubits(a in pauli_string(13)) {
+        let (i, x, y, z) = a.op_histogram();
+        prop_assert_eq!(i + x + y + z, 13);
+        prop_assert_eq!(x + y + z, a.weight());
+    }
+
+    /// Signed Pauli multiplication by the identity is a no-op.
+    #[test]
+    fn signed_identity_is_neutral(a in pauli_string(5), neg in any::<bool>()) {
+        let sp = SignedPauli::new(a, neg);
+        let id = SignedPauli::identity(5);
+        prop_assert_eq!(sp.mul(&id), sp.clone());
+        prop_assert_eq!(id.mul(&sp), sp);
+    }
+
+    /// Restricting to the support and re-embedding reproduces the string.
+    #[test]
+    fn restrict_embed_roundtrip(a in pauli_string(10)) {
+        let sup = a.support();
+        if !sup.is_empty() {
+            let r = a.restrict(&sup);
+            prop_assert_eq!(r.embed(10, &sup), a);
+        }
+    }
+}

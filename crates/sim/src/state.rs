@@ -1,0 +1,400 @@
+//! Dense state-vector simulation.
+
+use quclear_circuit::math::{single_qubit_matrix, C64};
+use quclear_circuit::{Circuit, Gate};
+use quclear_pauli::{PauliString, SignedPauli};
+
+/// A dense `2^n`-amplitude quantum state.
+///
+/// Basis-state indexing is little-endian in the qubit number: qubit `q`
+/// corresponds to bit `q` of the index, so index `0b011` on three qubits means
+/// qubit 0 = 1, qubit 1 = 1, qubit 2 = 0. Helper methods convert to the
+/// left-to-right bitstring convention used for Pauli strings.
+///
+/// # Examples
+///
+/// ```
+/// use quclear_circuit::Circuit;
+/// use quclear_sim::StateVector;
+///
+/// let mut bell = Circuit::new(2);
+/// bell.h(0);
+/// bell.cx(0, 1);
+/// let state = StateVector::from_circuit(&bell);
+/// let zz: quclear_pauli::PauliString = "ZZ".parse()?;
+/// assert!((state.expectation(&zz) - 1.0).abs() < 1e-12);
+/// # Ok::<(), quclear_pauli::ParsePauliError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct StateVector {
+    num_qubits: usize,
+    amps: Vec<C64>,
+}
+
+impl StateVector {
+    /// The all-zeros computational basis state `|0…0⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits > 26` (guarding against accidental huge
+    /// allocations in tests and benches).
+    #[must_use]
+    pub fn zero_state(num_qubits: usize) -> Self {
+        assert!(num_qubits <= 26, "state vector of {num_qubits} qubits is too large");
+        let mut amps = vec![C64::ZERO; 1 << num_qubits];
+        amps[0] = C64::ONE;
+        StateVector { num_qubits, amps }
+    }
+
+    /// Runs `circuit` on `|0…0⟩` and returns the resulting state.
+    #[must_use]
+    pub fn from_circuit(circuit: &Circuit) -> Self {
+        let mut state = StateVector::zero_state(circuit.num_qubits());
+        state.apply_circuit(circuit);
+        state
+    }
+
+    /// Number of qubits.
+    #[must_use]
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The raw amplitudes (little-endian basis ordering).
+    #[must_use]
+    pub fn amplitudes(&self) -> &[C64] {
+        &self.amps
+    }
+
+    /// Applies a single gate in place.
+    pub fn apply_gate(&mut self, gate: &Gate) {
+        match *gate {
+            Gate::Cx { control, target } => {
+                let cm = 1usize << control;
+                let tm = 1usize << target;
+                for i in 0..self.amps.len() {
+                    if i & cm != 0 && i & tm == 0 {
+                        self.amps.swap(i, i | tm);
+                    }
+                }
+            }
+            Gate::Cz { a, b } => {
+                let am = 1usize << a;
+                let bm = 1usize << b;
+                for (i, amp) in self.amps.iter_mut().enumerate() {
+                    if i & am != 0 && i & bm != 0 {
+                        *amp = -*amp;
+                    }
+                }
+            }
+            Gate::Swap { a, b } => {
+                let am = 1usize << a;
+                let bm = 1usize << b;
+                for i in 0..self.amps.len() {
+                    if i & am != 0 && i & bm == 0 {
+                        self.amps.swap(i, (i & !am) | bm);
+                    }
+                }
+            }
+            ref g => {
+                let q = g.qubits()[0];
+                let u = single_qubit_matrix(g);
+                let qm = 1usize << q;
+                for i in 0..self.amps.len() {
+                    if i & qm == 0 {
+                        let a0 = self.amps[i];
+                        let a1 = self.amps[i | qm];
+                        self.amps[i] = u.m[0][0] * a0 + u.m[0][1] * a1;
+                        self.amps[i | qm] = u.m[1][0] * a0 + u.m[1][1] * a1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies every gate of a circuit in time order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit acts on a different number of qubits.
+    pub fn apply_circuit(&mut self, circuit: &Circuit) {
+        assert_eq!(
+            circuit.num_qubits(),
+            self.num_qubits,
+            "circuit qubit count does not match the state"
+        );
+        for gate in circuit.gates() {
+            self.apply_gate(gate);
+        }
+    }
+
+    /// Applies a Pauli string to the state, returning a new state `P|ψ⟩`.
+    #[must_use]
+    pub fn apply_pauli(&self, pauli: &PauliString) -> StateVector {
+        assert_eq!(pauli.num_qubits(), self.num_qubits);
+        let mut x_mask = 0usize;
+        let mut z_mask = 0usize;
+        let mut y_count = 0u32;
+        for (q, op) in pauli.ops() {
+            let (x, z) = op.xz();
+            if x {
+                x_mask |= 1 << q;
+            }
+            if z {
+                z_mask |= 1 << q;
+            }
+            if x && z {
+                y_count += 1;
+            }
+        }
+        // Global i^{#Y} factor of the literal Pauli.
+        let global = match y_count % 4 {
+            0 => C64::ONE,
+            1 => C64::I,
+            2 => -C64::ONE,
+            _ => -C64::I,
+        };
+        let mut out = vec![C64::ZERO; self.amps.len()];
+        for (i, amp) in self.amps.iter().enumerate() {
+            let z_parity = (i & z_mask).count_ones() % 2;
+            let phase = if z_parity == 1 { -C64::ONE } else { C64::ONE };
+            out[i ^ x_mask] = global * phase * *amp;
+        }
+        StateVector {
+            num_qubits: self.num_qubits,
+            amps: out,
+        }
+    }
+
+    /// Inner product `⟨self|other⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the states have different sizes.
+    #[must_use]
+    pub fn inner_product(&self, other: &StateVector) -> C64 {
+        assert_eq!(self.num_qubits, other.num_qubits);
+        let mut acc = C64::ZERO;
+        for (a, b) in self.amps.iter().zip(&other.amps) {
+            acc += a.conj() * *b;
+        }
+        acc
+    }
+
+    /// Expectation value `⟨ψ|P|ψ⟩` of a (Hermitian) Pauli string.
+    #[must_use]
+    pub fn expectation(&self, pauli: &PauliString) -> f64 {
+        let p_psi = self.apply_pauli(pauli);
+        self.inner_product(&p_psi).re
+    }
+
+    /// Expectation value of a signed Pauli observable.
+    #[must_use]
+    pub fn expectation_signed(&self, observable: &SignedPauli) -> f64 {
+        observable.sign() * self.expectation(observable.pauli())
+    }
+
+    /// Measurement probabilities of every computational basis state.
+    #[must_use]
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amps.iter().map(|a| a.norm_sq()).collect()
+    }
+
+    /// Probability of measuring the given basis index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 2^n`.
+    #[must_use]
+    pub fn probability_of(&self, index: usize) -> f64 {
+        self.amps[index].norm_sq()
+    }
+
+    /// Returns `true` if the two states are equal up to a global phase.
+    #[must_use]
+    pub fn approx_eq_up_to_phase(&self, other: &StateVector, tol: f64) -> bool {
+        if self.num_qubits != other.num_qubits {
+            return false;
+        }
+        // |⟨a|b⟩| must be 1 for pure states equal up to phase.
+        let overlap = self.inner_product(other).norm();
+        (overlap - 1.0).abs() < tol
+    }
+
+    /// Converts a basis index into the left-to-right bitstring convention
+    /// (character `q` of the returned string is the value of qubit `q`).
+    #[must_use]
+    pub fn index_to_bitstring(&self, index: usize) -> String {
+        (0..self.num_qubits)
+            .map(|q| if index & (1 << q) != 0 { '1' } else { '0' })
+            .collect()
+    }
+
+    /// Parses a left-to-right bitstring into a basis index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the string length does not match the qubit count or contains
+    /// characters other than `0`/`1`.
+    #[must_use]
+    pub fn bitstring_to_index(&self, bits: &str) -> usize {
+        assert_eq!(bits.len(), self.num_qubits, "bitstring length mismatch");
+        let mut index = 0usize;
+        for (q, c) in bits.chars().enumerate() {
+            match c {
+                '1' => index |= 1 << q,
+                '0' => {}
+                _ => panic!("invalid bitstring character `{c}`"),
+            }
+        }
+        index
+    }
+
+    /// Total squared norm (should be 1 for a valid state).
+    #[must_use]
+    pub fn norm_sq(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sq()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bell() -> StateVector {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.cx(0, 1);
+        StateVector::from_circuit(&c)
+    }
+
+    #[test]
+    fn zero_state_probabilities() {
+        let s = StateVector::zero_state(3);
+        assert!((s.probability_of(0) - 1.0).abs() < 1e-12);
+        assert!((s.norm_sq() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bell_state_has_correct_correlations() {
+        let s = bell();
+        let probs = s.probabilities();
+        assert!((probs[0] - 0.5).abs() < 1e-12);
+        assert!((probs[3] - 0.5).abs() < 1e-12);
+        assert!(probs[1].abs() < 1e-12 && probs[2].abs() < 1e-12);
+        assert!((s.expectation(&"ZZ".parse().unwrap()) - 1.0).abs() < 1e-12);
+        assert!((s.expectation(&"XX".parse().unwrap()) - 1.0).abs() < 1e-12);
+        assert!((s.expectation(&"YY".parse().unwrap()) + 1.0).abs() < 1e-12);
+        assert!(s.expectation(&"ZI".parse().unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn x_gate_flips_probability() {
+        let mut c = Circuit::new(2);
+        c.x(1);
+        let s = StateVector::from_circuit(&c);
+        assert!((s.probability_of(0b10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rz_only_adds_phase() {
+        let mut c = Circuit::new(1);
+        c.rz(0, 1.234);
+        let s = StateVector::from_circuit(&c);
+        assert!((s.probability_of(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rx_rotation_probability() {
+        let theta = 0.7f64;
+        let mut c = Circuit::new(1);
+        c.rx(0, theta);
+        let s = StateVector::from_circuit(&c);
+        assert!((s.probability_of(1) - (theta / 2.0).sin().powi(2)).abs() < 1e-12);
+        // ⟨Z⟩ = cos θ.
+        assert!((s.expectation(&"Z".parse().unwrap()) - theta.cos()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pauli_rotation_expectation_matches_theory() {
+        // exp(-iθ/2 Z⊗Z) on |++⟩: ⟨X⊗X⟩ stays 1? No — check ⟨Z⊗Z⟩ = 0 and
+        // ⟨Y⊗X⟩ relation instead: e^{-iθ/2 ZZ} |++⟩ gives ⟨XX⟩ = cos... use a
+        // simpler check: ⟨XI⟩ = cos θ.
+        let theta = 0.9;
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.h(1);
+        c.cx(0, 1);
+        c.rz(1, theta);
+        c.cx(0, 1);
+        let s = StateVector::from_circuit(&c);
+        assert!((s.expectation(&"XI".parse().unwrap()) - theta.cos()).abs() < 1e-10);
+        assert!((s.expectation(&"IX".parse().unwrap()) - theta.cos()).abs() < 1e-10);
+        assert!((s.expectation(&"XX".parse().unwrap()) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn swap_and_cz_act_correctly() {
+        let mut c = Circuit::new(2);
+        c.x(0);
+        c.swap(0, 1);
+        let s = StateVector::from_circuit(&c);
+        assert!((s.probability_of(0b10) - 1.0).abs() < 1e-12);
+
+        // CZ phase shows up in the X basis.
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.x(1);
+        c.cz(0, 1);
+        c.h(0);
+        let s = StateVector::from_circuit(&c);
+        assert!((s.probability_of(0b11) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn apply_pauli_y_phases() {
+        let s = StateVector::zero_state(1);
+        let y_applied = s.apply_pauli(&"Y".parse().unwrap());
+        // Y|0⟩ = i|1⟩.
+        assert!((y_applied.amplitudes()[1] - C64::I).norm() < 1e-12);
+    }
+
+    #[test]
+    fn expectation_signed_flips_sign() {
+        let s = bell();
+        let obs: SignedPauli = "-ZZ".parse().unwrap();
+        assert!((s.expectation_signed(&obs) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bitstring_conversion_roundtrip() {
+        let s = StateVector::zero_state(4);
+        for idx in [0usize, 1, 5, 15, 8] {
+            let bits = s.index_to_bitstring(idx);
+            assert_eq!(s.bitstring_to_index(&bits), idx);
+        }
+        assert_eq!(s.index_to_bitstring(0b0001), "1000");
+    }
+
+    #[test]
+    fn circuit_and_inverse_give_identity() {
+        let mut c = Circuit::new(3);
+        c.h(0);
+        c.cx(0, 1);
+        c.rz(1, 0.8);
+        c.ry(2, 0.4);
+        c.cx(1, 2);
+        let mut state = StateVector::from_circuit(&c);
+        state.apply_circuit(&c.inverse());
+        let zero = StateVector::zero_state(3);
+        assert!(state.approx_eq_up_to_phase(&zero, 1e-10));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn mismatched_circuit_panics() {
+        let mut s = StateVector::zero_state(2);
+        let c = Circuit::new(3);
+        s.apply_circuit(&c);
+    }
+}

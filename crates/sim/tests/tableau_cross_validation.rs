@@ -1,0 +1,110 @@
+//! Cross-validation of the Clifford tableau against the state-vector
+//! simulator: for random Clifford circuits `U` and random Pauli strings `P`,
+//! the tableau's claim `U·P·U† = ±P'` must hold as an operator identity on
+//! states.
+
+use proptest::prelude::*;
+use quclear_circuit::Circuit;
+use quclear_pauli::{PauliOp, PauliString};
+use quclear_sim::StateVector;
+use quclear_tableau::{random_clifford_circuit, synthesize_clifford, CliffordTableau};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N: usize = 4;
+
+fn pauli_string(n: usize) -> impl Strategy<Value = PauliString> {
+    prop::collection::vec(0u8..4, n).prop_map(|ops| {
+        let ops: Vec<PauliOp> = ops
+            .into_iter()
+            .map(|v| match v {
+                0 => PauliOp::I,
+                1 => PauliOp::X,
+                2 => PauliOp::Y,
+                _ => PauliOp::Z,
+            })
+            .collect();
+        PauliString::from_ops(&ops)
+    })
+}
+
+/// Builds a random non-Clifford state-preparation circuit so that the check
+/// is not trivially satisfied on stabilizer states.
+fn preparation_circuit(seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = random_clifford_circuit(N, 6, &mut rng);
+    c.rz(0, 0.37);
+    c.ry(1, 1.21);
+    c.rx(2, 2.05);
+    c.rz(3, 0.64);
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// ⟨ψ|U† P U|ψ⟩ computed through the tableau (as ±P' on U|ψ⟩… wait, as
+    /// the conjugated observable on |ψ⟩) matches direct simulation.
+    #[test]
+    fn tableau_conjugation_matches_statevector(
+        seed in 0u64..512,
+        pauli in pauli_string(N),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let clifford = random_clifford_circuit(N, 18, &mut rng);
+        let prep = preparation_circuit(seed.wrapping_mul(31).wrapping_add(7));
+
+        // Direct: ⟨ψ| U† P U |ψ⟩ where |ψ⟩ = prep|0⟩.
+        let mut with_clifford = prep.clone();
+        with_clifford.append(&clifford);
+        let state_after_clifford = StateVector::from_circuit(&with_clifford);
+        let direct = state_after_clifford.expectation(&pauli);
+
+        // Via the tableau: ⟨ψ| (U† P U) |ψ⟩ with U† P U from the Heisenberg map.
+        let heisenberg = CliffordTableau::heisenberg_from_circuit(&clifford);
+        let conjugated = heisenberg.apply(&pauli);
+        let state = StateVector::from_circuit(&prep);
+        let via_tableau = state.expectation_signed(&conjugated);
+
+        prop_assert!(
+            (direct - via_tableau).abs() < 1e-9,
+            "direct {direct} vs tableau {via_tableau} for {pauli}"
+        );
+    }
+
+    /// Synthesizing a tableau gives a circuit that acts identically on
+    /// non-stabilizer states (up to global phase).
+    #[test]
+    fn synthesis_matches_statevector(seed in 0u64..256) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let clifford = random_clifford_circuit(N, 15, &mut rng);
+        let resynth = synthesize_clifford(&CliffordTableau::from_circuit(&clifford));
+
+        let prep = preparation_circuit(seed.wrapping_add(99));
+        let mut original = prep.clone();
+        original.append(&clifford);
+        let mut rebuilt = prep;
+        rebuilt.append(&resynth);
+
+        let a = StateVector::from_circuit(&original);
+        let b = StateVector::from_circuit(&rebuilt);
+        prop_assert!(a.approx_eq_up_to_phase(&b, 1e-9));
+    }
+
+    /// The peephole optimizer preserves the unitary action on states.
+    #[test]
+    fn peephole_optimizer_preserves_state(seed in 0u64..256) {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(5000));
+        let mut circuit = random_clifford_circuit(N, 20, &mut rng);
+        circuit.rz(0, 0.3);
+        circuit.rz(0, 0.4);
+        circuit.cx(0, 1);
+        circuit.cx(0, 1);
+        circuit.rx(2, -0.3);
+        let optimized = quclear_circuit::optimize(&circuit);
+        let a = StateVector::from_circuit(&circuit);
+        let b = StateVector::from_circuit(&optimized);
+        prop_assert!(a.approx_eq_up_to_phase(&b, 1e-9), "optimizer changed the state");
+        prop_assert!(optimized.len() <= circuit.len());
+    }
+}

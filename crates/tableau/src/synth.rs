@@ -1,0 +1,229 @@
+//! Synthesis of a Clifford tableau back into a gate-level circuit.
+//!
+//! This is the classical Aaronson–Gottesman-style sweep: the tableau is
+//! reduced to the identity one qubit at a time by post-composing elementary
+//! Clifford conjugations, and the recorded gates (inverted, in reverse order)
+//! form a circuit implementing the original unitary up to global phase.
+//!
+//! The synthesized gate count is O(n²) in the worst case. It is used by the
+//! Rustiq-like baseline (which must pay for its terminal Clifford in gates)
+//! and by tests that round-trip random Cliffords.
+
+use quclear_circuit::{Circuit, Gate};
+use quclear_pauli::PauliOp;
+
+use crate::CliffordTableau;
+
+/// Synthesizes a circuit implementing the Clifford unitary described by the
+/// tableau (up to global phase).
+///
+/// The returned circuit `C` satisfies
+/// `CliffordTableau::from_circuit(&C) == *tableau`.
+///
+/// # Examples
+///
+/// ```
+/// use quclear_circuit::Circuit;
+/// use quclear_tableau::{synthesize_clifford, CliffordTableau};
+///
+/// let mut qc = Circuit::new(3);
+/// qc.h(0);
+/// qc.cx(0, 1);
+/// qc.s(2);
+/// qc.cx(2, 1);
+/// let tableau = CliffordTableau::from_circuit(&qc);
+/// let resynthesized = synthesize_clifford(&tableau);
+/// assert_eq!(CliffordTableau::from_circuit(&resynthesized), tableau);
+/// ```
+#[must_use]
+pub fn synthesize_clifford(tableau: &CliffordTableau) -> Circuit {
+    let n = tableau.num_qubits();
+    let mut work = tableau.clone();
+    // Gates h_1, …, h_k such that conj_{h_k} ∘ … ∘ conj_{h_1} ∘ M = id.
+    let mut recorded: Vec<Gate> = Vec::new();
+
+    let push = |work: &mut CliffordTableau, recorded: &mut Vec<Gate>, gate: Gate| {
+        work.then_gate(&gate);
+        recorded.push(gate);
+    };
+
+    for i in 0..n {
+        // --- Step 1: reduce the image of X_i to exactly X_i. ------------
+        {
+            // The image has support only on qubits ≥ i (earlier qubits are
+            // already fixed and commutation forces triviality there).
+            let row = work.x_image(i).clone();
+            let ops: Vec<PauliOp> = (0..n).map(|q| row.pauli().op(q)).collect();
+            // Ensure an X (or Y) component exists at some qubit ≥ i.
+            let has_x = (i..n).find(|&q| matches!(ops[q], PauliOp::X | PauliOp::Y));
+            if has_x.is_none() {
+                let j = (i..n)
+                    .find(|&q| ops[q] == PauliOp::Z)
+                    .expect("X image cannot be the identity");
+                push(&mut work, &mut recorded, Gate::H(j));
+            }
+        }
+        {
+            // Move an X component onto qubit i if necessary.
+            let row = work.x_image(i).clone();
+            let x_at_i = matches!(row.pauli().op(i), PauliOp::X | PauliOp::Y);
+            if !x_at_i {
+                let j = (i + 1..n)
+                    .find(|&q| matches!(row.pauli().op(q), PauliOp::X | PauliOp::Y))
+                    .expect("an X component must exist after the Hadamard fix");
+                push(&mut work, &mut recorded, Gate::Cx { control: j, target: i });
+            }
+        }
+        {
+            // Clear X components on qubits j > i.
+            let row = work.x_image(i).clone();
+            for j in i + 1..n {
+                if matches!(row.pauli().op(j), PauliOp::X | PauliOp::Y) {
+                    push(&mut work, &mut recorded, Gate::Cx { control: i, target: j });
+                }
+            }
+        }
+        {
+            // Turn a Y at qubit i into an X.
+            if work.x_image(i).pauli().op(i) == PauliOp::Y {
+                push(&mut work, &mut recorded, Gate::S(i));
+            }
+        }
+        {
+            // Clear residual Z components on qubits j > i (row is X_i · ∏ Z_j).
+            let row = work.x_image(i).clone();
+            let z_positions: Vec<usize> = (i + 1..n)
+                .filter(|&j| row.pauli().op(j) == PauliOp::Z)
+                .collect();
+            if !z_positions.is_empty() {
+                // Temporarily make qubit i carry a Z component (X→Y) so the
+                // CX(j→i) trick can absorb the Z's, then undo it.
+                push(&mut work, &mut recorded, Gate::Sdg(i));
+                for j in z_positions {
+                    push(&mut work, &mut recorded, Gate::Cx { control: j, target: i });
+                }
+                push(&mut work, &mut recorded, Gate::S(i));
+                if work.x_image(i).pauli().op(i) == PauliOp::Y {
+                    push(&mut work, &mut recorded, Gate::S(i));
+                }
+            }
+        }
+        debug_assert_eq!(work.x_image(i).pauli().op(i), PauliOp::X);
+        debug_assert_eq!(work.x_image(i).weight(), 1);
+
+        // --- Step 2: reduce the image of Z_i to exactly Z_i, using only
+        // operations that leave X_i fixed: gates on qubits > i, CX(j→i), and
+        // √X(i). --------------------------------------------------------
+        {
+            // Clear X components on qubits j > i by funnelling them into one
+            // qubit and converting to Z.
+            loop {
+                let row = work.z_image(i).clone();
+                let xs: Vec<usize> = (i + 1..n)
+                    .filter(|&j| matches!(row.pauli().op(j), PauliOp::X | PauliOp::Y))
+                    .collect();
+                if xs.is_empty() {
+                    break;
+                }
+                let j0 = xs[0];
+                for &j in &xs[1..] {
+                    push(&mut work, &mut recorded, Gate::Cx { control: j0, target: j });
+                }
+                if work.z_image(i).pauli().op(j0) == PauliOp::Y {
+                    push(&mut work, &mut recorded, Gate::S(j0));
+                }
+                // j0 now carries a plain X; convert to Z and absorb into qubit i.
+                push(&mut work, &mut recorded, Gate::H(j0));
+                push(&mut work, &mut recorded, Gate::Cx { control: j0, target: i });
+            }
+        }
+        {
+            // Clear plain Z components on qubits j > i via CX(j→i)
+            // (the Z image always has a Z component at qubit i).
+            let row = work.z_image(i).clone();
+            for j in i + 1..n {
+                if row.pauli().op(j) == PauliOp::Z {
+                    push(&mut work, &mut recorded, Gate::Cx { control: j, target: i });
+                }
+            }
+        }
+        {
+            // A residual Y at qubit i becomes Z via √X (which fixes X_i).
+            if work.z_image(i).pauli().op(i) == PauliOp::Y {
+                push(&mut work, &mut recorded, Gate::SqrtX(i));
+            }
+        }
+        debug_assert_eq!(work.z_image(i).pauli().op(i), PauliOp::Z);
+        debug_assert_eq!(work.z_image(i).weight(), 1);
+        debug_assert_eq!(work.x_image(i).pauli().op(i), PauliOp::X);
+
+        // --- Step 3: fix signs. ------------------------------------------
+        if work.x_image(i).is_negative() {
+            push(&mut work, &mut recorded, Gate::Z(i));
+        }
+        if work.z_image(i).is_negative() {
+            push(&mut work, &mut recorded, Gate::X(i));
+        }
+    }
+    debug_assert!(work.is_identity());
+
+    // conj_{h_k…h_1} ∘ M = id  ⇒  U = h_1† … h_k†, i.e. time order h_k†, …, h_1†.
+    let gates: Vec<Gate> = recorded.iter().rev().map(Gate::inverse).collect();
+    Circuit::from_gates(n, gates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random_clifford_circuit;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn synthesizes_identity_as_empty_or_trivial() {
+        let t = CliffordTableau::identity(4);
+        let c = synthesize_clifford(&t);
+        assert!(CliffordTableau::from_circuit(&c).is_identity());
+    }
+
+    #[test]
+    fn roundtrips_simple_circuits() {
+        let mut qc = Circuit::new(2);
+        qc.h(0);
+        qc.cx(0, 1);
+        let t = CliffordTableau::from_circuit(&qc);
+        let c = synthesize_clifford(&t);
+        assert_eq!(CliffordTableau::from_circuit(&c), t);
+    }
+
+    #[test]
+    fn roundtrips_random_cliffords() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in [1usize, 2, 3, 5, 8] {
+            for _ in 0..6 {
+                let qc = random_clifford_circuit(n, 4 * n + 5, &mut rng);
+                let t = CliffordTableau::from_circuit(&qc);
+                let synth = synthesize_clifford(&t);
+                assert_eq!(
+                    CliffordTableau::from_circuit(&synth),
+                    t,
+                    "synthesis must reproduce the tableau for n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn synthesized_gate_count_is_quadratic_at_most() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 10;
+        let qc = random_clifford_circuit(n, 200, &mut rng);
+        let t = CliffordTableau::from_circuit(&qc);
+        let synth = synthesize_clifford(&t);
+        assert!(
+            synth.len() <= 6 * n * n,
+            "synthesized circuit unexpectedly large: {} gates",
+            synth.len()
+        );
+    }
+}

@@ -1,0 +1,460 @@
+//! The Clifford tableau: a compact representation of a Clifford conjugation
+//! map.
+
+use std::fmt;
+
+use quclear_circuit::{Circuit, Gate};
+use quclear_pauli::{PauliOp, PauliString, SignedPauli};
+
+use crate::rules::conjugate_pauli_by_gate;
+
+/// A Clifford unitary `U` represented by the images of the Pauli generators
+/// under conjugation: `U X_i U†` and `U Z_i U†` (the stabilizer-tableau
+/// formalism of Aaronson and Gottesman, 4n² + O(n) bits).
+///
+/// The tableau *is* the map `P ↦ U·P·U†`; [`CliffordTableau::apply`] evaluates
+/// it on arbitrary Pauli strings, [`CliffordTableau::then_gate`] composes it
+/// with one more gate (`P ↦ g·M(P)·g†`), and [`CliffordTableau::inverse`]
+/// produces the map of `U†`. This is exactly the machinery the QuCLEAR paper
+/// uses to update Pauli strings and observables during Clifford Extraction and
+/// Absorption.
+///
+/// # Examples
+///
+/// ```
+/// use quclear_circuit::Circuit;
+/// use quclear_tableau::CliffordTableau;
+///
+/// // U = CNOT(0→1); then U·(Z⊗Z)·U† = I⊗Z.
+/// let mut qc = Circuit::new(2);
+/// qc.cx(0, 1);
+/// let tableau = CliffordTableau::from_circuit(&qc);
+/// let image = tableau.apply(&"ZZ".parse()?);
+/// assert_eq!(image.to_string(), "+IZ");
+/// # Ok::<(), quclear_pauli::ParsePauliError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct CliffordTableau {
+    n: usize,
+    /// Image of `X_i` under the map.
+    x_rows: Vec<SignedPauli>,
+    /// Image of `Z_i` under the map.
+    z_rows: Vec<SignedPauli>,
+}
+
+impl CliffordTableau {
+    /// The identity map on `n` qubits.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let x_rows = (0..n)
+            .map(|q| SignedPauli::positive(PauliString::single(n, q, PauliOp::X)))
+            .collect();
+        let z_rows = (0..n)
+            .map(|q| SignedPauli::positive(PauliString::single(n, q, PauliOp::Z)))
+            .collect();
+        CliffordTableau { n, x_rows, z_rows }
+    }
+
+    /// Builds the map `P ↦ U·P·U†` of the Clifford circuit `U`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit contains non-Clifford gates.
+    #[must_use]
+    pub fn from_circuit(circuit: &Circuit) -> Self {
+        let mut tableau = CliffordTableau::identity(circuit.num_qubits());
+        for gate in circuit.gates() {
+            tableau.then_gate(gate);
+        }
+        tableau
+    }
+
+    /// Builds the *Heisenberg* map `P ↦ U†·P·U` of the Clifford circuit `U`.
+    ///
+    /// This is the direction the QuCLEAR paper uses for updating Pauli strings
+    /// and observables (`P₂ = U†·P₁·U`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit contains non-Clifford gates.
+    #[must_use]
+    pub fn heisenberg_from_circuit(circuit: &Circuit) -> Self {
+        CliffordTableau::from_circuit(&circuit.inverse())
+    }
+
+    /// Number of qubits.
+    #[must_use]
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// The image of `X_q` under the map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q >= self.num_qubits()`.
+    #[must_use]
+    pub fn x_image(&self, q: usize) -> &SignedPauli {
+        &self.x_rows[q]
+    }
+
+    /// The image of `Z_q` under the map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q >= self.num_qubits()`.
+    #[must_use]
+    pub fn z_image(&self, q: usize) -> &SignedPauli {
+        &self.z_rows[q]
+    }
+
+    /// Post-composes the map with conjugation by one gate:
+    /// `M'(P) = g·M(P)·g†`.
+    ///
+    /// Building a tableau from a circuit is exactly folding this over the
+    /// gates in time order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gate` is not Clifford.
+    pub fn then_gate(&mut self, gate: &Gate) {
+        for row in self.x_rows.iter_mut().chain(self.z_rows.iter_mut()) {
+            *row = conjugate_pauli_by_gate(row, gate);
+        }
+    }
+
+    /// Post-composes with conjugation by the *inverse* of a gate:
+    /// `M'(P) = g†·M(P)·g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gate` is not Clifford.
+    pub fn then_gate_inverse(&mut self, gate: &Gate) {
+        self.then_gate(&gate.inverse());
+    }
+
+    /// Post-composes with every gate of a Clifford circuit in time order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit contains non-Clifford gates.
+    pub fn then_circuit(&mut self, circuit: &Circuit) {
+        for gate in circuit.gates() {
+            self.then_gate(gate);
+        }
+    }
+
+    /// Composes two maps: the result applies `self` first, then `other`
+    /// (`(other ∘ self)(P) = other(self(P))`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubit counts differ.
+    #[must_use]
+    pub fn then(&self, other: &CliffordTableau) -> CliffordTableau {
+        assert_eq!(self.n, other.n, "qubit count mismatch in tableau composition");
+        let x_rows = self.x_rows.iter().map(|r| other.apply_signed(r)).collect();
+        let z_rows = self.z_rows.iter().map(|r| other.apply_signed(r)).collect();
+        CliffordTableau {
+            n: self.n,
+            x_rows,
+            z_rows,
+        }
+    }
+
+    /// Applies the map to a phase-free Pauli string, returning `±P'`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubit counts differ.
+    #[must_use]
+    pub fn apply(&self, pauli: &PauliString) -> SignedPauli {
+        assert_eq!(
+            pauli.num_qubits(),
+            self.n,
+            "qubit count mismatch in tableau application"
+        );
+        // P = i^{#Y} · ∏_q X_q^{x_q} Z_q^{z_q}; conjugation is applied to the
+        // literal X/Z factors and the phase bookkeeping restores ±1.
+        let mut acc = PauliString::identity(self.n);
+        let mut phase: u8 = 0; // exponent of i
+        let mut y_count: usize = 0;
+        for q in 0..self.n {
+            let (x, z) = pauli.op(q).xz();
+            if x && z {
+                y_count += 1;
+            }
+            if x {
+                let row = &self.x_rows[q];
+                let (next, k) = acc.mul(row.pauli());
+                phase = (phase + k + if row.is_negative() { 2 } else { 0 }) % 4;
+                acc = next;
+            }
+            if z {
+                let row = &self.z_rows[q];
+                let (next, k) = acc.mul(row.pauli());
+                phase = (phase + k + if row.is_negative() { 2 } else { 0 }) % 4;
+                acc = next;
+            }
+        }
+        // The decomposition of P into literal X/Z factors contributes
+        // i^{#Y}; likewise the reassembled result absorbs i^{-#Y(result)}
+        // automatically through the multiplication phases above.
+        let total = (phase + (y_count % 4) as u8) % 4;
+        assert!(
+            total % 2 == 0,
+            "Clifford conjugation produced imaginary phase i^{total}; tableau is corrupt"
+        );
+        SignedPauli::new(acc, total == 2)
+    }
+
+    /// Applies the map to a signed Pauli.
+    #[must_use]
+    pub fn apply_signed(&self, pauli: &SignedPauli) -> SignedPauli {
+        let result = self.apply(pauli.pauli());
+        if pauli.is_negative() {
+            -result
+        } else {
+            result
+        }
+    }
+
+    /// Returns `true` if the map is the identity (all generators map to
+    /// themselves with positive sign).
+    #[must_use]
+    pub fn is_identity(&self) -> bool {
+        (0..self.n).all(|q| {
+            self.x_rows[q] == SignedPauli::positive(PauliString::single(self.n, q, PauliOp::X))
+                && self.z_rows[q]
+                    == SignedPauli::positive(PauliString::single(self.n, q, PauliOp::Z))
+        })
+    }
+
+    /// The inverse map (the tableau of `U†` if `self` is the tableau of `U`).
+    ///
+    /// Computed by inverting the symplectic (GF(2)) matrix of the map and
+    /// fixing signs so that `self.apply(inverse.apply(P)) = P`.
+    #[must_use]
+    pub fn inverse(&self) -> CliffordTableau {
+        let n = self.n;
+        // Build the 2n × 2n GF(2) matrix A whose column j is the (x|z) vector
+        // of the image of generator j (generators ordered X_0..X_{n-1},
+        // Z_0..Z_{n-1}), then invert it to find generator preimages.
+        let dim = 2 * n;
+        let column = |row: &SignedPauli| -> Vec<bool> {
+            let mut v = vec![false; dim];
+            for q in 0..n {
+                let (x, z) = row.pauli().op(q).xz();
+                v[q] = x;
+                v[n + q] = z;
+            }
+            v
+        };
+        // Augmented matrix [A | I], columns indexed by generator.
+        let mut a: Vec<Vec<bool>> = vec![vec![false; dim]; dim];
+        for j in 0..n {
+            let cx = column(&self.x_rows[j]);
+            let cz = column(&self.z_rows[j]);
+            for i in 0..dim {
+                a[i][j] = cx[i];
+                a[i][n + j] = cz[i];
+            }
+        }
+        let mut inv: Vec<Vec<bool>> = (0..dim)
+            .map(|i| (0..dim).map(|j| i == j).collect())
+            .collect();
+        // Gauss–Jordan elimination over GF(2).
+        for col in 0..dim {
+            let pivot = (col..dim)
+                .find(|&r| a[r][col])
+                .expect("Clifford tableau matrix must be invertible");
+            a.swap(col, pivot);
+            inv.swap(col, pivot);
+            for r in 0..dim {
+                if r != col && a[r][col] {
+                    for c in 0..dim {
+                        a[r][c] ^= a[col][c];
+                        inv[r][c] ^= inv[col][c];
+                    }
+                }
+            }
+        }
+        // Row i of `inv` now expresses basis vector e_i in terms of the
+        // original generator images; equivalently, column j of `inv` gives the
+        // preimage of generator j.
+        let preimage = |j: usize| -> PauliString {
+            let mut x = quclear_pauli::BitVec::zeros(n);
+            let mut z = quclear_pauli::BitVec::zeros(n);
+            for q in 0..n {
+                // Coefficient of X_q generator (index q) and Z_q (index n+q)
+                // in the preimage of generator j.
+                if inv[q][j] {
+                    x.set(q, true);
+                }
+                if inv[n + q][j] {
+                    z.set(q, true);
+                }
+            }
+            PauliString::from_xz(x, z)
+        };
+        let mut x_rows = Vec::with_capacity(n);
+        let mut z_rows = Vec::with_capacity(n);
+        for q in 0..n {
+            let px = preimage(q);
+            let sign = self.apply(&px).is_negative();
+            x_rows.push(SignedPauli::new(px, sign));
+            let pz = preimage(n + q);
+            let sign = self.apply(&pz).is_negative();
+            z_rows.push(SignedPauli::new(pz, sign));
+        }
+        CliffordTableau { n, x_rows, z_rows }
+    }
+}
+
+impl fmt::Debug for CliffordTableau {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "CliffordTableau on {} qubits:", self.n)?;
+        for q in 0..self.n {
+            writeln!(f, "  X_{q} -> {}", self.x_rows[q])?;
+        }
+        for q in 0..self.n {
+            writeln!(f, "  Z_{q} -> {}", self.z_rows[q])?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cx01() -> Circuit {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        c
+    }
+
+    #[test]
+    fn identity_tableau_is_identity() {
+        let t = CliffordTableau::identity(3);
+        assert!(t.is_identity());
+        let p: PauliString = "XYZ".parse().unwrap();
+        assert_eq!(t.apply(&p), SignedPauli::positive(p));
+    }
+
+    #[test]
+    fn cnot_tableau_matches_rules() {
+        let t = CliffordTableau::from_circuit(&cx01());
+        assert_eq!(t.apply(&"ZZ".parse().unwrap()).to_string(), "+IZ");
+        assert_eq!(t.apply(&"XX".parse().unwrap()).to_string(), "+XI");
+        assert_eq!(t.apply(&"XZ".parse().unwrap()).to_string(), "-YY");
+        assert_eq!(t.apply(&"YY".parse().unwrap()).to_string(), "-XZ");
+    }
+
+    #[test]
+    fn bell_circuit_stabilizers() {
+        // H(0); CX(0,1) maps Z0 -> XX and Z1 -> ZZ: the Bell stabilizers.
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.cx(0, 1);
+        let t = CliffordTableau::from_circuit(&c);
+        assert_eq!(t.apply(&"ZI".parse().unwrap()).to_string(), "+XX");
+        assert_eq!(t.apply(&"IZ".parse().unwrap()).to_string(), "+ZZ");
+        assert_eq!(t.apply(&"XI".parse().unwrap()).to_string(), "+ZI");
+    }
+
+    #[test]
+    fn heisenberg_is_inverse_direction() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.s(1);
+        c.cx(0, 1);
+        let forward = CliffordTableau::from_circuit(&c);
+        let heisenberg = CliffordTableau::heisenberg_from_circuit(&c);
+        for s in ["XI", "IZ", "YY", "ZX"] {
+            let p: PauliString = s.parse().unwrap();
+            let roundtrip = heisenberg.apply_signed(&forward.apply(&p));
+            assert_eq!(roundtrip, SignedPauli::positive(p), "U†(U P U†)U must be P for {s}");
+        }
+    }
+
+    #[test]
+    fn composition_matches_circuit_concatenation() {
+        let mut c1 = Circuit::new(3);
+        c1.h(0);
+        c1.cx(0, 1);
+        let mut c2 = Circuit::new(3);
+        c2.s(1);
+        c2.cx(1, 2);
+        let t1 = CliffordTableau::from_circuit(&c1);
+        let t2 = CliffordTableau::from_circuit(&c2);
+        let mut both = c1.clone();
+        both.append(&c2);
+        let t_both = CliffordTableau::from_circuit(&both);
+        assert_eq!(t1.then(&t2), t_both);
+    }
+
+    #[test]
+    fn inverse_composes_to_identity() {
+        let mut c = Circuit::new(4);
+        c.h(0);
+        c.cx(0, 1);
+        c.s(2);
+        c.cx(2, 3);
+        c.cx(1, 2);
+        c.sdg(3);
+        c.h(3);
+        let t = CliffordTableau::from_circuit(&c);
+        let inv = t.inverse();
+        assert!(t.then(&inv).is_identity());
+        assert!(inv.then(&t).is_identity());
+        // And it matches the tableau of the inverse circuit.
+        assert_eq!(inv, CliffordTableau::from_circuit(&c.inverse()));
+    }
+
+    #[test]
+    fn apply_preserves_commutation() {
+        let mut c = Circuit::new(3);
+        c.h(0);
+        c.cx(0, 1);
+        c.s(1);
+        c.cx(1, 2);
+        let t = CliffordTableau::from_circuit(&c);
+        let pairs = [("XXI", "ZZI"), ("XYZ", "YZX"), ("ZII", "XII")];
+        for (a, b) in pairs {
+            let pa: PauliString = a.parse().unwrap();
+            let pb: PauliString = b.parse().unwrap();
+            let ia = t.apply(&pa);
+            let ib = t.apply(&pb);
+            assert_eq!(
+                pa.commutes_with(&pb),
+                ia.pauli().commutes_with(ib.pauli()),
+                "conjugation must preserve (anti)commutation of {a}, {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn signed_application_respects_input_sign() {
+        let t = CliffordTableau::from_circuit(&cx01());
+        let sp: SignedPauli = "-ZZ".parse().unwrap();
+        assert_eq!(t.apply_signed(&sp).to_string(), "-IZ");
+    }
+
+    #[test]
+    fn swap_and_cz_gates_compose_correctly() {
+        let mut c = Circuit::new(2);
+        c.swap(0, 1);
+        c.cz(0, 1);
+        let t = CliffordTableau::from_circuit(&c);
+        // Swap then CZ: X0 -> X1 -> X1 Z0.
+        assert_eq!(t.apply(&"XI".parse().unwrap()).to_string(), "+ZX");
+    }
+
+    #[test]
+    #[should_panic(expected = "qubit count mismatch")]
+    fn mismatched_apply_panics() {
+        let t = CliffordTableau::identity(2);
+        let _ = t.apply(&"XXX".parse().unwrap());
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for the Clifford tableau.
+
+use proptest::prelude::*;
+use quclear_pauli::{PauliOp, PauliString};
+use quclear_tableau::{random_clifford_circuit, synthesize_clifford, CliffordTableau};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn pauli_string(n: usize) -> impl Strategy<Value = PauliString> {
+    prop::collection::vec(0u8..4, n).prop_map(|ops| {
+        let ops: Vec<PauliOp> = ops
+            .into_iter()
+            .map(|v| match v {
+                0 => PauliOp::I,
+                1 => PauliOp::X,
+                2 => PauliOp::Y,
+                _ => PauliOp::Z,
+            })
+            .collect();
+        PauliString::from_ops(&ops)
+    })
+}
+
+const N: usize = 5;
+
+fn random_tableau(seed: u64, gates: usize) -> CliffordTableau {
+    let mut rng = StdRng::seed_from_u64(seed);
+    CliffordTableau::from_circuit(&random_clifford_circuit(N, gates, &mut rng))
+}
+
+proptest! {
+    /// Conjugation preserves Pauli weight parity of commutation: images
+    /// commute exactly when the originals do.
+    #[test]
+    fn conjugation_preserves_commutation(
+        seed in 0u64..256,
+        a in pauli_string(N),
+        b in pauli_string(N),
+    ) {
+        let t = random_tableau(seed, 30);
+        let ia = t.apply(&a);
+        let ib = t.apply(&b);
+        prop_assert_eq!(a.commutes_with(&b), ia.pauli().commutes_with(ib.pauli()));
+    }
+
+    /// Conjugation preserves the group structure: M(A·B) = M(A)·M(B)
+    /// whenever the product is Hermitian.
+    #[test]
+    fn conjugation_is_multiplicative(
+        seed in 0u64..256,
+        a in pauli_string(N),
+        b in pauli_string(N),
+    ) {
+        prop_assume!(a.commutes_with(&b));
+        let t = random_tableau(seed, 25);
+        let (prod, phase) = a.mul(&b);
+        prop_assert_eq!(phase % 2, 0);
+        let mut lhs = t.apply(&prod);
+        if phase == 2 {
+            lhs = -lhs;
+        }
+        let rhs = t.apply(&a).mul(&t.apply(&b));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Inverse tableau really inverts: U†(U P U†)U = P including sign.
+    #[test]
+    fn inverse_roundtrip(seed in 0u64..256, p in pauli_string(N)) {
+        let t = random_tableau(seed, 30);
+        let inv = t.inverse();
+        let roundtrip = inv.apply_signed(&t.apply(&p));
+        prop_assert_eq!(roundtrip.pauli(), &p);
+        prop_assert!(!roundtrip.is_negative());
+    }
+
+    /// The identity never changes under conjugation.
+    #[test]
+    fn identity_is_fixed(seed in 0u64..256) {
+        let t = random_tableau(seed, 40);
+        let id = PauliString::identity(N);
+        let image = t.apply(&id);
+        prop_assert!(image.pauli().is_identity());
+        prop_assert!(!image.is_negative());
+    }
+
+    /// Synthesis reproduces the tableau exactly (structure and signs).
+    #[test]
+    fn synthesis_roundtrip(seed in 0u64..128) {
+        let t = random_tableau(seed, 35);
+        let circuit = synthesize_clifford(&t);
+        prop_assert_eq!(CliffordTableau::from_circuit(&circuit), t);
+    }
+
+    /// Composition of tableaus matches sequential application.
+    #[test]
+    fn composition_matches_application(
+        seed1 in 0u64..128,
+        seed2 in 0u64..128,
+        p in pauli_string(N),
+    ) {
+        let t1 = random_tableau(seed1, 20);
+        let t2 = random_tableau(seed2.wrapping_add(1000), 20);
+        let composed = t1.then(&t2);
+        prop_assert_eq!(composed.apply(&p), t2.apply_signed(&t1.apply(&p)));
+    }
+}

@@ -1,0 +1,53 @@
+//! Benchmark workload generators for the QuCLEAR reproduction.
+//!
+//! This crate generates the Pauli-rotation programs of the paper's Table II:
+//!
+//! * [`Uccsd`] — UCCSD ansätze under the Jordan–Wigner transformation
+//!   (UCC-(2,4) … UCC-(10,20)),
+//! * [`Molecule`] — synthetic molecular Hamiltonians with the Table II term
+//!   counts for LiH, H₂O and benzene (see DESIGN.md for the substitution
+//!   rationale),
+//! * [`maxcut_qaoa`] / [`labs_qaoa`] and [`Graph`] — QAOA programs for MaxCut
+//!   on regular and random graphs and for the LABS problem,
+//! * [`Benchmark`] — the named 19-benchmark suite with native gate counts.
+//!
+//! # Examples
+//!
+//! ```
+//! use quclear_workloads::Benchmark;
+//!
+//! let bench = Benchmark::Ucc(2, 4);
+//! assert_eq!(bench.rotations().len(), 24);       // Table II: #Pauli
+//! assert_eq!(bench.native_cnot_count(), 128);    // Table II: #CNOT
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod benchmark;
+mod graphs;
+mod molecular;
+mod qaoa;
+mod uccsd;
+
+pub use benchmark::{Benchmark, BenchmarkCategory};
+pub use graphs::Graph;
+pub use molecular::{synthetic_molecular_hamiltonian, Molecule};
+pub use qaoa::{
+    labs_hamiltonian, labs_qaoa, maxcut_observables, maxcut_qaoa, qaoa_initial_layer,
+};
+pub use uccsd::{double_excitation_rotations, single_excitation_rotations, Uccsd};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Benchmark>();
+        assert_send_sync::<Graph>();
+        assert_send_sync::<Molecule>();
+        assert_send_sync::<Uccsd>();
+    }
+}

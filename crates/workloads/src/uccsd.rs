@@ -1,0 +1,293 @@
+//! UCCSD ansatz generation under the Jordan–Wigner transformation.
+//!
+//! The unitary coupled-cluster singles-and-doubles ansatz is the chemistry
+//! workload of the paper's Table II (UCC-(electrons, spin-orbitals)). Each
+//! fermionic excitation is mapped to Pauli rotations through Jordan–Wigner:
+//! a single excitation `p→q` contributes two Pauli strings
+//! (`X Z…Z Y` and `Y Z…Z X` spanning `p..q`), a double excitation
+//! `(p,q)→(r,s)` contributes the standard eight weight-4 strings with `Z`
+//! chains filling the gaps.
+
+use quclear_pauli::{PauliOp, PauliRotation, PauliString};
+
+/// A UCCSD ansatz specification.
+///
+/// Spin orbitals are interleaved (`even` = α, `odd` = β); the first
+/// `electrons` spin orbitals are occupied. Excitations conserve total spin.
+/// `repetitions` repeats the full excitation list (the paper's Table II
+/// counts correspond to two repetitions).
+///
+/// # Examples
+///
+/// ```
+/// use quclear_workloads::Uccsd;
+///
+/// // UCC-(2,4): the H₂ active space. Table II lists 24 Pauli strings.
+/// let ansatz = Uccsd::new(2, 4);
+/// assert_eq!(ansatz.rotations().len(), 24);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Uccsd {
+    electrons: usize,
+    spin_orbitals: usize,
+    repetitions: usize,
+}
+
+impl Uccsd {
+    /// Creates the standard two-repetition ansatz used by the paper's
+    /// benchmarks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `electrons >= spin_orbitals` or `electrons == 0`.
+    #[must_use]
+    pub fn new(electrons: usize, spin_orbitals: usize) -> Self {
+        Uccsd::with_repetitions(electrons, spin_orbitals, 2)
+    }
+
+    /// Creates an ansatz with an explicit number of repetitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `electrons >= spin_orbitals`, `electrons == 0`, or
+    /// `repetitions == 0`.
+    #[must_use]
+    pub fn with_repetitions(electrons: usize, spin_orbitals: usize, repetitions: usize) -> Self {
+        assert!(electrons > 0, "need at least one electron");
+        assert!(
+            electrons < spin_orbitals,
+            "need at least one virtual spin orbital"
+        );
+        assert!(repetitions > 0, "need at least one repetition");
+        Uccsd {
+            electrons,
+            spin_orbitals,
+            repetitions,
+        }
+    }
+
+    /// Number of qubits (= spin orbitals).
+    #[must_use]
+    pub fn num_qubits(&self) -> usize {
+        self.spin_orbitals
+    }
+
+    /// The single excitations `(occupied, virtual)` conserving spin.
+    #[must_use]
+    pub fn single_excitations(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for p in 0..self.electrons {
+            for q in self.electrons..self.spin_orbitals {
+                if p % 2 == q % 2 {
+                    out.push((p, q));
+                }
+            }
+        }
+        out
+    }
+
+    /// The double excitations `((p, q), (r, s))` with `p<q` occupied,
+    /// `r<s` virtual, conserving total spin.
+    #[must_use]
+    pub fn double_excitations(&self) -> Vec<((usize, usize), (usize, usize))> {
+        let mut out = Vec::new();
+        for p in 0..self.electrons {
+            for q in p + 1..self.electrons {
+                for r in self.electrons..self.spin_orbitals {
+                    for s in r + 1..self.spin_orbitals {
+                        if (p % 2 + q % 2) == (r % 2 + s % 2) {
+                            out.push(((p, q), (r, s)));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The full Pauli-rotation program of the ansatz, with deterministic
+    /// placeholder amplitudes (the variational parameters do not affect gate
+    /// counts).
+    #[must_use]
+    pub fn rotations(&self) -> Vec<PauliRotation> {
+        let mut out = Vec::new();
+        for rep in 0..self.repetitions {
+            let base_angle = 0.1 + 0.05 * rep as f64;
+            for (k, &(p, q)) in self.single_excitations().iter().enumerate() {
+                let theta = base_angle + 0.01 * k as f64;
+                out.extend(single_excitation_rotations(self.spin_orbitals, p, q, theta));
+            }
+            for (k, &((p, q), (r, s))) in self.double_excitations().iter().enumerate() {
+                let theta = base_angle + 0.007 * k as f64;
+                out.extend(double_excitation_rotations(
+                    self.spin_orbitals,
+                    p,
+                    q,
+                    r,
+                    s,
+                    theta,
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// The two Jordan–Wigner Pauli rotations of a single excitation `p → q`.
+///
+/// # Panics
+///
+/// Panics if `p >= q` or `q >= n`.
+#[must_use]
+pub fn single_excitation_rotations(n: usize, p: usize, q: usize, theta: f64) -> Vec<PauliRotation> {
+    assert!(p < q && q < n, "invalid single excitation {p}→{q} on {n} qubits");
+    let build = |op_p: PauliOp, op_q: PauliOp| {
+        let mut s = PauliString::identity(n);
+        s.set_op(p, op_p);
+        s.set_op(q, op_q);
+        for z in p + 1..q {
+            s.set_op(z, PauliOp::Z);
+        }
+        s
+    };
+    vec![
+        PauliRotation::new(build(PauliOp::X, PauliOp::Y), theta / 2.0),
+        PauliRotation::new(build(PauliOp::Y, PauliOp::X), -theta / 2.0),
+    ]
+}
+
+/// The eight Jordan–Wigner Pauli rotations of a double excitation
+/// `(p, q) → (r, s)`.
+///
+/// # Panics
+///
+/// Panics if the orbital indices are not strictly increasing pairs within
+/// range.
+#[must_use]
+pub fn double_excitation_rotations(
+    n: usize,
+    p: usize,
+    q: usize,
+    r: usize,
+    s: usize,
+    theta: f64,
+) -> Vec<PauliRotation> {
+    assert!(p < q && r < s && q < n && s < n, "invalid double excitation");
+    // The standard eight terms with their signs (θ/8 amplitudes).
+    let patterns: [([PauliOp; 4], f64); 8] = [
+        ([PauliOp::X, PauliOp::X, PauliOp::X, PauliOp::Y], 1.0),
+        ([PauliOp::X, PauliOp::X, PauliOp::Y, PauliOp::X], 1.0),
+        ([PauliOp::X, PauliOp::Y, PauliOp::X, PauliOp::X], -1.0),
+        ([PauliOp::Y, PauliOp::X, PauliOp::X, PauliOp::X], -1.0),
+        ([PauliOp::Y, PauliOp::Y, PauliOp::Y, PauliOp::X], -1.0),
+        ([PauliOp::Y, PauliOp::Y, PauliOp::X, PauliOp::Y], -1.0),
+        ([PauliOp::Y, PauliOp::X, PauliOp::Y, PauliOp::Y], 1.0),
+        ([PauliOp::X, PauliOp::Y, PauliOp::Y, PauliOp::Y], 1.0),
+    ];
+    let targets = [p, q, r, s];
+    patterns
+        .iter()
+        .map(|(ops, sign)| {
+            let mut string = PauliString::identity(n);
+            for (&qubit, &op) in targets.iter().zip(ops.iter()) {
+                string.set_op(qubit, op);
+            }
+            // Jordan–Wigner Z chains inside each excitation pair.
+            for z in p + 1..q {
+                string.set_op(z, PauliOp::Z);
+            }
+            for z in r + 1..s {
+                string.set_op(z, PauliOp::Z);
+            }
+            PauliRotation::new(string, sign * theta / 8.0)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Pauli counts of Table II for the UCCSD benchmarks.
+    #[test]
+    fn pauli_counts_match_table_ii() {
+        let expected = [
+            ((2usize, 4usize), 24usize),
+            ((2, 6), 80),
+            ((4, 8), 320),
+            ((6, 12), 1656),
+        ];
+        for ((e, o), count) in expected {
+            let ansatz = Uccsd::new(e, o);
+            assert_eq!(
+                ansatz.rotations().len(),
+                count,
+                "UCC-({e},{o}) should have {count} Pauli strings"
+            );
+        }
+    }
+
+    #[test]
+    fn larger_instances_match_table_ii() {
+        assert_eq!(Uccsd::new(8, 16).rotations().len(), 5376);
+        assert_eq!(Uccsd::new(10, 20).rotations().len(), 13400);
+    }
+
+    #[test]
+    fn native_gate_counts_match_table_ii_for_ucc_2_4() {
+        let rotations = Uccsd::new(2, 4).rotations();
+        let cnots: usize = rotations.iter().map(PauliRotation::native_cnot_cost).sum();
+        let singles: usize = rotations
+            .iter()
+            .map(PauliRotation::native_single_qubit_cost)
+            .sum();
+        assert_eq!(cnots, 128);
+        assert_eq!(singles, 264);
+    }
+
+    #[test]
+    fn native_gate_counts_match_table_ii_for_ucc_2_6() {
+        let rotations = Uccsd::new(2, 6).rotations();
+        let cnots: usize = rotations.iter().map(PauliRotation::native_cnot_cost).sum();
+        assert_eq!(cnots, 544);
+    }
+
+    #[test]
+    fn single_excitation_structure() {
+        let rots = single_excitation_rotations(5, 1, 4, 0.3);
+        assert_eq!(rots.len(), 2);
+        assert_eq!(rots[0].pauli().to_string(), "IXZZY");
+        assert_eq!(rots[1].pauli().to_string(), "IYZZX");
+        assert_eq!(rots[0].angle(), 0.15);
+        assert_eq!(rots[1].angle(), -0.15);
+    }
+
+    #[test]
+    fn double_excitation_structure() {
+        let rots = double_excitation_rotations(4, 0, 1, 2, 3, 0.8);
+        assert_eq!(rots.len(), 8);
+        // All strings have weight 4 and odd Y count.
+        for r in &rots {
+            assert_eq!(r.weight(), 4);
+            let (_, _, y, _) = r.pauli().op_histogram();
+            assert_eq!(y % 2, 1, "JW double-excitation strings carry an odd number of Y");
+        }
+    }
+
+    #[test]
+    fn excitations_conserve_spin() {
+        let ansatz = Uccsd::new(4, 8);
+        for (p, q) in ansatz.single_excitations() {
+            assert_eq!(p % 2, q % 2);
+        }
+        for ((p, q), (r, s)) in ansatz.double_excitations() {
+            assert_eq!((p % 2) + (q % 2), (r % 2) + (s % 2));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "virtual")]
+    fn rejects_full_occupation() {
+        let _ = Uccsd::new(4, 4);
+    }
+}
