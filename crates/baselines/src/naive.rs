@@ -62,7 +62,10 @@ pub(crate) fn append_v_shape(qc: &mut Circuit, rotation: &PauliRotation, order: 
     }
     qc.append(&basis);
     qc.append(&ladder);
-    qc.rz(*support.last().expect("non-trivial rotation has support"), rotation.angle());
+    qc.rz(
+        *support.last().expect("non-trivial rotation has support"),
+        rotation.angle(),
+    );
     qc.append(&ladder.inverse());
     qc.append(&basis.inverse());
 }
@@ -122,7 +125,12 @@ mod tests {
 
     #[test]
     fn qiskit_like_never_increases_counts() {
-        let program = vec![rot("XXII", 0.1), rot("IXXI", 0.2), rot("IIXX", 0.3), rot("ZZZZ", 0.4)];
+        let program = vec![
+            rot("XXII", 0.1),
+            rot("IXXI", 0.2),
+            rot("IIXX", 0.3),
+            rot("ZZZZ", 0.4),
+        ];
         let naive = synthesize_naive(&program);
         let optimized = synthesize_qiskit_like(&program);
         assert!(optimized.cnot_count() <= naive.cnot_count());

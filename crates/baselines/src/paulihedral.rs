@@ -57,8 +57,7 @@ pub fn synthesize_paulihedral_like(rotations: &[PauliRotation]) -> Circuit {
             if rotation.is_trivial() {
                 continue;
             }
-            let next_support: Option<Vec<usize>> =
-                ordered.get(i + 1).map(|r| r.pauli().support());
+            let next_support: Option<Vec<usize>> = ordered.get(i + 1).map(|r| r.pauli().support());
             let order = ladder_order(rotation.pauli(), next_support.as_deref());
             append_v_shape(&mut qc, rotation, Some(&order));
         }
@@ -78,7 +77,11 @@ fn order_block(block: &[PauliRotation]) -> Vec<PauliRotation> {
     // Start from the first rotation (input order matters for determinism).
     ordered.push(remaining.remove(0));
     while !remaining.is_empty() {
-        let last = ordered.last().expect("ordered is non-empty").pauli().clone();
+        let last = ordered
+            .last()
+            .expect("ordered is non-empty")
+            .pauli()
+            .clone();
         let (best_idx, _) = remaining
             .iter()
             .enumerate()
@@ -138,7 +141,12 @@ mod tests {
         let program = vec![rot("ZZZI", 0.3), rot("IZZZ", 0.5)];
         let ph = synthesize_paulihedral_like(&program);
         let naive = synthesize_naive(&program);
-        assert!(ph.cnot_count() < naive.cnot_count(), "{} vs {}", ph.cnot_count(), naive.cnot_count());
+        assert!(
+            ph.cnot_count() < naive.cnot_count(),
+            "{} vs {}",
+            ph.cnot_count(),
+            naive.cnot_count()
+        );
     }
 
     #[test]
@@ -153,7 +161,9 @@ mod tests {
 
     #[test]
     fn never_worse_than_naive_on_uccsd_blocks() {
-        let paulis = ["XXXY", "XXYX", "XYXX", "YXXX", "YYYX", "YYXY", "YXYY", "XYYY"];
+        let paulis = [
+            "XXXY", "XXYX", "XYXX", "YXXX", "YYYX", "YYXY", "YXYY", "XYYY",
+        ];
         let program: Vec<PauliRotation> = paulis.iter().map(|p| rot(p, 0.2)).collect();
         let ph = synthesize_paulihedral_like(&program);
         let naive = synthesize_naive(&program);

@@ -78,12 +78,17 @@ mod tests {
         let rustiq = synthesize_rustiq_like(&program);
         let a = StateVector::from_circuit(&naive);
         let b = StateVector::from_circuit(&rustiq);
-        assert!(a.approx_eq_up_to_phase(&b, 1e-9), "rustiq baseline changed the unitary");
+        assert!(
+            a.approx_eq_up_to_phase(&b, 1e-9),
+            "rustiq baseline changed the unitary"
+        );
     }
 
     #[test]
     fn beats_naive_on_dense_chemistry_blocks() {
-        let paulis = ["XXXY", "XXYX", "XYXX", "YXXX", "YYYX", "YYXY", "YXYY", "XYYY"];
+        let paulis = [
+            "XXXY", "XXYX", "XYXX", "YXXX", "YYYX", "YYXY", "YXYY", "XYYY",
+        ];
         let program: Vec<PauliRotation> = paulis.iter().map(|p| rot(p, 0.2)).collect();
         let rustiq = synthesize_rustiq_like(&program);
         let naive = synthesize_naive(&program);

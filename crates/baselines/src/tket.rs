@@ -136,7 +136,14 @@ pub fn diagonalize_commuting_set(n: usize, paulis: &[SignedPauli]) -> Diagonaliz
                         if pivot.op(j) == PauliOp::Y {
                             apply(Gate::S(j), &mut working, &mut gates);
                         }
-                        apply(Gate::Cx { control: q, target: j }, &mut working, &mut gates);
+                        apply(
+                            Gate::Cx {
+                                control: q,
+                                target: j,
+                            },
+                            &mut working,
+                            &mut gates,
+                        );
                         changed = true;
                         break;
                     }
@@ -219,7 +226,12 @@ mod tests {
 
     #[test]
     fn tket_like_implements_the_same_unitary() {
-        let program = vec![rot("XXI", 0.4), rot("IXX", -0.3), rot("ZZZ", 0.8), rot("YIY", 0.25)];
+        let program = vec![
+            rot("XXI", 0.4),
+            rot("IXX", -0.3),
+            rot("ZZZ", 0.8),
+            rot("YIY", 0.25),
+        ];
         let reference = StateVector::from_circuit(&synthesize_naive(&program));
         let tket = StateVector::from_circuit(&synthesize_tket_like(&program));
         assert!(reference.approx_eq_up_to_phase(&tket, 1e-9));

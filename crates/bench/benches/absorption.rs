@@ -67,5 +67,9 @@ fn bench_state_post_processing(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_observable_absorption, bench_state_post_processing);
+criterion_group!(
+    benches,
+    bench_observable_absorption,
+    bench_state_post_processing
+);
 criterion_main!(benches);

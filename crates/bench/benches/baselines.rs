@@ -8,7 +8,10 @@ use quclear_workloads::Benchmark;
 fn bench_methods(c: &mut Criterion) {
     let mut group = c.benchmark_group("compile_time");
     group.sample_size(10);
-    for bench in [Benchmark::Ucc(2, 6), Benchmark::MaxCutRegular { n: 15, degree: 4 }] {
+    for bench in [
+        Benchmark::Ucc(2, 6),
+        Benchmark::MaxCutRegular { n: 15, degree: 4 },
+    ] {
         let rotations = bench.rotations();
         for method in Method::ALL {
             group.bench_with_input(

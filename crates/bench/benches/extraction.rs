@@ -30,7 +30,10 @@ fn bench_extraction(c: &mut Criterion) {
 fn bench_full_pipeline(c: &mut Criterion) {
     let mut group = c.benchmark_group("quclear_pipeline");
     group.sample_size(10);
-    for bench in [Benchmark::Ucc(2, 6), Benchmark::MaxCutRegular { n: 20, degree: 8 }] {
+    for bench in [
+        Benchmark::Ucc(2, 6),
+        Benchmark::MaxCutRegular { n: 20, degree: 8 },
+    ] {
         let rotations = bench.rotations();
         group.bench_with_input(
             BenchmarkId::new("compile", bench.name()),

@@ -51,7 +51,11 @@ fn main() {
     let mut rows = Vec::new();
     for bench in &benches {
         let rotations = bench.rotations();
-        eprintln!("compiling {} ({} Pauli strings)…", bench.name(), rotations.len());
+        eprintln!(
+            "compiling {} ({} Pauli strings)…",
+            bench.name(),
+            rotations.len()
+        );
         let compiled: Vec<(Method, quclear_circuit::Circuit)> = methods
             .iter()
             .map(|m| (*m, m.compile(&rotations)))

@@ -22,7 +22,11 @@ fn main() {
 
     for bench in &suite {
         let rotations = bench.rotations();
-        eprintln!("compiling {} ({} Pauli strings)…", bench.name(), rotations.len());
+        eprintln!(
+            "compiling {} ({} Pauli strings)…",
+            bench.name(),
+            rotations.len()
+        );
         let mut results = BTreeMap::new();
         for method in Method::ALL {
             let (_circuit, result) = evaluate_method(method, &rotations);

@@ -48,7 +48,7 @@ impl Circuit {
     #[must_use]
     pub fn from_gates(num_qubits: usize, gates: Vec<Gate>) -> Self {
         for g in &gates {
-            for q in g.qubits() {
+            for &q in g.qubit_list().as_slice() {
                 assert!(q < num_qubits, "gate {g} touches qubit {q} >= {num_qubits}");
             }
         }
@@ -85,7 +85,7 @@ impl Circuit {
     ///
     /// Panics if the gate touches a qubit outside the register.
     pub fn push(&mut self, gate: Gate) {
-        for q in gate.qubits() {
+        for &q in gate.qubit_list().as_slice() {
             assert!(
                 q < self.num_qubits,
                 "gate {gate} touches qubit {q} >= {}",
@@ -207,9 +207,15 @@ impl Circuit {
             if entangling_only && !g.is_two_qubit() {
                 continue;
             }
-            let qs = g.qubits();
-            let layer = qs.iter().map(|&q| per_qubit[q]).max().unwrap_or(0) + 1;
-            for q in qs {
+            let qs = g.qubit_list();
+            let layer = qs
+                .as_slice()
+                .iter()
+                .map(|&q| per_qubit[q])
+                .max()
+                .unwrap_or(0)
+                + 1;
+            for &q in qs.as_slice() {
                 per_qubit[q] = layer;
             }
             max_depth = max_depth.max(layer);
@@ -267,7 +273,12 @@ impl Extend<Gate> for Circuit {
 
 impl fmt::Display for Circuit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "circuit on {} qubits, {} gates:", self.num_qubits, self.gates.len())?;
+        writeln!(
+            f,
+            "circuit on {} qubits, {} gates:",
+            self.num_qubits,
+            self.gates.len()
+        )?;
         for g in &self.gates {
             writeln!(f, "  {g}")?;
         }
@@ -355,7 +366,13 @@ mod tests {
         let mapped = c.map_qubits(10, |q| q + 5);
         assert_eq!(mapped.num_qubits(), 10);
         assert_eq!(mapped.cnot_count(), 2);
-        assert_eq!(mapped.gates()[1], Gate::Cx { control: 5, target: 6 });
+        assert_eq!(
+            mapped.gates()[1],
+            Gate::Cx {
+                control: 5,
+                target: 6
+            }
+        );
     }
 
     #[test]

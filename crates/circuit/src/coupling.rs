@@ -37,7 +37,10 @@ impl CouplingMap {
     pub fn from_edges(num_qubits: usize, edges: &[(usize, usize)]) -> Self {
         let mut adjacency = vec![Vec::new(); num_qubits];
         for &(a, b) in edges {
-            assert!(a < num_qubits && b < num_qubits, "edge ({a},{b}) out of range");
+            assert!(
+                a < num_qubits && b < num_qubits,
+                "edge ({a},{b}) out of range"
+            );
             assert_ne!(a, b, "self-loop ({a},{a}) is not a valid coupling edge");
             if !adjacency[a].contains(&b) {
                 adjacency[a].push(b);
@@ -70,7 +73,9 @@ impl CouplingMap {
     /// A linear chain `0 - 1 - … - (n-1)`.
     #[must_use]
     pub fn linear(num_qubits: usize) -> Self {
-        let edges: Vec<(usize, usize)> = (0..num_qubits.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+        let edges: Vec<(usize, usize)> = (0..num_qubits.saturating_sub(1))
+            .map(|i| (i, i + 1))
+            .collect();
         CouplingMap::from_edges(num_qubits, &edges)
     }
 
@@ -215,8 +220,7 @@ impl CouplingMap {
         let mut path = vec![a];
         let mut current = a;
         while current != b {
-            let next = *self
-                .adjacency[current]
+            let next = *self.adjacency[current]
                 .iter()
                 .min_by_key(|&&nb| self.distance[nb][b])?;
             path.push(next);
@@ -300,7 +304,10 @@ mod tests {
         assert_eq!(h.num_qubits(), 65);
         assert!(h.is_connected());
         // Heavy-hex degree never exceeds 3.
-        assert!((0..65).all(|q| h.neighbors(q).len() <= 3), "heavy-hex degree must be ≤ 3");
+        assert!(
+            (0..65).all(|q| h.neighbors(q).len() <= 3),
+            "heavy-hex degree must be ≤ 3"
+        );
         // Heavy-hex is sparser than the grid.
         assert!(h.edges().len() < CouplingMap::sycamore_like().edges().len());
     }

@@ -35,8 +35,14 @@ impl NoiseModel {
     /// Panics if an error rate is outside `[0, 1]`.
     #[must_use]
     pub fn new(single_qubit_error: f64, two_qubit_error: f64) -> Self {
-        assert!((0.0..=1.0).contains(&single_qubit_error), "invalid 1q error rate");
-        assert!((0.0..=1.0).contains(&two_qubit_error), "invalid 2q error rate");
+        assert!(
+            (0.0..=1.0).contains(&single_qubit_error),
+            "invalid 1q error rate"
+        );
+        assert!(
+            (0.0..=1.0).contains(&two_qubit_error),
+            "invalid 2q error rate"
+        );
         NoiseModel {
             single_qubit_error,
             two_qubit_error,

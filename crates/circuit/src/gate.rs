@@ -2,6 +2,78 @@
 
 use std::fmt;
 
+/// The (one or two) qubits a gate acts on, stored inline.
+///
+/// A stack-only alternative to `Vec<usize>` for the optimizer's inner loops:
+/// no heap allocation, `Copy`, and cheap disjointness tests.
+///
+/// # Examples
+///
+/// ```
+/// use quclear_circuit::Gate;
+///
+/// let cx = Gate::Cx { control: 3, target: 1 };
+/// let list = cx.qubit_list();
+/// assert_eq!(list.as_slice(), &[3, 1]);
+/// assert!(list.contains(1));
+/// assert!(list.is_disjoint(Gate::H(0).qubit_list()));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QubitList {
+    qubits: [usize; 2],
+    len: u8,
+}
+
+impl QubitList {
+    /// A single-qubit list.
+    #[must_use]
+    pub fn one(q: usize) -> Self {
+        QubitList {
+            qubits: [q, usize::MAX],
+            len: 1,
+        }
+    }
+
+    /// A two-qubit list (order preserved).
+    #[must_use]
+    pub fn two(a: usize, b: usize) -> Self {
+        QubitList {
+            qubits: [a, b],
+            len: 2,
+        }
+    }
+
+    /// The qubits as a slice, in gate order.
+    #[must_use]
+    pub fn as_slice(&self) -> &[usize] {
+        &self.qubits[..self.len as usize]
+    }
+
+    /// Number of qubits (1 or 2).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Always `false`: every gate acts on at least one qubit.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether `q` is in the list.
+    #[must_use]
+    pub fn contains(&self, q: usize) -> bool {
+        self.qubits[0] == q || (self.len == 2 && self.qubits[1] == q)
+    }
+
+    /// Whether the two lists share no qubit.
+    #[must_use]
+    pub fn is_disjoint(&self, other: QubitList) -> bool {
+        !other.contains(self.qubits[0]) && (self.len == 1 || !other.contains(self.qubits[1]))
+    }
+}
+
 /// A quantum gate acting on one or two qubits.
 ///
 /// The gate set covers everything the QuCLEAR pipeline and its baselines
@@ -85,6 +157,15 @@ impl Gate {
     /// The qubits the gate acts on (one or two entries).
     #[must_use]
     pub fn qubits(&self) -> Vec<usize> {
+        self.qubit_list().as_slice().to_vec()
+    }
+
+    /// The qubits the gate acts on, without allocating.
+    ///
+    /// Prefer this in hot paths (the peephole optimizer calls it per gate
+    /// pair); [`Gate::qubits`] stays for callers that want a `Vec`.
+    #[must_use]
+    pub fn qubit_list(&self) -> QubitList {
         match *self {
             Gate::H(q)
             | Gate::S(q)
@@ -96,9 +177,9 @@ impl Gate {
             | Gate::SqrtXdg(q)
             | Gate::Rz { qubit: q, .. }
             | Gate::Rx { qubit: q, .. }
-            | Gate::Ry { qubit: q, .. } => vec![q],
-            Gate::Cx { control, target } => vec![control, target],
-            Gate::Cz { a, b } | Gate::Swap { a, b } => vec![a, b],
+            | Gate::Ry { qubit: q, .. } => QubitList::one(q),
+            Gate::Cx { control, target } => QubitList::two(control, target),
+            Gate::Cz { a, b } | Gate::Swap { a, b } => QubitList::two(a, b),
         }
     }
 
@@ -345,7 +426,7 @@ mod tests {
     fn display_contains_name_and_qubit() {
         let s = Gate::Cx {
             control: 2,
-            target: 5
+            target: 5,
         }
         .to_string();
         assert!(s.contains("cx") && s.contains("q2") && s.contains("q5"));

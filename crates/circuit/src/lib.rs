@@ -42,9 +42,12 @@ mod routing;
 pub use circuit::Circuit;
 pub use coupling::CouplingMap;
 pub use fidelity::NoiseModel;
-pub use gate::Gate;
-pub use math::{C64, Mat2};
-pub use optimize::{optimize, optimize_with, OptimizeOptions};
+pub use gate::{Gate, QubitList};
+pub use math::{Mat2, C64};
+pub use optimize::{
+    optimize, optimize_warming, optimize_with, optimize_with_shared_cache, OptimizeOptions,
+    PeepholeCache,
+};
 pub use routing::{initial_layout_by_interaction, route, route_with_layout, RoutingResult};
 
 #[cfg(test)]

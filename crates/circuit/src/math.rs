@@ -186,6 +186,12 @@ impl Mat2 {
     /// Returns `true` if the matrix is the identity up to a global phase.
     #[must_use]
     pub fn is_identity_up_to_phase(&self, tol: f64) -> bool {
+        // Cheap exact early-out: the entry-wise distance to the identity is
+        // at least |u01| for any phase choice, so a visibly off-diagonal
+        // matrix can never pass. This is the common case in gate fusion.
+        if self.m[0][1].norm() >= tol {
+            return false;
+        }
         self.distance_up_to_phase(&Mat2::identity()) < tol
             || Mat2::identity().distance_up_to_phase(self) < tol
     }
@@ -210,22 +216,34 @@ pub fn zyz_decompose(u: &Mat2) -> (f64, f64, f64) {
     } else {
         let sum = u.m[1][1].arg() - u.m[0][0].arg();
         let diff = u.m[1][0].arg() - u.m[0][1].arg() - std::f64::consts::PI;
-        // The halved angles are only defined modulo π; pick the branch that
-        // actually reproduces the matrix.
-        let candidate_a = ((sum + diff) / 2.0, beta, (sum - diff) / 2.0);
-        let candidate_b = (
-            (sum + diff) / 2.0 + std::f64::consts::PI,
-            beta,
-            (sum - diff) / 2.0 + std::f64::consts::PI,
-        );
-        let err_a = zyz_matrix(candidate_a.0, candidate_a.1, candidate_a.2).distance_up_to_phase(u);
-        let err_b = zyz_matrix(candidate_b.0, candidate_b.1, candidate_b.2).distance_up_to_phase(u);
-        if err_a <= err_b {
-            candidate_a
+        // The halved angles are only defined modulo π: adding π to both α
+        // and γ flips the sign of the Ry block (up to a global phase), so
+        // exactly one of the two candidates reproduces the matrix. Selecting
+        // it needs no reconstruction: for `Rz(α)·Ry(β)·Rz(γ)` with our
+        // sign conventions (`sin(β/2) ≥ 0`), the phase difference
+        // `arg(u10) − arg(u00)` equals α modulo 2π, independent of the
+        // global phase. Pick the candidate whose α is angularly closer.
+        let alpha_a = (sum + diff) / 2.0;
+        let measured_alpha = u.m[1][0].arg() - u.m[0][0].arg();
+        if angular_distance(alpha_a, measured_alpha)
+            <= angular_distance(alpha_a + std::f64::consts::PI, measured_alpha)
+        {
+            (alpha_a, beta, (sum - diff) / 2.0)
         } else {
-            candidate_b
+            (
+                alpha_a + std::f64::consts::PI,
+                beta,
+                (sum - diff) / 2.0 + std::f64::consts::PI,
+            )
         }
     }
+}
+
+/// Distance between two angles on the circle, in `[0, π]`.
+fn angular_distance(a: f64, b: f64) -> f64 {
+    let two_pi = 2.0 * std::f64::consts::PI;
+    let d = (a - b).rem_euclid(two_pi);
+    d.min(two_pi - d)
 }
 
 /// The ZYZ matrix `Rz(α) · Ry(β) · Rz(γ)` (no global phase).
@@ -337,9 +355,18 @@ mod tests {
             Gate::Y(0),
             Gate::Z(0),
             Gate::SqrtX(0),
-            Gate::Rz { qubit: 0, angle: 0.7 },
-            Gate::Rx { qubit: 0, angle: -1.3 },
-            Gate::Ry { qubit: 0, angle: 2.2 },
+            Gate::Rz {
+                qubit: 0,
+                angle: 0.7,
+            },
+            Gate::Rx {
+                qubit: 0,
+                angle: -1.3,
+            },
+            Gate::Ry {
+                qubit: 0,
+                angle: 2.2,
+            },
         ] {
             let u = single_qubit_matrix(&gate);
             let (a, b, g) = zyz_decompose(&u);
@@ -353,7 +380,15 @@ mod tests {
 
     #[test]
     fn zyz_roundtrip_on_products() {
-        let gates = [Gate::H(0), Gate::S(0), Gate::Rz { qubit: 0, angle: 0.3 }, Gate::H(0)];
+        let gates = [
+            Gate::H(0),
+            Gate::S(0),
+            Gate::Rz {
+                qubit: 0,
+                angle: 0.3,
+            },
+            Gate::H(0),
+        ];
         let mut u = Mat2::identity();
         for g in &gates {
             u = single_qubit_matrix(g).mul(&u);

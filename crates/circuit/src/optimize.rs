@@ -7,6 +7,7 @@
 //! fuses runs of single-qubit gates — and does not understand Pauli-level
 //! structure; that is the job of the QuCLEAR core and the baselines.
 
+use crate::gate::QubitList;
 use crate::math::{single_qubit_matrix, zyz_decompose, Mat2};
 use crate::{Circuit, Gate};
 
@@ -67,6 +68,48 @@ pub fn optimize(circuit: &Circuit) -> Circuit {
 /// Optimizes a circuit with explicit options.
 #[must_use]
 pub fn optimize_with(circuit: &Circuit, options: &OptimizeOptions) -> Circuit {
+    // A call-local memo still pays off: the fixpoint loop re-examines the
+    // same single-qubit runs every round.
+    let mut cache = PeepholeCache::new();
+    optimize_warming(circuit, options, &mut cache)
+}
+
+/// Optimizes a circuit while recording fusion decisions into `cache`.
+///
+/// Produces bit-for-bit the same circuit as [`optimize_with`]; the filled
+/// cache can then serve [`optimize_with_shared_cache`] calls on circuits
+/// that repeat the same single-qubit runs (e.g. rebinding a compiled
+/// template to new rotation angles).
+#[must_use]
+pub fn optimize_warming(
+    circuit: &Circuit,
+    options: &OptimizeOptions,
+    cache: &mut PeepholeCache,
+) -> Circuit {
+    optimize_rounds(circuit, options, &mut CacheMode::Warming(cache))
+}
+
+/// Optimizes a circuit against a pre-filled, read-only fusion memo.
+///
+/// Runs the identical pass pipeline as [`optimize_with`] — cache hits replay
+/// recorded decisions, misses fall back to the full computation (without
+/// storing) — so the output is bit-for-bit the same. Taking `&PeepholeCache`
+/// makes this safe to call concurrently from many threads sharing one
+/// cache. The cache must have been filled with the same `options`.
+#[must_use]
+pub fn optimize_with_shared_cache(
+    circuit: &Circuit,
+    options: &OptimizeOptions,
+    cache: &PeepholeCache,
+) -> Circuit {
+    optimize_rounds(circuit, options, &mut CacheMode::Shared(cache))
+}
+
+fn optimize_rounds(
+    circuit: &Circuit,
+    options: &OptimizeOptions,
+    cache: &mut CacheMode<'_>,
+) -> Circuit {
     let mut current = circuit.clone();
     for _ in 0..options.max_passes {
         let mut changed = false;
@@ -81,7 +124,7 @@ pub fn optimize_with(circuit: &Circuit, options: &OptimizeOptions) -> Circuit {
             changed |= c;
         }
         if options.fuse_single_qubit {
-            let (next, c) = fuse_single_qubit_runs(&current, options);
+            let (next, c) = fuse_single_qubit_runs(&current, options, cache);
             current = next;
             changed |= c;
         }
@@ -95,9 +138,9 @@ pub fn optimize_with(circuit: &Circuit, options: &OptimizeOptions) -> Circuit {
 /// Conservative test whether two gates commute; used to look backwards past
 /// unrelated gates during cancellation.
 fn gates_commute(a: &Gate, b: &Gate) -> bool {
-    let qa = a.qubits();
-    let qb = b.qubits();
-    if qa.iter().all(|q| !qb.contains(q)) {
+    let qa = a.qubit_list();
+    let qb = b.qubit_list();
+    if qa.is_disjoint(qb) {
         return true;
     }
     // Both diagonal in the computational basis.
@@ -110,12 +153,17 @@ fn gates_commute(a: &Gate, b: &Gate) -> bool {
     let cx_commutes = |cx_control: usize, cx_target: usize, other: &Gate| -> bool {
         match other {
             Gate::Cx { control, target } => {
-                (*control == cx_control && *target != cx_target && !qb_overlap(*target, cx_control, *control, cx_target))
+                (*control == cx_control
+                    && *target != cx_target
+                    && !qb_overlap(*target, cx_control, *control, cx_target))
                     || (*target == cx_target && *control != cx_control)
             }
-            g if g.qubits() == vec![cx_control] => g.is_diagonal(),
-            g if g.qubits() == vec![cx_target] => {
-                matches!(g, Gate::X(_) | Gate::Rx { .. } | Gate::SqrtX(_) | Gate::SqrtXdg(_))
+            g if g.qubit_list() == QubitList::one(cx_control) => g.is_diagonal(),
+            g if g.qubit_list() == QubitList::one(cx_target) => {
+                matches!(
+                    g,
+                    Gate::X(_) | Gate::Rx { .. } | Gate::SqrtX(_) | Gate::SqrtXdg(_)
+                )
             }
             _ => false,
         }
@@ -129,7 +177,12 @@ fn gates_commute(a: &Gate, b: &Gate) -> bool {
 
 /// Helper guarding against the CX/CX case where the "other" CNOT's target is
 /// our control (those do not commute).
-fn qb_overlap(other_target: usize, my_control: usize, other_control: usize, my_target: usize) -> bool {
+fn qb_overlap(
+    other_target: usize,
+    my_control: usize,
+    other_control: usize,
+    my_target: usize,
+) -> bool {
     other_target == my_control || other_control == my_target
 }
 
@@ -149,7 +202,7 @@ fn cancel_inverse_pairs(circuit: &Circuit, options: &OptimizeOptions) -> (Circui
             j -= 1;
             let Some(prev) = live[j] else { continue };
             steps += 1;
-            if prev == current.inverse() && prev.qubits() == current.qubits() {
+            if prev == current.inverse() && prev.qubit_list() == current.qubit_list() {
                 live[i] = None;
                 live[j] = None;
                 changed = true;
@@ -239,15 +292,208 @@ fn is_zero_angle(angle: f64, tol: f64) -> bool {
     reduced < tol || (two_pi - reduced) < tol
 }
 
+/// A single-qubit gate stripped of its qubit: discriminant plus exact angle
+/// bits. A run of these is a pure key for the fusion decision.
+type RunAtom = (u8, u64);
+
+fn run_atom(gate: &Gate) -> RunAtom {
+    match *gate {
+        Gate::H(_) => (0, 0),
+        Gate::S(_) => (1, 0),
+        Gate::Sdg(_) => (2, 0),
+        Gate::X(_) => (3, 0),
+        Gate::Y(_) => (4, 0),
+        Gate::Z(_) => (5, 0),
+        Gate::SqrtX(_) => (6, 0),
+        Gate::SqrtXdg(_) => (7, 0),
+        Gate::Rz { angle, .. } => (8, angle.to_bits()),
+        Gate::Rx { angle, .. } => (9, angle.to_bits()),
+        Gate::Ry { angle, .. } => (10, angle.to_bits()),
+        Gate::Cx { .. } | Gate::Cz { .. } | Gate::Swap { .. } => {
+            unreachable!("two-qubit gates never appear in single-qubit runs")
+        }
+    }
+}
+
+fn atom_gate(atom: RunAtom, qubit: usize) -> Gate {
+    match atom.0 {
+        0 => Gate::H(qubit),
+        1 => Gate::S(qubit),
+        2 => Gate::Sdg(qubit),
+        3 => Gate::X(qubit),
+        4 => Gate::Y(qubit),
+        5 => Gate::Z(qubit),
+        6 => Gate::SqrtX(qubit),
+        7 => Gate::SqrtXdg(qubit),
+        8 => Gate::Rz {
+            qubit,
+            angle: f64::from_bits(atom.1),
+        },
+        9 => Gate::Rx {
+            qubit,
+            angle: f64::from_bits(atom.1),
+        },
+        10 => Gate::Ry {
+            qubit,
+            angle: f64::from_bits(atom.1),
+        },
+        other => unreachable!("invalid run atom discriminant {other}"),
+    }
+}
+
+/// The memoized outcome of fusing one single-qubit run.
+#[derive(Clone, Debug)]
+enum FuseDecision {
+    /// The run could not be shortened; emit it unchanged.
+    Keep,
+    /// The run is replaced by these (qubit-independent) gates — possibly
+    /// none, when the run multiplies to the identity.
+    Replace(Vec<RunAtom>),
+}
+
+/// A reusable memo of single-qubit-run fusion decisions.
+///
+/// Fusing a run — matrix products, an Euler (ZYZ) decomposition and the
+/// branch-matching trigonometry — is by far the most expensive part of the
+/// peephole, and the same runs recur: across fixpoint rounds within one
+/// [`optimize_with`] call, and across repeated optimizations of structurally
+/// identical circuits (the `quclear-engine` template `bind` path, where only
+/// `Rz` angles change between calls and every Clifford run repeats exactly).
+///
+/// Decisions are keyed on the exact gate sequence (discriminants plus f64
+/// angle bits), so cached and uncached optimization are bit-for-bit
+/// identical. A cache must only be reused with the same
+/// [`OptimizeOptions`]; pairing it with different tolerances would replay
+/// stale decisions.
+#[derive(Clone, Debug, Default)]
+pub struct PeepholeCache {
+    fuse: std::collections::HashMap<Vec<RunAtom>, FuseDecision, BuildRunHasher>,
+}
+
+/// A fast, non-cryptographic hasher for run keys (the memo is an internal
+/// performance cache, never fed attacker-controlled data).
+#[derive(Clone, Debug, Default)]
+struct BuildRunHasher;
+
+impl std::hash::BuildHasher for BuildRunHasher {
+    type Hasher = RunHasher;
+
+    fn build_hasher(&self) -> RunHasher {
+        RunHasher {
+            state: 0x9ae1_6a3b_2f90_404f,
+        }
+    }
+}
+
+/// SplitMix64-style streaming hasher over the key words.
+#[derive(Clone, Debug)]
+struct RunHasher {
+    state: u64,
+}
+
+impl std::hash::Hasher for RunHasher {
+    fn finish(&self) -> u64 {
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(u64::from(b));
+        }
+    }
+
+    fn write_u8(&mut self, v: u8) {
+        self.write_u64(u64::from(v));
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.state = (self.state ^ v).wrapping_mul(0xff51_afd7_ed55_8ccd);
+        self.state ^= self.state >> 29;
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+}
+
+impl PeepholeCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        PeepholeCache::default()
+    }
+
+    /// Number of memoized run decisions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.fuse.len()
+    }
+
+    /// Whether no decision has been memoized yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.fuse.is_empty()
+    }
+}
+
+/// How a pass may interact with the fusion memo.
+enum CacheMode<'a> {
+    /// Compute-and-insert (single-threaded warming).
+    Warming(&'a mut PeepholeCache),
+    /// Read-only lookups; misses are computed but not stored. Shared-safe.
+    Shared(&'a PeepholeCache),
+}
+
+/// Computes the fusion decision for a run (the uncached slow path).
+fn compute_fuse(run: &[Gate], options: &OptimizeOptions) -> FuseDecision {
+    // Multiply matrices in time order: U = g_k · … · g_1.
+    let mut u = Mat2::identity();
+    for g in run {
+        u = single_qubit_matrix(g).mul(&u);
+    }
+    if u.is_identity_up_to_phase(options.angle_tolerance.max(1e-9)) {
+        return FuseDecision::Replace(Vec::new());
+    }
+    let (alpha, beta, gamma) = zyz_decompose(&u);
+    let mut fused: Vec<RunAtom> = Vec::with_capacity(3);
+    if !is_zero_angle(gamma, options.angle_tolerance) {
+        fused.push((8, gamma.to_bits()));
+    }
+    if !is_zero_angle(beta, options.angle_tolerance) {
+        fused.push((10, beta.to_bits()));
+    }
+    if !is_zero_angle(alpha, options.angle_tolerance) {
+        fused.push((8, alpha.to_bits()));
+    }
+    if fused.len() < run.len() {
+        FuseDecision::Replace(fused)
+    } else {
+        FuseDecision::Keep
+    }
+}
+
 /// Pass 3: fuse maximal runs of single-qubit gates into at most three Euler
 /// rotations (`Rz·Ry·Rz`), dropping runs that multiply to the identity.
-fn fuse_single_qubit_runs(circuit: &Circuit, options: &OptimizeOptions) -> (Circuit, bool) {
+fn fuse_single_qubit_runs(
+    circuit: &Circuit,
+    options: &OptimizeOptions,
+    cache: &mut CacheMode<'_>,
+) -> (Circuit, bool) {
     let n = circuit.num_qubits();
     let mut pending: Vec<Vec<Gate>> = vec![Vec::new(); n];
     let mut out: Vec<Gate> = Vec::with_capacity(circuit.len());
     let mut changed = false;
+    let mut key_scratch: Vec<RunAtom> = Vec::with_capacity(8);
 
-    let flush = |q: usize, pending: &mut Vec<Vec<Gate>>, out: &mut Vec<Gate>, changed: &mut bool| {
+    let flush = |q: usize,
+                 pending: &mut Vec<Vec<Gate>>,
+                 out: &mut Vec<Gate>,
+                 changed: &mut bool,
+                 key_scratch: &mut Vec<RunAtom>,
+                 cache: &mut CacheMode<'_>| {
         let run = std::mem::take(&mut pending[q]);
         if run.is_empty() {
             return;
@@ -256,46 +502,60 @@ fn fuse_single_qubit_runs(circuit: &Circuit, options: &OptimizeOptions) -> (Circ
             out.push(run[0]);
             return;
         }
-        // Multiply matrices in time order: U = g_k · … · g_1.
-        let mut u = Mat2::identity();
-        for g in &run {
-            u = single_qubit_matrix(g).mul(&u);
-        }
-        if u.is_identity_up_to_phase(options.angle_tolerance.max(1e-9)) {
-            *changed = true;
-            return;
-        }
-        let (alpha, beta, gamma) = zyz_decompose(&u);
-        let mut fused: Vec<Gate> = Vec::with_capacity(3);
-        if !is_zero_angle(gamma, options.angle_tolerance) {
-            fused.push(Gate::Rz { qubit: q, angle: gamma });
-        }
-        if !is_zero_angle(beta, options.angle_tolerance) {
-            fused.push(Gate::Ry { qubit: q, angle: beta });
-        }
-        if !is_zero_angle(alpha, options.angle_tolerance) {
-            fused.push(Gate::Rz { qubit: q, angle: alpha });
-        }
-        if fused.len() < run.len() {
-            *changed = true;
-            out.extend(fused);
-        } else {
-            out.extend(run);
+        key_scratch.clear();
+        key_scratch.extend(run.iter().map(run_atom));
+        let computed;
+        let decision: &FuseDecision = match cache {
+            CacheMode::Warming(memo) => {
+                if !memo.fuse.contains_key(key_scratch.as_slice()) {
+                    let decision = compute_fuse(&run, options);
+                    memo.fuse.insert(key_scratch.clone(), decision);
+                }
+                &memo.fuse[key_scratch.as_slice()]
+            }
+            CacheMode::Shared(memo) => match memo.fuse.get(key_scratch.as_slice()) {
+                Some(decision) => decision,
+                None => {
+                    computed = compute_fuse(&run, options);
+                    &computed
+                }
+            },
+        };
+        match decision {
+            FuseDecision::Keep => out.extend(run),
+            FuseDecision::Replace(atoms) => {
+                *changed = true;
+                out.extend(atoms.iter().map(|&atom| atom_gate(atom, q)));
+            }
         }
     };
 
     for gate in circuit.gates() {
         if gate.is_two_qubit() {
-            for q in gate.qubits() {
-                flush(q, &mut pending, &mut out, &mut changed);
+            for &q in gate.qubit_list().as_slice() {
+                flush(
+                    q,
+                    &mut pending,
+                    &mut out,
+                    &mut changed,
+                    &mut key_scratch,
+                    cache,
+                );
             }
             out.push(*gate);
         } else {
-            pending[gate.qubits()[0]].push(*gate);
+            pending[gate.qubit_list().as_slice()[0]].push(*gate);
         }
     }
     for q in 0..n {
-        flush(q, &mut pending, &mut out, &mut changed);
+        flush(
+            q,
+            &mut pending,
+            &mut out,
+            &mut changed,
+            &mut key_scratch,
+            cache,
+        );
     }
 
     (Circuit::from_gates(n, out), changed)
@@ -351,7 +611,13 @@ mod tests {
         c.rz(0, 0.5);
         let opt = optimize(&c);
         assert_eq!(opt.len(), 1);
-        assert_eq!(opt.gates()[0], Gate::Rz { qubit: 0, angle: 0.75 });
+        assert_eq!(
+            opt.gates()[0],
+            Gate::Rz {
+                qubit: 0,
+                angle: 0.75
+            }
+        );
     }
 
     #[test]
@@ -365,7 +631,11 @@ mod tests {
         c.h(0);
         c.s(0);
         let opt = optimize(&c);
-        assert!(opt.len() <= 3, "expected at most 3 gates, got {}", opt.len());
+        assert!(
+            opt.len() <= 3,
+            "expected at most 3 gates, got {}",
+            opt.len()
+        );
     }
 
     #[test]

@@ -68,7 +68,11 @@ pub struct ParseQasmError {
 
 impl std::fmt::Display for ParseQasmError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "QASM parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "QASM parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -94,8 +98,13 @@ pub fn from_qasm(text: &str) -> Result<Circuit, ParseQasmError> {
         {
             continue;
         }
-        let err = |message: String| ParseQasmError { line: line_no, message };
-        let statement = line.strip_suffix(';').ok_or_else(|| err("missing `;`".into()))?;
+        let err = |message: String| ParseQasmError {
+            line: line_no,
+            message,
+        };
+        let statement = line
+            .strip_suffix(';')
+            .ok_or_else(|| err("missing `;`".into()))?;
         if let Some(rest) = statement.strip_prefix("qreg") {
             let size = rest
                 .trim()
@@ -138,17 +147,32 @@ pub fn from_qasm(text: &str) -> Result<Circuit, ParseQasmError> {
             ("z", [q], None) => Gate::Z(*q),
             ("sx", [q], None) => Gate::SqrtX(*q),
             ("sxdg", [q], None) => Gate::SqrtXdg(*q),
-            ("rz", [q], Some(a)) => Gate::Rz { qubit: *q, angle: a },
-            ("rx", [q], Some(a)) => Gate::Rx { qubit: *q, angle: a },
-            ("ry", [q], Some(a)) => Gate::Ry { qubit: *q, angle: a },
-            ("cx", [c, t], None) => Gate::Cx { control: *c, target: *t },
+            ("rz", [q], Some(a)) => Gate::Rz {
+                qubit: *q,
+                angle: a,
+            },
+            ("rx", [q], Some(a)) => Gate::Rx {
+                qubit: *q,
+                angle: a,
+            },
+            ("ry", [q], Some(a)) => Gate::Ry {
+                qubit: *q,
+                angle: a,
+            },
+            ("cx", [c, t], None) => Gate::Cx {
+                control: *c,
+                target: *t,
+            },
             ("cz", [a, b], None) => Gate::Cz { a: *a, b: *b },
             ("swap", [a, b], None) => Gate::Swap { a: *a, b: *b },
             _ => return Err(err(format!("unsupported statement `{statement}`"))),
         };
         gates.push(gate);
     }
-    if gates.iter().any(|g| g.qubits().iter().any(|&q| q >= num_qubits)) {
+    if gates
+        .iter()
+        .any(|g| g.qubits().iter().any(|&q| q >= num_qubits))
+    {
         return Err(ParseQasmError {
             line: 0,
             message: "gate uses a qubit outside the declared register".into(),
@@ -192,8 +216,26 @@ mod tests {
         assert_eq!(parsed.gates().len(), original.gates().len());
         for (a, b) in parsed.gates().iter().zip(original.gates()) {
             match (a, b) {
-                (Gate::Rz { qubit: qa, angle: aa }, Gate::Rz { qubit: qb, angle: ab })
-                | (Gate::Ry { qubit: qa, angle: aa }, Gate::Ry { qubit: qb, angle: ab }) => {
+                (
+                    Gate::Rz {
+                        qubit: qa,
+                        angle: aa,
+                    },
+                    Gate::Rz {
+                        qubit: qb,
+                        angle: ab,
+                    },
+                )
+                | (
+                    Gate::Ry {
+                        qubit: qa,
+                        angle: aa,
+                    },
+                    Gate::Ry {
+                        qubit: qb,
+                        angle: ab,
+                    },
+                ) => {
                     assert_eq!(qa, qb);
                     assert!((aa - ab).abs() < 1e-12);
                 }

@@ -55,7 +55,11 @@ pub fn route_with_layout(
         "device has {n_physical} qubits but the circuit needs {n_logical}"
     );
     assert!(coupling.is_connected(), "coupling map must be connected");
-    assert_eq!(initial_layout.len(), n_logical, "layout must cover every logical qubit");
+    assert_eq!(
+        initial_layout.len(),
+        n_logical,
+        "layout must cover every logical qubit"
+    );
     {
         let mut seen = vec![false; n_physical];
         for &p in &initial_layout {
@@ -89,11 +93,11 @@ pub fn route_with_layout(
     let mut future_idx = 0usize;
 
     let apply_swap = |a: usize,
-                          b: usize,
-                          out: &mut Circuit,
-                          l2p: &mut Vec<usize>,
-                          p2l: &mut Vec<Option<usize>>,
-                          swap_count: &mut usize| {
+                      b: usize,
+                      out: &mut Circuit,
+                      l2p: &mut Vec<usize>,
+                      p2l: &mut Vec<Option<usize>>,
+                      swap_count: &mut usize| {
         out.swap(a, b);
         *swap_count += 1;
         let la = p2l[a];
@@ -246,7 +250,10 @@ mod tests {
         for g in result.circuit.gates() {
             if g.is_two_qubit() {
                 let q = g.qubits();
-                assert!(coupling.are_connected(q[0], q[1]), "gate {g} not on an edge");
+                assert!(
+                    coupling.are_connected(q[0], q[1]),
+                    "gate {g} not on an edge"
+                );
             }
         }
         assert!(result.swap_count > 0);

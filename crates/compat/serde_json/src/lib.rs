@@ -1,0 +1,167 @@
+//! Offline stand-in for the [`serde_json`](https://crates.io/crates/serde_json)
+//! crate: renders the [`serde::Json`] tree produced by the offline `serde`
+//! stand-in. Only the entry points the workspace uses are provided.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use serde::{Json, Serialize};
+
+/// Serialization error (infallible in practice for this stand-in; kept for
+/// signature compatibility).
+#[derive(Debug)]
+pub struct Error {
+    message: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json error: {}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes a value as compact JSON.
+///
+/// # Errors
+///
+/// Returns an error if the value contains a non-finite float.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_json(), None, 0, &mut out)?;
+    Ok(out)
+}
+
+/// Serializes a value as pretty-printed JSON (two-space indent).
+///
+/// # Errors
+///
+/// Returns an error if the value contains a non-finite float.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_json(), Some(2), 0, &mut out)?;
+    Ok(out)
+}
+
+fn render(
+    value: &Json,
+    indent: Option<usize>,
+    depth: usize,
+    out: &mut String,
+) -> Result<(), Error> {
+    let (newline, pad, pad_close) = match indent {
+        Some(width) => (
+            "\n",
+            " ".repeat(width * (depth + 1)),
+            " ".repeat(width * depth),
+        ),
+        None => ("", String::new(), String::new()),
+    };
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Int(i) => out.push_str(&i.to_string()),
+        Json::Uint(u) => out.push_str(&u.to_string()),
+        Json::Float(x) => {
+            if !x.is_finite() {
+                return Err(Error {
+                    message: format!("non-finite float {x} is not representable in JSON"),
+                });
+            }
+            // Match serde_json: always distinguishable from integers.
+            if x.fract() == 0.0 && x.abs() < 1e15 {
+                out.push_str(&format!("{x:.1}"));
+            } else {
+                out.push_str(&format!("{x}"));
+            }
+        }
+        Json::Str(s) => push_escaped(s, out),
+        Json::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return Ok(());
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(newline);
+                out.push_str(&pad);
+                render(item, indent, depth + 1, out)?;
+            }
+            out.push_str(newline);
+            out.push_str(&pad_close);
+            out.push(']');
+        }
+        Json::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return Ok(());
+            }
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(newline);
+                out.push_str(&pad);
+                push_escaped(key, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                render(item, indent, depth + 1, out)?;
+            }
+            out.push_str(newline);
+            out.push_str(&pad_close);
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+fn push_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn compact_and_pretty_roundtrip_shapes() {
+        let mut m: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        m.insert("xs".into(), vec![1, 2]);
+        assert_eq!(to_string(&m).unwrap(), r#"{"xs":[1,2]}"#);
+        let pretty = to_string_pretty(&m).unwrap();
+        assert!(pretty.contains("\n  \"xs\": [\n"));
+    }
+
+    #[test]
+    fn floats_keep_a_decimal_point() {
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string(&2.5f64).unwrap(), "2.5");
+        assert!(to_string(&f64::NAN).is_err());
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(to_string("a\"b\n").unwrap(), r#""a\"b\n""#);
+    }
+}

@@ -90,7 +90,10 @@ impl ObservableAbsorption {
     /// Panics if `i` is out of range.
     #[must_use]
     pub fn measurement_circuit(&self, i: usize) -> Circuit {
-        measurement_basis_circuit(self.transformed[i].num_qubits(), self.transformed[i].pauli())
+        measurement_basis_circuit(
+            self.transformed[i].num_qubits(),
+            self.transformed[i].pauli(),
+        )
     }
 
     /// CA-Post: converts the measured expectation value of the `i`-th
@@ -127,7 +130,11 @@ pub fn measurement_basis_circuit(n: usize, observable: &PauliString) -> Circuit 
 #[must_use]
 pub fn expectation_from_probabilities(observable: &PauliString, probabilities: &[f64]) -> f64 {
     let n = observable.num_qubits();
-    assert_eq!(probabilities.len(), 1 << n, "probability vector has wrong length");
+    assert_eq!(
+        probabilities.len(),
+        1 << n,
+        "probability vector has wrong length"
+    );
     let mask: usize = observable
         .support()
         .iter()
@@ -293,11 +300,11 @@ impl ProbabilityAbsorber {
     #[must_use]
     pub fn map_index(&self, measured: usize) -> usize {
         let mapped = self.matrix.mul_index(measured);
-        let offset_bits = self
-            .offset
-            .iter()
-            .enumerate()
-            .fold(0usize, |acc, (q, &b)| if b { acc | (1 << q) } else { acc });
+        let offset_bits =
+            self.offset
+                .iter()
+                .enumerate()
+                .fold(0usize, |acc, (q, &b)| if b { acc | (1 << q) } else { acc });
         mapped ^ offset_bits
     }
 
@@ -308,7 +315,11 @@ impl ProbabilityAbsorber {
     /// Panics if the vector length is not `2^n`.
     #[must_use]
     pub fn post_process_probabilities(&self, probabilities: &[f64]) -> Vec<f64> {
-        assert_eq!(probabilities.len(), 1 << self.n, "probability vector has wrong length");
+        assert_eq!(
+            probabilities.len(),
+            1 << self.n,
+            "probability vector has wrong length"
+        );
         let mut out = vec![0.0; probabilities.len()];
         for (x, &p) in probabilities.iter().enumerate() {
             out[self.map_index(x)] += p;
@@ -398,8 +409,12 @@ mod tests {
         // Distribution concentrated on |11⟩ on 2 qubits: ⟨ZZ⟩ = +1, ⟨ZI⟩ = -1.
         let mut probs = vec![0.0; 4];
         probs[0b11] = 1.0;
-        assert!((expectation_from_probabilities(&"ZZ".parse().unwrap(), &probs) - 1.0).abs() < 1e-12);
-        assert!((expectation_from_probabilities(&"ZI".parse().unwrap(), &probs) + 1.0).abs() < 1e-12);
+        assert!(
+            (expectation_from_probabilities(&"ZZ".parse().unwrap(), &probs) - 1.0).abs() < 1e-12
+        );
+        assert!(
+            (expectation_from_probabilities(&"ZI".parse().unwrap(), &probs) + 1.0).abs() < 1e-12
+        );
     }
 
     #[test]
@@ -484,6 +499,9 @@ mod tests {
         let mut sorted_out = post.clone();
         sorted_in.sort_by(f64::total_cmp);
         sorted_out.sort_by(f64::total_cmp);
-        assert_eq!(sorted_in, sorted_out, "post-processing must permute the distribution");
+        assert_eq!(
+            sorted_in, sorted_out,
+            "post-processing must permute the distribution"
+        );
     }
 }

@@ -138,7 +138,14 @@ mod tests {
     #[test]
     fn qaoa_structure_gives_two_blocks_per_layer() {
         // Problem layer (all Z-type, mutually commuting) then mixer layer.
-        let rotations = vec![rot("ZZI"), rot("IZZ"), rot("ZIZ"), rot("XII"), rot("IXI"), rot("IIX")];
+        let rotations = vec![
+            rot("ZZI"),
+            rot("IZZ"),
+            rot("ZIZ"),
+            rot("XII"),
+            rot("IXI"),
+            rot("IIX"),
+        ];
         let blocks = CommutingBlocks::from_rotations(&rotations);
         assert_eq!(blocks.num_blocks(), 2);
         assert_eq!(blocks.block_sizes(), vec![3, 3]);

@@ -105,12 +105,19 @@ impl ExtractionResult {
 /// # Ok::<(), quclear_pauli::ParsePauliError>(())
 /// ```
 #[must_use]
-pub fn extract_clifford(rotations: &[PauliRotation], config: &ExtractionConfig) -> ExtractionResult {
+pub fn extract_clifford(
+    rotations: &[PauliRotation],
+    config: &ExtractionConfig,
+) -> ExtractionResult {
     let n = rotations
         .first()
         .map_or(0, quclear_pauli::PauliRotation::num_qubits);
     for r in rotations {
-        assert_eq!(r.num_qubits(), n, "all rotations must act on the same register");
+        assert_eq!(
+            r.num_qubits(),
+            n,
+            "all rotations must act on the same register"
+        );
     }
 
     let mut blocks = if config.reorder_commuting {
@@ -211,9 +218,8 @@ impl Extractor {
         }
         let mut best = pos + 1;
         let mut best_cost = usize::MAX;
-        for candidate_idx in pos + 1..block.len() {
-            let candidate = block[candidate_idx].pauli();
-            let cost = self.extraction_cost(&current, candidate);
+        for (candidate_idx, candidate) in block.iter().enumerate().skip(pos + 1) {
+            let cost = self.extraction_cost(&current, candidate.pauli());
             if cost < best_cost {
                 best_cost = cost;
                 best = candidate_idx;
@@ -418,7 +424,9 @@ mod tests {
     #[test]
     fn extraction_halves_uccsd_like_blocks() {
         // A weight-4 XXYY-type excitation block (8 Paulis) typical of UCCSD.
-        let paulis = ["XXXY", "XXYX", "XYXX", "YXXX", "YYYX", "YYXY", "YXYY", "XYYY"];
+        let paulis = [
+            "XXXY", "XXYX", "XYXX", "YXXX", "YYYX", "YYXY", "YXYY", "XYYY",
+        ];
         let rotations: Vec<PauliRotation> = paulis.iter().map(|p| rot(p, 0.11)).collect();
         let native = naive_reference(&rotations).cnot_count();
         let result = extract_clifford(&rotations, &ExtractionConfig::default());

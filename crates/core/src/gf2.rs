@@ -90,7 +90,11 @@ impl Gf2Matrix {
         assert_eq!(v.len(), self.n, "vector length must match matrix dimension");
         self.rows
             .iter()
-            .map(|row| row.iter().zip(v).fold(false, |acc, (&m, &x)| acc ^ (m && x)))
+            .map(|row| {
+                row.iter()
+                    .zip(v)
+                    .fold(false, |acc, (&m, &x)| acc ^ (m && x))
+            })
             .collect()
     }
 
@@ -100,9 +104,10 @@ impl Gf2Matrix {
     pub fn mul_index(&self, index: usize) -> usize {
         let v: Vec<bool> = (0..self.n).map(|q| index & (1 << q) != 0).collect();
         let out = self.mul_vec(&v);
-        out.iter()
-            .enumerate()
-            .fold(0usize, |acc, (q, &bit)| if bit { acc | (1 << q) } else { acc })
+        out.iter().enumerate().fold(
+            0usize,
+            |acc, (q, &bit)| if bit { acc | (1 << q) } else { acc },
+        )
     }
 
     /// The inverse matrix, if it exists.

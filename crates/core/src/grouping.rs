@@ -106,7 +106,10 @@ mod tests {
         assert!(qubit_wise_commute(&a, &"IZI".parse().unwrap()));
         assert!(!qubit_wise_commute(&a, &"XZI".parse().unwrap()));
         // ZZ and XX commute globally but NOT qubit-wise.
-        assert!(!qubit_wise_commute(&"ZZ".parse().unwrap(), &"XX".parse().unwrap()));
+        assert!(!qubit_wise_commute(
+            &"ZZ".parse().unwrap(),
+            &"XX".parse().unwrap()
+        ));
     }
 
     #[test]
@@ -140,7 +143,7 @@ mod tests {
         let groups = group_qubitwise_commuting(&observables);
         assert_eq!(groups.len(), 1);
         assert_eq!(groups[0].basis.to_string(), "XYZ");
-        assert_eq!(groups[0].measurement_circuit().len(), 1 + 2 + 0);
+        assert_eq!(groups[0].measurement_circuit().len(), (1 + 2));
     }
 
     #[test]

@@ -154,7 +154,12 @@ mod tests {
 
     #[test]
     fn peephole_never_increases_cnots() {
-        let program = vec![rot("ZZII", 0.1), rot("IZZI", 0.2), rot("XXXX", 0.3), rot("IIZZ", 0.4)];
+        let program = vec![
+            rot("ZZII", 0.1),
+            rot("IZZI", 0.2),
+            rot("XXXX", 0.3),
+            rot("IIZZ", 0.4),
+        ];
         let with = compile(&program, &QuClearConfig::full());
         let without = compile(&program, &QuClearConfig::without_peephole());
         assert!(with.cnot_count() <= without.cnot_count());

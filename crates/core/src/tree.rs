@@ -48,7 +48,10 @@ impl<'a> TreeSynthesizer<'a> {
     /// Panics if `support` is empty.
     #[must_use]
     pub fn synthesize(&self, support: &[usize]) -> (Vec<Gate>, usize) {
-        assert!(!support.is_empty(), "cannot synthesize a tree over an empty support");
+        assert!(
+            !support.is_empty(),
+            "cannot synthesize a tree over an empty support"
+        );
         let mut gates = Vec::new();
         let root = self.synth_rec(support, 0, &mut gates);
         (gates, root)
@@ -106,7 +109,12 @@ impl<'a> TreeSynthesizer<'a> {
 
     /// Connects the given roots into a single tree root, greedily choosing
     /// (control, target) pairs that minimize the next Pauli's weight.
-    fn connect_roots(&self, roots: &[usize], next_pauli: &PauliString, gates: &mut Vec<Gate>) -> usize {
+    fn connect_roots(
+        &self,
+        roots: &[usize],
+        next_pauli: &PauliString,
+        gates: &mut Vec<Gate>,
+    ) -> usize {
         let mut remaining: Vec<usize> = roots.to_vec();
         // Live view of the next Pauli conjugated through the tree built so far.
         let mut live = SignedPauli::positive(next_pauli.clone());
@@ -149,7 +157,9 @@ fn chain(tree_idxs: &[usize], gates: &mut Vec<Gate>) -> usize {
             target: pair[1],
         });
     }
-    *tree_idxs.last().expect("chain called with empty index list")
+    *tree_idxs
+        .last()
+        .expect("chain called with empty index list")
 }
 
 fn weight_at(pauli: &SignedPauli, qubit: usize) -> usize {
@@ -173,7 +183,11 @@ mod tests {
             sp = conjugate_pauli_by_gate(&sp, g);
         }
         let expected = PauliString::single(n, root, PauliOp::Z);
-        assert_eq!(sp.pauli(), &expected, "tree must map ∏Z(support) to Z(root)");
+        assert_eq!(
+            sp.pauli(),
+            &expected,
+            "tree must map ∏Z(support) to Z(root)"
+        );
         assert!(!sp.is_negative());
         // And the CNOT count is |support| - 1.
         assert_eq!(gates.len(), support.len() - 1);
@@ -269,7 +283,9 @@ mod tests {
             let (gates, _) = synth.synthesize(&support);
             let mut tree_circuit = Circuit::new(n);
             tree_circuit.extend(gates.iter().copied());
-            CliffordTableau::from_circuit(&tree_circuit).apply(&p3).weight()
+            CliffordTableau::from_circuit(&tree_circuit)
+                .apply(&p3)
+                .weight()
         };
         assert!(weight_after(true) <= weight_after(false));
     }
@@ -289,7 +305,11 @@ mod tests {
         let mut tree_circuit = Circuit::new(n);
         tree_circuit.extend(gates.iter().copied());
         let updated = CliffordTableau::from_circuit(&tree_circuit).apply(&next);
-        assert_eq!(updated.weight(), 1, "ZZZZZ should collapse to a single Z, got {updated}");
+        assert_eq!(
+            updated.weight(),
+            1,
+            "ZZZZZ should collapse to a single Z, got {updated}"
+        );
     }
 
     #[test]

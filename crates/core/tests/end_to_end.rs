@@ -70,7 +70,7 @@ fn paper_figure_2_example_full_equivalence() {
 
     // (2) Observable absorption: ⟨XXZZ⟩ original = sign·⟨P'⟩ optimized.
     let observable: SignedPauli = "XXZZ".parse().unwrap();
-    let absorption = result.absorb_observables(&[observable.clone()]);
+    let absorption = result.absorb_observables(std::slice::from_ref(&observable));
     let direct = reference_state.expectation_signed(&observable);
     let transformed = &absorption.transformed()[0];
     let measured = optimized_state.expectation(transformed.pauli());
@@ -103,7 +103,9 @@ fn qaoa_probability_absorption_matches_distribution() {
     }
 
     let result = compile(&program, &QuClearConfig::default());
-    let absorber = result.probability_absorber().expect("Proposition 1 applies");
+    let absorber = result
+        .probability_absorber()
+        .expect("Proposition 1 applies");
 
     let mut plus_layer = Circuit::new(n);
     for q in 0..n {
@@ -135,7 +137,9 @@ fn qaoa_probability_absorption_matches_distribution() {
 fn uccsd_like_block_observable_absorption() {
     // A double-excitation block plus a couple of Hamiltonian observables.
     let n = 4;
-    let paulis = ["XXXY", "XXYX", "XYXX", "YXXX", "YYYX", "YYXY", "YXYY", "XYYY"];
+    let paulis = [
+        "XXXY", "XXYX", "XYXX", "YXXX", "YYYX", "YYXY", "YXYY", "XYYY",
+    ];
     let program: Vec<PauliRotation> = paulis
         .iter()
         .enumerate()

@@ -1,0 +1,433 @@
+//! The thread-safe compilation engine: template cache + batch front-end.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use quclear_core::{QuClearConfig, QuClearResult};
+use quclear_pauli::{PauliRotation, SignedPauli};
+use rayon::prelude::*;
+
+use crate::error::EngineError;
+use crate::fingerprint::ProgramFingerprint;
+use crate::lru::LruCache;
+use crate::template::CompiledTemplate;
+
+/// Default number of cached templates.
+pub const DEFAULT_CACHE_CAPACITY: usize = 256;
+
+/// A point-in-time snapshot of the engine's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Template-cache hits.
+    pub hits: u64,
+    /// Template-cache misses (each one attempted a full template
+    /// compilation; failed compilations count as misses too).
+    pub misses: u64,
+    /// Templates evicted by the LRU policy.
+    pub evictions: u64,
+    /// Total successful `bind` operations served.
+    pub binds: u64,
+    /// Templates currently cached.
+    pub entries: usize,
+    /// Configured cache capacity.
+    pub capacity: usize,
+}
+
+impl EngineStats {
+    /// Fraction of template lookups served from the cache, in `[0, 1]`.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One unit of work for [`Engine::compile_batch`].
+#[derive(Clone, Debug)]
+pub struct BatchJob {
+    /// The rotation program (axes + default angles).
+    pub program: Vec<PauliRotation>,
+    /// Optional angle override; when `None` the program's own angles bind.
+    pub angles: Option<Vec<f64>>,
+}
+
+impl BatchJob {
+    /// A job compiled with the program's own angles.
+    #[must_use]
+    pub fn new(program: Vec<PauliRotation>) -> Self {
+        BatchJob {
+            program,
+            angles: None,
+        }
+    }
+
+    /// A job rebinding `program`'s structure to explicit `angles`.
+    #[must_use]
+    pub fn with_angles(program: Vec<PauliRotation>, angles: Vec<f64>) -> Self {
+        BatchJob {
+            program,
+            angles: Some(angles),
+        }
+    }
+}
+
+/// A high-throughput compilation engine with a shared template cache.
+///
+/// The engine memoizes [`CompiledTemplate`]s keyed by the angle-independent
+/// [`ProgramFingerprint`], so recompiling the same circuit *structure* with
+/// new angles (the inner loop of VQE/QAOA parameter sweeps) costs one cheap
+/// `bind` instead of a full extraction. All methods take `&self`; the engine
+/// is `Send + Sync` and is typically shared behind an [`Arc`].
+///
+/// # Examples
+///
+/// ```
+/// use quclear_engine::Engine;
+/// use quclear_pauli::PauliRotation;
+///
+/// let engine = Engine::new(64);
+/// let program = vec![
+///     PauliRotation::parse("ZZZZ", 0.3)?,
+///     PauliRotation::parse("YYXX", 0.7)?,
+/// ];
+/// let first = engine.compile(&program)?;   // cache miss: full extraction
+/// let again = engine.compile(&program)?;   // cache hit: O(gates) rebind
+/// assert_eq!(first.cnot_count(), again.cnot_count());
+/// let stats = engine.stats();
+/// assert_eq!((stats.hits, stats.misses), (1, 1));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Engine {
+    config: QuClearConfig,
+    cache: Mutex<LruCache<ProgramFingerprint, Arc<CompiledTemplate>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    binds: AtomicU64,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new(DEFAULT_CACHE_CAPACITY)
+    }
+}
+
+impl Engine {
+    /// Creates an engine with the default pipeline configuration and room
+    /// for `capacity` cached templates (clamped to at least one).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Engine::with_config(capacity, QuClearConfig::default())
+    }
+
+    /// Creates an engine compiling with an explicit pipeline configuration.
+    #[must_use]
+    pub fn with_config(capacity: usize, config: QuClearConfig) -> Self {
+        Engine {
+            config,
+            cache: Mutex::new(LruCache::new(capacity.max(1))),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            binds: AtomicU64::new(0),
+        }
+    }
+
+    /// The pipeline configuration used for every compilation.
+    #[must_use]
+    pub fn config(&self) -> &QuClearConfig {
+        &self.config
+    }
+
+    /// Returns the cached template for `axes`, compiling it on a miss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates template-compilation failures (inconsistent register
+    /// sizes, contained panics).
+    pub fn template(&self, axes: &[SignedPauli]) -> Result<Arc<CompiledTemplate>, EngineError> {
+        let fingerprint = ProgramFingerprint::of_axes(axes, &self.config);
+        if let Some(template) = self.cache.lock().expect("cache poisoned").get(&fingerprint) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(template));
+        }
+
+        // Compile outside the lock: extraction is the expensive part, and
+        // concurrent misses on *different* programs must not serialize.
+        // (Concurrent misses on the same program may compile twice; the
+        // second insert simply replaces the first — both are identical.)
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let template = Arc::new(contain_panics(|| {
+            CompiledTemplate::compile(axes, &self.config)
+        })?);
+        let evicted = self
+            .cache
+            .lock()
+            .expect("cache poisoned")
+            .insert(fingerprint, Arc::clone(&template));
+        // Replacing our own key (two threads racing the same miss) is not an
+        // eviction; only displacement of a different structure counts.
+        if matches!(evicted, Some((key, _)) if key != fingerprint) {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(template)
+    }
+
+    /// Returns the cached template for a rotation program's structure.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::template`].
+    pub fn template_for(
+        &self,
+        program: &[PauliRotation],
+    ) -> Result<Arc<CompiledTemplate>, EngineError> {
+        let axes: Vec<SignedPauli> = program
+            .iter()
+            .map(|r| SignedPauli::positive(r.pauli().clone()))
+            .collect();
+        self.template(&axes)
+    }
+
+    /// Compiles one program, reusing a cached template when available.
+    ///
+    /// # Errors
+    ///
+    /// Propagates template and binding failures for this program.
+    pub fn compile(&self, program: &[PauliRotation]) -> Result<QuClearResult, EngineError> {
+        let template = self.template_for(program)?;
+        let result = contain_panics(|| template.bind_program(program))?;
+        self.binds.fetch_add(1, Ordering::Relaxed);
+        Ok(result)
+    }
+
+    /// Compiles a batch of jobs in parallel.
+    ///
+    /// Results come back **in input order**, one per job, and failures are
+    /// isolated: a malformed job produces an `Err` in its slot without
+    /// affecting any other job. Jobs sharing a structure share one template
+    /// through the cache.
+    pub fn compile_batch(&self, jobs: &[BatchJob]) -> Vec<Result<QuClearResult, EngineError>> {
+        jobs.par_iter()
+            .map(|job| {
+                let template = self.template_for(&job.program)?;
+                let result = contain_panics(|| match &job.angles {
+                    Some(angles) => template.bind(angles),
+                    None => template.bind_program(&job.program),
+                })?;
+                self.binds.fetch_add(1, Ordering::Relaxed);
+                Ok(result)
+            })
+            .collect()
+    }
+
+    /// Parameter-sweep fast path: compiles `program`'s structure once and
+    /// binds every angle set in parallel.
+    ///
+    /// Equivalent to a [`Self::compile_batch`] over identical structures,
+    /// but pays the cache lookup once instead of per job.
+    ///
+    /// # Errors
+    ///
+    /// Returns the template error if the *structure* fails to compile;
+    /// per-angle-set failures are isolated in the output vector.
+    #[allow(clippy::type_complexity)]
+    pub fn sweep(
+        &self,
+        program: &[PauliRotation],
+        angle_sets: &[Vec<f64>],
+    ) -> Result<Vec<Result<QuClearResult, EngineError>>, EngineError> {
+        let template = self.template_for(program)?;
+        let results = angle_sets
+            .par_iter()
+            .map(|angles| {
+                let result = contain_panics(|| template.bind(angles))?;
+                self.binds.fetch_add(1, Ordering::Relaxed);
+                Ok(result)
+            })
+            .collect();
+        Ok(results)
+    }
+
+    /// A point-in-time snapshot of the counters.
+    pub fn stats(&self) -> EngineStats {
+        let cache = self.cache.lock().expect("cache poisoned");
+        EngineStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            binds: self.binds.load(Ordering::Relaxed),
+            entries: cache.len(),
+            capacity: cache.capacity(),
+        }
+    }
+
+    /// Drops every cached template (counters are kept).
+    pub fn clear_cache(&self) {
+        self.cache.lock().expect("cache poisoned").clear();
+    }
+}
+
+/// Runs `f`, converting a panic into [`EngineError::CompilationPanicked`].
+fn contain_panics<T>(f: impl FnOnce() -> Result<T, EngineError>) -> Result<T, EngineError> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(result) => result,
+        Err(payload) => {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(ToString::to_string)
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Err(EngineError::CompilationPanicked { message })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn rot(s: &str, angle: f64) -> PauliRotation {
+        PauliRotation::parse(s, angle).unwrap()
+    }
+
+    fn program_a() -> Vec<PauliRotation> {
+        vec![rot("ZZZZ", 0.3), rot("YYXX", 0.7)]
+    }
+
+    #[test]
+    fn cache_hits_on_structural_match() {
+        let engine = Engine::new(8);
+        engine.compile(&program_a()).unwrap();
+        // Same axes, new angles: must hit.
+        engine
+            .compile(&[rot("ZZZZ", -1.2), rot("YYXX", 0.001)])
+            .unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.binds, 2);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_eviction_is_counted() {
+        let engine = Engine::new(2);
+        let programs = [
+            vec![rot("XX", 0.1)],
+            vec![rot("YY", 0.1)],
+            vec![rot("ZZ", 0.1)],
+        ];
+        for p in &programs {
+            engine.compile(p).unwrap();
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 2);
+        // The evicted (oldest) structure misses again.
+        engine.compile(&programs[0]).unwrap();
+        assert_eq!(engine.stats().misses, 4);
+    }
+
+    #[test]
+    fn batch_preserves_order_and_isolates_errors() {
+        let engine = Engine::new(8);
+        let jobs = vec![
+            BatchJob::new(vec![rot("ZZ", 0.4)]),
+            // Bad job: inconsistent register sizes.
+            BatchJob::new(vec![rot("X", 0.1), rot("XX", 0.2)]),
+            BatchJob::with_angles(vec![rot("ZZ", 0.0)], vec![1.25]),
+            // Bad job: wrong angle count.
+            BatchJob::with_angles(vec![rot("YY", 0.1)], vec![0.1, 0.2]),
+        ];
+        let results = engine.compile_batch(&jobs);
+        assert_eq!(results.len(), 4);
+        assert!(results[0].is_ok());
+        assert!(matches!(
+            results[1],
+            Err(EngineError::InconsistentQubitCounts { .. })
+        ));
+        assert!(results[2].is_ok());
+        assert!(matches!(
+            results[3],
+            Err(EngineError::AngleCountMismatch {
+                expected: 1,
+                found: 2
+            })
+        ));
+        // Jobs 0 and 2 share the ZZ structure: one miss, one hit.
+        let stats = engine.stats();
+        assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
+    fn sweep_reuses_one_template() {
+        let engine = Engine::new(8);
+        let program = program_a();
+        let angle_sets: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![0.1 * f64::from(i), -0.05 * f64::from(i)])
+            .collect();
+        let results = engine.sweep(&program, &angle_sets).unwrap();
+        assert_eq!(results.len(), 20);
+        assert!(results.iter().all(Result::is_ok));
+        let stats = engine.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.binds, 20);
+    }
+
+    #[test]
+    fn engine_is_shareable_across_threads() {
+        let engine = Arc::new(Engine::new(8));
+        let program = program_a();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let engine = Arc::clone(&engine);
+                let program = program.clone();
+                scope.spawn(move || {
+                    for i in 0..10 {
+                        engine
+                            .compile(&[rot("ZZZZ", 0.01 * f64::from(i)), rot("YYXX", 0.5)])
+                            .unwrap();
+                    }
+                    drop(program);
+                });
+            }
+        });
+        let stats = engine.stats();
+        assert_eq!(stats.hits + stats.misses, 40);
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.binds, 40);
+    }
+
+    #[test]
+    fn clear_cache_keeps_counters() {
+        let engine = Engine::new(8);
+        engine.compile(&program_a()).unwrap();
+        engine.clear_cache();
+        let stats = engine.stats();
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.misses, 1);
+        engine.compile(&program_a()).unwrap();
+        assert_eq!(engine.stats().misses, 2);
+    }
+
+    #[test]
+    fn contained_panics_become_errors() {
+        let err = contain_panics::<()>(|| panic!("boom")).unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::CompilationPanicked {
+                message: "boom".to_string()
+            }
+        );
+    }
+}

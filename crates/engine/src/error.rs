@@ -1,0 +1,89 @@
+//! Error types of the compilation engine.
+//!
+//! Every per-job failure mode is a variant of [`EngineError`] so that batch
+//! APIs can isolate failures: one bad job yields one `Err` slot in the
+//! output vector and never poisons its neighbours.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the compilation engine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// The rotations of one program act on different register sizes.
+    InconsistentQubitCounts {
+        /// Register size of the first rotation.
+        expected: usize,
+        /// Register size of the offending rotation.
+        found: usize,
+        /// Index of the offending rotation within the program.
+        index: usize,
+    },
+    /// `bind` was called with the wrong number of angles.
+    AngleCountMismatch {
+        /// Number of parameters of the template (one per input rotation).
+        expected: usize,
+        /// Number of angles supplied.
+        found: usize,
+    },
+    /// An angle was NaN or infinite.
+    NonFiniteAngle {
+        /// Index of the offending angle.
+        index: usize,
+    },
+    /// The underlying compiler panicked; the panic was contained to this job.
+    CompilationPanicked {
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::InconsistentQubitCounts {
+                expected,
+                found,
+                index,
+            } => write!(
+                f,
+                "rotation {index} acts on {found} qubits but the program started with {expected}"
+            ),
+            EngineError::AngleCountMismatch { expected, found } => write!(
+                f,
+                "template has {expected} parameters but {found} angles were supplied"
+            ),
+            EngineError::NonFiniteAngle { index } => {
+                write!(f, "angle {index} is not finite")
+            }
+            EngineError::CompilationPanicked { message } => {
+                write!(f, "compilation panicked: {message}")
+            }
+        }
+    }
+}
+
+impl Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_numbers() {
+        let e = EngineError::AngleCountMismatch {
+            expected: 4,
+            found: 2,
+        };
+        let text = e.to_string();
+        assert!(text.contains('4') && text.contains('2'));
+
+        let e = EngineError::InconsistentQubitCounts {
+            expected: 3,
+            found: 5,
+            index: 7,
+        };
+        let text = e.to_string();
+        assert!(text.contains('3') && text.contains('5') && text.contains('7'));
+    }
+}

@@ -1,0 +1,261 @@
+//! A slab-backed LRU map used as the engine's template cache.
+//!
+//! Intrusive doubly-linked recency list over a `Vec` slab plus a
+//! `HashMap<K, slot>` index: `get`/`insert` are O(1) (amortized), eviction
+//! pops the list tail. No unsafe code, no external dependencies.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Sentinel "null" link.
+const NONE: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Slot<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A fixed-capacity map evicting the least-recently-used entry.
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    capacity: usize,
+    index: HashMap<K, usize>,
+    slab: Vec<Option<Slot<K, V>>>,
+    free: Vec<usize>,
+    /// Most recently used.
+    head: usize,
+    /// Least recently used.
+    tail: usize,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "LRU capacity must be positive");
+        LruCache {
+            capacity,
+            index: HashMap::with_capacity(capacity),
+            slab: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NONE,
+            tail: NONE,
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the cache is empty.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks up `key`, marking the entry as most recently used.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let slot = *self.index.get(key)?;
+        self.detach(slot);
+        self.attach_front(slot);
+        self.slab[slot].as_ref().map(|s| &s.value)
+    }
+
+    /// Inserts or replaces `key`, returning the evicted LRU entry (if the
+    /// cache was full) or the replaced value for an existing key.
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        if let Some(&slot) = self.index.get(&key) {
+            let old = self.slab[slot]
+                .as_mut()
+                .map(|s| std::mem::replace(&mut s.value, value));
+            self.detach(slot);
+            self.attach_front(slot);
+            return old.map(|v| (key, v));
+        }
+
+        let evicted = if self.index.len() == self.capacity {
+            let lru = self.tail;
+            self.detach(lru);
+            let slot = self.slab[lru].take().expect("tail slot must be occupied");
+            self.index.remove(&slot.key);
+            self.free.push(lru);
+            Some((slot.key, slot.value))
+        } else {
+            None
+        };
+
+        let slot = match self.free.pop() {
+            Some(idx) => idx,
+            None => {
+                self.slab.push(None);
+                self.slab.len() - 1
+            }
+        };
+        self.slab[slot] = Some(Slot {
+            key: key.clone(),
+            value,
+            prev: NONE,
+            next: NONE,
+        });
+        self.index.insert(key, slot);
+        self.attach_front(slot);
+        evicted
+    }
+
+    /// Removes every entry, keeping the capacity.
+    pub fn clear(&mut self) {
+        self.index.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.head = NONE;
+        self.tail = NONE;
+    }
+
+    /// Keys from most to least recently used (test/diagnostic helper).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn keys_by_recency(&self) -> Vec<K> {
+        let mut keys = Vec::with_capacity(self.len());
+        let mut cursor = self.head;
+        while cursor != NONE {
+            let slot = self.slab[cursor].as_ref().expect("linked slot occupied");
+            keys.push(slot.key.clone());
+            cursor = slot.next;
+        }
+        keys
+    }
+
+    /// Unlinks `slot` from the recency list.
+    fn detach(&mut self, slot: usize) {
+        let (prev, next) = {
+            let s = self.slab[slot].as_ref().expect("detaching empty slot");
+            (s.prev, s.next)
+        };
+        match prev {
+            NONE => {
+                if self.head == slot {
+                    self.head = next;
+                }
+            }
+            p => self.slab[p].as_mut().expect("prev occupied").next = next,
+        }
+        match next {
+            NONE => {
+                if self.tail == slot {
+                    self.tail = prev;
+                }
+            }
+            n => self.slab[n].as_mut().expect("next occupied").prev = prev,
+        }
+        if let Some(s) = self.slab[slot].as_mut() {
+            s.prev = NONE;
+            s.next = NONE;
+        }
+    }
+
+    /// Links `slot` at the head (most recently used).
+    fn attach_front(&mut self, slot: usize) {
+        let old_head = self.head;
+        {
+            let s = self.slab[slot].as_mut().expect("attaching empty slot");
+            s.prev = NONE;
+            s.next = old_head;
+        }
+        if old_head != NONE {
+            self.slab[old_head].as_mut().expect("head occupied").prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NONE {
+            self.tail = slot;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inserts_and_gets() {
+        let mut lru = LruCache::new(2);
+        assert!(lru.is_empty());
+        assert_eq!(lru.insert("a", 1), None);
+        assert_eq!(lru.insert("b", 2), None);
+        assert_eq!(lru.get(&"a"), Some(&1));
+        assert_eq!(lru.get(&"missing"), None);
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.capacity(), 2);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut lru = LruCache::new(2);
+        lru.insert("a", 1);
+        lru.insert("b", 2);
+        lru.get(&"a"); // freshen a; b becomes LRU
+        assert_eq!(lru.insert("c", 3), Some(("b", 2)));
+        assert_eq!(lru.get(&"b"), None);
+        assert_eq!(lru.keys_by_recency(), vec!["c", "a"]);
+    }
+
+    #[test]
+    fn reinsert_replaces_and_freshens() {
+        let mut lru = LruCache::new(2);
+        lru.insert("a", 1);
+        lru.insert("b", 2);
+        assert_eq!(lru.insert("a", 10), Some(("a", 1)));
+        // a is now MRU; inserting c evicts b.
+        assert_eq!(lru.insert("c", 3), Some(("b", 2)));
+        assert_eq!(lru.get(&"a"), Some(&10));
+    }
+
+    #[test]
+    fn capacity_one_cycles() {
+        let mut lru = LruCache::new(1);
+        assert_eq!(lru.insert(1, "x"), None);
+        assert_eq!(lru.insert(2, "y"), Some((1, "x")));
+        assert_eq!(lru.insert(3, "z"), Some((2, "y")));
+        assert_eq!(lru.get(&3), Some(&"z"));
+        assert_eq!(lru.len(), 1);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut lru = LruCache::new(3);
+        lru.insert(1, 1);
+        lru.insert(2, 2);
+        lru.clear();
+        assert!(lru.is_empty());
+        assert_eq!(lru.get(&1), None);
+        lru.insert(3, 3);
+        assert_eq!(lru.get(&3), Some(&3));
+    }
+
+    #[test]
+    fn slab_slots_are_recycled() {
+        let mut lru = LruCache::new(2);
+        for i in 0..100 {
+            lru.insert(i, i);
+        }
+        // Only ever 2 live entries → slab never grows past capacity.
+        assert!(lru.slab.len() <= 2);
+        assert_eq!(lru.keys_by_recency(), vec![99, 98]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = LruCache::<u8, u8>::new(0);
+    }
+}

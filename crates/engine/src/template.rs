@@ -1,0 +1,415 @@
+//! Compiled templates: run Clifford Extraction once, rebind angles cheaply.
+//!
+//! # Why this is sound
+//!
+//! Every decision Clifford Extraction makes — commuting-block partitioning,
+//! `find_next_pauli` reordering, CNOT-tree shapes, which Clifford gates are
+//! deferred — depends only on the Pauli *axes* of the program, never on the
+//! rotation angles. Angles enter the output in exactly one place: each
+//! non-trivial rotation contributes a single `Rz` whose angle is
+//! `±θ` (the sign coming from Heisenberg conjugation through the extracted
+//! Clifford, itself angle-independent).
+//!
+//! A [`CompiledTemplate`] therefore compiles the program once with
+//! *marker angles* (the i-th rotation gets angle `i + 1`), reads back which
+//! `Rz` belongs to which input rotation and with which sign, and stores the
+//! pre-peephole skeleton. [`CompiledTemplate::bind`] patches the recorded
+//! `Rz` slots with real angles in `O(gates)` and re-runs only the cheap
+//! local peephole pass — producing, for programs whose angles are all
+//! non-zero, **gate-for-gate the same circuit** as a from-scratch
+//! [`quclear_core::compile`] (a property-tested invariant).
+//!
+//! The one caveat is exact zeros: a from-scratch compile *skips* zero-angle
+//! rotations entirely (changing downstream extraction), while a template
+//! keeps the rotation's structure and lets the peephole drop the `Rz(0)`.
+//! Both circuits implement the same unitary; they just need not be
+//! gate-identical.
+
+use quclear_circuit::{optimize_warming, optimize_with_shared_cache, Circuit, Gate, PeepholeCache};
+use quclear_core::{extract_clifford, QuClearConfig, QuClearResult};
+use quclear_pauli::{PauliRotation, SignedPauli};
+use quclear_tableau::CliffordTableau;
+
+use crate::error::EngineError;
+use crate::fingerprint::ProgramFingerprint;
+
+/// One parameterized `Rz` in the template skeleton.
+#[derive(Clone, Copy, Debug)]
+struct RzSlot {
+    /// Index of the `Rz` gate within the skeleton circuit.
+    gate: usize,
+    /// Index of the parameter (input rotation) the slot binds.
+    param: usize,
+    /// Sign acquired by Heisenberg conjugation (and the axis sign).
+    sign: f64,
+}
+
+/// A rotation program compiled once, ready to be re-bound to new angles.
+///
+/// Produced by [`CompiledTemplate::compile`] (or through the caching
+/// [`crate::Engine`]). Templates are immutable and [`Send`]`+`[`Sync`]; a
+/// single template can serve concurrent `bind` calls from many threads.
+///
+/// # Examples
+///
+/// ```
+/// use quclear_core::QuClearConfig;
+/// use quclear_engine::CompiledTemplate;
+/// use quclear_pauli::PauliRotation;
+///
+/// let program = vec![
+///     PauliRotation::parse("ZZZZ", 0.3)?,
+///     PauliRotation::parse("YYXX", 0.7)?,
+/// ];
+/// let template = CompiledTemplate::compile_program(&program, &QuClearConfig::default())?;
+/// // Rebind the same structure to new angles without re-extracting:
+/// let result = template.bind(&[1.1, -0.4])?;
+/// assert!(result.cnot_count() <= 4);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct CompiledTemplate {
+    fingerprint: ProgramFingerprint,
+    config: QuClearConfig,
+    num_qubits: usize,
+    num_params: usize,
+    /// Extraction output with marker angles still in place.
+    skeleton: Circuit,
+    slots: Vec<RzSlot>,
+    extracted: Circuit,
+    heisenberg: CliffordTableau,
+    /// Fusion decisions recorded while peepholing the marker skeleton. The
+    /// Clifford (angle-free) runs — the vast majority — repeat exactly on
+    /// every bind, so `bind` replays them instead of redoing the Euler
+    /// decompositions.
+    peephole_cache: PeepholeCache,
+}
+
+impl CompiledTemplate {
+    /// Compiles a template from signed Pauli axes.
+    ///
+    /// Each axis `±P` stands for the parameterized rotation
+    /// `exp(-i·θ/2·(±P))`; a negative sign folds into the bound angle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InconsistentQubitCounts`] if the axes act on
+    /// different register sizes.
+    pub fn compile(axes: &[SignedPauli], config: &QuClearConfig) -> Result<Self, EngineError> {
+        let num_qubits = axes.first().map_or(0, SignedPauli::num_qubits);
+        for (index, axis) in axes.iter().enumerate() {
+            if axis.num_qubits() != num_qubits {
+                return Err(EngineError::InconsistentQubitCounts {
+                    expected: num_qubits,
+                    found: axis.num_qubits(),
+                    index,
+                });
+            }
+        }
+
+        // Marker angles: parameter i compiles as angle i+1, which survives
+        // extraction as ±(i+1) on exactly one Rz. Angles are exact in f64
+        // far beyond any realistic program length.
+        let marked: Vec<PauliRotation> = axes
+            .iter()
+            .enumerate()
+            .map(|(i, axis)| PauliRotation::with_signed_pauli(axis.clone(), (i + 1) as f64))
+            .collect();
+
+        let extraction = extract_clifford(&marked, &config.extraction);
+        let skeleton = extraction.optimized;
+
+        // Warm the peephole memo on the marker skeleton so that warm binds
+        // skip the expensive fusion math for every angle-free run.
+        let mut peephole_cache = PeepholeCache::new();
+        if config.apply_peephole {
+            let _ = optimize_warming(&skeleton, &config.peephole, &mut peephole_cache);
+        }
+
+        let mut slots = Vec::new();
+        for (gate_idx, gate) in skeleton.gates().iter().enumerate() {
+            if let Gate::Rz { angle, .. } = gate {
+                let magnitude = angle.abs();
+                let param = magnitude.round() as usize - 1;
+                debug_assert!(
+                    (magnitude - magnitude.round()).abs() < 1e-9 && param < axes.len(),
+                    "marker angle {angle} does not decode to a parameter index"
+                );
+                slots.push(RzSlot {
+                    gate: gate_idx,
+                    param,
+                    sign: angle.signum(),
+                });
+            }
+        }
+
+        Ok(CompiledTemplate {
+            fingerprint: ProgramFingerprint::of_axes(axes, config),
+            config: *config,
+            num_qubits,
+            num_params: axes.len(),
+            skeleton,
+            slots,
+            extracted: extraction.extracted,
+            heisenberg: extraction.heisenberg,
+            peephole_cache,
+        })
+    }
+
+    /// Compiles a template from a rotation program, ignoring its angles
+    /// (the axes are taken as positive).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InconsistentQubitCounts`] if the rotations act
+    /// on different register sizes.
+    pub fn compile_program(
+        program: &[PauliRotation],
+        config: &QuClearConfig,
+    ) -> Result<Self, EngineError> {
+        let axes: Vec<SignedPauli> = program
+            .iter()
+            .map(|r| SignedPauli::positive(r.pauli().clone()))
+            .collect();
+        Self::compile(&axes, config)
+    }
+
+    /// Rebinds the template to concrete rotation angles.
+    ///
+    /// Runs in `O(gates)` plus one local peephole pass (when the config
+    /// enables it) — no extraction, tree synthesis or tableau algebra. For
+    /// programs with no exactly-zero angle the result is gate-for-gate
+    /// identical to [`quclear_core::compile`] on the same program.
+    ///
+    /// # Errors
+    ///
+    /// * [`EngineError::AngleCountMismatch`] — `angles.len()` differs from
+    ///   [`Self::num_params`].
+    /// * [`EngineError::NonFiniteAngle`] — an angle is NaN or infinite.
+    pub fn bind(&self, angles: &[f64]) -> Result<QuClearResult, EngineError> {
+        Ok(QuClearResult {
+            optimized: self.patch_and_peephole(angles)?,
+            extracted: self.extracted.clone(),
+            heisenberg: self.heisenberg.clone(),
+        })
+    }
+
+    /// Shared implementation of the bind variants: validate, patch the `Rz`
+    /// slots, and run the (memo-backed) peephole.
+    fn patch_and_peephole(&self, angles: &[f64]) -> Result<Circuit, EngineError> {
+        if angles.len() != self.num_params {
+            return Err(EngineError::AngleCountMismatch {
+                expected: self.num_params,
+                found: angles.len(),
+            });
+        }
+        if let Some(index) = angles.iter().position(|a| !a.is_finite()) {
+            return Err(EngineError::NonFiniteAngle { index });
+        }
+
+        let mut gates = self.skeleton.gates().to_vec();
+        for slot in &self.slots {
+            let Gate::Rz { qubit, .. } = gates[slot.gate] else {
+                unreachable!("slot {slot:?} does not point at an Rz gate");
+            };
+            gates[slot.gate] = Gate::Rz {
+                qubit,
+                angle: slot.sign * angles[slot.param],
+            };
+        }
+        let patched = Circuit::from_gates(self.num_qubits, gates);
+        if self.config.apply_peephole {
+            Ok(optimize_with_shared_cache(
+                &patched,
+                &self.config.peephole,
+                &self.peephole_cache,
+            ))
+        } else {
+            Ok(patched)
+        }
+    }
+
+    /// Rebinds to concrete angles, returning only the optimized circuit.
+    ///
+    /// [`Self::bind`] clones the (angle-independent) extracted Clifford and
+    /// Heisenberg tableau into every [`QuClearResult`]; in tight sweep loops
+    /// that only inspect the optimized circuit, this variant skips those
+    /// copies — the shared parts stay accessible through
+    /// [`Self::extracted`] and the template itself.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::bind`].
+    pub fn bind_optimized(&self, angles: &[f64]) -> Result<Circuit, EngineError> {
+        self.patch_and_peephole(angles)
+    }
+
+    /// Rebinds using the angles carried by a rotation program.
+    ///
+    /// The axes of `program` are **not** re-checked against the template;
+    /// callers pairing arbitrary programs with cached templates go through
+    /// [`crate::Engine`], which keys on the fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::bind`].
+    pub fn bind_program(&self, program: &[PauliRotation]) -> Result<QuClearResult, EngineError> {
+        let angles: Vec<f64> = program.iter().map(PauliRotation::angle).collect();
+        self.bind(&angles)
+    }
+
+    /// The structural fingerprint the template was compiled from.
+    #[must_use]
+    pub fn fingerprint(&self) -> ProgramFingerprint {
+        self.fingerprint
+    }
+
+    /// The pipeline configuration the template was compiled with.
+    #[must_use]
+    pub fn config(&self) -> &QuClearConfig {
+        &self.config
+    }
+
+    /// Register size of the compiled program.
+    #[must_use]
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of bindable parameters (= number of input rotations, including
+    /// trivial ones, whose angles are accepted and ignored).
+    #[must_use]
+    pub fn num_params(&self) -> usize {
+        self.num_params
+    }
+
+    /// CNOT count of the skeleton (invariant under binding: the peephole
+    /// only ever removes gates).
+    #[must_use]
+    pub fn skeleton_cnot_count(&self) -> usize {
+        self.skeleton.cnot_count()
+    }
+
+    /// The extracted Clifford subcircuit shared by every binding.
+    #[must_use]
+    pub fn extracted(&self) -> &Circuit {
+        &self.extracted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quclear_core::compile;
+
+    fn rot(s: &str, angle: f64) -> PauliRotation {
+        PauliRotation::parse(s, angle).unwrap()
+    }
+
+    #[test]
+    fn bind_matches_direct_compile_on_the_motivating_example() {
+        let config = QuClearConfig::default();
+        let program = vec![rot("ZZZZ", 0.37), rot("YYXX", -0.91)];
+        let template = CompiledTemplate::compile_program(&program, &config).unwrap();
+        let bound = template.bind(&[0.37, -0.91]).unwrap();
+        let direct = compile(&program, &config);
+        assert_eq!(bound.optimized.gates(), direct.optimized.gates());
+        assert_eq!(bound.extracted.gates(), direct.extracted.gates());
+        assert_eq!(bound.heisenberg, direct.heisenberg);
+    }
+
+    #[test]
+    fn rebinding_changes_only_angles() {
+        let config = QuClearConfig::without_peephole();
+        let program = vec![rot("ZZI", 0.1), rot("IXX", 0.2), rot("YIZ", 0.3)];
+        let template = CompiledTemplate::compile_program(&program, &config).unwrap();
+        let a = template.bind(&[0.1, 0.2, 0.3]).unwrap();
+        let b = template.bind(&[2.1, -0.7, 0.9]).unwrap();
+        assert_eq!(a.optimized.len(), b.optimized.len());
+        assert_eq!(a.cnot_count(), b.cnot_count());
+        // Same structure, different Rz angles.
+        let angles = |c: &Circuit| -> Vec<f64> {
+            c.gates()
+                .iter()
+                .filter_map(|g| match g {
+                    Gate::Rz { angle, .. } => Some(*angle),
+                    _ => None,
+                })
+                .collect()
+        };
+        assert_ne!(angles(&a.optimized), angles(&b.optimized));
+    }
+
+    #[test]
+    fn negative_axis_sign_folds_into_the_bound_angle() {
+        let config = QuClearConfig::default();
+        let minus: SignedPauli = "-ZZ".parse().unwrap();
+        let template = CompiledTemplate::compile(std::slice::from_ref(&minus), &config).unwrap();
+        let bound = template.bind(&[0.8]).unwrap();
+        let direct = compile(&[PauliRotation::with_signed_pauli(minus, 0.8)], &config);
+        assert_eq!(bound.optimized.gates(), direct.optimized.gates());
+    }
+
+    #[test]
+    fn trivial_rotations_consume_a_parameter_slot() {
+        let config = QuClearConfig::default();
+        let program = vec![rot("III", 0.5), rot("ZZZ", 0.3)];
+        let template = CompiledTemplate::compile_program(&program, &config).unwrap();
+        assert_eq!(template.num_params(), 2);
+        let bound = template.bind(&[9.9, 0.3]).unwrap();
+        let direct = compile(&program, &config);
+        assert_eq!(bound.optimized.gates(), direct.optimized.gates());
+    }
+
+    #[test]
+    fn bind_optimized_matches_bind() {
+        let config = QuClearConfig::default();
+        let program = vec![rot("ZZZZ", 0.37), rot("YYXX", -0.91)];
+        let template = CompiledTemplate::compile_program(&program, &config).unwrap();
+        let full = template.bind(&[0.4, 0.5]).unwrap();
+        let light = template.bind_optimized(&[0.4, 0.5]).unwrap();
+        assert_eq!(full.optimized.gates(), light.gates());
+    }
+
+    #[test]
+    fn bind_validates_inputs() {
+        let config = QuClearConfig::default();
+        let template = CompiledTemplate::compile_program(&[rot("XX", 0.1)], &config).unwrap();
+        assert_eq!(
+            template.bind(&[]).unwrap_err(),
+            EngineError::AngleCountMismatch {
+                expected: 1,
+                found: 0
+            }
+        );
+        assert_eq!(
+            template.bind(&[f64::NAN]).unwrap_err(),
+            EngineError::NonFiniteAngle { index: 0 }
+        );
+    }
+
+    #[test]
+    fn mixed_register_sizes_are_rejected() {
+        let config = QuClearConfig::default();
+        let program = vec![rot("XX", 0.1), rot("XXX", 0.2)];
+        let err = CompiledTemplate::compile_program(&program, &config).unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::InconsistentQubitCounts {
+                expected: 2,
+                found: 3,
+                index: 1
+            }
+        );
+    }
+
+    #[test]
+    fn empty_program_binds_to_empty_result() {
+        let config = QuClearConfig::default();
+        let template = CompiledTemplate::compile(&[], &config).unwrap();
+        assert_eq!(template.num_params(), 0);
+        let bound = template.bind(&[]).unwrap();
+        assert!(bound.optimized.is_empty());
+        assert!(bound.extracted.is_empty());
+    }
+}

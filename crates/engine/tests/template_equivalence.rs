@@ -1,0 +1,150 @@
+//! Property-based and simulator-backed validation of the template engine:
+//! a warm `bind` must reproduce a from-scratch `compile` gate for gate, and
+//! remain unitarily correct even in the zero-angle corner where the two
+//! pipelines legitimately produce different gate lists.
+
+use proptest::prelude::*;
+use quclear_core::{compile, QuClearConfig};
+use quclear_engine::{BatchJob, CompiledTemplate, Engine};
+use quclear_pauli::{PauliOp, PauliRotation, PauliString};
+use quclear_sim::StateVector;
+
+/// Random rotation programs on `n` qubits with non-zero angles (the regime
+/// where bind/compile equivalence is exact).
+fn rotation_strategy(n: usize, len: usize) -> impl Strategy<Value = Vec<PauliRotation>> {
+    let single = (prop::collection::vec(0u8..4, n), 1u8..2, 0.05f64..2.9).prop_map(
+        move |(ops, sign_bit, magnitude)| {
+            let ops: Vec<PauliOp> = ops
+                .into_iter()
+                .map(|v| match v {
+                    0 => PauliOp::I,
+                    1 => PauliOp::X,
+                    2 => PauliOp::Y,
+                    _ => PauliOp::Z,
+                })
+                .collect();
+            let angle = if sign_bit == 0 { -magnitude } else { magnitude };
+            PauliRotation::new(PauliString::from_ops(&ops), angle)
+        },
+    );
+    prop::collection::vec(single, 1..=len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The headline invariant: binding a template with a program's angles is
+    /// gate-for-gate identical to compiling that program from scratch, for
+    /// both pipeline configurations.
+    #[test]
+    fn bind_is_gate_for_gate_equivalent_to_compile(
+        program in rotation_strategy(5, 8),
+        peephole in any::<bool>(),
+    ) {
+        let config = if peephole {
+            QuClearConfig::full()
+        } else {
+            QuClearConfig::without_peephole()
+        };
+        let template = CompiledTemplate::compile_program(&program, &config).unwrap();
+        let bound = template.bind_program(&program).unwrap();
+        let direct = compile(&program, &config);
+        prop_assert_eq!(bound.optimized.gates(), direct.optimized.gates());
+        prop_assert_eq!(bound.extracted.gates(), direct.extracted.gates());
+        prop_assert_eq!(&bound.heisenberg, &direct.heisenberg);
+    }
+
+    /// Rebinding to fresh angles equals a fresh compile of the re-angled
+    /// program — the sweep use case.
+    #[test]
+    fn rebind_tracks_fresh_compiles(
+        program in rotation_strategy(4, 6),
+        new_angles in prop::collection::vec(0.05f64..3.0, 6),
+    ) {
+        let config = QuClearConfig::default();
+        let template = CompiledTemplate::compile_program(&program, &config).unwrap();
+        let angles: Vec<f64> = program
+            .iter()
+            .enumerate()
+            .map(|(i, _)| new_angles[i % new_angles.len()])
+            .collect();
+        let bound = template.bind(&angles).unwrap();
+
+        let reangled: Vec<PauliRotation> = program
+            .iter()
+            .zip(&angles)
+            .map(|(r, &a)| PauliRotation::new(r.pauli().clone(), a))
+            .collect();
+        let direct = compile(&reangled, &config);
+        prop_assert_eq!(bound.optimized.gates(), direct.optimized.gates());
+    }
+
+    /// With exact-zero angles the gate lists may differ (direct compilation
+    /// skips the rotation, the template keeps its Clifford structure), but
+    /// the implemented unitary must not.
+    #[test]
+    fn zero_angles_stay_unitarily_correct(
+        program in rotation_strategy(4, 5),
+        zero_mask in prop::collection::vec(any::<bool>(), 5),
+    ) {
+        let config = QuClearConfig::default();
+        let template = CompiledTemplate::compile_program(&program, &config).unwrap();
+        let angles: Vec<f64> = program
+            .iter()
+            .enumerate()
+            .map(|(i, r)| if zero_mask[i % zero_mask.len()] { 0.0 } else { r.angle() })
+            .collect();
+        let bound = template.bind(&angles).unwrap();
+
+        let zeroed: Vec<PauliRotation> = program
+            .iter()
+            .zip(&angles)
+            .map(|(r, &a)| PauliRotation::new(r.pauli().clone(), a))
+            .collect();
+        let direct = compile(&zeroed, &config);
+        let bound_state = StateVector::from_circuit(&bound.full_circuit());
+        let direct_state = StateVector::from_circuit(&direct.full_circuit());
+        prop_assert!(
+            bound_state.approx_eq_up_to_phase(&direct_state, 1e-8),
+            "zero-angle binding changed the unitary"
+        );
+    }
+
+    /// The engine front-end preserves the equivalence through its cache.
+    #[test]
+    fn engine_compile_matches_core_compile(program in rotation_strategy(4, 6)) {
+        let engine = Engine::new(16);
+        let via_engine = engine.compile(&program).unwrap();
+        let direct = compile(&program, &QuClearConfig::default());
+        prop_assert_eq!(via_engine.optimized.gates(), direct.optimized.gates());
+    }
+}
+
+/// Batch compilation over a mixed workload: outputs arrive in input order
+/// and agree with sequential compilation.
+#[test]
+fn batch_results_are_ordered_and_correct() {
+    let engine = Engine::new(16);
+    let structures = ["ZZII", "IXXI", "IIYY", "XIIX", "YZYZ"];
+    let jobs: Vec<BatchJob> = (0..40)
+        .map(|i| {
+            let pauli = structures[i % structures.len()];
+            let angle = 0.07 * (i + 1) as f64;
+            BatchJob::new(vec![
+                PauliRotation::parse(pauli, angle).unwrap(),
+                PauliRotation::parse("ZZZZ", -angle).unwrap(),
+            ])
+        })
+        .collect();
+    let results = engine.compile_batch(&jobs);
+    assert_eq!(results.len(), jobs.len());
+    for (job, result) in jobs.iter().zip(&results) {
+        let got = result.as_ref().expect("job must succeed");
+        let want = compile(&job.program, engine.config());
+        assert_eq!(got.optimized.gates(), want.optimized.gates());
+    }
+    // Five distinct structures → five misses, the rest hits.
+    let stats = engine.stats();
+    assert_eq!(stats.misses, 5);
+    assert_eq!(stats.hits, 35);
+}

@@ -175,6 +175,16 @@ impl BitVec {
         })
     }
 
+    /// The backing `u64` words, least-significant bit first.
+    ///
+    /// Bits at positions `>= len()` are always zero, so the words are a
+    /// canonical representation of the vector — suitable for word-at-a-time
+    /// hashing (e.g. structural fingerprints of Pauli programs).
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Resets every bit to zero.
     pub fn clear(&mut self) {
         for w in &mut self.words {

@@ -85,6 +85,7 @@ impl PauliOp {
     /// assert_eq!(PauliOp::Y.mul(PauliOp::X), (PauliOp::Z, 3));
     /// ```
     #[must_use]
+    #[allow(clippy::should_implement_trait)] // returns a phase alongside the product
     pub fn mul(self, other: PauliOp) -> (PauliOp, u8) {
         let (x1, z1) = self.xz();
         let (x2, z2) = other.xz();

@@ -158,8 +158,7 @@ impl PauliString {
     /// (identity-only strings return `true` for any `op`).
     #[must_use]
     pub fn is_uniform(&self, op: PauliOp) -> bool {
-        self.ops()
-            .all(|(_, o)| o.is_identity() || o == op)
+        self.ops().all(|(_, o)| o.is_identity() || o == op)
     }
 
     /// Returns `true` if the two Pauli strings commute.
@@ -193,12 +192,7 @@ impl PauliString {
         let mut phase: u8 = 0;
         for q in 0..self.n {
             phase = (phase
-                + phase_exponent(
-                    self.x.get(q),
-                    self.z.get(q),
-                    other.x.get(q),
-                    other.z.get(q),
-                ))
+                + phase_exponent(self.x.get(q), self.z.get(q), other.x.get(q), other.z.get(q)))
                 % 4;
         }
         let mut x = self.x.clone();

@@ -40,7 +40,10 @@ impl StateVector {
     /// allocations in tests and benches).
     #[must_use]
     pub fn zero_state(num_qubits: usize) -> Self {
-        assert!(num_qubits <= 26, "state vector of {num_qubits} qubits is too large");
+        assert!(
+            num_qubits <= 26,
+            "state vector of {num_qubits} qubits is too large"
+        );
         let mut amps = vec![C64::ZERO; 1 << num_qubits];
         amps[0] = C64::ONE;
         StateVector { num_qubits, amps }

@@ -25,11 +25,19 @@ use rand::Rng;
 /// assert!(qc.is_clifford());
 /// ```
 #[must_use]
-pub fn random_clifford_circuit<R: Rng + ?Sized>(n: usize, num_gates: usize, rng: &mut R) -> Circuit {
+pub fn random_clifford_circuit<R: Rng + ?Sized>(
+    n: usize,
+    num_gates: usize,
+    rng: &mut R,
+) -> Circuit {
     assert!(n > 0, "cannot build a circuit on zero qubits");
     let mut circuit = Circuit::new(n);
     for _ in 0..num_gates {
-        let kind = if n == 1 { rng.gen_range(0..6) } else { rng.gen_range(0..9) };
+        let kind = if n == 1 {
+            rng.gen_range(0..6)
+        } else {
+            rng.gen_range(0..9)
+        };
         let q = rng.gen_range(0..n);
         let gate = match kind {
             0 => Gate::H(q),

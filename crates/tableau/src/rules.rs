@@ -20,8 +20,14 @@ pub fn conjugate_pauli_by_gate(pauli: &SignedPauli, gate: &Gate) -> SignedPauli 
     let mut p = pauli.pauli().clone();
     let mut negative = pauli.is_negative();
     match *gate {
-        Gate::H(q) | Gate::S(q) | Gate::Sdg(q) | Gate::X(q) | Gate::Y(q) | Gate::Z(q)
-        | Gate::SqrtX(q) | Gate::SqrtXdg(q) => {
+        Gate::H(q)
+        | Gate::S(q)
+        | Gate::Sdg(q)
+        | Gate::X(q)
+        | Gate::Y(q)
+        | Gate::Z(q)
+        | Gate::SqrtX(q)
+        | Gate::SqrtXdg(q) => {
             let (new_op, flip) = conjugate_single(gate, p.op(q));
             p.set_op(q, new_op);
             negative ^= flip;
@@ -35,7 +41,14 @@ pub fn conjugate_pauli_by_gate(pauli: &SignedPauli, gate: &Gate) -> SignedPauli 
         Gate::Cz { a, b } => {
             // CZ = H(b) · CX(a,b) · H(b); apply the three conjugations in turn.
             let mut sp = SignedPauli::new(p, negative);
-            for g in [Gate::H(b), Gate::Cx { control: a, target: b }, Gate::H(b)] {
+            for g in [
+                Gate::H(b),
+                Gate::Cx {
+                    control: a,
+                    target: b,
+                },
+                Gate::H(b),
+            ] {
                 sp = conjugate_pauli_by_gate(&sp, &g);
             }
             return sp;
@@ -172,7 +185,10 @@ mod tests {
     /// a two-qubit Pauli, control on the left.
     #[test]
     fn cnot_rules_match_paper_table_i() {
-        let cx = Gate::Cx { control: 0, target: 1 };
+        let cx = Gate::Cx {
+            control: 0,
+            target: 1,
+        };
         let table = [
             ("II", "II"),
             ("IX", "IX"),
@@ -207,8 +223,14 @@ mod tests {
     /// by checking that conjugation is a group automorphism on products.
     #[test]
     fn cx_conjugation_is_multiplicative() {
-        let cx = Gate::Cx { control: 0, target: 1 };
-        let strings = ["II", "IX", "IY", "IZ", "XI", "XX", "XY", "XZ", "YI", "YX", "YY", "YZ", "ZI", "ZX", "ZY", "ZZ"];
+        let cx = Gate::Cx {
+            control: 0,
+            target: 1,
+        };
+        let strings = [
+            "II", "IX", "IY", "IZ", "XI", "XX", "XY", "XZ", "YI", "YX", "YY", "YZ", "ZI", "ZX",
+            "ZY", "ZZ",
+        ];
         for a in strings {
             for b in strings {
                 let pa: PauliString = a.parse().unwrap();
@@ -247,7 +269,10 @@ mod tests {
             Gate::S(0),
             Gate::Sdg(0),
             Gate::SqrtX(0),
-            Gate::Cx { control: 0, target: 1 },
+            Gate::Cx {
+                control: 0,
+                target: 1,
+            },
             Gate::Cz { a: 0, b: 1 },
             Gate::Swap { a: 0, b: 1 },
         ];
@@ -256,7 +281,10 @@ mod tests {
                 let sp: SignedPauli = s.parse().unwrap();
                 let roundtrip =
                     conjugate_pauli_by_gate_inverse(&conjugate_pauli_by_gate(&sp, &gate), &gate);
-                assert_eq!(roundtrip, sp, "g† g conjugation must be the identity for {gate}");
+                assert_eq!(
+                    roundtrip, sp,
+                    "g† g conjugation must be the identity for {gate}"
+                );
             }
         }
     }
@@ -265,6 +293,12 @@ mod tests {
     #[should_panic(expected = "non-Clifford")]
     fn rotation_gates_are_rejected() {
         let sp: SignedPauli = "X".parse().unwrap();
-        let _ = conjugate_pauli_by_gate(&sp, &Gate::Rz { qubit: 0, angle: 0.1 });
+        let _ = conjugate_pauli_by_gate(
+            &sp,
+            &Gate::Rz {
+                qubit: 0,
+                angle: 0.1,
+            },
+        );
     }
 }

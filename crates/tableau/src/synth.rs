@@ -71,7 +71,14 @@ pub fn synthesize_clifford(tableau: &CliffordTableau) -> Circuit {
                 let j = (i + 1..n)
                     .find(|&q| matches!(row.pauli().op(q), PauliOp::X | PauliOp::Y))
                     .expect("an X component must exist after the Hadamard fix");
-                push(&mut work, &mut recorded, Gate::Cx { control: j, target: i });
+                push(
+                    &mut work,
+                    &mut recorded,
+                    Gate::Cx {
+                        control: j,
+                        target: i,
+                    },
+                );
             }
         }
         {
@@ -79,7 +86,14 @@ pub fn synthesize_clifford(tableau: &CliffordTableau) -> Circuit {
             let row = work.x_image(i).clone();
             for j in i + 1..n {
                 if matches!(row.pauli().op(j), PauliOp::X | PauliOp::Y) {
-                    push(&mut work, &mut recorded, Gate::Cx { control: i, target: j });
+                    push(
+                        &mut work,
+                        &mut recorded,
+                        Gate::Cx {
+                            control: i,
+                            target: j,
+                        },
+                    );
                 }
             }
         }
@@ -100,7 +114,14 @@ pub fn synthesize_clifford(tableau: &CliffordTableau) -> Circuit {
                 // CX(j→i) trick can absorb the Z's, then undo it.
                 push(&mut work, &mut recorded, Gate::Sdg(i));
                 for j in z_positions {
-                    push(&mut work, &mut recorded, Gate::Cx { control: j, target: i });
+                    push(
+                        &mut work,
+                        &mut recorded,
+                        Gate::Cx {
+                            control: j,
+                            target: i,
+                        },
+                    );
                 }
                 push(&mut work, &mut recorded, Gate::S(i));
                 if work.x_image(i).pauli().op(i) == PauliOp::Y {
@@ -127,14 +148,28 @@ pub fn synthesize_clifford(tableau: &CliffordTableau) -> Circuit {
                 }
                 let j0 = xs[0];
                 for &j in &xs[1..] {
-                    push(&mut work, &mut recorded, Gate::Cx { control: j0, target: j });
+                    push(
+                        &mut work,
+                        &mut recorded,
+                        Gate::Cx {
+                            control: j0,
+                            target: j,
+                        },
+                    );
                 }
                 if work.z_image(i).pauli().op(j0) == PauliOp::Y {
                     push(&mut work, &mut recorded, Gate::S(j0));
                 }
                 // j0 now carries a plain X; convert to Z and absorb into qubit i.
                 push(&mut work, &mut recorded, Gate::H(j0));
-                push(&mut work, &mut recorded, Gate::Cx { control: j0, target: i });
+                push(
+                    &mut work,
+                    &mut recorded,
+                    Gate::Cx {
+                        control: j0,
+                        target: i,
+                    },
+                );
             }
         }
         {
@@ -143,7 +178,14 @@ pub fn synthesize_clifford(tableau: &CliffordTableau) -> Circuit {
             let row = work.z_image(i).clone();
             for j in i + 1..n {
                 if row.pauli().op(j) == PauliOp::Z {
-                    push(&mut work, &mut recorded, Gate::Cx { control: j, target: i });
+                    push(
+                        &mut work,
+                        &mut recorded,
+                        Gate::Cx {
+                            control: j,
+                            target: i,
+                        },
+                    );
                 }
             }
         }

@@ -152,7 +152,10 @@ impl CliffordTableau {
     /// Panics if the qubit counts differ.
     #[must_use]
     pub fn then(&self, other: &CliffordTableau) -> CliffordTableau {
-        assert_eq!(self.n, other.n, "qubit count mismatch in tableau composition");
+        assert_eq!(
+            self.n, other.n,
+            "qubit count mismatch in tableau composition"
+        );
         let x_rows = self.x_rows.iter().map(|r| other.apply_signed(r)).collect();
         let z_rows = self.z_rows.iter().map(|r| other.apply_signed(r)).collect();
         CliffordTableau {
@@ -202,7 +205,7 @@ impl CliffordTableau {
         // automatically through the multiplication phases above.
         let total = (phase + (y_count % 4) as u8) % 4;
         assert!(
-            total % 2 == 0,
+            total.is_multiple_of(2),
             "Clifford conjugation produced imaginary phase i^{total}; tableau is corrupt"
         );
         SignedPauli::new(acc, total == 2)
@@ -374,7 +377,11 @@ mod tests {
         for s in ["XI", "IZ", "YY", "ZX"] {
             let p: PauliString = s.parse().unwrap();
             let roundtrip = heisenberg.apply_signed(&forward.apply(&p));
-            assert_eq!(roundtrip, SignedPauli::positive(p), "U†(U P U†)U must be P for {s}");
+            assert_eq!(
+                roundtrip,
+                SignedPauli::positive(p),
+                "U†(U P U†)U must be P for {s}"
+            );
         }
     }
 

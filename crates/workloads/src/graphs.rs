@@ -35,7 +35,10 @@ impl Graph {
         let mut seen = HashSet::new();
         let mut normalized = Vec::with_capacity(edges.len());
         for &(a, b) in edges {
-            assert!(a < num_vertices && b < num_vertices, "edge ({a},{b}) out of range");
+            assert!(
+                a < num_vertices && b < num_vertices,
+                "edge ({a},{b}) out of range"
+            );
             assert_ne!(a, b, "self-loop ({a},{a}) not allowed");
             let key = (a.min(b), a.max(b));
             assert!(seen.insert(key), "duplicate edge ({a},{b})");
@@ -57,7 +60,7 @@ impl Graph {
     #[must_use]
     pub fn regular(n: usize, degree: usize, seed: u64) -> Self {
         assert!(degree < n, "degree must be smaller than the vertex count");
-        assert!(n * degree % 2 == 0, "n·degree must be even");
+        assert!((n * degree).is_multiple_of(2), "n·degree must be even");
         let mut rng = StdRng::seed_from_u64(seed);
         for _attempt in 0..200 {
             if let Some(graph) = try_configuration_model(n, degree, &mut rng) {
@@ -154,7 +157,10 @@ impl Graph {
     /// Panics if the graph has more than 24 vertices.
     #[must_use]
     pub fn max_cut_brute_force(&self) -> usize {
-        assert!(self.num_vertices <= 24, "brute force limited to 24 vertices");
+        assert!(
+            self.num_vertices <= 24,
+            "brute force limited to 24 vertices"
+        );
         (0..1usize << self.num_vertices)
             .map(|a| self.cut_value(a))
             .max()
@@ -163,7 +169,9 @@ impl Graph {
 }
 
 fn try_configuration_model(n: usize, degree: usize, rng: &mut StdRng) -> Option<Graph> {
-    let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat(v).take(degree)).collect();
+    let mut stubs: Vec<usize> = (0..n)
+        .flat_map(|v| std::iter::repeat_n(v, degree))
+        .collect();
     stubs.shuffle(rng);
     let mut seen = HashSet::new();
     let mut edges = Vec::with_capacity(stubs.len() / 2);

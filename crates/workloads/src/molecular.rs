@@ -63,7 +63,11 @@ impl Molecule {
     /// The synthetic Hamiltonian terms `(coefficient, Pauli string)`.
     #[must_use]
     pub fn hamiltonian(&self) -> Vec<(f64, PauliString)> {
-        synthetic_molecular_hamiltonian(self.num_qubits(), self.num_terms(), 0x5eed + self.num_qubits() as u64)
+        synthetic_molecular_hamiltonian(
+            self.num_qubits(),
+            self.num_terms(),
+            0x5eed + self.num_qubits() as u64,
+        )
     }
 
     /// One first-order Trotter step of `e^{-iHt}`: a rotation per Hamiltonian
@@ -204,7 +208,9 @@ mod tests {
         for molecule in Molecule::ALL {
             let h = molecule.hamiltonian();
             assert_eq!(h.len(), molecule.num_terms(), "{}", molecule.name());
-            assert!(h.iter().all(|(_, p)| p.num_qubits() == molecule.num_qubits()));
+            assert!(h
+                .iter()
+                .all(|(_, p)| p.num_qubits() == molecule.num_qubits()));
         }
     }
 
@@ -213,7 +219,12 @@ mod tests {
         for molecule in Molecule::ALL {
             let h = molecule.hamiltonian();
             let unique: HashSet<String> = h.iter().map(|(_, p)| p.to_string()).collect();
-            assert_eq!(unique.len(), h.len(), "{} has duplicate terms", molecule.name());
+            assert_eq!(
+                unique.len(),
+                h.len(),
+                "{} has duplicate terms",
+                molecule.name()
+            );
         }
     }
 
@@ -222,7 +233,10 @@ mod tests {
         let a = Molecule::LiH.hamiltonian();
         let b = Molecule::LiH.hamiltonian();
         assert_eq!(a.len(), b.len());
-        assert!(a.iter().zip(&b).all(|((ca, pa), (cb, pb))| ca == cb && pa == pb));
+        assert!(a
+            .iter()
+            .zip(&b)
+            .all(|((ca, pa), (cb, pb))| ca == cb && pa == pb));
     }
 
     #[test]

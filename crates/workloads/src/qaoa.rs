@@ -90,7 +90,7 @@ pub fn labs_hamiltonian(n: usize) -> Vec<(f64, PauliString)> {
                 if i == j {
                     continue; // constant term
                 }
-                let mut multiset = vec![i, i + k, j, j + k];
+                let mut multiset = [i, i + k, j, j + k];
                 // Reduce the multiset: indices appearing twice cancel.
                 multiset.sort_unstable();
                 let mut reduced = Vec::new();
@@ -171,13 +171,20 @@ mod tests {
                 .map(PauliRotation::native_single_qubit_cost)
                 .sum();
             assert_eq!(native_cnots, cnots, "MaxCut-(n{n}, r{r}) native CNOTs");
-            assert_eq!(native_singles, singles, "MaxCut-(n{n}, r{r}) native 1q gates");
+            assert_eq!(
+                native_singles, singles,
+                "MaxCut-(n{n}, r{r}) native 1q gates"
+            );
         }
     }
 
     #[test]
     fn random_maxcut_counts_match_table_ii() {
-        let cases = [(10usize, 12usize, 22usize, 24usize, 42usize), (15, 63, 78, 126, 108), (20, 117, 137, 234, 177)];
+        let cases = [
+            (10usize, 12usize, 22usize, 24usize, 42usize),
+            (15, 63, 78, 126, 108),
+            (20, 117, 137, 234, 177),
+        ];
         for (n, e, paulis, cnots, singles) in cases {
             let graph = Graph::random(n, e, 0xBEEF);
             let program = maxcut_qaoa(&graph, 1, 0.3, 0.7);
@@ -198,7 +205,11 @@ mod tests {
         assert!(!h.is_empty());
         for (coeff, p) in &h {
             assert!(p.is_uniform(PauliOp::Z), "LABS terms are Z-only");
-            assert!(p.weight() == 2 || p.weight() == 4, "unexpected weight {}", p.weight());
+            assert!(
+                p.weight() == 2 || p.weight() == 4,
+                "unexpected weight {}",
+                p.weight()
+            );
             assert!(coeff.abs() > 0.0);
         }
     }

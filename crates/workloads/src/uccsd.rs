@@ -140,7 +140,10 @@ impl Uccsd {
 /// Panics if `p >= q` or `q >= n`.
 #[must_use]
 pub fn single_excitation_rotations(n: usize, p: usize, q: usize, theta: f64) -> Vec<PauliRotation> {
-    assert!(p < q && q < n, "invalid single excitation {p}→{q} on {n} qubits");
+    assert!(
+        p < q && q < n,
+        "invalid single excitation {p}→{q} on {n} qubits"
+    );
     let build = |op_p: PauliOp, op_q: PauliOp| {
         let mut s = PauliString::identity(n);
         s.set_op(p, op_p);
@@ -172,7 +175,10 @@ pub fn double_excitation_rotations(
     s: usize,
     theta: f64,
 ) -> Vec<PauliRotation> {
-    assert!(p < q && r < s && q < n && s < n, "invalid double excitation");
+    assert!(
+        p < q && r < s && q < n && s < n,
+        "invalid double excitation"
+    );
     // The standard eight terms with their signs (θ/8 amplitudes).
     let patterns: [([PauliOp; 4], f64); 8] = [
         ([PauliOp::X, PauliOp::X, PauliOp::X, PauliOp::Y], 1.0),
@@ -270,7 +276,11 @@ mod tests {
         for r in &rots {
             assert_eq!(r.weight(), 4);
             let (_, _, y, _) = r.pauli().op_histogram();
-            assert_eq!(y % 2, 1, "JW double-excitation strings carry an odd number of Y");
+            assert_eq!(
+                y % 2,
+                1,
+                "JW double-excitation strings carry an odd number of Y"
+            );
         }
     }
 

@@ -24,12 +24,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("native CNOT count:    {native_cnots}");
     println!("QuCLEAR CNOT count:   {}", result.cnot_count());
     println!("entangling depth:     {}", result.entangling_depth());
-    println!("extracted Clifford:   {} gates (never executed)", result.extracted.len());
+    println!(
+        "extracted Clifford:   {} gates (never executed)",
+        result.extracted.len()
+    );
 
     // Clifford Absorption: measure the rewritten observable instead.
     let observable: SignedPauli = "XXZZ".parse()?;
-    let absorption = result.absorb_observables(&[observable.clone()]);
-    println!("observable {observable} becomes {}", absorption.transformed()[0]);
+    let absorption = result.absorb_observables(std::slice::from_ref(&observable));
+    println!(
+        "observable {observable} becomes {}",
+        absorption.transformed()[0]
+    );
 
     // Check the answer against the dense simulator.
     let optimized_state = StateVector::from_circuit(&result.optimized);

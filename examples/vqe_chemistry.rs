@@ -22,8 +22,16 @@ fn main() {
 
     let naive = synthesize_naive(&program);
     let result = compile(&program, &QuClearConfig::default());
-    println!("UCC-(2,4): {} Pauli rotations on {} qubits", program.len(), n);
-    println!("  native circuit:   {} CNOTs, depth {}", naive.cnot_count(), naive.entangling_depth());
+    println!(
+        "UCC-(2,4): {} Pauli rotations on {} qubits",
+        program.len(),
+        n
+    );
+    println!(
+        "  native circuit:   {} CNOTs, depth {}",
+        naive.cnot_count(),
+        naive.entangling_depth()
+    );
     println!(
         "  QuCLEAR circuit:  {} CNOTs, depth {}",
         result.cnot_count(),

@@ -15,6 +15,7 @@
 pub use quclear_baselines as baselines;
 pub use quclear_circuit as circuit;
 pub use quclear_core as core;
+pub use quclear_engine as engine;
 pub use quclear_pauli as pauli;
 pub use quclear_sim as sim;
 pub use quclear_tableau as tableau;
@@ -23,5 +24,6 @@ pub use quclear_workloads as workloads;
 /// Commonly used types, re-exported for convenient glob imports.
 pub mod prelude {
     pub use quclear_circuit::{optimize, Circuit, CouplingMap, Gate};
+    pub use quclear_engine::{BatchJob, CompiledTemplate, Engine, ProgramFingerprint};
     pub use quclear_pauli::{PauliOp, PauliRotation, PauliString, SignedPauli};
 }

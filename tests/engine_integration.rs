@@ -1,0 +1,78 @@
+//! Workspace-level integration of the compilation engine: templates cached
+//! through the facade, batch compilation over real workloads, and agreement
+//! with the core pipeline validated by the simulator.
+
+use quclear::core::{compile, QuClearConfig};
+use quclear::prelude::*;
+use quclear::sim::StateVector;
+use quclear::workloads::{qaoa_grid_sweep, vqe_sweep, Benchmark, Graph};
+
+/// An engine-compiled sweep point implements the same unitary as the
+/// reference pipeline on a real UCCSD ansatz.
+#[test]
+fn engine_sweep_matches_core_on_uccsd() {
+    let sweep = vqe_sweep(&Benchmark::Ucc(2, 4), 6, 123);
+    let engine = Engine::new(16);
+    let results = engine.sweep(&sweep.program, &sweep.angle_sets).unwrap();
+    assert_eq!(results.len(), 6);
+
+    for (angles, result) in sweep.angle_sets.iter().zip(&results) {
+        let result = result.as_ref().expect("sweep point must compile");
+        let program: Vec<PauliRotation> = sweep
+            .program
+            .iter()
+            .zip(angles)
+            .map(|(r, &a)| PauliRotation::new(r.pauli().clone(), a))
+            .collect();
+        let reference = compile(&program, &QuClearConfig::default());
+        assert_eq!(result.optimized.gates(), reference.optimized.gates());
+
+        let engine_state = StateVector::from_circuit(&result.full_circuit());
+        let reference_state = StateVector::from_circuit(&reference.full_circuit());
+        assert!(engine_state.approx_eq_up_to_phase(&reference_state, 1e-8));
+    }
+    assert_eq!(engine.stats().misses, 1);
+}
+
+/// A QAOA angle grid shares one template across the whole grid and keeps
+/// probability absorption available on every binding.
+#[test]
+fn qaoa_grid_reuses_template_and_stays_absorbable() {
+    let graph = Graph::regular(6, 2, 9);
+    let sweep = qaoa_grid_sweep(&graph, &[0.2, 0.5, 0.9], &[0.3, 0.7]);
+    let engine = Engine::new(16);
+    let results = engine.sweep(&sweep.program, &sweep.angle_sets).unwrap();
+    assert_eq!(results.len(), 6);
+    for result in &results {
+        let result = result.as_ref().unwrap();
+        assert!(
+            result.probability_absorber().is_ok(),
+            "QAOA binding must stay probability-absorbable (Proposition 1)"
+        );
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.misses, 1);
+    assert_eq!(stats.binds, 6);
+}
+
+/// Batch compilation over heterogeneous structures via the facade prelude.
+#[test]
+fn batch_compilation_through_the_facade() {
+    let engine = Engine::default();
+    let jobs: Vec<BatchJob> = [("ZZZZ", 0.3), ("XXII", 0.9), ("ZZZZ", -1.4)]
+        .iter()
+        .map(|&(p, a)| BatchJob::new(vec![PauliRotation::parse(p, a).unwrap()]))
+        .collect();
+    let results = engine.compile_batch(&jobs);
+    assert!(results.iter().all(Result::is_ok));
+    // Two distinct structures; the repeated ZZZZ hits the cache.
+    let stats = engine.stats();
+    assert_eq!(stats.misses, 2);
+    assert_eq!(stats.hits, 1);
+
+    // Fingerprints are exposed through the prelude too.
+    let config = QuClearConfig::default();
+    let fp_a = ProgramFingerprint::of_program(&jobs[0].program, &config);
+    let fp_c = ProgramFingerprint::of_program(&jobs[2].program, &config);
+    assert_eq!(fp_a, fp_c);
+}

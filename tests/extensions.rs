@@ -102,7 +102,9 @@ fn quclear_improves_estimated_fidelity() {
 fn labs_probability_absorption_is_exact_for_small_n() {
     let program = quclear::workloads::labs_qaoa(6, 1, 0.5, 0.8);
     let result = compile(&program, &QuClearConfig::default());
-    let absorber = result.probability_absorber().expect("LABS satisfies Proposition 1");
+    let absorber = result
+        .probability_absorber()
+        .expect("LABS satisfies Proposition 1");
 
     let mut reference = qaoa_initial_layer(6);
     reference.append(&synthesize_naive(&program));

@@ -34,7 +34,11 @@ fn all_methods_agree_on_ucc_2_4() {
 /// for its terminal Clifford).
 #[test]
 fn quclear_wins_on_chemistry_benchmarks() {
-    for bench in [Benchmark::Ucc(2, 4), Benchmark::Ucc(2, 6), Benchmark::Molecule(Molecule::LiH)] {
+    for bench in [
+        Benchmark::Ucc(2, 4),
+        Benchmark::Ucc(2, 6),
+        Benchmark::Molecule(Molecule::LiH),
+    ] {
         let program = bench.rotations();
         let quclear = compile(&program, &QuClearConfig::default());
         let native = bench.native_cnot_count();
@@ -105,11 +109,7 @@ fn qaoa_distribution_recovered_exactly() {
 fn lih_observables_match_after_absorption() {
     let molecule = Molecule::LiH;
     // A short-time Trotter step keeps the test numerically well conditioned.
-    let program: Vec<PauliRotation> = molecule
-        .trotter_step(0.2)
-        .into_iter()
-        .take(20)
-        .collect();
+    let program: Vec<PauliRotation> = molecule.trotter_step(0.2).into_iter().take(20).collect();
     let result = compile(&program, &QuClearConfig::default());
 
     let observables: Vec<SignedPauli> = molecule.observables().into_iter().take(12).collect();
@@ -139,7 +139,10 @@ fn routed_circuits_respect_device_connectivity() {
         for gate in routed.circuit.gates() {
             if gate.is_two_qubit() {
                 let q = gate.qubits();
-                assert!(coupling.are_connected(q[0], q[1]), "gate {gate} off the coupling map");
+                assert!(
+                    coupling.are_connected(q[0], q[1]),
+                    "gate {gate} off the coupling map"
+                );
             }
         }
         assert!(routed.circuit.cnot_count() >= circuit.cnot_count());
@@ -166,7 +169,12 @@ fn ablation_configurations_all_compile() {
         counts.push(compile(&program, &config).cnot_count());
     }
     // Fully enabled must be at least as good as fully disabled.
-    assert!(counts[3] <= counts[0], "full config {} vs none {}", counts[3], counts[0]);
+    assert!(
+        counts[3] <= counts[0],
+        "full config {} vs none {}",
+        counts[3],
+        counts[0]
+    );
 }
 
 /// Facade prelude exposes the basic types.
