@@ -45,8 +45,8 @@ pub use fidelity::NoiseModel;
 pub use gate::{Gate, QubitList};
 pub use math::{Mat2, C64};
 pub use optimize::{
-    optimize, optimize_warming, optimize_with, optimize_with_shared_cache, OptimizeOptions,
-    PeepholeCache,
+    is_zero_rotation, optimize, optimize_warming, optimize_with, optimize_with_shared_cache,
+    OptimizeOptions, PeepholeCache,
 };
 pub use routing::{initial_layout_by_interaction, route, route_with_layout, RoutingResult};
 

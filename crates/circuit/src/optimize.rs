@@ -218,8 +218,25 @@ fn cancel_inverse_pairs(circuit: &Circuit, options: &OptimizeOptions) -> (Circui
     (Circuit::from_gates(circuit.num_qubits(), kept), changed)
 }
 
+/// The Z-axis "rotation view" of a gate: `Some((qubit, angle, is_rz))` for
+/// gates diagonal on one qubit up to global phase (`S = Rz(π/2)`,
+/// `S† = Rz(−π/2)`, `Z = Rz(π)`, `Rz`), `None` otherwise.
+fn z_axis_view(gate: &Gate) -> Option<(usize, f64, bool)> {
+    use std::f64::consts::{FRAC_PI_2, PI};
+    match *gate {
+        Gate::Rz { qubit, angle } => Some((qubit, angle, true)),
+        Gate::S(q) => Some((q, FRAC_PI_2, false)),
+        Gate::Sdg(q) => Some((q, -FRAC_PI_2, false)),
+        Gate::Z(q) => Some((q, PI, false)),
+        _ => None,
+    }
+}
+
 /// Pass 2: merge adjacent rotations of the same kind on the same qubit and
-/// drop rotations with (near-)zero angle.
+/// drop rotations with (near-)zero angle. Z-axis Clifford gates (`S`, `S†`,
+/// `Z`) merge into adjacent `Rz` gates as fixed-angle rotations — this is
+/// what keeps `S·Rz(θ) → Rz(θ+π/2)` working even though parameterized
+/// rotations never enter single-qubit fusion runs.
 fn merge_rotations(circuit: &Circuit, options: &OptimizeOptions) -> (Circuit, bool) {
     let gates = circuit.gates();
     let mut live: Vec<Option<Gate>> = gates.iter().copied().map(Some).collect();
@@ -227,13 +244,17 @@ fn merge_rotations(circuit: &Circuit, options: &OptimizeOptions) -> (Circuit, bo
 
     for i in 0..live.len() {
         let Some(current) = live[i] else { continue };
-        let (kind, qubit, angle) = match current {
-            Gate::Rz { qubit, angle } => (0u8, qubit, angle),
-            Gate::Rx { qubit, angle } => (1u8, qubit, angle),
-            Gate::Ry { qubit, angle } => (2u8, qubit, angle),
+        let (kind, qubit, angle, current_is_rz) = match current {
+            Gate::Rz { qubit, angle } => (0u8, qubit, angle, true),
+            Gate::Rx { qubit, angle } => (1u8, qubit, angle, true),
+            Gate::Ry { qubit, angle } => (2u8, qubit, angle, true),
+            Gate::S(_) | Gate::Sdg(_) | Gate::Z(_) => {
+                let (qubit, angle, _) = z_axis_view(&current).expect("Z-axis gate");
+                (0u8, qubit, angle, false)
+            }
             _ => continue,
         };
-        if is_zero_angle(angle, options.angle_tolerance) {
+        if current_is_rz && is_zero_angle(angle, options.angle_tolerance) {
             live[i] = None;
             changed = true;
             continue;
@@ -245,10 +266,17 @@ fn merge_rotations(circuit: &Circuit, options: &OptimizeOptions) -> (Circuit, bo
             let Some(prev) = live[j] else { continue };
             steps += 1;
             let merged = match (kind, prev) {
-                (0, Gate::Rz { qubit: q, angle: a }) if q == qubit => Some(Gate::Rz {
-                    qubit,
-                    angle: a + angle,
-                }),
+                (0, _) => match z_axis_view(&prev) {
+                    // Merge only when an actual Rz is involved: pure
+                    // Clifford phase-gate runs belong to the fusion pass.
+                    Some((q, a, prev_is_rz)) if q == qubit && (prev_is_rz || current_is_rz) => {
+                        Some(Gate::Rz {
+                            qubit,
+                            angle: a + angle,
+                        })
+                    }
+                    _ => None,
+                },
                 (1, Gate::Rx { qubit: q, angle: a }) if q == qubit => Some(Gate::Rx {
                     qubit,
                     angle: a + angle,
@@ -286,10 +314,19 @@ fn merged_angle(gate: &Gate) -> f64 {
     }
 }
 
-fn is_zero_angle(angle: f64, tol: f64) -> bool {
+/// Returns `true` when `angle` is within `tol` of a multiple of 2π — the
+/// exact predicate the peephole uses to drop rotations. Public so that
+/// callers replaying peephole fixpoints (the engine's template bind path)
+/// can pre-check whether a zero-angle rewrite could fire at all.
+#[must_use]
+pub fn is_zero_rotation(angle: f64, tol: f64) -> bool {
     let two_pi = 2.0 * std::f64::consts::PI;
     let reduced = angle.rem_euclid(two_pi);
     reduced < tol || (two_pi - reduced) < tol
+}
+
+fn is_zero_angle(angle: f64, tol: f64) -> bool {
+    is_zero_rotation(angle, tol)
 }
 
 /// A single-qubit gate stripped of its qubit: discriminant plus exact angle
@@ -475,8 +512,12 @@ fn compute_fuse(run: &[Gate], options: &OptimizeOptions) -> FuseDecision {
     }
 }
 
-/// Pass 3: fuse maximal runs of single-qubit gates into at most three Euler
-/// rotations (`Rz·Ry·Rz`), dropping runs that multiply to the identity.
+/// Pass 3: fuse maximal runs of single-qubit *Clifford* gates into at most
+/// three Euler rotations (`Rz·Ry·Rz`), dropping runs that multiply to the
+/// identity. Two-qubit gates and parameterized rotations break runs; keeping
+/// rotations out means every memo key is angle-independent, so a cache
+/// warmed once (per compiled template) serves every rebind without redoing
+/// the Euler math.
 fn fuse_single_qubit_runs(
     circuit: &Circuit,
     options: &OptimizeOptions,
@@ -542,6 +583,22 @@ fn fuse_single_qubit_runs(
                     cache,
                 );
             }
+            out.push(*gate);
+        } else if matches!(gate, Gate::Rz { .. } | Gate::Rx { .. } | Gate::Ry { .. }) {
+            // Parameterized rotations act as run barriers: runs stay
+            // Clifford-only, so their memo keys carry no angle bits and a
+            // warmed cache keeps hitting when only rotation angles change
+            // (the template-bind hot path). Rotation-rotation simplification
+            // is the job of the merge/cancel passes.
+            let q = gate.qubit_list().as_slice()[0];
+            flush(
+                q,
+                &mut pending,
+                &mut out,
+                &mut changed,
+                &mut key_scratch,
+                cache,
+            );
             out.push(*gate);
         } else {
             pending[gate.qubit_list().as_slice()[0]].push(*gate);

@@ -219,16 +219,15 @@ impl ProbabilityAbsorber {
             // Find the single-qubit Pauli whose image under E·(·)·E† is a
             // Z-type string; that determines the measurement basis of qubit q.
             // E Y_q E† = i·(E X_q E†)(E Z_q E†) is computed from the rows.
-            let y_img = y_image(&forward, q);
             let candidates = [
                 (PauliOp::Z, forward.z_image(q)),
                 (PauliOp::X, forward.x_image(q)),
-                (PauliOp::Y, &y_img),
+                (PauliOp::Y, y_image(&forward, q)),
             ];
             let mut chosen = None;
             for (basis, image) in candidates {
-                if is_z_type(image) {
-                    chosen = Some((basis, image.clone()));
+                if is_z_type(&image) {
+                    chosen = Some((basis, image));
                     break;
                 }
             }

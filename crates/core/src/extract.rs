@@ -8,13 +8,33 @@
 //! through the Heisenberg map `P ↦ U_CL† P U_CL` (maintained as a stabilizer
 //! tableau), and within each commuting block the rotation that becomes
 //! cheapest is scheduled next.
+//!
+//! # Word-parallel bookkeeping
+//!
+//! Two structures keep the inner loop cheap:
+//!
+//! * **Pending-image frame** — the images of *every* not-yet-scheduled
+//!   rotation axis under the current Heisenberg map are held in a
+//!   column-major [`PauliFrame`]. Advancing the map by one extracted gate
+//!   updates all pending images in a single word-parallel pass
+//!   ([`quclear_tableau::conjugate_all_by_gate`]) instead of re-applying the
+//!   tableau per lookahead string. The frame is compacted once more than
+//!   half of its rows have been consumed, so its width tracks the remaining
+//!   work.
+//! * **Cost memo** — `find_next_pauli` scores `O(block²)` (current,
+//!   candidate) pairs, but the score depends only on the two *images*, not
+//!   on the map that produced them. A hash memo keyed on the image pair
+//!   makes repeated scoring (ubiquitous in ansätze with repeated excitation
+//!   structure) a lookup instead of a tree synthesis.
+
+use std::collections::HashMap;
 
 use quclear_circuit::{Circuit, Gate};
-use quclear_pauli::{PauliOp, PauliRotation, PauliString};
-use quclear_tableau::{conjugate_pauli_by_gate, CliffordTableau};
+use quclear_pauli::{PauliFrame, PauliOp, PauliRotation, PauliString};
+use quclear_tableau::{conjugate_all_by_gate, CliffordTableau};
 
 use crate::blocks::CommutingBlocks;
-use crate::tree::TreeSynthesizer;
+use crate::tree::{FrameLookahead, TreeSynthesizer};
 
 /// Configuration of the Clifford Extraction pass.
 #[derive(Clone, Copy, Debug)]
@@ -126,30 +146,61 @@ pub fn extract_clifford(
         CommutingBlocks::singletons(rotations)
     };
 
-    let mut state = Extractor {
+    // Frame of all rotation axes; row_ids[b][p] is the frame row holding the
+    // image of blocks[b][p] under the Heisenberg map extracted so far.
+    let all_axes: Vec<PauliString> = blocks
+        .blocks()
+        .iter()
+        .flatten()
+        .map(|r| r.pauli().clone())
+        .collect();
+    let mut row_ids: Vec<Vec<usize>> = Vec::with_capacity(blocks.num_blocks());
+    let mut next_row = 0;
+    for block in blocks.blocks() {
+        row_ids.push((next_row..next_row + block.len()).collect());
+        next_row += block.len();
+    }
+
+    let mut state = ExtractionState {
         n,
         config: *config,
         optimized: Circuit::new(n),
         segments: Vec::new(),
         phi: CliffordTableau::identity(n),
+        images: PauliFrame::from_paulis(n, &all_axes),
+        cost_memo: HashMap::new(),
     };
 
+    let mut processed = 0usize;
+    let total = all_axes.len();
     let num_blocks = blocks.num_blocks();
     for block_idx in 0..num_blocks {
         let block_len = blocks.blocks()[block_idx].len();
         for pos in 0..block_len {
             // Choose which commuting rotation to schedule at this position.
             if config.reorder_commuting && pos + 1 < block_len {
-                let chosen = state.find_next_pauli(&blocks, block_idx, pos);
+                let chosen = state.find_next_pauli(&blocks, &row_ids, block_idx, pos);
                 if chosen != pos {
                     let block = &mut blocks.blocks_mut()[block_idx];
                     let rotation = block.remove(chosen);
                     block.insert(pos, rotation);
+                    let ids = &mut row_ids[block_idx];
+                    let id = ids.remove(chosen);
+                    ids.insert(pos, id);
                 }
             }
-            let lookahead = state.collect_lookahead(&blocks, block_idx, pos);
+            let lookahead_rows =
+                collect_lookahead_rows(&row_ids, block_idx, pos, state.config.lookahead_depth);
             let rotation = blocks.blocks()[block_idx][pos].clone();
-            state.process_rotation(&rotation, &lookahead);
+            state.process_rotation(&rotation, row_ids[block_idx][pos], &lookahead_rows);
+            processed += 1;
+
+            // Compact the frame once most of its rows have been consumed so
+            // word-parallel updates only sweep live rows.
+            let live = total - processed;
+            if state.images.num_rows() > 128 && state.images.num_rows() >= 2 * live {
+                compact_frame(&mut state.images, &mut row_ids, block_idx, pos);
+            }
         }
     }
 
@@ -168,7 +219,99 @@ pub fn extract_clifford(
     }
 }
 
-struct Extractor {
+/// Collects the frame rows of the rotations that follow (`block_idx`, `pos`),
+/// in execution order, up to the lookahead depth. Lookahead crosses block
+/// boundaries: later blocks cannot be reordered but their strings still guide
+/// the tree structure.
+fn collect_lookahead_rows(
+    row_ids: &[Vec<usize>],
+    block_idx: usize,
+    pos: usize,
+    depth: usize,
+) -> Vec<usize> {
+    let mut out = Vec::with_capacity(depth);
+    let mut b = block_idx;
+    let mut p = pos + 1;
+    while out.len() < depth && b < row_ids.len() {
+        if p < row_ids[b].len() {
+            out.push(row_ids[b][p]);
+            p += 1;
+        } else {
+            b += 1;
+            p = 0;
+        }
+    }
+    out
+}
+
+/// Rebuilds `images` keeping only the rows of not-yet-processed slots
+/// (everything strictly after (`block_idx`, `pos`)), renumbering `row_ids`.
+fn compact_frame(
+    images: &mut PauliFrame,
+    row_ids: &mut [Vec<usize>],
+    block_idx: usize,
+    pos: usize,
+) {
+    let mut keep = Vec::new();
+    for (b, ids) in row_ids.iter().enumerate().skip(block_idx) {
+        let start = if b == block_idx { pos + 1 } else { 0 };
+        keep.extend_from_slice(&ids[start..]);
+    }
+    *images = images.select_rows(&keep);
+    let mut new_id = 0;
+    for (b, ids) in row_ids.iter_mut().enumerate().skip(block_idx) {
+        let start = if b == block_idx { pos + 1 } else { 0 };
+        for id in &mut ids[start..] {
+            *id = new_id;
+            new_id += 1;
+        }
+    }
+}
+
+/// Cost of a candidate (number of non-identity operators) after extracting
+/// the Clifford subcircuit that would be synthesized for `current` when
+/// optimizing for the candidate. Both arguments are images under the current
+/// Heisenberg map — the cost depends on nothing else, which is what makes it
+/// memoizable. Signs are irrelevant to the weight, so the simulation is
+/// entirely sign-free: the basis layer is applied with two-bit operator maps
+/// (X sites conjugate by H, Y sites by S† then H) and the tree gates with
+/// the two-operator CX rule.
+fn extraction_cost(
+    n: usize,
+    recursive_tree: bool,
+    current: &PauliString,
+    candidate: &PauliString,
+) -> usize {
+    debug_assert!(!current.is_identity());
+    let mut updated = candidate.clone();
+    for (q, op) in current.ops() {
+        match op {
+            PauliOp::X => {
+                let (x, z) = updated.op(q).xz();
+                updated.set_op(q, PauliOp::from_xz(z, x));
+            }
+            PauliOp::Y => {
+                let (x, z) = updated.op(q).xz();
+                // S†: (x, z) → (x, z ^ x); then H swaps the bits.
+                updated.set_op(q, PauliOp::from_xz(z ^ x, x));
+            }
+            PauliOp::I | PauliOp::Z => {}
+        }
+    }
+    let lookahead = std::slice::from_ref(&updated);
+    let synth = TreeSynthesizer::new(lookahead, recursive_tree);
+    let support = current.support();
+    let (tree_gates, _) = synth.synthesize(&support);
+    // Conjugate the candidate through the tree as well (all CNOTs).
+    let mut updated = updated.clone();
+    for gate in &tree_gates {
+        crate::tree::apply_cx(&mut updated, gate);
+    }
+    debug_assert_eq!(n, updated.num_qubits());
+    updated.weight()
+}
+
+struct ExtractionState {
     n: usize,
     config: ExtractionConfig,
     optimized: Circuit,
@@ -177,87 +320,65 @@ struct Extractor {
     segments: Vec<Vec<Gate>>,
     /// `P ↦ U_CL† P U_CL` for the Clifford extracted so far.
     phi: CliffordTableau,
+    /// Images of the pending rotation axes under `phi`, advanced gate by
+    /// gate in lockstep with it (word-parallel over all pending rows).
+    images: PauliFrame,
+    /// Memoized `extraction_cost` keyed on the (current, candidate) image
+    /// pair — the cost depends on nothing else. Two-level so cache hits
+    /// need no key allocation.
+    cost_memo: HashMap<PauliString, HashMap<PauliString, usize>>,
 }
 
-impl Extractor {
-    /// Collects the Pauli strings that follow the rotation at
-    /// (`block_idx`, `pos`), in execution order, up to the lookahead depth.
-    /// Lookahead crosses block boundaries: later blocks cannot be reordered
-    /// but their strings still guide the tree structure.
-    fn collect_lookahead(
-        &self,
-        blocks: &CommutingBlocks,
-        block_idx: usize,
-        pos: usize,
-    ) -> Vec<PauliString> {
-        let mut out = Vec::new();
-        let mut b = block_idx;
-        let mut p = pos + 1;
-        while out.len() < self.config.lookahead_depth && b < blocks.num_blocks() {
-            let block = &blocks.blocks()[b];
-            if p < block.len() {
-                out.push(block[p].pauli().clone());
-                p += 1;
-            } else {
-                b += 1;
-                p = 0;
-            }
-        }
-        out
-    }
-
+impl ExtractionState {
     /// The greedy `find_next_pauli` of Algorithm 2: among the not-yet-scheduled
     /// rotations of the current commuting block, pick the one with the fewest
     /// non-identity operators after extracting the current rotation's Clifford
-    /// subcircuit (evaluated with the non-recursive tree as the cost model).
-    fn find_next_pauli(&self, blocks: &CommutingBlocks, block_idx: usize, pos: usize) -> usize {
+    /// subcircuit.
+    fn find_next_pauli(
+        &mut self,
+        blocks: &CommutingBlocks,
+        row_ids: &[Vec<usize>],
+        block_idx: usize,
+        pos: usize,
+    ) -> usize {
         let block = &blocks.blocks()[block_idx];
-        let current = self.phi.apply(block[pos].pauli()).into_pauli();
+        let current = self.images.row_pauli(row_ids[block_idx][pos]);
         if current.is_identity() {
             return pos + 1;
         }
+        // Take the memo row for `current` out of the map once, instead of
+        // re-hashing the key per candidate; it is moved back (keyed by the
+        // owned `current`) after the scan.
+        let mut memo_row = self.cost_memo.remove(&current).unwrap_or_default();
         let mut best = pos + 1;
         let mut best_cost = usize::MAX;
-        for (candidate_idx, candidate) in block.iter().enumerate().skip(pos + 1) {
-            let cost = self.extraction_cost(&current, candidate.pauli());
+        let mut candidate = PauliString::identity(self.n);
+        debug_assert_eq!(row_ids[block_idx].len(), block.len());
+        for (offset, &candidate_row) in row_ids[block_idx][pos + 1..].iter().enumerate() {
+            let candidate_idx = pos + 1 + offset;
+            self.images.read_row_into(candidate_row, &mut candidate);
+            let cost = match memo_row.get(&candidate) {
+                Some(&cost) => cost,
+                None => {
+                    let cost =
+                        extraction_cost(self.n, self.config.recursive_tree, &current, &candidate);
+                    memo_row.insert(candidate.clone(), cost);
+                    cost
+                }
+            };
             if cost < best_cost {
                 best_cost = cost;
                 best = candidate_idx;
             }
         }
+        self.cost_memo.insert(current, memo_row);
         best
-    }
-
-    /// Cost of `candidate` (number of non-identity operators) after extracting
-    /// the Clifford subcircuit that would be synthesized for `current` when
-    /// optimizing for `candidate`, using the non-recursive tree.
-    fn extraction_cost(&self, current: &PauliString, candidate: &PauliString) -> usize {
-        let candidate_updated = self.phi.apply(candidate).into_pauli();
-        if current.is_identity() {
-            return candidate_updated.weight();
-        }
-        // Basis layer of the current rotation.
-        let basis = basis_change_circuit(self.n, current);
-        let mut phi_local = self.phi.clone();
-        for gate in basis.gates() {
-            phi_local.then_gate(gate);
-        }
-        let lookahead = vec![candidate.clone()];
-        let synth = TreeSynthesizer::new(&lookahead, &phi_local, self.config.recursive_tree);
-        let support = current.support();
-        let (tree_gates, _) = synth.synthesize(&support);
-        // Conjugate the candidate through basis layer + tree.
-        let mut updated = phi_local.apply(candidate);
-        for gate in &tree_gates {
-            updated = conjugate_pauli_by_gate(&updated, gate);
-        }
-        updated.weight()
     }
 
     /// Emits the optimized half-circuit for one rotation and extends the
     /// extracted Clifford with its mirror.
-    fn process_rotation(&mut self, rotation: &PauliRotation, lookahead: &[PauliString]) {
-        let updated = self.phi.apply(rotation.pauli());
+    fn process_rotation(&mut self, rotation: &PauliRotation, row: usize, lookahead_rows: &[usize]) {
+        let updated = self.images.get(row);
         let angle = rotation.angle() * updated.sign();
         let pauli = updated.into_pauli();
         if pauli.is_identity() || rotation.angle() == 0.0 {
@@ -266,20 +387,23 @@ impl Extractor {
         }
 
         // Single-qubit basis changes (X → H, Y → S†·H) so every non-identity
-        // operator becomes Z.
+        // operator becomes Z. The Heisenberg map and the pending images
+        // advance together, one word-parallel pass per gate.
         let basis = basis_change_circuit(self.n, &pauli);
-        let mut phi_after_basis = self.phi.clone();
         for gate in basis.gates() {
-            phi_after_basis.then_gate(gate);
+            self.phi.then_gate(gate);
+            conjugate_all_by_gate(&mut self.images, gate);
         }
 
-        // CNOT tree optimized for the following Pauli strings.
+        // CNOT tree optimized for the following Pauli strings (their images
+        // now include the basis layer just applied), read operator-by-
+        // operator straight out of the pending-image frame.
         let support = pauli.support();
         let (tree_gates, root) = if support.len() == 1 {
             (Vec::new(), support[0])
         } else {
-            let synth =
-                TreeSynthesizer::new(lookahead, &phi_after_basis, self.config.recursive_tree);
+            let lookahead = FrameLookahead::new(&self.images, lookahead_rows);
+            let synth = TreeSynthesizer::new(&lookahead, self.config.recursive_tree);
             synth.synthesize(&support)
         };
 
@@ -292,11 +416,11 @@ impl Extractor {
         // The mirror of the forward Clifford is deferred to the end.
         self.segments.push(forward.inverse().gates().to_vec());
 
-        // Update the Heisenberg map: φ ← (P ↦ W φ(P) W†) with W the forward
-        // Clifford just emitted.
-        self.phi = phi_after_basis;
+        // Finish updating the Heisenberg map: φ ← (P ↦ W φ(P) W†) with W the
+        // forward Clifford just emitted.
         for gate in &tree_gates {
             self.phi.then_gate(gate);
+            conjugate_all_by_gate(&mut self.images, gate);
         }
     }
 }

@@ -7,31 +7,100 @@
 //! Pauli after next, and subtree roots are connected with CNOTs chosen by the
 //! Table-I reduction rules.
 
+use std::fmt;
+
 use quclear_circuit::Gate;
-use quclear_pauli::{PauliOp, PauliString, SignedPauli};
-use quclear_tableau::{conjugate_pauli_by_gate, CliffordTableau};
+use quclear_pauli::{PauliFrame, PauliOp, PauliString};
+
+/// Read-only access to the lookahead window of updated Pauli images.
+///
+/// The synthesizer only ever inspects single operators of the lookahead
+/// strings, so the source can serve them straight out of a column-major
+/// [`PauliFrame`] without materializing any string — the hot path during
+/// extraction. A plain slice of strings also works (tests, benches).
+pub trait LookaheadOps {
+    /// Number of lookahead strings available.
+    fn lookahead_len(&self) -> usize;
+    /// Register size the lookahead strings act on.
+    fn num_qubits(&self) -> usize;
+    /// Operator of lookahead string `d` at `qubit`.
+    fn op_at(&self, d: usize, qubit: usize) -> PauliOp;
+}
+
+impl LookaheadOps for [PauliString] {
+    fn lookahead_len(&self) -> usize {
+        self.len()
+    }
+
+    fn num_qubits(&self) -> usize {
+        self.first().map_or(0, PauliString::num_qubits)
+    }
+
+    fn op_at(&self, d: usize, qubit: usize) -> PauliOp {
+        self[d].op(qubit)
+    }
+}
+
+/// A lookahead window served directly from a [`PauliFrame`]: entry `d` is
+/// the frame row `rows[d]`.
+#[derive(Debug, Clone, Copy)]
+pub struct FrameLookahead<'a> {
+    frame: &'a PauliFrame,
+    rows: &'a [usize],
+}
+
+impl<'a> FrameLookahead<'a> {
+    /// Creates a window over `rows` of `frame`.
+    #[must_use]
+    pub fn new(frame: &'a PauliFrame, rows: &'a [usize]) -> Self {
+        FrameLookahead { frame, rows }
+    }
+}
+
+impl LookaheadOps for FrameLookahead<'_> {
+    fn lookahead_len(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn num_qubits(&self) -> usize {
+        self.frame.num_qubits()
+    }
+
+    fn op_at(&self, d: usize, qubit: usize) -> PauliOp {
+        self.frame.op(self.rows[d], qubit)
+    }
+}
 
 /// CNOT-tree synthesizer for one Pauli rotation.
 ///
-/// `lookahead[0]` is the Pauli string immediately following the current
-/// rotation (in the already-reordered sequence), `lookahead[1]` the one after
-/// it, and so on. `phi` is the Heisenberg map of everything extracted so far
-/// *including* the current rotation's single-qubit basis layer, so
-/// `phi.apply(lookahead[d])` is exactly the paper's `update_pauli(P, extr_clf)`.
-#[derive(Debug)]
-pub struct TreeSynthesizer<'a> {
-    lookahead: &'a [PauliString],
-    phi: &'a CliffordTableau,
+/// Lookahead entry `0` is the Pauli string immediately following the current
+/// rotation (in the already-reordered sequence), entry `1` the one after
+/// it, and so on — **already conjugated** through the Heisenberg map of
+/// everything extracted so far *including* the current rotation's
+/// single-qubit basis layer (the paper's `update_pauli(P, extr_clf)`). The
+/// extraction engine maintains these images incrementally in a
+/// [`PauliFrame`] and serves them through [`FrameLookahead`], so the
+/// synthesizer never re-simulates the extracted Clifford.
+pub struct TreeSynthesizer<'a, L: LookaheadOps + ?Sized> {
+    lookahead: &'a L,
     recursive: bool,
 }
 
-impl<'a> TreeSynthesizer<'a> {
-    /// Creates a synthesizer.
+impl<L: LookaheadOps + ?Sized> fmt::Debug for TreeSynthesizer<'_, L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TreeSynthesizer")
+            .field("lookahead_len", &self.lookahead.lookahead_len())
+            .field("recursive", &self.recursive)
+            .finish()
+    }
+}
+
+impl<'a, L: LookaheadOps + ?Sized> TreeSynthesizer<'a, L> {
+    /// Creates a synthesizer over already-updated lookahead images.
     #[must_use]
-    pub fn new(lookahead: &'a [PauliString], phi: &'a CliffordTableau, recursive: bool) -> Self {
+    pub fn new(lookahead: &'a L, recursive: bool) -> Self {
         TreeSynthesizer {
             lookahead,
-            phi,
             recursive,
         }
     }
@@ -64,17 +133,16 @@ impl<'a> TreeSynthesizer<'a> {
         if !self.recursive && depth > 0 {
             return chain(tree_idxs, gates);
         }
-        let Some(next_raw) = self.lookahead.get(depth) else {
+        if depth >= self.lookahead.lookahead_len() {
             // No further Pauli to optimize for: any tree is as good as any
             // other; use a simple chain.
             return chain(tree_idxs, gates);
-        };
-        let next_pauli = self.phi.apply(next_raw).into_pauli();
+        }
 
         // Step 1: partition the qubits by the next Pauli's operator.
         let mut groups: [Vec<usize>; 4] = Default::default();
         for &q in tree_idxs {
-            let slot = match next_pauli.op(q) {
+            let slot = match self.lookahead.op_at(depth, q) {
                 PauliOp::Z => 0,
                 PauliOp::I => 1,
                 PauliOp::Y => 2,
@@ -104,22 +172,36 @@ impl<'a> TreeSynthesizer<'a> {
         // Step 3: connect the subtree roots, preferring CNOTs that reduce the
         // next Pauli according to Table I. Residual operators at the roots
         // are tracked live through the gates emitted so far for this tree.
-        self.connect_roots(&roots, &next_pauli, gates)
+        self.connect_roots(&roots, depth, gates)
     }
 
     /// Connects the given roots into a single tree root, greedily choosing
     /// (control, target) pairs that minimize the next Pauli's weight.
-    fn connect_roots(
-        &self,
-        roots: &[usize],
-        next_pauli: &PauliString,
-        gates: &mut Vec<Gate>,
-    ) -> usize {
+    ///
+    /// The tree gates are all CNOTs and only weights matter here, so the
+    /// live view is a phase-free string updated with the two-operator CX
+    /// rule — no string-wide conjugation or allocation in the O(roots²)
+    /// candidate scan.
+    fn connect_roots(&self, roots: &[usize], depth: usize, gates: &mut Vec<Gate>) -> usize {
         let mut remaining: Vec<usize> = roots.to_vec();
-        // Live view of the next Pauli conjugated through the tree built so far.
-        let mut live = SignedPauli::positive(next_pauli.clone());
+        // Live view of the next Pauli conjugated through the tree built so
+        // far. Only qubits the tree touches can influence or be influenced
+        // by the tree's CNOTs, so the view is populated on those alone.
+        let mut live = PauliString::identity(self.lookahead.num_qubits());
+        let mut touched: Vec<usize> = roots.to_vec();
         for gate in gates.iter() {
-            live = conjugate_pauli_by_gate(&live, gate);
+            if let Gate::Cx { control, target } = gate {
+                touched.push(*control);
+                touched.push(*target);
+            }
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        for &q in &touched {
+            live.set_op(q, self.lookahead.op_at(depth, q));
+        }
+        for gate in gates.iter() {
+            apply_cx(&mut live, gate);
         }
         while remaining.len() > 1 {
             let mut best: Option<(usize, usize, i32)> = None;
@@ -128,10 +210,10 @@ impl<'a> TreeSynthesizer<'a> {
                     if ci == ti {
                         continue;
                     }
-                    let gate = Gate::Cx { control, target };
-                    let after = conjugate_pauli_by_gate(&live, &gate);
-                    let before_weight = weight_at(&live, control) + weight_at(&live, target);
-                    let after_weight = weight_at(&after, control) + weight_at(&after, target);
+                    let (oc, ot) = (live.op(control), live.op(target));
+                    let (nc, nt) = cx_images(oc, ot);
+                    let before_weight = weight_of(oc) + weight_of(ot);
+                    let after_weight = weight_of(nc) + weight_of(nt);
                     let reduction = before_weight as i32 - after_weight as i32;
                     if best.is_none_or(|(_, _, r)| reduction > r) {
                         best = Some((control, target, reduction));
@@ -139,13 +221,36 @@ impl<'a> TreeSynthesizer<'a> {
                 }
             }
             let (control, target, _) = best.expect("at least two roots remain");
-            let gate = Gate::Cx { control, target };
-            live = conjugate_pauli_by_gate(&live, &gate);
-            gates.push(gate);
+            let (nc, nt) = cx_images(live.op(control), live.op(target));
+            live.set_op(control, nc);
+            live.set_op(target, nt);
+            gates.push(Gate::Cx { control, target });
             remaining.retain(|&q| q != control);
         }
         remaining[0]
     }
+}
+
+/// Sign-free CX conjugation on the (control, target) operator pair.
+#[inline]
+fn cx_images(control: PauliOp, target: PauliOp) -> (PauliOp, PauliOp) {
+    let (xc, zc) = control.xz();
+    let (xt, zt) = target.xz();
+    (PauliOp::from_xz(xc, zc ^ zt), PauliOp::from_xz(xt ^ xc, zt))
+}
+
+/// Applies the sign-free CX rule of `gate` to `pauli` in place.
+///
+/// # Panics
+///
+/// Panics if `gate` is not a CNOT (tree circuits contain nothing else).
+pub(crate) fn apply_cx(pauli: &mut PauliString, gate: &Gate) {
+    let Gate::Cx { control, target } = gate else {
+        panic!("tree circuits contain only CNOTs, found {gate}")
+    };
+    let (nc, nt) = cx_images(pauli.op(*control), pauli.op(*target));
+    pauli.set_op(*control, nc);
+    pauli.set_op(*target, nt);
 }
 
 /// Connects the qubits in index order with a CNOT chain and returns the last
@@ -162,14 +267,17 @@ fn chain(tree_idxs: &[usize], gates: &mut Vec<Gate>) -> usize {
         .expect("chain called with empty index list")
 }
 
-fn weight_at(pauli: &SignedPauli, qubit: usize) -> usize {
-    usize::from(!pauli.pauli().op(qubit).is_identity())
+#[inline]
+fn weight_of(op: PauliOp) -> usize {
+    usize::from(!op.is_identity())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use quclear_circuit::Circuit;
+    use quclear_pauli::SignedPauli;
+    use quclear_tableau::{conjugate_pauli_by_gate, CliffordTableau};
 
     /// Checks the defining parity-tree property: conjugating the all-Z string
     /// on the support through the tree circuit leaves a single Z on the root.
@@ -193,15 +301,10 @@ mod tests {
         assert_eq!(gates.len(), support.len() - 1);
     }
 
-    fn phi_identity(n: usize) -> CliffordTableau {
-        CliffordTableau::identity(n)
-    }
-
     #[test]
     fn single_qubit_support_needs_no_gates() {
-        let phi = phi_identity(3);
         let lookahead = vec!["XYZ".parse().unwrap()];
-        let synth = TreeSynthesizer::new(&lookahead, &phi, true);
+        let synth = TreeSynthesizer::new(lookahead.as_slice(), true);
         let (gates, root) = synth.synthesize(&[1]);
         assert!(gates.is_empty());
         assert_eq!(root, 1);
@@ -209,9 +312,8 @@ mod tests {
 
     #[test]
     fn chain_fallback_without_lookahead() {
-        let phi = phi_identity(4);
         let lookahead: Vec<PauliString> = Vec::new();
-        let synth = TreeSynthesizer::new(&lookahead, &phi, true);
+        let synth = TreeSynthesizer::new(lookahead.as_slice(), true);
         let support = [0, 1, 3];
         let (gates, root) = synth.synthesize(&support);
         assert_valid_parity_tree(4, &support, &gates, root);
@@ -220,11 +322,10 @@ mod tests {
     #[test]
     fn full_support_tree_is_valid_parity_tree() {
         let n = 7;
-        let phi = phi_identity(n);
         // The paper's example: P2' = ZZZIXYX, P3' = YZYXIYX.
         let lookahead: Vec<PauliString> =
             vec!["ZZZIXYX".parse().unwrap(), "YZYXIYX".parse().unwrap()];
-        let synth = TreeSynthesizer::new(&lookahead, &phi, true);
+        let synth = TreeSynthesizer::new(lookahead.as_slice(), true);
         let support: Vec<usize> = (0..n).collect();
         let (gates, root) = synth.synthesize(&support);
         assert_valid_parity_tree(n, &support, &gates, root);
@@ -236,11 +337,10 @@ mod tests {
     #[test]
     fn paper_example_reduces_p2_to_weight_three() {
         let n = 7;
-        let phi = phi_identity(n);
         let p2: PauliString = "ZZZIXYX".parse().unwrap();
         let p3: PauliString = "YZYXIYX".parse().unwrap();
         let lookahead = vec![p2.clone(), p3.clone()];
-        let synth = TreeSynthesizer::new(&lookahead, &phi, true);
+        let synth = TreeSynthesizer::new(lookahead.as_slice(), true);
         let support: Vec<usize> = (0..n).collect();
         let (gates, root) = synth.synthesize(&support);
         assert_valid_parity_tree(n, &support, &gates, root);
@@ -272,14 +372,13 @@ mod tests {
     #[test]
     fn recursive_beats_or_matches_non_recursive_on_paper_example() {
         let n = 7;
-        let phi = phi_identity(n);
         let p2: PauliString = "ZZZIXYX".parse().unwrap();
         let p3: PauliString = "YZYXIYX".parse().unwrap();
         let lookahead = vec![p2, p3.clone()];
         let support: Vec<usize> = (0..n).collect();
 
         let weight_after = |recursive: bool| {
-            let synth = TreeSynthesizer::new(&lookahead, &phi, recursive);
+            let synth = TreeSynthesizer::new(lookahead.as_slice(), recursive);
             let (gates, _) = synth.synthesize(&support);
             let mut tree_circuit = Circuit::new(n);
             tree_circuit.extend(gates.iter().copied());
@@ -295,10 +394,9 @@ mod tests {
         // If the next Pauli is all-Z on the support, extracting the chain
         // reduces it to a single Z (the paper's ZZ…Z → II…IZ observation).
         let n = 5;
-        let phi = phi_identity(n);
         let next: PauliString = "ZZZZZ".parse().unwrap();
         let lookahead = vec![next.clone()];
-        let synth = TreeSynthesizer::new(&lookahead, &phi, true);
+        let synth = TreeSynthesizer::new(lookahead.as_slice(), true);
         let support: Vec<usize> = (0..n).collect();
         let (gates, root) = synth.synthesize(&support);
         assert_valid_parity_tree(n, &support, &gates, root);
@@ -317,9 +415,8 @@ mod tests {
         // If the next Pauli is identity on the support, no reduction is
         // possible but the tree must still be valid.
         let n = 6;
-        let phi = phi_identity(n);
         let lookahead: Vec<PauliString> = vec!["IIIIXX".parse().unwrap()];
-        let synth = TreeSynthesizer::new(&lookahead, &phi, true);
+        let synth = TreeSynthesizer::new(lookahead.as_slice(), true);
         let support = [0, 1, 2, 3];
         let (gates, root) = synth.synthesize(&support);
         assert_valid_parity_tree(n, &support, &gates, root);
@@ -328,9 +425,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "empty support")]
     fn empty_support_panics() {
-        let phi = phi_identity(2);
         let lookahead: Vec<PauliString> = Vec::new();
-        let synth = TreeSynthesizer::new(&lookahead, &phi, true);
+        let synth = TreeSynthesizer::new(lookahead.as_slice(), true);
         let _ = synth.synthesize(&[]);
     }
 }

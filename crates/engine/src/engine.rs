@@ -2,7 +2,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use quclear_core::{QuClearConfig, QuClearResult};
 use quclear_pauli::{PauliRotation, SignedPauli};
@@ -10,11 +10,15 @@ use rayon::prelude::*;
 
 use crate::error::EngineError;
 use crate::fingerprint::ProgramFingerprint;
-use crate::lru::LruCache;
+use crate::sharded::ShardedCache;
 use crate::template::CompiledTemplate;
 
 /// Default number of cached templates.
 pub const DEFAULT_CACHE_CAPACITY: usize = 256;
+
+/// Default number of cache shards (clamped down when the capacity is
+/// smaller; see [`Engine::with_shards`]).
+pub const DEFAULT_CACHE_SHARDS: usize = 16;
 
 /// A point-in-time snapshot of the engine's counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -105,7 +109,7 @@ impl BatchJob {
 #[derive(Debug)]
 pub struct Engine {
     config: QuClearConfig,
-    cache: Mutex<LruCache<ProgramFingerprint, Arc<CompiledTemplate>>>,
+    cache: ShardedCache<ProgramFingerprint, CompiledTemplate>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -120,7 +124,8 @@ impl Default for Engine {
 
 impl Engine {
     /// Creates an engine with the default pipeline configuration and room
-    /// for `capacity` cached templates (clamped to at least one).
+    /// for `capacity` cached templates (clamped to at least one), sharded
+    /// over [`DEFAULT_CACHE_SHARDS`] sub-caches.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
         Engine::with_config(capacity, QuClearConfig::default())
@@ -129,9 +134,21 @@ impl Engine {
     /// Creates an engine compiling with an explicit pipeline configuration.
     #[must_use]
     pub fn with_config(capacity: usize, config: QuClearConfig) -> Self {
+        Engine::with_shards(capacity, DEFAULT_CACHE_SHARDS, config)
+    }
+
+    /// Creates an engine with an explicit shard count.
+    ///
+    /// Shards trade strictness of the *global* LRU order for parallelism:
+    /// lookups only ever take a per-shard read lock, and inserts only that
+    /// shard's write lock. Eviction is exact LRU *within* each shard. The
+    /// shard count is clamped to `[1, capacity]`; one shard gives the exact
+    /// single-cache LRU semantics.
+    #[must_use]
+    pub fn with_shards(capacity: usize, shards: usize, config: QuClearConfig) -> Self {
         Engine {
             config,
-            cache: Mutex::new(LruCache::new(capacity.max(1))),
+            cache: ShardedCache::new(capacity.max(1), shards),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -153,12 +170,14 @@ impl Engine {
     /// sizes, contained panics).
     pub fn template(&self, axes: &[SignedPauli]) -> Result<Arc<CompiledTemplate>, EngineError> {
         let fingerprint = ProgramFingerprint::of_axes(axes, &self.config);
-        if let Some(template) = self.cache.lock().expect("cache poisoned").get(&fingerprint) {
+        // Hit fast path: a shard *read* lock plus an atomic recency bump —
+        // concurrent hits never serialize, even on the same template.
+        if let Some(template) = self.cache.get(&fingerprint) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(template));
+            return Ok(template);
         }
 
-        // Compile outside the lock: extraction is the expensive part, and
+        // Compile outside any lock: extraction is the expensive part, and
         // concurrent misses on *different* programs must not serialize.
         // (Concurrent misses on the same program may compile twice; the
         // second insert simply replaces the first — both are identical.)
@@ -166,14 +185,14 @@ impl Engine {
         let template = Arc::new(contain_panics(|| {
             CompiledTemplate::compile(axes, &self.config)
         })?);
-        let evicted = self
-            .cache
-            .lock()
-            .expect("cache poisoned")
-            .insert(fingerprint, Arc::clone(&template));
         // Replacing our own key (two threads racing the same miss) is not an
-        // eviction; only displacement of a different structure counts.
-        if matches!(evicted, Some((key, _)) if key != fingerprint) {
+        // eviction; only displacement of a different structure counts, which
+        // is exactly what the sharded insert reports.
+        if self
+            .cache
+            .insert(fingerprint, Arc::clone(&template))
+            .is_some()
+        {
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
         Ok(template)
@@ -257,20 +276,25 @@ impl Engine {
 
     /// A point-in-time snapshot of the counters.
     pub fn stats(&self) -> EngineStats {
-        let cache = self.cache.lock().expect("cache poisoned");
         EngineStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             binds: self.binds.load(Ordering::Relaxed),
-            entries: cache.len(),
-            capacity: cache.capacity(),
+            entries: self.cache.len(),
+            capacity: self.cache.capacity(),
         }
+    }
+
+    /// Number of cache shards in use.
+    #[must_use]
+    pub fn num_cache_shards(&self) -> usize {
+        self.cache.num_shards()
     }
 
     /// Drops every cached template (counters are kept).
     pub fn clear_cache(&self) {
-        self.cache.lock().expect("cache poisoned").clear();
+        self.cache.clear();
     }
 }
 
@@ -320,7 +344,9 @@ mod tests {
 
     #[test]
     fn lru_eviction_is_counted() {
-        let engine = Engine::new(2);
+        // One shard: exact global LRU, deterministic regardless of how the
+        // fingerprints hash.
+        let engine = Engine::with_shards(2, 1, QuClearConfig::default());
         let programs = [
             vec![rot("XX", 0.1)],
             vec![rot("YY", 0.1)],

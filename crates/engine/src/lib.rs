@@ -47,11 +47,14 @@ mod engine;
 mod error;
 mod fingerprint;
 mod lru;
+mod sharded;
 mod template;
 
-pub use engine::{BatchJob, Engine, EngineStats, DEFAULT_CACHE_CAPACITY};
+pub use engine::{BatchJob, Engine, EngineStats, DEFAULT_CACHE_CAPACITY, DEFAULT_CACHE_SHARDS};
 pub use error::EngineError;
 pub use fingerprint::ProgramFingerprint;
+pub use lru::LruCache;
+pub use sharded::ShardedCache;
 pub use template::CompiledTemplate;
 
 #[cfg(test)]

@@ -1,0 +1,333 @@
+//! A sharded, read-mostly template cache.
+//!
+//! The engine's original cache was one `Mutex<LruCache>`: every lookup —
+//! including the overwhelmingly common *hit* — took the same global lock and
+//! mutated the recency list, so ≥32-thread batch workloads serialized on a
+//! single cache line. This module splits the cache two ways:
+//!
+//! * **Sharding** — entries are distributed over `shards` independent
+//!   sub-caches by key hash, so threads working on *different* program
+//!   structures take different locks.
+//! * **Read-mostly fast path** — each shard is an [`RwLock`] over a hash
+//!   map whose entries carry an atomic last-used stamp. A hit takes the
+//!   shard's *read* lock (shared, never exclusive) and bumps the stamp with
+//!   a relaxed atomic store; threads hammering the *same* hot template —
+//!   the parameter-sweep pattern — proceed fully in parallel. Only inserts
+//!   and evictions take the write lock.
+//!
+//! Capacity is **global**: shards share one budget tracked by an atomic
+//! counter, so a handful of entries never thrash however they hash.
+//! When the cache is full, an insert evicts the least-recently-used entry
+//! of its own shard (stamps come from one global monotone counter); in the
+//! rare case that the inserting shard is empty, the globally oldest entry
+//! is evicted instead. With a single shard this degenerates to exact LRU.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hash, RandomState};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// A value plus its last-used stamp.
+struct Entry<V> {
+    value: Arc<V>,
+    last_used: AtomicU64,
+}
+
+/// One independent sub-cache.
+struct Shard<V, K> {
+    map: RwLock<HashMap<K, Entry<V>>>,
+}
+
+/// A sharded LRU-ish cache holding `Arc`ed values.
+///
+/// Lookups take a shard read lock only; inserts take the shard write lock.
+/// See the module docs for the design.
+pub struct ShardedCache<K, V> {
+    shards: Vec<Shard<V, K>>,
+    /// Shared capacity across all shards.
+    capacity: usize,
+    /// Total entries across all shards (kept in sync under shard locks).
+    len: AtomicUsize,
+    /// Global recency clock; strictly increasing across all shards.
+    clock: AtomicU64,
+    hasher: RandomState,
+}
+
+impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
+    /// Creates a cache of at most `capacity` entries spread over `shards`
+    /// sub-caches. Both are clamped to at least 1, and the shard count never
+    /// exceeds the capacity.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let capacity = capacity.max(1);
+        let shards = shards.clamp(1, capacity);
+        ShardedCache {
+            shards: (0..shards)
+                .map(|_| Shard {
+                    map: RwLock::new(HashMap::new()),
+                })
+                .collect(),
+            capacity,
+            len: AtomicUsize::new(0),
+            clock: AtomicU64::new(0),
+            hasher: RandomState::new(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The configured total capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of cached entries across all shards.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn shard(&self, key: &K) -> &Shard<V, K> {
+        let h = self.hasher.hash_one(key) as usize;
+        &self.shards[h % self.shards.len()]
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Looks up `key`, refreshing its recency stamp. Takes only the shard's
+    /// read lock — concurrent hits (same or different keys) never contend
+    /// exclusively.
+    pub fn get(&self, key: &K) -> Option<Arc<V>> {
+        let map = self.shard(key).map.read().expect("shard poisoned");
+        let entry = map.get(key)?;
+        entry.last_used.store(self.tick(), Ordering::Relaxed);
+        Some(Arc::clone(&entry.value))
+    }
+
+    /// Inserts or replaces `key`, returning the key evicted to make room
+    /// (if the cache was full) — replacing an existing key is not an
+    /// eviction.
+    pub fn insert(&self, key: K, value: Arc<V>) -> Option<K> {
+        let shard = self.shard(&key);
+        let mut map = shard.map.write().expect("shard poisoned");
+        let stamp = self.tick();
+        if let Some(entry) = map.get_mut(&key) {
+            entry.value = value;
+            entry.last_used.store(stamp, Ordering::Relaxed);
+            return None;
+        }
+        // Reserve the slot *before* deciding about eviction: concurrent
+        // inserts into different shards each observe the true running
+        // total, so exactly the inserts that push past capacity evict.
+        let prior = self.len.fetch_add(1, Ordering::Relaxed);
+        let mut evicted = None;
+        if prior >= self.capacity {
+            // Prefer a victim in the shard whose lock is already held.
+            if let Some(lru) = lru_key(&map) {
+                map.remove(&lru);
+                self.len.fetch_sub(1, Ordering::Relaxed);
+                evicted = Some(lru);
+            }
+        }
+        map.insert(
+            key,
+            Entry {
+                value,
+                last_used: AtomicU64::new(stamp),
+            },
+        );
+        drop(map);
+        if prior >= self.capacity && evicted.is_none() {
+            // The inserting shard was empty; evict the globally oldest
+            // entry instead (one shard lock at a time, so no deadlock).
+            evicted = self.evict_global_lru();
+        }
+        evicted
+    }
+
+    /// Evicts the entry with the globally smallest recency stamp, returning
+    /// its key. The victim is located under read locks and re-checked under
+    /// its shard's write lock; a concurrently vanished victim is retried
+    /// until the cache is back within budget.
+    fn evict_global_lru(&self) -> Option<K> {
+        // Bounded retries: each failed round means another thread removed
+        // the chosen victim (itself shrinking the cache) in the window.
+        for _ in 0..=self.shards.len() {
+            if self.len.load(Ordering::Relaxed) <= self.capacity {
+                return None;
+            }
+            let mut victim: Option<(u64, usize, K)> = None;
+            for (idx, shard) in self.shards.iter().enumerate() {
+                let map = shard.map.read().expect("shard poisoned");
+                for (k, e) in map.iter() {
+                    let stamp = e.last_used.load(Ordering::Relaxed);
+                    if victim.as_ref().is_none_or(|(s, _, _)| stamp < *s) {
+                        victim = Some((stamp, idx, k.clone()));
+                    }
+                }
+            }
+            let (_, idx, key) = victim?;
+            let mut map = self.shards[idx].map.write().expect("shard poisoned");
+            if map.remove(&key).is_some() {
+                self.len.fetch_sub(1, Ordering::Relaxed);
+                return Some(key);
+            }
+        }
+        None
+    }
+
+    /// Removes every entry, keeping capacity and shard structure.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut map = shard.map.write().expect("shard poisoned");
+            self.len.fetch_sub(map.len(), Ordering::Relaxed);
+            map.clear();
+        }
+    }
+
+    /// Keys from most to least recently used (diagnostics/tests; takes all
+    /// shard read locks in turn).
+    pub fn keys_by_recency(&self) -> Vec<K> {
+        let mut stamped: Vec<(u64, K)> = Vec::new();
+        for shard in &self.shards {
+            let map = shard.map.read().expect("shard poisoned");
+            for (k, e) in map.iter() {
+                stamped.push((e.last_used.load(Ordering::Relaxed), k.clone()));
+            }
+        }
+        stamped.sort_by_key(|(stamp, _)| std::cmp::Reverse(*stamp));
+        stamped.into_iter().map(|(_, k)| k).collect()
+    }
+}
+
+/// The key with the smallest recency stamp in one shard map.
+fn lru_key<K: Clone, V>(map: &HashMap<K, Entry<V>>) -> Option<K> {
+    map.iter()
+        .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+        .map(|(k, _)| k.clone())
+}
+
+impl<K, V> std::fmt::Debug for ShardedCache<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedCache")
+            .field("shards", &self.shards.len())
+            .field("capacity", &self.capacity)
+            .field("len", &self.len.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_and_insert_roundtrip() {
+        let cache: ShardedCache<u32, u32> = ShardedCache::new(8, 4);
+        assert!(cache.is_empty());
+        assert_eq!(cache.get(&1), None);
+        cache.insert(1, Arc::new(10));
+        cache.insert(2, Arc::new(20));
+        assert_eq!(cache.get(&1).as_deref(), Some(&10));
+        assert_eq!(cache.get(&2).as_deref(), Some(&20));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn single_shard_evicts_exact_lru() {
+        let cache: ShardedCache<&str, i32> = ShardedCache::new(2, 1);
+        cache.insert("a", Arc::new(1));
+        cache.insert("b", Arc::new(2));
+        cache.get(&"a"); // freshen a; b becomes LRU
+        assert_eq!(cache.insert("c", Arc::new(3)), Some("b"));
+        assert_eq!(cache.get(&"b"), None);
+        assert_eq!(cache.keys_by_recency(), vec!["c", "a"]);
+    }
+
+    #[test]
+    fn replacement_is_not_eviction() {
+        let cache: ShardedCache<&str, i32> = ShardedCache::new(1, 1);
+        assert_eq!(cache.insert("a", Arc::new(1)), None);
+        assert_eq!(cache.insert("a", Arc::new(2)), None);
+        assert_eq!(cache.get(&"a").as_deref(), Some(&2));
+        assert_eq!(cache.insert("b", Arc::new(3)), Some("a"));
+    }
+
+    #[test]
+    fn shard_count_is_clamped_to_capacity() {
+        let cache: ShardedCache<u32, u32> = ShardedCache::new(2, 64);
+        assert_eq!(cache.num_shards(), 2);
+        assert!(cache.capacity() >= 2);
+        let zero: ShardedCache<u32, u32> = ShardedCache::new(0, 0);
+        assert_eq!(zero.num_shards(), 1);
+        assert_eq!(zero.capacity(), 1);
+    }
+
+    #[test]
+    fn few_entries_never_thrash_regardless_of_distribution() {
+        // Global capacity: 5 entries in a 16-entry cache must all stay
+        // resident even if they hash into the same shard.
+        let cache: ShardedCache<u32, u32> = ShardedCache::new(16, 16);
+        for round in 0..4 {
+            for i in 0..5 {
+                if round == 0 {
+                    assert_eq!(cache.insert(i, Arc::new(i)), None);
+                } else {
+                    assert_eq!(cache.get(&i).as_deref(), Some(&i), "round {round} key {i}");
+                }
+            }
+        }
+        assert_eq!(cache.len(), 5);
+    }
+
+    #[test]
+    fn clear_empties_all_shards() {
+        let cache: ShardedCache<u32, u32> = ShardedCache::new(16, 4);
+        for i in 0..10 {
+            cache.insert(i, Arc::new(i));
+        }
+        assert_eq!(cache.len(), 10);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.get(&3), None);
+    }
+
+    #[test]
+    fn capacity_bounds_hold_under_churn() {
+        let cache: ShardedCache<u32, u32> = ShardedCache::new(8, 4);
+        for i in 0..1000 {
+            cache.insert(i, Arc::new(i));
+        }
+        assert!(cache.len() <= cache.capacity());
+        assert!(cache.capacity() <= 8);
+    }
+
+    #[test]
+    fn concurrent_reads_and_writes_are_safe() {
+        let cache: Arc<ShardedCache<u32, u32>> = Arc::new(ShardedCache::new(64, 8));
+        std::thread::scope(|scope| {
+            for t in 0..8u32 {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    for i in 0..200u32 {
+                        let key = (t * 7 + i) % 96;
+                        if let Some(v) = cache.get(&key) {
+                            assert_eq!(*v, key);
+                        } else {
+                            cache.insert(key, Arc::new(key));
+                        }
+                    }
+                });
+            }
+        });
+        assert!(cache.len() <= cache.capacity());
+    }
+}

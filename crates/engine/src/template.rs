@@ -25,13 +25,30 @@
 //! Both circuits implement the same unitary; they just need not be
 //! gate-identical.
 
-use quclear_circuit::{optimize_warming, optimize_with_shared_cache, Circuit, Gate, PeepholeCache};
+use quclear_circuit::{
+    is_zero_rotation, optimize_warming, optimize_with_shared_cache, Circuit, Gate, PeepholeCache,
+};
 use quclear_core::{extract_clifford, QuClearConfig, QuClearResult};
 use quclear_pauli::{PauliRotation, SignedPauli};
 use quclear_tableau::CliffordTableau;
 
 use crate::error::EngineError;
 use crate::fingerprint::ProgramFingerprint;
+
+/// One parameterized `Rz` in the *optimized* marker skeleton: the peephole
+/// may have folded Z-axis Clifford gates into the slot, contributing a
+/// constant offset on the `π/2` grid.
+#[derive(Clone, Copy, Debug)]
+struct OptimizedSlot {
+    /// Index of the `Rz` gate within the optimized skeleton.
+    gate: usize,
+    /// Index of the parameter the slot binds.
+    param: usize,
+    /// Sign acquired by Heisenberg conjugation (and the axis sign).
+    sign: f64,
+    /// Constant angle folded in by the peephole (a multiple of `π/2`).
+    offset: f64,
+}
 
 /// One parameterized `Rz` in the template skeleton.
 #[derive(Clone, Copy, Debug)]
@@ -83,6 +100,14 @@ pub struct CompiledTemplate {
     /// every bind, so `bind` replays them instead of redoing the Euler
     /// decompositions.
     peephole_cache: PeepholeCache,
+    /// The marker skeleton *after* the full peephole, with its surviving
+    /// `Rz` slots decoded, when every parameter could be located in it.
+    /// Since every structural peephole decision is angle-independent
+    /// (rotations never enter fusion runs), a bind with generic angles
+    /// reaches the same structure — so `bind` patches this circuit and the
+    /// pipeline merely confirms the fixpoint in one cheap verify round,
+    /// instead of re-deriving every rewrite from the raw skeleton.
+    optimized_skeleton: Option<(Circuit, Vec<OptimizedSlot>)>,
 }
 
 impl CompiledTemplate {
@@ -119,13 +144,6 @@ impl CompiledTemplate {
         let extraction = extract_clifford(&marked, &config.extraction);
         let skeleton = extraction.optimized;
 
-        // Warm the peephole memo on the marker skeleton so that warm binds
-        // skip the expensive fusion math for every angle-free run.
-        let mut peephole_cache = PeepholeCache::new();
-        if config.apply_peephole {
-            let _ = optimize_warming(&skeleton, &config.peephole, &mut peephole_cache);
-        }
-
         let mut slots = Vec::new();
         for (gate_idx, gate) in skeleton.gates().iter().enumerate() {
             if let Gate::Rz { angle, .. } = gate {
@@ -143,6 +161,20 @@ impl CompiledTemplate {
             }
         }
 
+        // Warm the peephole memo on the marker skeleton so that warm binds
+        // skip the expensive fusion math for every angle-free run, and keep
+        // the optimized marker circuit: if every slot survives in it
+        // decodably, binds start from this near-fixpoint instead of the raw
+        // skeleton.
+        let mut peephole_cache = PeepholeCache::new();
+        let optimized_skeleton = if config.apply_peephole {
+            let optimized = optimize_warming(&skeleton, &config.peephole, &mut peephole_cache);
+            decode_optimized_slots(&optimized, axes.len(), &slots)
+                .map(|decoded| (optimized, decoded))
+        } else {
+            None
+        };
+
         Ok(CompiledTemplate {
             fingerprint: ProgramFingerprint::of_axes(axes, config),
             config: *config,
@@ -153,6 +185,7 @@ impl CompiledTemplate {
             extracted: extraction.extracted,
             heisenberg: extraction.heisenberg,
             peephole_cache,
+            optimized_skeleton,
         })
     }
 
@@ -205,6 +238,39 @@ impl CompiledTemplate {
         }
         if let Some(index) = angles.iter().position(|a| !a.is_finite()) {
             return Err(EngineError::NonFiniteAngle { index });
+        }
+
+        // Fast path: patch the already-optimized marker skeleton. All
+        // structural peephole decisions are angle-independent, so for
+        // generic angles this circuit is already the pipeline's fixpoint;
+        // the shared-cache run below is one verify round (and it still
+        // catches the extra rewrites that special values — exact zeros —
+        // enable).
+        if let Some((optimized, slots)) = &self.optimized_skeleton {
+            let mut gates = optimized.gates().to_vec();
+            let mut any_zero = false;
+            for slot in slots {
+                let Gate::Rz { qubit, .. } = gates[slot.gate] else {
+                    unreachable!("optimized slot {slot:?} does not point at an Rz gate");
+                };
+                let angle = slot.sign * angles[slot.param] + slot.offset;
+                any_zero |= is_zero_rotation(angle, self.config.peephole.angle_tolerance);
+                gates[slot.gate] = Gate::Rz { qubit, angle };
+            }
+            let patched = Circuit::from_gates(self.num_qubits, gates);
+            // Every value-sensitive rewrite needs either a zero-angle
+            // rotation or a mergeable/cancellable rotation pair, and the
+            // compile-time peephole already eliminated every such pair
+            // angle-independently. So unless a patched slot landed on zero,
+            // the optimized skeleton is the pipeline's fixpoint verbatim.
+            if !any_zero {
+                return Ok(patched);
+            }
+            return Ok(optimize_with_shared_cache(
+                &patched,
+                &self.config.peephole,
+                &self.peephole_cache,
+            ));
         }
 
         let mut gates = self.skeleton.gates().to_vec();
@@ -295,6 +361,80 @@ impl CompiledTemplate {
     pub fn extracted(&self) -> &Circuit {
         &self.extracted
     }
+}
+
+/// Locates every marker slot in the peephole-optimized marker skeleton.
+///
+/// A surviving slot carries angle `±(i+1) + c·π/2`: the marker value,
+/// possibly sign-flipped, plus a constant folded in by Z-axis merges. The
+/// decomposition is unique (an integer is a multiple of `π/2` only at zero),
+/// and constants synthesized by Clifford-run fusion always lie *on* the
+/// `π/2` grid, so they decode to `i = none` and are skipped.
+///
+/// Returns `None` — meaning "bind from the raw skeleton instead" — unless
+/// the decoded parameters are exactly the raw skeleton's slot parameters,
+/// each appearing once. That rules out the one ambiguous case: the peephole
+/// merging two marker slots into a single rotation (`θᵢ + θⱼ`, whose marker
+/// angle would decode as some unrelated single parameter); a merge always
+/// changes the surviving parameter set, so set equality detects it. The
+/// slow path stays bit-for-bit correct for such templates.
+fn decode_optimized_slots(
+    optimized: &Circuit,
+    num_params: usize,
+    raw_slots: &[RzSlot],
+) -> Option<Vec<OptimizedSlot>> {
+    use std::f64::consts::FRAC_PI_2;
+    const TOL: f64 = 1e-6;
+    let mut slots = Vec::new();
+    let mut seen = vec![false; num_params];
+    for (gate_idx, gate) in optimized.gates().iter().enumerate() {
+        let Gate::Rz { angle, .. } = gate else {
+            continue;
+        };
+        let mut decoded = None;
+        for c in -16i32..=16 {
+            let residual = angle - f64::from(c) * FRAC_PI_2;
+            let k = residual.round();
+            if (residual - k).abs() < TOL && k != 0.0 && k.abs() <= num_params as f64 {
+                decoded = Some((k, f64::from(c) * FRAC_PI_2));
+                break;
+            }
+        }
+        let Some((k, offset)) = decoded else {
+            // Not decodable as a slot. Constants synthesized by Clifford
+            // fusion and Z-axis merges lie on the π/2 grid; anything off
+            // the grid is unexplained → slow path.
+            let angle = match gate {
+                Gate::Rz { angle, .. } => *angle,
+                _ => unreachable!(),
+            };
+            let steps = angle / FRAC_PI_2;
+            if (steps - steps.round()).abs() > TOL {
+                return None;
+            }
+            continue;
+        };
+        let param = k.abs() as usize - 1;
+        if seen[param] {
+            return None; // duplicate decode; be conservative
+        }
+        seen[param] = true;
+        slots.push(OptimizedSlot {
+            gate: gate_idx,
+            param,
+            sign: k.signum(),
+            offset,
+        });
+    }
+    // The surviving parameter set must match the raw skeleton's exactly.
+    let mut raw_params: Vec<usize> = raw_slots.iter().map(|s| s.param).collect();
+    let mut found_params: Vec<usize> = slots.iter().map(|s| s.param).collect();
+    raw_params.sort_unstable();
+    found_params.sort_unstable();
+    if raw_params != found_params {
+        return None;
+    }
+    Some(slots)
 }
 
 #[cfg(test)]

@@ -175,6 +175,51 @@ impl BitVec {
         })
     }
 
+    /// XORs the bit range `[start, end)` of `other` into the same range of
+    /// `self`, touching whole words where possible and masking the partial
+    /// words at the two ends.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ or `start > end` or `end > self.len()`.
+    pub fn xor_range(&mut self, other: &BitVec, start: usize, end: usize) {
+        assert_eq!(self.len, other.len, "length mismatch in BitVec::xor_range");
+        assert!(start <= end, "inverted range in BitVec::xor_range");
+        assert!(end <= self.len, "range end {end} out of range {}", self.len);
+        if start == end {
+            return;
+        }
+        let first = start / WORD_BITS;
+        let last = (end - 1) / WORD_BITS;
+        for w in first..=last {
+            let mut mask = u64::MAX;
+            if w == first {
+                mask &= u64::MAX << (start % WORD_BITS);
+            }
+            if w == last {
+                let tail = end % WORD_BITS;
+                if tail != 0 {
+                    mask &= u64::MAX >> (WORD_BITS - tail);
+                }
+            }
+            self.words[w] ^= other.words[w] & mask;
+        }
+    }
+
+    /// XORs the word-wise AND of `a` and `b` into `self`
+    /// (`self ^= a & b`), the inner step of word-parallel sign updates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn xor_with_and(&mut self, a: &BitVec, b: &BitVec) {
+        assert_eq!(self.len, a.len, "length mismatch in BitVec::xor_with_and");
+        assert_eq!(self.len, b.len, "length mismatch in BitVec::xor_with_and");
+        for ((s, wa), wb) in self.words.iter_mut().zip(&a.words).zip(&b.words) {
+            *s ^= wa & wb;
+        }
+    }
+
     /// The backing `u64` words, least-significant bit first.
     ///
     /// Bits at positions `>= len()` are always zero, so the words are a
@@ -183,6 +228,12 @@ impl BitVec {
     #[must_use]
     pub fn words(&self) -> &[u64] {
         &self.words
+    }
+
+    /// Mutable access to the backing words for same-crate word-parallel
+    /// kernels. Callers must keep bits at positions `>= len()` zero.
+    pub(crate) fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
     }
 
     /// Resets every bit to zero.
@@ -306,6 +357,92 @@ mod tests {
         b.clear();
         assert!(b.is_zero());
         assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn xor_range_within_one_word() {
+        let mut a = BitVec::zeros(40);
+        let mut b = BitVec::zeros(40);
+        for i in 0..40 {
+            b.set(i, true);
+        }
+        a.xor_range(&b, 5, 9);
+        let expected: Vec<usize> = (5..9).collect();
+        assert_eq!(a.iter_ones().collect::<Vec<_>>(), expected);
+    }
+
+    #[test]
+    fn xor_range_across_word_boundary() {
+        let mut a = BitVec::zeros(200);
+        let mut b = BitVec::zeros(200);
+        for i in 0..200 {
+            b.set(i, i % 2 == 0);
+        }
+        a.xor_range(&b, 60, 131);
+        for i in 0..200 {
+            let expected = (60..131).contains(&i) && i % 2 == 0;
+            assert_eq!(a.get(i), expected, "bit {i}");
+        }
+        // XORing the same range again cancels it.
+        a.xor_range(&b, 60, 131);
+        assert!(a.is_zero());
+    }
+
+    #[test]
+    fn xor_range_trailing_partial_word() {
+        // len = 70: the second word holds only 6 valid bits.
+        let mut a = BitVec::zeros(70);
+        let mut b = BitVec::zeros(70);
+        for i in 0..70 {
+            b.set(i, true);
+        }
+        a.xor_range(&b, 64, 70);
+        assert_eq!(
+            a.iter_ones().collect::<Vec<_>>(),
+            vec![64, 65, 66, 67, 68, 69]
+        );
+        // Full-length range equals xor_with.
+        let mut c = BitVec::zeros(70);
+        c.xor_range(&b, 0, 70);
+        assert_eq!(c, b);
+        // Empty range is a no-op.
+        c.xor_range(&b, 33, 33);
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    fn and_count_across_word_boundaries() {
+        let mut a = BitVec::zeros(130);
+        let mut b = BitVec::zeros(130);
+        for i in [0, 63, 64, 65, 127, 128, 129] {
+            a.set(i, true);
+        }
+        for i in [63, 64, 100, 129] {
+            b.set(i, true);
+        }
+        assert_eq!(a.and_count(&b), 3); // 63, 64, 129
+        assert!(a.and_parity(&b));
+    }
+
+    #[test]
+    fn xor_with_and_matches_bitwise_definition() {
+        let a = BitVec::from_bools((0..100).map(|i| i % 3 == 0));
+        let b = BitVec::from_bools((0..100).map(|i| i % 5 == 0));
+        let mut s = BitVec::from_bools((0..100).map(|i| i % 7 == 0));
+        let mut expected = s.clone();
+        for i in 0..100 {
+            expected.set(i, expected.get(i) ^ (a.get(i) & b.get(i)));
+        }
+        s.xor_with_and(&a, &b);
+        assert_eq!(s, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn xor_range_out_of_range_panics() {
+        let mut a = BitVec::zeros(10);
+        let b = BitVec::zeros(10);
+        a.xor_range(&b, 0, 11);
     }
 
     #[test]

@@ -1,0 +1,547 @@
+//! Word-parallel batches of signed Pauli strings ("Pauli frames").
+//!
+//! A [`PauliFrame`] stores `m` signed Pauli strings **column-major**: for
+//! every qubit there is one X bit-plane and one Z bit-plane over the batch
+//! dimension, plus one sign plane. In this layout, conjugating *every* Pauli
+//! in the batch by a single Clifford gate touches only the planes of the one
+//! or two qubits the gate acts on, and each update is a handful of
+//! XOR/AND/NOT word operations over `m`-bit vectors — `O(m/64)` words per
+//! gate instead of `m` separate string conjugations.
+//!
+//! This is the storage layout behind the bit-plane
+//! `CliffordTableau` (a frame of the `2n` generator images) and behind the
+//! extraction engine's lookahead window (a frame of all pending rotation
+//! axes conjugated through the Clifford extracted so far).
+//!
+//! The per-gate update rules are the Aaronson–Gottesman tableau rules
+//! expressed on bit-planes; writing `X`/`Z` for the planes of the touched
+//! qubit and `S` for the sign plane:
+//!
+//! | gate      | plane update                         | sign update                  |
+//! |-----------|--------------------------------------|------------------------------|
+//! | `H`       | swap `X`, `Z`                        | `S ^= X & Z`                 |
+//! | `S`       | `Z ^= X`                             | `S ^= X & Z`                 |
+//! | `S†`      | `Z ^= X`                             | `S ^= X & !Z`                |
+//! | `√X`      | `X ^= Z`                             | `S ^= Z & !X`                |
+//! | `√X†`     | `X ^= Z`                             | `S ^= Z & X`                 |
+//! | `X`       | —                                    | `S ^= Z`                     |
+//! | `Y`       | —                                    | `S ^= X ^ Z`                 |
+//! | `Z`       | —                                    | `S ^= X`                     |
+//! | `CX(c,t)` | `Xt ^= Xc`, `Zc ^= Zt`               | `S ^= Xc & Zt & !(Xt ^ Zc)`  |
+//! | `CZ(a,b)` | `Za ^= Xb`, `Zb ^= Xa`               | `S ^= Xa & Xb & (Za ^ Zb)`   |
+//! | `SWAP`    | swap planes of `a` and `b`           | —                            |
+//!
+//! (sign updates read the *pre-update* planes).
+
+use std::fmt;
+
+use crate::bits::BitVec;
+use crate::op::PauliOp;
+use crate::signed::SignedPauli;
+use crate::string::PauliString;
+
+/// A batch of signed Pauli strings stored as per-qubit bit-planes.
+///
+/// # Examples
+///
+/// ```
+/// use quclear_pauli::{PauliFrame, SignedPauli};
+///
+/// let rows: Vec<SignedPauli> = vec!["XI".parse()?, "-ZZ".parse()?];
+/// let mut frame = PauliFrame::from_signed(2, &rows);
+/// frame.conj_h(0); // conjugate every row by H on qubit 0
+/// assert_eq!(frame.get(0).to_string(), "+ZI");
+/// assert_eq!(frame.get(1).to_string(), "-XZ");
+/// # Ok::<(), quclear_pauli::ParsePauliError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct PauliFrame {
+    n: usize,
+    rows: usize,
+    /// `x[q]` bit `i` = row `i` has an X component at qubit `q`.
+    x: Vec<BitVec>,
+    /// `z[q]` bit `i` = row `i` has a Z component at qubit `q`.
+    z: Vec<BitVec>,
+    /// Bit `i` = row `i` carries a −1 sign.
+    signs: BitVec,
+}
+
+impl PauliFrame {
+    /// Creates a frame of `rows` positive identity strings on `n` qubits.
+    #[must_use]
+    pub fn identities(n: usize, rows: usize) -> Self {
+        PauliFrame {
+            n,
+            rows,
+            x: (0..n).map(|_| BitVec::zeros(rows)).collect(),
+            z: (0..n).map(|_| BitVec::zeros(rows)).collect(),
+            signs: BitVec::zeros(rows),
+        }
+    }
+
+    /// Builds a frame from phase-free Pauli strings (all signs positive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any string is not on `n` qubits.
+    #[must_use]
+    pub fn from_paulis(n: usize, paulis: &[PauliString]) -> Self {
+        let mut frame = PauliFrame::identities(n, paulis.len());
+        for (i, p) in paulis.iter().enumerate() {
+            frame.load_row(i, p, false);
+        }
+        frame
+    }
+
+    /// Builds a frame from signed Pauli strings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any string is not on `n` qubits.
+    #[must_use]
+    pub fn from_signed(n: usize, paulis: &[SignedPauli]) -> Self {
+        let mut frame = PauliFrame::identities(n, paulis.len());
+        for (i, p) in paulis.iter().enumerate() {
+            frame.load_row(i, p.pauli(), p.is_negative());
+        }
+        frame
+    }
+
+    /// Overwrites row `i` with the given Pauli and sign.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the Pauli is not on `n` qubits or `i` is out of range.
+    pub fn load_row(&mut self, i: usize, pauli: &PauliString, negative: bool) {
+        assert_eq!(
+            pauli.num_qubits(),
+            self.n,
+            "qubit count mismatch in PauliFrame::load_row"
+        );
+        for q in 0..self.n {
+            let (xb, zb) = pauli.op(q).xz();
+            self.x[q].set(i, xb);
+            self.z[q].set(i, zb);
+        }
+        self.signs.set(i, negative);
+    }
+
+    /// Number of qubits each row acts on.
+    #[must_use]
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Number of rows in the batch.
+    #[must_use]
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The operator of row `i` at qubit `q`.
+    #[must_use]
+    pub fn op(&self, i: usize, q: usize) -> PauliOp {
+        PauliOp::from_xz(self.x[q].get(i), self.z[q].get(i))
+    }
+
+    /// Sets the operator of row `i` at qubit `q`.
+    pub fn set_op(&mut self, i: usize, q: usize, op: PauliOp) {
+        let (xb, zb) = op.xz();
+        self.x[q].set(i, xb);
+        self.z[q].set(i, zb);
+    }
+
+    /// The sign of row `i` (`true` = negative).
+    #[must_use]
+    pub fn sign(&self, i: usize) -> bool {
+        self.signs.get(i)
+    }
+
+    /// Sets the sign of row `i`.
+    pub fn set_sign(&mut self, i: usize, negative: bool) {
+        self.signs.set(i, negative);
+    }
+
+    /// Extracts row `i` as a phase-free Pauli string.
+    #[must_use]
+    pub fn row_pauli(&self, i: usize) -> PauliString {
+        let mut x = BitVec::zeros(self.n);
+        let mut z = BitVec::zeros(self.n);
+        for q in 0..self.n {
+            if self.x[q].get(i) {
+                x.set(q, true);
+            }
+            if self.z[q].get(i) {
+                z.set(q, true);
+            }
+        }
+        PauliString::from_xz(x, z)
+    }
+
+    /// Extracts row `i` as a signed Pauli.
+    #[must_use]
+    pub fn get(&self, i: usize) -> SignedPauli {
+        SignedPauli::new(self.row_pauli(i), self.signs.get(i))
+    }
+
+    /// Writes row `i` into an existing string (no allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is not on `n` qubits.
+    pub fn read_row_into(&self, i: usize, out: &mut PauliString) {
+        assert_eq!(
+            out.num_qubits(),
+            self.n,
+            "qubit count mismatch in PauliFrame::read_row_into"
+        );
+        for q in 0..self.n {
+            out.set_op(q, self.op(i, q));
+        }
+    }
+
+    /// Pauli weight of row `i` (number of non-identity operators).
+    #[must_use]
+    pub fn weight(&self, i: usize) -> usize {
+        (0..self.n)
+            .filter(|&q| self.x[q].get(i) || self.z[q].get(i))
+            .count()
+    }
+
+    /// Returns `true` if row `i` is the identity string.
+    #[must_use]
+    pub fn is_identity_row(&self, i: usize) -> bool {
+        (0..self.n).all(|q| !self.x[q].get(i) && !self.z[q].get(i))
+    }
+
+    /// The X bit-plane of qubit `q` (bit `i` = row `i` has an X component).
+    #[must_use]
+    pub fn x_plane(&self, q: usize) -> &BitVec {
+        &self.x[q]
+    }
+
+    /// The Z bit-plane of qubit `q`.
+    #[must_use]
+    pub fn z_plane(&self, q: usize) -> &BitVec {
+        &self.z[q]
+    }
+
+    /// The sign plane (bit `i` = row `i` is negative).
+    #[must_use]
+    pub fn sign_plane(&self) -> &BitVec {
+        &self.signs
+    }
+
+    /// Gathers the given rows (in order) into a new, smaller frame.
+    ///
+    /// Used to compact a frame after many rows have been consumed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    #[must_use]
+    pub fn select_rows(&self, rows: &[usize]) -> PauliFrame {
+        let mut out = PauliFrame::identities(self.n, rows.len());
+        for (new_i, &old_i) in rows.iter().enumerate() {
+            for q in 0..self.n {
+                out.x[q].set(new_i, self.x[q].get(old_i));
+                out.z[q].set(new_i, self.z[q].get(old_i));
+            }
+            out.signs.set(new_i, self.signs.get(old_i));
+        }
+        out
+    }
+
+    // --- word-parallel conjugation kernels -------------------------------
+
+    /// Conjugates every row by `H` on qubit `q`.
+    pub fn conj_h(&mut self, q: usize) {
+        self.signs.xor_with_and(&self.x[q], &self.z[q]);
+        let (x, z) = (&mut self.x[q], &mut self.z[q]);
+        std::mem::swap(x, z);
+    }
+
+    /// Conjugates every row by `S` on qubit `q`.
+    pub fn conj_s(&mut self, q: usize) {
+        self.signs.xor_with_and(&self.x[q], &self.z[q]);
+        self.z[q].xor_with(&self.x[q]);
+    }
+
+    /// Conjugates every row by `S†` on qubit `q`.
+    pub fn conj_sdg(&mut self, q: usize) {
+        // S ^= X & !Z, then Z ^= X.
+        for ((s, xw), zw) in self
+            .signs
+            .words_mut()
+            .iter_mut()
+            .zip(self.x[q].words())
+            .zip(self.z[q].words())
+        {
+            *s ^= xw & !zw;
+        }
+        self.z[q].xor_with(&self.x[q]);
+    }
+
+    /// Conjugates every row by `√X` on qubit `q`.
+    pub fn conj_sqrt_x(&mut self, q: usize) {
+        // S ^= Z & !X, then X ^= Z.
+        for ((s, zw), xw) in self
+            .signs
+            .words_mut()
+            .iter_mut()
+            .zip(self.z[q].words())
+            .zip(self.x[q].words())
+        {
+            *s ^= zw & !xw;
+        }
+        self.x[q].xor_with(&self.z[q]);
+    }
+
+    /// Conjugates every row by `√X†` on qubit `q`.
+    pub fn conj_sqrt_xdg(&mut self, q: usize) {
+        self.signs.xor_with_and(&self.z[q], &self.x[q]);
+        self.x[q].xor_with(&self.z[q]);
+    }
+
+    /// Conjugates every row by the Pauli `X` gate on qubit `q`.
+    pub fn conj_x(&mut self, q: usize) {
+        self.signs.xor_with(&self.z[q]);
+    }
+
+    /// Conjugates every row by the Pauli `Y` gate on qubit `q`.
+    pub fn conj_y(&mut self, q: usize) {
+        self.signs.xor_with(&self.x[q]);
+        self.signs.xor_with(&self.z[q]);
+    }
+
+    /// Conjugates every row by the Pauli `Z` gate on qubit `q`.
+    pub fn conj_z(&mut self, q: usize) {
+        self.signs.xor_with(&self.x[q]);
+    }
+
+    /// Conjugates every row by `CNOT(control → target)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `control == target`.
+    pub fn conj_cx(&mut self, control: usize, target: usize) {
+        assert_ne!(control, target, "CX control and target must differ");
+        // Per word (pre-update values): S ^= Xc & Zt & !(Xt ^ Zc),
+        // Xt ^= Xc, Zc ^= Zt.
+        for i in 0..self.signs.words().len() {
+            let xc = self.x[control].words()[i];
+            let zt = self.z[target].words()[i];
+            let xt = self.x[target].words()[i];
+            let zc = self.z[control].words()[i];
+            self.signs.words_mut()[i] ^= xc & zt & !(xt ^ zc);
+            self.x[target].words_mut()[i] = xt ^ xc;
+            self.z[control].words_mut()[i] = zc ^ zt;
+        }
+    }
+
+    /// Conjugates every row by `CZ(a, b)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`.
+    pub fn conj_cz(&mut self, a: usize, b: usize) {
+        assert_ne!(a, b, "CZ qubits must differ");
+        // Per word (pre-update values): S ^= Xa & Xb & (Za ^ Zb),
+        // Za ^= Xb, Zb ^= Xa.
+        for i in 0..self.signs.words().len() {
+            let xa = self.x[a].words()[i];
+            let xb = self.x[b].words()[i];
+            let za = self.z[a].words()[i];
+            let zb = self.z[b].words()[i];
+            self.signs.words_mut()[i] ^= xa & xb & (za ^ zb);
+            self.z[a].words_mut()[i] = za ^ xb;
+            self.z[b].words_mut()[i] = zb ^ xa;
+        }
+    }
+
+    /// Conjugates every row by `SWAP(a, b)`.
+    pub fn conj_swap(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        self.x.swap(a, b);
+        self.z.swap(a, b);
+    }
+}
+
+impl fmt::Debug for PauliFrame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "PauliFrame({} rows on {} qubits):", self.rows, self.n)?;
+        for i in 0..self.rows {
+            writeln!(f, "  {}", self.get(i))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(rows: &[&str]) -> PauliFrame {
+        let signed: Vec<SignedPauli> = rows.iter().map(|s| s.parse().unwrap()).collect();
+        PauliFrame::from_signed(signed[0].num_qubits(), &signed)
+    }
+
+    #[test]
+    fn roundtrip_rows() {
+        let f = frame(&["XIZY", "-ZZZZ", "+IIII"]);
+        assert_eq!(f.num_rows(), 3);
+        assert_eq!(f.num_qubits(), 4);
+        assert_eq!(f.get(0).to_string(), "+XIZY");
+        assert_eq!(f.get(1).to_string(), "-ZZZZ");
+        assert!(f.is_identity_row(2));
+        assert_eq!(f.weight(0), 3);
+        assert_eq!(f.weight(1), 4);
+    }
+
+    #[test]
+    fn single_qubit_conjugations_match_rules() {
+        // H: X→Z, Z→X, Y→−Y.
+        let mut f = frame(&["X", "Z", "Y", "I"]);
+        f.conj_h(0);
+        assert_eq!(f.get(0).to_string(), "+Z");
+        assert_eq!(f.get(1).to_string(), "+X");
+        assert_eq!(f.get(2).to_string(), "-Y");
+        assert_eq!(f.get(3).to_string(), "+I");
+
+        // S: X→Y, Y→−X, Z→Z.
+        let mut f = frame(&["X", "Y", "Z"]);
+        f.conj_s(0);
+        assert_eq!(f.get(0).to_string(), "+Y");
+        assert_eq!(f.get(1).to_string(), "-X");
+        assert_eq!(f.get(2).to_string(), "+Z");
+
+        // S†: X→−Y, Y→X.
+        let mut f = frame(&["X", "Y"]);
+        f.conj_sdg(0);
+        assert_eq!(f.get(0).to_string(), "-Y");
+        assert_eq!(f.get(1).to_string(), "+X");
+
+        // √X: Y→Z, Z→−Y, X→X.
+        let mut f = frame(&["Y", "Z", "X"]);
+        f.conj_sqrt_x(0);
+        assert_eq!(f.get(0).to_string(), "+Z");
+        assert_eq!(f.get(1).to_string(), "-Y");
+        assert_eq!(f.get(2).to_string(), "+X");
+
+        // √X†: Y→−Z, Z→Y.
+        let mut f = frame(&["Y", "Z"]);
+        f.conj_sqrt_xdg(0);
+        assert_eq!(f.get(0).to_string(), "-Z");
+        assert_eq!(f.get(1).to_string(), "+Y");
+
+        // Pauli gates only flip signs of anticommuting rows.
+        let mut f = frame(&["X", "Y", "Z"]);
+        f.conj_x(0);
+        assert_eq!(f.get(0).to_string(), "+X");
+        assert_eq!(f.get(1).to_string(), "-Y");
+        assert_eq!(f.get(2).to_string(), "-Z");
+        let mut f = frame(&["X", "Y", "Z"]);
+        f.conj_y(0);
+        assert_eq!(f.get(0).to_string(), "-X");
+        assert_eq!(f.get(1).to_string(), "+Y");
+        assert_eq!(f.get(2).to_string(), "-Z");
+        let mut f = frame(&["X", "Y", "Z"]);
+        f.conj_z(0);
+        assert_eq!(f.get(0).to_string(), "-X");
+        assert_eq!(f.get(1).to_string(), "-Y");
+        assert_eq!(f.get(2).to_string(), "+Z");
+    }
+
+    #[test]
+    fn cx_conjugation_matches_table_i() {
+        // The 16-entry CNOT table of the paper (signs per Aaronson–Gottesman).
+        let table = [
+            ("II", "+II"),
+            ("IX", "+IX"),
+            ("IY", "+ZY"),
+            ("IZ", "+ZZ"),
+            ("XI", "+XX"),
+            ("XX", "+XI"),
+            ("XY", "+YZ"),
+            ("XZ", "-YY"),
+            ("YI", "+YX"),
+            ("YX", "+YI"),
+            ("YY", "-XZ"),
+            ("YZ", "+XY"),
+            ("ZI", "+ZI"),
+            ("ZX", "+ZX"),
+            ("ZY", "+IY"),
+            ("ZZ", "+IZ"),
+        ];
+        let inputs: Vec<&str> = table.iter().map(|(i, _)| *i).collect();
+        let mut f = frame(&inputs);
+        f.conj_cx(0, 1);
+        for (i, (input, want)) in table.iter().enumerate() {
+            assert_eq!(f.get(i).to_string(), *want, "CX on {input}");
+        }
+    }
+
+    #[test]
+    fn cz_and_swap_conjugations() {
+        let mut f = frame(&["XI", "IX", "ZI", "XX", "XY"]);
+        f.conj_cz(0, 1);
+        assert_eq!(f.get(0).to_string(), "+XZ");
+        assert_eq!(f.get(1).to_string(), "+ZX");
+        assert_eq!(f.get(2).to_string(), "+ZI");
+        assert_eq!(f.get(3).to_string(), "+YY");
+        assert_eq!(f.get(4).to_string(), "-YX");
+
+        let mut f = frame(&["XZ", "-YI"]);
+        f.conj_swap(0, 1);
+        assert_eq!(f.get(0).to_string(), "+ZX");
+        assert_eq!(f.get(1).to_string(), "-IY");
+        f.conj_swap(1, 1); // no-op
+        assert_eq!(f.get(0).to_string(), "+ZX");
+    }
+
+    #[test]
+    fn conjugation_works_across_word_boundaries() {
+        // 130 rows: the planes span three words.
+        let rows: Vec<SignedPauli> = (0..130)
+            .map(|i| {
+                match i % 4 {
+                    0 => "XI",
+                    1 => "YZ",
+                    2 => "-ZY",
+                    _ => "II",
+                }
+                .parse()
+                .unwrap()
+            })
+            .collect();
+        let mut f = PauliFrame::from_signed(2, &rows);
+        f.conj_h(0);
+        f.conj_cx(0, 1);
+        f.conj_s(1);
+        // Spot-check a row in the last partial word against scalar rules.
+        // Row 128 is "XI": H(0) → ZI, CX(0,1) → ZI, S(1) → ZI.
+        assert_eq!(f.get(128).to_string(), "+ZI");
+        // Row 129 is "YZ": H(0) → -YZ, CX(0,1) → -XY (YZ→XY), S(1) → +XX.
+        assert_eq!(f.get(129).to_string(), "+XX");
+    }
+
+    #[test]
+    fn select_rows_gathers_in_order() {
+        let f = frame(&["XI", "-ZZ", "YY", "IZ"]);
+        let g = f.select_rows(&[2, 0]);
+        assert_eq!(g.num_rows(), 2);
+        assert_eq!(g.get(0).to_string(), "+YY");
+        assert_eq!(g.get(1).to_string(), "+XI");
+    }
+
+    #[test]
+    fn load_row_overwrites() {
+        let mut f = PauliFrame::identities(3, 2);
+        assert!(f.is_identity_row(0));
+        f.load_row(1, &"XYZ".parse().unwrap(), true);
+        assert_eq!(f.get(1).to_string(), "-XYZ");
+        assert!(f.is_identity_row(0));
+    }
+}

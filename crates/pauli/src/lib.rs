@@ -31,12 +31,14 @@
 #![warn(missing_debug_implementations)]
 
 mod bits;
+mod frame;
 mod op;
 mod rotation;
 mod signed;
 mod string;
 
 pub use bits::BitVec;
+pub use frame::PauliFrame;
 pub use op::PauliOp;
 pub use rotation::PauliRotation;
 pub use signed::SignedPauli;
@@ -107,6 +109,7 @@ mod tests {
     fn types_are_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<BitVec>();
+        assert_send_sync::<PauliFrame>();
         assert_send_sync::<PauliOp>();
         assert_send_sync::<PauliString>();
         assert_send_sync::<SignedPauli>();

@@ -4,7 +4,7 @@ use std::fmt;
 use std::str::FromStr;
 
 use crate::bits::BitVec;
-use crate::op::{phase_exponent, PauliOp};
+use crate::op::PauliOp;
 use crate::ParsePauliError;
 
 /// A phase-free Pauli string over `n` qubits.
@@ -189,12 +189,20 @@ impl PauliString {
     #[must_use]
     pub fn mul(&self, other: &PauliString) -> (PauliString, u8) {
         assert_eq!(self.n, other.n, "qubit count mismatch in mul");
-        let mut phase: u8 = 0;
-        for q in 0..self.n {
-            phase = (phase
-                + phase_exponent(self.x.get(q), self.z.get(q), other.x.get(q), other.z.get(q)))
-                % 4;
+        // Word-parallel phase accumulation: the per-position Aaronson–
+        // Gottesman `g` is +1 on cyclic pairs (X·Y, Y·Z, Z·X) and −1 on
+        // anticyclic ones, so two popcounts per word give the exponent.
+        let mut cyclic: i64 = 0;
+        let mut anticyclic: i64 = 0;
+        for (i, (ax, az)) in self.x.words().iter().zip(self.z.words()).enumerate() {
+            let bx = other.x.words()[i];
+            let bz = other.z.words()[i];
+            let pos = (ax & !az & bx & bz) | (ax & az & !bx & bz) | (!ax & az & bx & !bz);
+            let neg = (ax & !az & !bx & bz) | (ax & az & bx & !bz) | (!ax & az & bx & bz);
+            cyclic += i64::from(pos.count_ones());
+            anticyclic += i64::from(neg.count_ones());
         }
+        let phase = (cyclic - anticyclic).rem_euclid(4) as u8;
         let mut x = self.x.clone();
         x.xor_with(&other.x);
         let mut z = self.z.clone();

@@ -91,6 +91,42 @@ proptest! {
         prop_assert!(a.approx_eq_up_to_phase(&b, 1e-9));
     }
 
+    /// The word-parallel frame conjugation (the bit-plane kernel behind both
+    /// the tableau and the extraction lookahead) is validated against the
+    /// state-vector simulator: for every row `P` of a random batch, the
+    /// frame's claim `U·P·U† = ±P'` must hold as an expectation identity
+    /// ⟨ψ|U P U†|ψ⟩ = ±⟨ψ|P'|ψ⟩ on non-stabilizer states.
+    #[test]
+    fn frame_conjugation_matches_statevector(
+        seed in 0u64..256,
+        rows in prop::collection::vec(pauli_string(N), 1..8),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(13).wrapping_add(41));
+        let clifford = random_clifford_circuit(N, 15, &mut rng);
+        let signed: Vec<quclear_pauli::SignedPauli> =
+            rows.iter().cloned().map(quclear_pauli::SignedPauli::positive).collect();
+        let mut frame = quclear_pauli::PauliFrame::from_signed(N, &signed);
+        for gate in clifford.gates() {
+            quclear_tableau::conjugate_all_by_gate(&mut frame, gate);
+        }
+
+        let prep = preparation_circuit(seed.wrapping_mul(7).wrapping_add(3));
+        let psi = StateVector::from_circuit(&prep);
+        // |φ⟩ = U†|ψ⟩ so that ⟨φ|P|φ⟩ = ⟨ψ|U P U†|ψ⟩.
+        let mut prep_then_u_dagger = prep.clone();
+        prep_then_u_dagger.append(&clifford.inverse());
+        let phi = StateVector::from_circuit(&prep_then_u_dagger);
+
+        for (i, row) in rows.iter().enumerate() {
+            let direct = phi.expectation(row);
+            let via_frame = psi.expectation_signed(&frame.get(i));
+            prop_assert!(
+                (direct - via_frame).abs() < 1e-9,
+                "row {i}: direct {direct} vs frame {via_frame}"
+            );
+        }
+    }
+
     /// The peephole optimizer preserves the unitary action on states.
     #[test]
     fn peephole_optimizer_preserves_state(seed in 0u64..256) {

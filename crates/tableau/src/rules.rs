@@ -8,7 +8,7 @@
 //! Table I in this crate's unit tests.
 
 use quclear_circuit::Gate;
-use quclear_pauli::{PauliOp, SignedPauli};
+use quclear_pauli::{PauliFrame, PauliOp, SignedPauli};
 
 /// Conjugates a signed Pauli by a single Clifford gate: returns `g·P·g†`.
 ///
@@ -63,6 +63,36 @@ pub fn conjugate_pauli_by_gate(pauli: &SignedPauli, gate: &Gate) -> SignedPauli 
         }
     }
     SignedPauli::new(p, negative)
+}
+
+/// Conjugates **every** Pauli in a [`PauliFrame`] by a single Clifford gate
+/// in one word-parallel pass: each row becomes `g·P·g†`.
+///
+/// This is the batched counterpart of [`conjugate_pauli_by_gate`]: instead
+/// of walking rows one at a time it updates the frame's per-qubit bit-planes
+/// with `O(rows/64)` word operations, which is what makes advancing a
+/// Clifford frame past a whole lookahead window cheap.
+///
+/// # Panics
+///
+/// Panics if `gate` is not a Clifford gate (`Rz`/`Rx`/`Ry`).
+pub fn conjugate_all_by_gate(frame: &mut PauliFrame, gate: &Gate) {
+    match *gate {
+        Gate::H(q) => frame.conj_h(q),
+        Gate::S(q) => frame.conj_s(q),
+        Gate::Sdg(q) => frame.conj_sdg(q),
+        Gate::X(q) => frame.conj_x(q),
+        Gate::Y(q) => frame.conj_y(q),
+        Gate::Z(q) => frame.conj_z(q),
+        Gate::SqrtX(q) => frame.conj_sqrt_x(q),
+        Gate::SqrtXdg(q) => frame.conj_sqrt_xdg(q),
+        Gate::Cx { control, target } => frame.conj_cx(control, target),
+        Gate::Cz { a, b } => frame.conj_cz(a, b),
+        Gate::Swap { a, b } => frame.conj_swap(a, b),
+        Gate::Rz { .. } | Gate::Rx { .. } | Gate::Ry { .. } => {
+            panic!("cannot conjugate a Pauli by non-Clifford gate {gate}")
+        }
+    }
 }
 
 /// Conjugates a signed Pauli by the *inverse* of a gate: returns `g†·P·g`.
@@ -287,6 +317,63 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The batched frame conjugation must agree with the scalar rule on
+    /// every two-qubit signed Pauli for every Clifford gate.
+    #[test]
+    fn batched_conjugation_matches_scalar_rules() {
+        let gates = [
+            Gate::H(0),
+            Gate::H(1),
+            Gate::S(0),
+            Gate::Sdg(1),
+            Gate::X(0),
+            Gate::Y(1),
+            Gate::Z(0),
+            Gate::SqrtX(1),
+            Gate::SqrtXdg(0),
+            Gate::Cx {
+                control: 0,
+                target: 1,
+            },
+            Gate::Cx {
+                control: 1,
+                target: 0,
+            },
+            Gate::Cz { a: 0, b: 1 },
+            Gate::Swap { a: 0, b: 1 },
+        ];
+        // All 32 signed two-qubit Paulis.
+        let mut rows: Vec<SignedPauli> = Vec::new();
+        for a in "IXYZ".chars() {
+            for b in "IXYZ".chars() {
+                for sign in ["+", "-"] {
+                    rows.push(format!("{sign}{a}{b}").parse().unwrap());
+                }
+            }
+        }
+        for gate in gates {
+            let mut frame = PauliFrame::from_signed(2, &rows);
+            conjugate_all_by_gate(&mut frame, &gate);
+            for (i, row) in rows.iter().enumerate() {
+                let scalar = conjugate_pauli_by_gate(row, &gate);
+                assert_eq!(frame.get(i), scalar, "gate {gate} on {row}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-Clifford")]
+    fn batched_rotation_gates_are_rejected() {
+        let mut frame = PauliFrame::identities(1, 1);
+        conjugate_all_by_gate(
+            &mut frame,
+            &Gate::Rx {
+                qubit: 0,
+                angle: 0.5,
+            },
+        );
     }
 
     #[test]

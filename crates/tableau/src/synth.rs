@@ -52,7 +52,7 @@ pub fn synthesize_clifford(tableau: &CliffordTableau) -> Circuit {
         {
             // The image has support only on qubits ≥ i (earlier qubits are
             // already fixed and commutation forces triviality there).
-            let row = work.x_image(i).clone();
+            let row = work.x_image(i);
             let ops: Vec<PauliOp> = (0..n).map(|q| row.pauli().op(q)).collect();
             // Ensure an X (or Y) component exists at some qubit ≥ i.
             let has_x = (i..n).find(|&q| matches!(ops[q], PauliOp::X | PauliOp::Y));
@@ -65,7 +65,7 @@ pub fn synthesize_clifford(tableau: &CliffordTableau) -> Circuit {
         }
         {
             // Move an X component onto qubit i if necessary.
-            let row = work.x_image(i).clone();
+            let row = work.x_image(i);
             let x_at_i = matches!(row.pauli().op(i), PauliOp::X | PauliOp::Y);
             if !x_at_i {
                 let j = (i + 1..n)
@@ -83,7 +83,7 @@ pub fn synthesize_clifford(tableau: &CliffordTableau) -> Circuit {
         }
         {
             // Clear X components on qubits j > i.
-            let row = work.x_image(i).clone();
+            let row = work.x_image(i);
             for j in i + 1..n {
                 if matches!(row.pauli().op(j), PauliOp::X | PauliOp::Y) {
                     push(
@@ -105,7 +105,7 @@ pub fn synthesize_clifford(tableau: &CliffordTableau) -> Circuit {
         }
         {
             // Clear residual Z components on qubits j > i (row is X_i · ∏ Z_j).
-            let row = work.x_image(i).clone();
+            let row = work.x_image(i);
             let z_positions: Vec<usize> = (i + 1..n)
                 .filter(|&j| row.pauli().op(j) == PauliOp::Z)
                 .collect();
@@ -139,7 +139,7 @@ pub fn synthesize_clifford(tableau: &CliffordTableau) -> Circuit {
             // Clear X components on qubits j > i by funnelling them into one
             // qubit and converting to Z.
             loop {
-                let row = work.z_image(i).clone();
+                let row = work.z_image(i);
                 let xs: Vec<usize> = (i + 1..n)
                     .filter(|&j| matches!(row.pauli().op(j), PauliOp::X | PauliOp::Y))
                     .collect();
@@ -175,7 +175,7 @@ pub fn synthesize_clifford(tableau: &CliffordTableau) -> Circuit {
         {
             // Clear plain Z components on qubits j > i via CX(j→i)
             // (the Z image always has a Z component at qubit i).
-            let row = work.z_image(i).clone();
+            let row = work.z_image(i);
             for j in i + 1..n {
                 if row.pauli().op(j) == PauliOp::Z {
                     push(

@@ -1,12 +1,12 @@
 //! The Clifford tableau: a compact representation of a Clifford conjugation
-//! map.
+//! map, stored as word-packed bit-planes.
 
 use std::fmt;
 
 use quclear_circuit::{Circuit, Gate};
-use quclear_pauli::{PauliOp, PauliString, SignedPauli};
+use quclear_pauli::{BitVec, PauliFrame, PauliOp, PauliString, SignedPauli};
 
-use crate::rules::conjugate_pauli_by_gate;
+use crate::rules::conjugate_all_by_gate;
 
 /// A Clifford unitary `U` represented by the images of the Pauli generators
 /// under conjugation: `U X_i U†` and `U Z_i U†` (the stabilizer-tableau
@@ -18,6 +18,16 @@ use crate::rules::conjugate_pauli_by_gate;
 /// produces the map of `U†`. This is exactly the machinery the QuCLEAR paper
 /// uses to update Pauli strings and observables during Clifford Extraction and
 /// Absorption.
+///
+/// # Representation
+///
+/// The `2n` generator images are held in a column-major [`PauliFrame`]: rows
+/// `0..n` are the images of `X_0..X_{n-1}`, rows `n..2n` the images of
+/// `Z_0..Z_{n-1}`, and for each qubit there is one X bit-plane and one Z
+/// bit-plane over the generators plus a shared sign plane. In this layout
+/// [`CliffordTableau::then_gate`] is a handful of XOR/AND word operations on
+/// the planes of the touched qubits, and [`CliffordTableau::apply`] is a
+/// masked popcount sweep — no per-qubit branching and no allocation per gate.
 ///
 /// # Examples
 ///
@@ -36,23 +46,34 @@ use crate::rules::conjugate_pauli_by_gate;
 #[derive(Clone, PartialEq, Eq)]
 pub struct CliffordTableau {
     n: usize,
-    /// Image of `X_i` under the map.
-    x_rows: Vec<SignedPauli>,
-    /// Image of `Z_i` under the map.
-    z_rows: Vec<SignedPauli>,
+    /// Generator images: rows `0..n` = `U X_i U†`, rows `n..2n` = `U Z_i U†`.
+    frame: PauliFrame,
 }
 
 impl CliffordTableau {
     /// The identity map on `n` qubits.
     #[must_use]
     pub fn identity(n: usize) -> Self {
-        let x_rows = (0..n)
-            .map(|q| SignedPauli::positive(PauliString::single(n, q, PauliOp::X)))
-            .collect();
-        let z_rows = (0..n)
-            .map(|q| SignedPauli::positive(PauliString::single(n, q, PauliOp::Z)))
-            .collect();
-        CliffordTableau { n, x_rows, z_rows }
+        let mut frame = PauliFrame::identities(n, 2 * n);
+        for q in 0..n {
+            frame.set_op(q, q, PauliOp::X);
+            frame.set_op(n + q, q, PauliOp::Z);
+        }
+        CliffordTableau { n, frame }
+    }
+
+    /// Builds a tableau from explicit generator images.
+    fn from_rows(n: usize, x_rows: &[SignedPauli], z_rows: &[SignedPauli]) -> Self {
+        debug_assert_eq!(x_rows.len(), n);
+        debug_assert_eq!(z_rows.len(), n);
+        let mut frame = PauliFrame::identities(n, 2 * n);
+        for (q, row) in x_rows.iter().enumerate() {
+            frame.load_row(q, row.pauli(), row.is_negative());
+        }
+        for (q, row) in z_rows.iter().enumerate() {
+            frame.load_row(n + q, row.pauli(), row.is_negative());
+        }
+        CliffordTableau { n, frame }
     }
 
     /// Builds the map `P ↦ U·P·U†` of the Clifford circuit `U`.
@@ -94,8 +115,9 @@ impl CliffordTableau {
     ///
     /// Panics if `q >= self.num_qubits()`.
     #[must_use]
-    pub fn x_image(&self, q: usize) -> &SignedPauli {
-        &self.x_rows[q]
+    pub fn x_image(&self, q: usize) -> SignedPauli {
+        assert!(q < self.n, "qubit {q} out of range {}", self.n);
+        self.frame.get(q)
     }
 
     /// The image of `Z_q` under the map.
@@ -104,23 +126,23 @@ impl CliffordTableau {
     ///
     /// Panics if `q >= self.num_qubits()`.
     #[must_use]
-    pub fn z_image(&self, q: usize) -> &SignedPauli {
-        &self.z_rows[q]
+    pub fn z_image(&self, q: usize) -> SignedPauli {
+        assert!(q < self.n, "qubit {q} out of range {}", self.n);
+        self.frame.get(self.n + q)
     }
 
     /// Post-composes the map with conjugation by one gate:
     /// `M'(P) = g·M(P)·g†`.
     ///
     /// Building a tableau from a circuit is exactly folding this over the
-    /// gates in time order.
+    /// gates in time order. With the bit-plane layout this touches only the
+    /// planes of the gate's qubits: `O(n/64)` words, no allocation.
     ///
     /// # Panics
     ///
     /// Panics if `gate` is not Clifford.
     pub fn then_gate(&mut self, gate: &Gate) {
-        for row in self.x_rows.iter_mut().chain(self.z_rows.iter_mut()) {
-            *row = conjugate_pauli_by_gate(row, gate);
-        }
+        conjugate_all_by_gate(&mut self.frame, gate);
     }
 
     /// Post-composes with conjugation by the *inverse* of a gate:
@@ -156,16 +178,23 @@ impl CliffordTableau {
             self.n, other.n,
             "qubit count mismatch in tableau composition"
         );
-        let x_rows = self.x_rows.iter().map(|r| other.apply_signed(r)).collect();
-        let z_rows = self.z_rows.iter().map(|r| other.apply_signed(r)).collect();
-        CliffordTableau {
-            n: self.n,
-            x_rows,
-            z_rows,
-        }
+        let x_rows: Vec<SignedPauli> = (0..self.n)
+            .map(|q| other.apply_signed(&self.x_image(q)))
+            .collect();
+        let z_rows: Vec<SignedPauli> = (0..self.n)
+            .map(|q| other.apply_signed(&self.z_image(q)))
+            .collect();
+        CliffordTableau::from_rows(self.n, &x_rows, &z_rows)
     }
 
     /// Applies the map to a phase-free Pauli string, returning `±P'`.
+    ///
+    /// The image is the ordered product of the selected generator images,
+    /// `U P U† = i^{#Y(P)} ∏_q (U X_q U†)^{x_q} (U Z_q U†)^{z_q}`, evaluated
+    /// word-parallel: for every qubit column the result bits are masked
+    /// parities of the bit-planes, and the i-exponent is accumulated from
+    /// popcounts (the per-column product phase) rather than per-qubit
+    /// string multiplications.
     ///
     /// # Panics
     ///
@@ -177,38 +206,78 @@ impl CliffordTableau {
             self.n,
             "qubit count mismatch in tableau application"
         );
-        // P = i^{#Y} · ∏_q X_q^{x_q} Z_q^{z_q}; conjugation is applied to the
-        // literal X/Z factors and the phase bookkeeping restores ±1.
-        let mut acc = PauliString::identity(self.n);
-        let mut phase: u8 = 0; // exponent of i
-        let mut y_count: usize = 0;
-        for q in 0..self.n {
-            let (x, z) = pauli.op(q).xz();
-            if x && z {
-                y_count += 1;
+        let n = self.n;
+        let rows = 2 * n;
+        // Select generator rows: row q for an X factor at qubit q, row n+q
+        // for a Z factor. The multiplication order is "all X rows, then all
+        // Z rows, each by ascending qubit" — this differs from the
+        // interleaved X_q,Z_q order only by swaps of commuting factors
+        // (X_q and Z_{q'} with q ≠ q'), so the operator is unchanged.
+        let mut mask = BitVec::zeros(rows);
+        for q in pauli.x_bits().iter_ones() {
+            mask.set(q, true);
+        }
+        for q in pauli.z_bits().iter_ones() {
+            mask.set(n + q, true);
+        }
+
+        // i^{#Y}: the literal decomposition of P contributes i per Y factor
+        // (word-level popcount, not a per-qubit loop).
+        let mut phase: i64 = pauli.x_bits().and_count(pauli.z_bits()) as i64;
+        let mut res_x = BitVec::zeros(n);
+        let mut res_z = BitVec::zeros(n);
+        let mask_words = mask.words();
+        for j in 0..n {
+            let xw = self.frame.x_plane(j).words();
+            let zw = self.frame.z_plane(j).words();
+            // Per-column product of the selected single-qubit factors, in
+            // row order: ∏_i P_i = i^{Σ x_i z_i − x_tot·z_tot} ·
+            // (−1)^{Σ_{i<k} z_i x_k} · literal(x_tot, z_tot).
+            let mut yy = 0i64; // Σ x_i z_i
+            let mut x_tot = 0u64;
+            let mut z_tot = 0u64;
+            let mut pair = 0u32; // parity of Σ_{i<k} z_i x_k
+            let mut carry = 0u64; // all-ones iff parity of z bits so far is odd
+            for (w, &m) in mask_words.iter().enumerate() {
+                let ax = xw[w] & m;
+                let az = zw[w] & m;
+                yy += i64::from((ax & az).count_ones());
+                x_tot ^= ax;
+                z_tot ^= az;
+                // Exclusive prefix parity of the z sequence, continued
+                // across words via the carry mask.
+                let mut inc = az;
+                inc ^= inc << 1;
+                inc ^= inc << 2;
+                inc ^= inc << 4;
+                inc ^= inc << 8;
+                inc ^= inc << 16;
+                inc ^= inc << 32;
+                let exc = (inc << 1) ^ carry;
+                pair ^= (ax & exc).count_ones() & 1;
+                carry ^= 0u64.wrapping_sub(inc >> 63);
             }
-            if x {
-                let row = &self.x_rows[q];
-                let (next, k) = acc.mul(row.pauli());
-                phase = (phase + k + if row.is_negative() { 2 } else { 0 }) % 4;
-                acc = next;
+            let xt = x_tot.count_ones() & 1 == 1;
+            let zt = z_tot.count_ones() & 1 == 1;
+            phase += yy - i64::from(xt && zt) + 2 * i64::from(pair);
+            if xt {
+                res_x.set(j, true);
             }
-            if z {
-                let row = &self.z_rows[q];
-                let (next, k) = acc.mul(row.pauli());
-                phase = (phase + k + if row.is_negative() { 2 } else { 0 }) % 4;
-                acc = next;
+            if zt {
+                res_z.set(j, true);
             }
         }
-        // The decomposition of P into literal X/Z factors contributes
-        // i^{#Y}; likewise the reassembled result absorbs i^{-#Y(result)}
-        // automatically through the multiplication phases above.
-        let total = (phase + (y_count % 4) as u8) % 4;
+        // Row signs contribute (−1) each; i^{−#Y(result)} is already folded
+        // in through the per-column literal reassembly above.
+        if self.frame.sign_plane().and_parity(&mask) {
+            phase += 2;
+        }
+        let total = phase.rem_euclid(4);
         assert!(
-            total.is_multiple_of(2),
+            total % 2 == 0,
             "Clifford conjugation produced imaginary phase i^{total}; tableau is corrupt"
         );
-        SignedPauli::new(acc, total == 2)
+        SignedPauli::new(PauliString::from_xz(res_x, res_z), total == 2)
     }
 
     /// Applies the map to a signed Pauli.
@@ -226,11 +295,21 @@ impl CliffordTableau {
     /// themselves with positive sign).
     #[must_use]
     pub fn is_identity(&self) -> bool {
-        (0..self.n).all(|q| {
-            self.x_rows[q] == SignedPauli::positive(PauliString::single(self.n, q, PauliOp::X))
-                && self.z_rows[q]
-                    == SignedPauli::positive(PauliString::single(self.n, q, PauliOp::Z))
+        if !self.frame.sign_plane().is_zero() {
+            return false;
+        }
+        (0..self.n).all(|j| {
+            let x = self.frame.x_plane(j);
+            let z = self.frame.z_plane(j);
+            x.count_ones() == 1 && x.get(j) && z.count_ones() == 1 && z.get(self.n + j)
         })
+    }
+
+    /// Direct access to the generator-image frame (rows `0..n` are X images,
+    /// rows `n..2n` are Z images).
+    #[must_use]
+    pub fn generator_frame(&self) -> &PauliFrame {
+        &self.frame
     }
 
     /// The inverse map (the tableau of `U†` if `self` is the tableau of `U`).
@@ -256,8 +335,8 @@ impl CliffordTableau {
         // Augmented matrix [A | I], columns indexed by generator.
         let mut a: Vec<Vec<bool>> = vec![vec![false; dim]; dim];
         for j in 0..n {
-            let cx = column(&self.x_rows[j]);
-            let cz = column(&self.z_rows[j]);
+            let cx = column(&self.x_image(j));
+            let cz = column(&self.z_image(j));
             for i in 0..dim {
                 a[i][j] = cx[i];
                 a[i][n + j] = cz[i];
@@ -286,8 +365,8 @@ impl CliffordTableau {
         // original generator images; equivalently, column j of `inv` gives the
         // preimage of generator j.
         let preimage = |j: usize| -> PauliString {
-            let mut x = quclear_pauli::BitVec::zeros(n);
-            let mut z = quclear_pauli::BitVec::zeros(n);
+            let mut x = BitVec::zeros(n);
+            let mut z = BitVec::zeros(n);
             for q in 0..n {
                 // Coefficient of X_q generator (index q) and Z_q (index n+q)
                 // in the preimage of generator j.
@@ -310,7 +389,7 @@ impl CliffordTableau {
             let sign = self.apply(&pz).is_negative();
             z_rows.push(SignedPauli::new(pz, sign));
         }
-        CliffordTableau { n, x_rows, z_rows }
+        CliffordTableau::from_rows(n, &x_rows, &z_rows)
     }
 }
 
@@ -318,10 +397,10 @@ impl fmt::Debug for CliffordTableau {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "CliffordTableau on {} qubits:", self.n)?;
         for q in 0..self.n {
-            writeln!(f, "  X_{q} -> {}", self.x_rows[q])?;
+            writeln!(f, "  X_{q} -> {}", self.x_image(q))?;
         }
         for q in 0..self.n {
-            writeln!(f, "  Z_{q} -> {}", self.z_rows[q])?;
+            writeln!(f, "  Z_{q} -> {}", self.z_image(q))?;
         }
         Ok(())
     }
@@ -456,6 +535,55 @@ mod tests {
         let t = CliffordTableau::from_circuit(&c);
         // Swap then CZ: X0 -> X1 -> X1 Z0.
         assert_eq!(t.apply(&"XI".parse().unwrap()).to_string(), "+ZX");
+    }
+
+    /// The word-parallel apply must agree with multiplying out the generator
+    /// images one at a time (the pre-bit-plane reference algorithm).
+    #[test]
+    fn apply_matches_row_by_row_reference() {
+        let mut c = Circuit::new(5);
+        c.h(0);
+        c.cx(0, 3);
+        c.s(2);
+        c.cz(1, 4);
+        c.sdg(3);
+        c.cx(4, 2);
+        c.push(Gate::SqrtX(1));
+        c.swap(0, 2);
+        let t = CliffordTableau::from_circuit(&c);
+        let reference = |p: &PauliString| -> SignedPauli {
+            let n = p.num_qubits();
+            let mut acc = PauliString::identity(n);
+            let mut phase: u8 = 0;
+            let mut y_count: usize = 0;
+            for q in 0..n {
+                let (x, z) = p.op(q).xz();
+                if x && z {
+                    y_count += 1;
+                }
+                if x {
+                    let row = t.x_image(q);
+                    let (next, k) = acc.mul(row.pauli());
+                    phase = (phase + k + if row.is_negative() { 2 } else { 0 }) % 4;
+                    acc = next;
+                }
+                if z {
+                    let row = t.z_image(q);
+                    let (next, k) = acc.mul(row.pauli());
+                    phase = (phase + k + if row.is_negative() { 2 } else { 0 }) % 4;
+                    acc = next;
+                }
+            }
+            let total = (phase + (y_count % 4) as u8) % 4;
+            assert_eq!(total % 2, 0);
+            SignedPauli::new(acc, total == 2)
+        };
+        for s in [
+            "XYZIX", "ZZZZZ", "IIIII", "YIYIY", "XXXXX", "IZXYI", "YXZIZ",
+        ] {
+            let p: PauliString = s.parse().unwrap();
+            assert_eq!(t.apply(&p), reference(&p), "apply mismatch on {s}");
+        }
     }
 
     #[test]

@@ -1,8 +1,11 @@
 //! Property-based tests for the Clifford tableau.
 
 use proptest::prelude::*;
-use quclear_pauli::{PauliOp, PauliString};
-use quclear_tableau::{random_clifford_circuit, synthesize_clifford, CliffordTableau};
+use quclear_pauli::{PauliFrame, PauliOp, PauliString, SignedPauli};
+use quclear_tableau::{
+    conjugate_all_by_gate, conjugate_pauli_by_gate, random_clifford_circuit, synthesize_clifford,
+    CliffordTableau,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -102,5 +105,118 @@ proptest! {
         let t2 = random_tableau(seed2.wrapping_add(1000), 20);
         let composed = t1.then(&t2);
         prop_assert_eq!(composed.apply(&p), t2.apply_signed(&t1.apply(&p)));
+    }
+
+    /// The bit-plane tableau is gate-for-gate equivalent to the reference
+    /// `SignedPauli`-row implementation (the pre-bit-plane representation):
+    /// generator images built by folding the scalar per-gate rule over the
+    /// circuit match `x_image`/`z_image` exactly, signs included.
+    #[test]
+    fn bit_plane_generator_images_match_signed_row_reference(
+        seed in 0u64..256,
+        gates in 1usize..60,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(77).wrapping_add(3));
+        let circuit = random_clifford_circuit(N, gates, &mut rng);
+        let t = CliffordTableau::from_circuit(&circuit);
+        let reference = RowTableau::from_circuit(&circuit);
+        for q in 0..N {
+            prop_assert_eq!(t.x_image(q), reference.x_rows[q].clone());
+            prop_assert_eq!(t.z_image(q), reference.z_rows[q].clone());
+        }
+    }
+
+    /// The word-parallel `apply` agrees with the reference row-by-row
+    /// multiplication algorithm on arbitrary Pauli strings.
+    #[test]
+    fn bit_plane_apply_matches_signed_row_reference(
+        seed in 0u64..256,
+        gates in 1usize..60,
+        p in pauli_string(N),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(131).wrapping_add(17));
+        let circuit = random_clifford_circuit(N, gates, &mut rng);
+        let t = CliffordTableau::from_circuit(&circuit);
+        let reference = RowTableau::from_circuit(&circuit);
+        prop_assert_eq!(t.apply(&p), reference.apply(&p));
+    }
+
+    /// Batched frame conjugation stays row-for-row equal to the scalar rule
+    /// across a whole random circuit, including rows in trailing partial
+    /// words of the bit-planes.
+    #[test]
+    fn frame_conjugation_matches_scalar_over_circuits(
+        seed in 0u64..256,
+        gates in 1usize..40,
+        rows in prop::collection::vec(pauli_string(N), 1..70),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(211).wrapping_add(5));
+        let circuit = random_clifford_circuit(N, gates, &mut rng);
+        let signed: Vec<SignedPauli> = rows.iter().cloned().map(SignedPauli::positive).collect();
+        let mut frame = PauliFrame::from_signed(N, &signed);
+        let mut scalar = signed;
+        for gate in circuit.gates() {
+            conjugate_all_by_gate(&mut frame, gate);
+            for row in &mut scalar {
+                *row = conjugate_pauli_by_gate(row, gate);
+            }
+        }
+        for (i, row) in scalar.iter().enumerate() {
+            prop_assert_eq!(&frame.get(i), row);
+        }
+    }
+}
+
+/// The pre-bit-plane tableau representation, kept verbatim as a test oracle:
+/// one `SignedPauli` row per generator image, updated by the scalar per-gate
+/// conjugation rule, applied by row-by-row Pauli multiplication.
+struct RowTableau {
+    n: usize,
+    x_rows: Vec<SignedPauli>,
+    z_rows: Vec<SignedPauli>,
+}
+
+impl RowTableau {
+    fn from_circuit(circuit: &quclear_circuit::Circuit) -> Self {
+        let n = circuit.num_qubits();
+        let mut x_rows: Vec<SignedPauli> = (0..n)
+            .map(|q| SignedPauli::positive(PauliString::single(n, q, PauliOp::X)))
+            .collect();
+        let mut z_rows: Vec<SignedPauli> = (0..n)
+            .map(|q| SignedPauli::positive(PauliString::single(n, q, PauliOp::Z)))
+            .collect();
+        for gate in circuit.gates() {
+            for row in x_rows.iter_mut().chain(z_rows.iter_mut()) {
+                *row = conjugate_pauli_by_gate(row, gate);
+            }
+        }
+        RowTableau { n, x_rows, z_rows }
+    }
+
+    fn apply(&self, pauli: &PauliString) -> SignedPauli {
+        let mut acc = PauliString::identity(self.n);
+        let mut phase: u8 = 0;
+        let mut y_count: usize = 0;
+        for q in 0..self.n {
+            let (x, z) = pauli.op(q).xz();
+            if x && z {
+                y_count += 1;
+            }
+            if x {
+                let row = &self.x_rows[q];
+                let (next, k) = acc.mul(row.pauli());
+                phase = (phase + k + if row.is_negative() { 2 } else { 0 }) % 4;
+                acc = next;
+            }
+            if z {
+                let row = &self.z_rows[q];
+                let (next, k) = acc.mul(row.pauli());
+                phase = (phase + k + if row.is_negative() { 2 } else { 0 }) % 4;
+                acc = next;
+            }
+        }
+        let total = (phase + (y_count % 4) as u8) % 4;
+        assert_eq!(total % 2, 0, "reference produced imaginary phase");
+        SignedPauli::new(acc, total == 2)
     }
 }
