@@ -1,0 +1,154 @@
+//! Criterion benchmarks of the word-parallel absorption pipeline, recorded
+//! to `BENCH_absorb.json`.
+//!
+//! Two groups measure the batch paths against their scalar baselines:
+//!
+//! * `ca_pre` — rewriting ≥10k observables through the extracted Clifford:
+//!   per-string `absorb_observables` (the pre-PR scalar path) versus the
+//!   `AbsorptionPlan` frame sweep and the raw `CliffordTableau::apply_frame`
+//!   kernel.
+//! * `ca_post` — post-processing ≥1M shots: the per-shot `map_index` loop
+//!   (the pre-PR scalar path) versus bit-plane packing + packed affine map,
+//!   plus the expectation accumulators (per-shot parity counting versus
+//!   XOR-of-planes popcounts over 64 observables).
+//!
+//! Record results with `CRITERION_JSON=<path> cargo bench -p quclear-bench
+//! --bench absorb`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use quclear_core::{absorb_observables, compile, QuClearConfig, ShotBatch};
+use quclear_pauli::{BitVec, PauliFrame, PauliOp, PauliString, SignedPauli};
+use quclear_workloads::Benchmark;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const OBSERVABLES: usize = 10_240;
+const SHOTS: usize = 1 << 20;
+const EXPECTATION_OBSERVABLES: usize = 64;
+
+fn random_observables(n: usize, count: usize, seed: u64) -> Vec<SignedPauli> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let ops: Vec<PauliOp> = (0..n)
+                .map(|_| match rng.gen_range(0..4) {
+                    0 => PauliOp::I,
+                    1 => PauliOp::X,
+                    2 => PauliOp::Y,
+                    _ => PauliOp::Z,
+                })
+                .collect();
+            SignedPauli::new(PauliString::from_ops(&ops), rng.gen_bool(0.5))
+        })
+        .collect()
+}
+
+fn bench_ca_pre(c: &mut Criterion) {
+    let bench = Benchmark::Ucc(4, 8);
+    let n = bench.num_qubits();
+    let result = compile(&bench.rotations(), &QuClearConfig::default());
+    let plan = result.absorption_plan();
+    let observables = random_observables(n, OBSERVABLES, 0xCAFE);
+    let frame = PauliFrame::from_signed(n, &observables);
+
+    let mut group = c.benchmark_group("ca_pre");
+    group.sample_size(20);
+    group.bench_with_input(
+        BenchmarkId::new("scalar", OBSERVABLES),
+        &observables,
+        |b, obs| {
+            b.iter(|| absorb_observables(&result.heisenberg, black_box(obs)));
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("plan_frame", OBSERVABLES),
+        &observables,
+        |b, obs| {
+            b.iter(|| plan.absorb(black_box(obs)));
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("apply_frame", OBSERVABLES),
+        &frame,
+        |b, f| {
+            b.iter(|| result.heisenberg.apply_frame(black_box(f)));
+        },
+    );
+    group.finish();
+}
+
+fn bench_ca_post(c: &mut Criterion) {
+    let bench = Benchmark::MaxCutRegular { n: 20, degree: 12 };
+    let n = 20usize;
+    let result = compile(&bench.rotations(), &QuClearConfig::default());
+    let absorber = result.probability_absorber().expect("QAOA is absorbable");
+    let mut rng = StdRng::seed_from_u64(7);
+    let shots: Vec<u64> = (0..SHOTS).map(|_| rng.gen_range(0..1u64 << n)).collect();
+    let packed = ShotBatch::from_indices(n, &shots);
+
+    let mut group = c.benchmark_group("ca_post");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("scalar_map", SHOTS), &shots, |b, shots| {
+        b.iter(|| {
+            shots
+                .iter()
+                .fold(0usize, |acc, &s| acc ^ absorber.map_index(s as usize))
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("planes_map", SHOTS), &shots, |b, shots| {
+        b.iter(|| {
+            let batch = ShotBatch::from_indices(n, black_box(shots));
+            absorber.post_process_shots(&batch)
+        });
+    });
+
+    // Expectation accumulation over 64 random Z-supports.
+    let supports: Vec<(u64, BitVec)> = (0..EXPECTATION_OBSERVABLES as u64)
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(100 + i);
+            let mut mask_bits = 0u64;
+            let mut mask = BitVec::zeros(n);
+            for q in 0..n {
+                if rng.gen_bool(0.3) {
+                    mask_bits |= 1 << q;
+                    mask.set(q, true);
+                }
+            }
+            (mask_bits, mask)
+        })
+        .collect();
+    group.bench_with_input(
+        BenchmarkId::new("expectations_scalar", SHOTS),
+        &shots,
+        |b, shots| {
+            b.iter(|| {
+                supports
+                    .iter()
+                    .map(|&(mask_bits, _)| {
+                        let minus = shots
+                            .iter()
+                            .filter(|&&s| (s & mask_bits).count_ones() % 2 == 1)
+                            .count();
+                        (shots.len() as f64 - 2.0 * minus as f64) / shots.len() as f64
+                    })
+                    .sum::<f64>()
+            });
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("expectations_planes", SHOTS),
+        &packed,
+        |b, batch| {
+            b.iter(|| {
+                supports
+                    .iter()
+                    .map(|(_, mask)| batch.parity_expectation(mask))
+                    .sum::<f64>()
+            });
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_ca_pre, bench_ca_post);
+criterion_main!(benches);

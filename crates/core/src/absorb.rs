@@ -15,12 +15,14 @@
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
-use quclear_circuit::Circuit;
-use quclear_pauli::{PauliOp, PauliString, SignedPauli};
-use quclear_tableau::CliffordTableau;
+use quclear_circuit::{Circuit, Gate};
+use quclear_pauli::{BitVec, PauliFrame, PauliOp, PauliString, SignedPauli};
+use quclear_tableau::{conjugate_all_by_gate, CliffordTableau};
 
 use crate::gf2::Gf2Matrix;
+use crate::shots::ShotBatch;
 
 /// Rewrites a set of Pauli observables through the extracted Clifford:
 /// `O'_i = U_CL† O_i U_CL` (the CA-Pre step for observable measurements).
@@ -36,6 +38,260 @@ pub fn absorb_observables(
         .iter()
         .map(|o| heisenberg.apply_signed(o))
         .collect()
+}
+
+/// A reusable, batch-first recipe for Clifford Absorption: everything that
+/// depends only on the extracted Clifford (never on the observables, angles
+/// or shots), built once and applied to arbitrarily many observable sets.
+///
+/// CA-Pre rewrites a whole observable set in one word-parallel sweep: the
+/// set is loaded into a [`PauliFrame`] and conjugated through the extracted
+/// Clifford either by replaying the inverse extracted gates with
+/// [`conjugate_all_by_gate`] (`O(gates · observables/64)` word operations)
+/// or, when only the Heisenberg tableau is available, with
+/// [`CliffordTableau::apply_frame`]. No per-string
+/// [`CliffordTableau::apply`] calls are made anywhere.
+///
+/// # Examples
+///
+/// ```
+/// use quclear_core::{compile, QuClearConfig};
+/// use quclear_pauli::{PauliRotation, SignedPauli};
+///
+/// let program = vec![
+///     PauliRotation::parse("ZZZZ", 0.3)?,
+///     PauliRotation::parse("YYXX", 0.7)?,
+/// ];
+/// let result = compile(&program, &QuClearConfig::default());
+/// let plan = result.absorption_plan();
+/// let observables: Vec<SignedPauli> = vec!["XXZZ".parse()?, "ZIIZ".parse()?];
+/// let absorbed = plan.absorb(&observables);
+/// assert_eq!(absorbed.len(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct AbsorptionPlan {
+    n: usize,
+    heisenberg: CliffordTableau,
+    /// Gate sequence whose frame replay implements `P ↦ U_CL† P U_CL`
+    /// (the gates of the inverse extracted circuit, in time order). Shared so
+    /// cloning a plan — e.g. into every cached template — is cheap.
+    replay: Option<Arc<[Gate]>>,
+}
+
+impl AbsorptionPlan {
+    /// Builds a plan from the Heisenberg map alone. CA-Pre then uses the
+    /// tableau frame kernel ([`CliffordTableau::apply_frame`]).
+    #[must_use]
+    pub fn from_heisenberg(heisenberg: CliffordTableau) -> Self {
+        AbsorptionPlan {
+            n: heisenberg.num_qubits(),
+            heisenberg,
+            replay: None,
+        }
+    }
+
+    /// Builds a plan from the Heisenberg map plus the extracted Clifford
+    /// circuit it was derived from. CA-Pre then replays the inverse
+    /// extracted gates over the observable frame, which is the cheaper path
+    /// whenever the extracted circuit is shorter than `O(n²)` gates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit and tableau disagree on the qubit count.
+    #[must_use]
+    pub fn from_extraction(heisenberg: CliffordTableau, extracted: &Circuit) -> Self {
+        assert_eq!(
+            extracted.num_qubits(),
+            heisenberg.num_qubits(),
+            "extracted circuit and Heisenberg tableau must share a register"
+        );
+        let replay: Arc<[Gate]> = extracted.inverse().gates().to_vec().into();
+        AbsorptionPlan {
+            n: heisenberg.num_qubits(),
+            heisenberg,
+            replay: Some(replay),
+        }
+    }
+
+    /// Number of qubits.
+    #[must_use]
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// The Heisenberg map `P ↦ U_CL† P U_CL`.
+    #[must_use]
+    pub fn heisenberg(&self) -> &CliffordTableau {
+        &self.heisenberg
+    }
+
+    /// Rewrites every row of `frame` through the extracted Clifford in
+    /// place: row `i` becomes `U_CL† · row_i · U_CL`.
+    ///
+    /// Both available kernels are word-parallel over the rows; the plan
+    /// picks the cheaper one. Gate replay costs one plane update per gate
+    /// (`O(gates · rows/64)`), the tableau sweep one masked multiply per
+    /// (generator, qubit) pair (`O(n² · rows/64)`), so replay wins exactly
+    /// when the extracted circuit is shorter than ~`2n²` gates (QAOA CNOT
+    /// networks) and the tableau wins on deep extractions (UCCSD).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame's qubit count differs from the plan's.
+    pub fn rewrite_frame_in_place(&self, frame: &mut PauliFrame) {
+        assert_eq!(
+            frame.num_qubits(),
+            self.n,
+            "frame qubit count must match the absorption plan"
+        );
+        match &self.replay {
+            Some(gates) if gates.len() <= 2 * self.n * self.n => {
+                for gate in gates.iter() {
+                    conjugate_all_by_gate(frame, gate);
+                }
+            }
+            _ => *frame = self.heisenberg.apply_frame(frame),
+        }
+    }
+
+    /// Rewrites a frame through the extracted Clifford, returning the image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame's qubit count differs from the plan's.
+    #[must_use]
+    pub fn rewrite_frame(&self, frame: &PauliFrame) -> PauliFrame {
+        let mut out = frame.clone();
+        self.rewrite_frame_in_place(&mut out);
+        out
+    }
+
+    /// CA-Pre on a whole observable set: loads the set into one frame,
+    /// conjugates it through the extracted Clifford in a single sweep, and
+    /// returns the rewritten observables (with their coefficient signs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any observable's qubit count differs from the plan's.
+    #[must_use]
+    pub fn absorb(&self, observables: &[SignedPauli]) -> AbsorbedObservables {
+        let mut frame = PauliFrame::from_signed(self.n, observables);
+        self.rewrite_frame_in_place(&mut frame);
+        AbsorbedObservables { frame }
+    }
+}
+
+/// A batch of observables rewritten by CA-Pre, stored as a [`PauliFrame`].
+///
+/// Row `i` is `U_CL† O_i U_CL` for input observable `O_i`; the sign plane
+/// carries the coefficient signs (input sign folded with the conjugation
+/// sign), so `⟨O_i⟩ = sign(i) · ⟨P'_i⟩` where `P'_i` is the sign-free row
+/// measured on the optimized circuit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AbsorbedObservables {
+    frame: PauliFrame,
+}
+
+impl AbsorbedObservables {
+    /// Number of observables in the batch.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.frame.num_rows()
+    }
+
+    /// Returns `true` if the batch is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.frame.num_rows() == 0
+    }
+
+    /// Number of qubits.
+    #[must_use]
+    pub fn num_qubits(&self) -> usize {
+        self.frame.num_qubits()
+    }
+
+    /// The rewritten observables as a column-major frame (the layout the
+    /// batch estimators consume directly).
+    #[must_use]
+    pub fn frame(&self) -> &PauliFrame {
+        &self.frame
+    }
+
+    /// The coefficient-sign plane: bit `i` set means `O'_i` carries `−1`.
+    #[must_use]
+    pub fn signs(&self) -> &BitVec {
+        self.frame.sign_plane()
+    }
+
+    /// The `i`-th rewritten observable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn get(&self, i: usize) -> SignedPauli {
+        self.frame.get(i)
+    }
+
+    /// The coefficient sign of the `i`-th rewritten observable (`±1.0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn sign(&self, i: usize) -> f64 {
+        if self.frame.sign(i) {
+            -1.0
+        } else {
+            1.0
+        }
+    }
+
+    /// Unpacks the batch into signed Pauli strings, in input order.
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<SignedPauli> {
+        (0..self.len()).map(|i| self.frame.get(i)).collect()
+    }
+
+    /// The single-qubit basis-rotation circuit to append before measuring
+    /// the `i`-th rewritten observable in the computational basis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn measurement_circuit(&self, i: usize) -> Circuit {
+        measurement_basis_circuit(self.num_qubits(), &self.frame.row_pauli(i))
+    }
+
+    /// CA-Post sign folding: converts the measured expectation of the `i`-th
+    /// sign-free rewritten Pauli into the expectation of the `i`-th original
+    /// observable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn original_expectation(&self, i: usize, measured_pauli_expectation: f64) -> f64 {
+        self.sign(i) * measured_pauli_expectation
+    }
+
+    /// Greedily partitions the rewritten observables into groups of mutually
+    /// commuting strings (bitwise symplectic-product tests), so a VQE
+    /// workload measures one basis per group instead of one per observable.
+    #[must_use]
+    pub fn commuting_groups(&self) -> Vec<Vec<usize>> {
+        crate::grouping::group_commuting_frame(&self.frame)
+    }
+
+    /// Greedy *qubit-wise* commuting groups of the rewritten observables,
+    /// each with its shared measurement basis.
+    #[must_use]
+    pub fn qubitwise_groups(&self) -> Vec<crate::grouping::MeasurementGroup> {
+        crate::grouping::group_qubitwise_commuting(&self.to_vec())
+    }
 }
 
 /// The CA-Pre + CA-Post bookkeeping for observable measurements: keeps the
@@ -326,6 +582,31 @@ impl ProbabilityAbsorber {
         out
     }
 
+    /// CA-Post on a bit-plane shot batch: applies `x ↦ A·x ⊕ b` to every
+    /// shot as a packed GF(2) matvec over the per-qubit planes
+    /// ([`Gf2Matrix::mul_planes`]) followed by one whole-plane complement
+    /// per set offset bit — `O(n² · shots/64)` word operations with no
+    /// per-shot or per-bit loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch's qubit count differs from the absorber's.
+    #[must_use]
+    pub fn post_process_shots(&self, shots: &ShotBatch) -> ShotBatch {
+        assert_eq!(
+            shots.num_qubits(),
+            self.n,
+            "shot batch qubit count must match the absorber"
+        );
+        let mut planes = self.matrix.mul_planes(shots.planes());
+        for (plane, &flip) in planes.iter_mut().zip(&self.offset) {
+            if flip {
+                plane.flip_all();
+            }
+        }
+        ShotBatch::from_planes(planes)
+    }
+
     /// CA-Post on measurement counts: the cost is `O(m·s)` for `s` distinct
     /// measured states and `m` CNOTs, independent of `2^n`.
     #[must_use]
@@ -483,6 +764,84 @@ mod tests {
         let post = absorber.post_process_counts(&counts);
         assert_eq!(post.values().sum::<u64>(), 100);
         assert_eq!(post.get(&absorber.map_index(0b101)), Some(&60));
+    }
+
+    #[test]
+    fn absorption_plan_matches_per_string_absorption() {
+        let mut e = Circuit::new(3);
+        e.h(0);
+        e.cx(0, 1);
+        e.s(2);
+        e.cx(1, 2);
+        e.sdg(0);
+        let heisenberg = CliffordTableau::heisenberg_from_circuit(&e);
+        let observables: Vec<SignedPauli> = ["XXI", "-ZZZ", "IYI", "ZIX", "-YYY", "III"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let scalar = absorb_observables(&heisenberg, &observables);
+        // Replay path (from the extracted circuit).
+        let plan = AbsorptionPlan::from_extraction(heisenberg.clone(), &e);
+        assert_eq!(plan.absorb(&observables).to_vec(), scalar);
+        // Tableau-only path (frame apply).
+        let plan = AbsorptionPlan::from_heisenberg(heisenberg);
+        let absorbed = plan.absorb(&observables);
+        assert_eq!(absorbed.to_vec(), scalar);
+        // Sign plane mirrors the per-row signs.
+        for (i, o) in scalar.iter().enumerate() {
+            assert_eq!(absorbed.signs().get(i), o.is_negative());
+            assert_eq!(absorbed.sign(i), o.sign());
+            assert_eq!(absorbed.original_expectation(i, 0.25), o.sign() * 0.25);
+        }
+    }
+
+    #[test]
+    fn absorbed_observables_grouping_and_circuits() {
+        let mut e = Circuit::new(2);
+        e.cx(0, 1);
+        let plan =
+            AbsorptionPlan::from_extraction(CliffordTableau::heisenberg_from_circuit(&e), &e);
+        let observables: Vec<SignedPauli> = vec!["ZZ".parse().unwrap(), "XX".parse().unwrap()];
+        let absorbed = plan.absorb(&observables);
+        // CNOT absorption: ZZ → IZ, XX → XI — they commute qubit-wise.
+        let groups = absorbed.commuting_groups();
+        let covered: usize = groups.iter().map(Vec::len).sum();
+        assert_eq!(covered, 2);
+        assert!(!absorbed.qubitwise_groups().is_empty());
+        // Measurement circuit of the X-type row needs one H.
+        assert_eq!(absorbed.measurement_circuit(1).len(), 1);
+    }
+
+    #[test]
+    fn shot_post_processing_matches_per_shot_map() {
+        let mut e = Circuit::new(5);
+        e.x(1);
+        e.cx(0, 1);
+        e.cx(1, 3);
+        e.cx(4, 2);
+        e.x(4);
+        let absorber = ProbabilityAbsorber::from_extracted(&e).unwrap();
+        // 137 shots: crosses a word boundary with a partial tail.
+        let shots: Vec<u64> = (0..137).map(|i| (i * 2654435761) % (1 << 5)).collect();
+        let batch = ShotBatch::from_indices(5, &shots);
+        let mapped = absorber.post_process_shots(&batch);
+        let scalar: Vec<u64> = shots
+            .iter()
+            .map(|&s| absorber.map_index(s as usize) as u64)
+            .collect();
+        assert_eq!(mapped.to_indices(), scalar);
+        // Counts agree with the BTreeMap path.
+        let mut counts = BTreeMap::new();
+        for &s in &shots {
+            *counts.entry(s as usize).or_insert(0u64) += 1;
+        }
+        let mapped_counts = absorber.post_process_counts(&counts);
+        let plane_counts: BTreeMap<usize, u64> = mapped
+            .counts()
+            .into_iter()
+            .map(|(k, v)| (k as usize, v))
+            .collect();
+        assert_eq!(mapped_counts, plane_counts);
     }
 
     #[test]

@@ -1,9 +1,17 @@
 //! Dense GF(2) linear algebra for the probability post-processing of
 //! Clifford Absorption.
+//!
+//! The matrix rows are bit-packed ([`BitVec`]), so a matrix–vector product
+//! is a handful of AND/popcount word operations per row, and the CA-Post
+//! affine map over a *batch* of shots is a matrix product against per-qubit
+//! shot bit-planes ([`Gf2Matrix::mul_planes`]) — XOR of whole planes, no
+//! per-shot work at all.
 
 use std::fmt;
 
-/// A square matrix over GF(2).
+use quclear_pauli::BitVec;
+
+/// A square matrix over GF(2) with bit-packed rows.
 ///
 /// Used to represent the action of a CNOT network on computational basis
 /// states: the network maps `|x⟩ ↦ |A·x ⊕ b⟩` for an invertible `A`.
@@ -21,14 +29,20 @@ use std::fmt;
 #[derive(Clone, PartialEq, Eq)]
 pub struct Gf2Matrix {
     n: usize,
-    rows: Vec<Vec<bool>>,
+    rows: Vec<BitVec>,
 }
 
 impl Gf2Matrix {
     /// The `n × n` identity matrix.
     #[must_use]
     pub fn identity(n: usize) -> Self {
-        let rows = (0..n).map(|i| (0..n).map(|j| i == j).collect()).collect();
+        let rows = (0..n)
+            .map(|i| {
+                let mut row = BitVec::zeros(n);
+                row.set(i, true);
+                row
+            })
+            .collect();
         Gf2Matrix { n, rows }
     }
 
@@ -37,17 +51,35 @@ impl Gf2Matrix {
     pub fn zeros(n: usize) -> Self {
         Gf2Matrix {
             n,
-            rows: vec![vec![false; n]; n],
+            rows: vec![BitVec::zeros(n); n],
         }
     }
 
-    /// Builds a matrix from explicit rows.
+    /// Builds a matrix from explicit boolean rows.
     ///
     /// # Panics
     ///
     /// Panics if the rows do not form a square matrix.
     #[must_use]
     pub fn from_rows(rows: Vec<Vec<bool>>) -> Self {
+        let n = rows.len();
+        let rows = rows
+            .into_iter()
+            .map(|row| {
+                assert_eq!(row.len(), n, "Gf2Matrix rows must form a square matrix");
+                BitVec::from_bools(row)
+            })
+            .collect();
+        Gf2Matrix { n, rows }
+    }
+
+    /// Builds a matrix from bit-packed rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows do not form a square matrix.
+    #[must_use]
+    pub fn from_bit_rows(rows: Vec<BitVec>) -> Self {
         let n = rows.len();
         for row in &rows {
             assert_eq!(row.len(), n, "Gf2Matrix rows must form a square matrix");
@@ -68,7 +100,7 @@ impl Gf2Matrix {
     /// Panics if out of range.
     #[must_use]
     pub fn get(&self, row: usize, col: usize) -> bool {
-        self.rows[row][col]
+        self.rows[row].get(col)
     }
 
     /// Entry mutator.
@@ -77,7 +109,17 @@ impl Gf2Matrix {
     ///
     /// Panics if out of range.
     pub fn set(&mut self, row: usize, col: usize, value: bool) {
-        self.rows[row][col] = value;
+        self.rows[row].set(col, value);
+    }
+
+    /// The bit-packed row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    #[must_use]
+    pub fn row(&self, r: usize) -> &BitVec {
+        &self.rows[r]
     }
 
     /// Matrix–vector product over GF(2).
@@ -88,44 +130,79 @@ impl Gf2Matrix {
     #[must_use]
     pub fn mul_vec(&self, v: &[bool]) -> Vec<bool> {
         assert_eq!(v.len(), self.n, "vector length must match matrix dimension");
+        let packed = BitVec::from_bools(v.iter().copied());
         self.rows
             .iter()
-            .map(|row| {
-                row.iter()
-                    .zip(v)
-                    .fold(false, |acc, (&m, &x)| acc ^ (m && x))
-            })
+            .map(|row| row.and_parity(&packed))
             .collect()
     }
 
     /// Applies the matrix to a basis-state index (bit `q` of the index is the
-    /// value of qubit `q`).
+    /// value of qubit `q`): each output bit is one AND + popcount-parity of a
+    /// packed row against the index word.
     #[must_use]
     pub fn mul_index(&self, index: usize) -> usize {
-        let v: Vec<bool> = (0..self.n).map(|q| index & (1 << q) != 0).collect();
-        let out = self.mul_vec(&v);
-        out.iter().enumerate().fold(
-            0usize,
-            |acc, (q, &bit)| if bit { acc | (1 << q) } else { acc },
-        )
+        debug_assert!(
+            self.n <= 64,
+            "mul_index addresses at most 64 qubits; use mul_planes for larger registers"
+        );
+        let word = index as u64;
+        let mut out = 0usize;
+        for (r, row) in self.rows.iter().enumerate() {
+            let parity = row
+                .words()
+                .first()
+                .map_or(0, |&w| (w & word).count_ones() & 1);
+            out |= (parity as usize) << r;
+        }
+        out
     }
 
-    /// The inverse matrix, if it exists.
+    /// Applies the matrix to a *batch* of basis states stored column-major as
+    /// per-qubit bit-planes: `planes[q]` holds bit `q` of every state in the
+    /// batch, and output plane `r` is the XOR of the input planes selected by
+    /// row `r` — the packed matvec behind bit-plane CA-Post.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `planes.len()` differs from the dimension or the planes have
+    /// inconsistent lengths.
+    #[must_use]
+    pub fn mul_planes(&self, planes: &[BitVec]) -> Vec<BitVec> {
+        assert_eq!(
+            planes.len(),
+            self.n,
+            "plane count must match matrix dimension"
+        );
+        let shots = planes.first().map_or(0, BitVec::len);
+        self.rows
+            .iter()
+            .map(|row| {
+                let mut out = BitVec::zeros(shots);
+                for c in row.iter_ones() {
+                    out.xor_with(&planes[c]);
+                }
+                out
+            })
+            .collect()
+    }
+
+    /// The inverse matrix, if it exists (Gauss–Jordan elimination with
+    /// word-parallel row XORs).
     #[must_use]
     pub fn inverse(&self) -> Option<Gf2Matrix> {
         let n = self.n;
         let mut a = self.rows.clone();
         let mut inv = Gf2Matrix::identity(n).rows;
         for col in 0..n {
-            let pivot = (col..n).find(|&r| a[r][col])?;
+            let pivot = (col..n).find(|&r| a[r].get(col))?;
             a.swap(col, pivot);
             inv.swap(col, pivot);
+            let (pivot_a, pivot_inv) = (a[col].clone(), inv[col].clone());
             for r in 0..n {
-                if r != col && a[r][col] {
-                    for c in 0..n {
-                        a[r][c] ^= a[col][c];
-                        inv[r][c] ^= inv[col][c];
-                    }
+                if r != col && a[r].get(col) {
+                    a[r].xor_with(&pivot_a);
+                    inv[r].xor_with(&pivot_inv);
                 }
             }
         }
@@ -143,8 +220,8 @@ impl fmt::Debug for Gf2Matrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Gf2Matrix {}x{}:", self.n, self.n)?;
         for row in &self.rows {
-            for &b in row {
-                write!(f, "{}", u8::from(b))?;
+            for c in 0..self.n {
+                write!(f, "{}", u8::from(row.get(c)))?;
             }
             writeln!(f)?;
         }
@@ -198,6 +275,53 @@ mod tests {
                 assert_eq!(inv.mul_index(m.mul_index(idx)), idx);
             }
         }
+    }
+
+    #[test]
+    fn mul_planes_matches_per_index_map() {
+        // x0' = x0 ⊕ x2, x1' = x1, x2' = x0 ⊕ x1 ⊕ x2.
+        let m = Gf2Matrix::from_rows(vec![
+            vec![true, false, true],
+            vec![false, true, false],
+            vec![true, true, true],
+        ]);
+        // A batch of 70 states (crosses a word boundary).
+        let states: Vec<usize> = (0..70).map(|i| (i * 37) % 8).collect();
+        let mut planes = vec![BitVec::zeros(states.len()); 3];
+        for (s, &x) in states.iter().enumerate() {
+            for (q, plane) in planes.iter_mut().enumerate() {
+                plane.set(s, x & (1 << q) != 0);
+            }
+        }
+        let out = m.mul_planes(&planes);
+        for (s, &x) in states.iter().enumerate() {
+            let want = m.mul_index(x);
+            for (q, plane) in out.iter().enumerate() {
+                assert_eq!(plane.get(s), want & (1 << q) != 0, "state {s} bit {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_and_boolean_rows_agree() {
+        let rows = vec![
+            vec![true, true, false, true],
+            vec![false, true, true, false],
+            vec![true, false, true, false],
+            vec![false, false, true, true],
+        ];
+        let m = Gf2Matrix::from_rows(rows.clone());
+        let bit_rows: Vec<BitVec> = rows
+            .iter()
+            .map(|r| BitVec::from_bools(r.iter().copied()))
+            .collect();
+        assert_eq!(m, Gf2Matrix::from_bit_rows(bit_rows));
+        let v = [true, false, true, true];
+        let want: Vec<bool> = rows
+            .iter()
+            .map(|r| r.iter().zip(&v).fold(false, |acc, (&m, &x)| acc ^ (m && x)))
+            .collect();
+        assert_eq!(m.mul_vec(&v), want);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! executions drops from one per observable to one per group.
 
 use quclear_circuit::Circuit;
-use quclear_pauli::{PauliOp, PauliString, SignedPauli};
+use quclear_pauli::{PauliFrame, PauliOp, PauliString, SignedPauli};
 
 /// A group of qubit-wise commuting observables together with the shared
 /// measurement basis.
@@ -75,6 +75,52 @@ pub fn group_qubitwise_commuting(observables: &[SignedPauli]) -> Vec<Measurement
         }
     }
     groups
+}
+
+/// Greedily partitions Pauli strings into *generally* commuting sets:
+/// first-fit into the first group whose every member commutes with the
+/// candidate. The pairwise test is the bitwise symplectic product
+/// (`x_a·z_b ⊕ z_a·x_b` as two AND-popcount parities over the packed
+/// symplectic words), so each comparison costs `O(n/64)` word operations.
+///
+/// General commutation is strictly coarser than qubit-wise commutation
+/// (`ZZ` and `XX` commute globally but not qubit-wise), so these groups are
+/// never more numerous than [`group_qubitwise_commuting`]'s — at the price
+/// of needing an entangling basis-change circuit per group to measure.
+///
+/// # Examples
+///
+/// ```
+/// use quclear_core::group_commuting;
+/// use quclear_pauli::PauliString;
+///
+/// let paulis: Vec<PauliString> = vec!["ZZ".parse()?, "XX".parse()?, "XI".parse()?];
+/// // ZZ and XX commute; XI anticommutes with ZZ.
+/// assert_eq!(group_commuting(&paulis), vec![vec![0, 1], vec![2]]);
+/// # Ok::<(), quclear_pauli::ParsePauliError>(())
+/// ```
+#[must_use]
+pub fn group_commuting(paulis: &[PauliString]) -> Vec<Vec<usize>> {
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for (idx, pauli) in paulis.iter().enumerate() {
+        let slot = groups
+            .iter_mut()
+            .find(|g| g.iter().all(|&m| paulis[m].commutes_with(pauli)));
+        match slot {
+            Some(group) => group.push(idx),
+            None => groups.push(vec![idx]),
+        }
+    }
+    groups
+}
+
+/// [`group_commuting`] over the rows of a [`PauliFrame`] (e.g. a CA-Pre
+/// rewritten observable batch); signs are irrelevant to commutation and are
+/// ignored.
+#[must_use]
+pub fn group_commuting_frame(frame: &PauliFrame) -> Vec<Vec<usize>> {
+    let paulis: Vec<PauliString> = (0..frame.num_rows()).map(|i| frame.row_pauli(i)).collect();
+    group_commuting(&paulis)
 }
 
 /// A Pauli is compatible with a group basis if it is qubit-wise consistent
@@ -169,5 +215,49 @@ mod tests {
     #[test]
     fn empty_input_gives_no_groups() {
         assert!(group_qubitwise_commuting(&[]).is_empty());
+        assert!(group_commuting(&[]).is_empty());
+    }
+
+    #[test]
+    fn general_commuting_groups_are_valid_and_cover() {
+        let paulis: Vec<PauliString> = ["ZZII", "XXII", "YYII", "ZIII", "IIZZ", "IIXX", "XYZI"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let groups = group_commuting(&paulis);
+        let covered: usize = groups.iter().map(Vec::len).sum();
+        assert_eq!(covered, paulis.len());
+        for group in &groups {
+            for (a, &i) in group.iter().enumerate() {
+                for &j in &group[a + 1..] {
+                    assert!(
+                        paulis[i].commutes_with(&paulis[j]),
+                        "group members {i} and {j} must commute"
+                    );
+                }
+            }
+        }
+        // ZZ/XX/YY on the first pair all mutually commute: one group.
+        assert!(groups[0].len() >= 3);
+    }
+
+    #[test]
+    fn general_groups_never_outnumber_qubitwise_groups() {
+        let observables = obs(&["ZZII", "XXII", "IZZI", "IXXI", "YIYI", "ZIIZ"]);
+        let paulis: Vec<PauliString> = observables.iter().map(|o| o.pauli().clone()).collect();
+        let general = group_commuting(&paulis).len();
+        let qubitwise = group_qubitwise_commuting(&observables).len();
+        assert!(general <= qubitwise, "{general} > {qubitwise}");
+    }
+
+    #[test]
+    fn frame_grouping_matches_string_grouping() {
+        let rows: Vec<SignedPauli> = ["ZZI", "-XXI", "IZZ", "XYZ", "-IIZ"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let frame = PauliFrame::from_signed(3, &rows);
+        let paulis: Vec<PauliString> = rows.iter().map(|r| r.pauli().clone()).collect();
+        assert_eq!(group_commuting_frame(&frame), group_commuting(&paulis));
     }
 }

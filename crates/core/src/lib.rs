@@ -46,17 +46,23 @@ mod extract;
 mod gf2;
 mod grouping;
 mod pipeline;
+mod shots;
 mod tree;
 
 pub use absorb::{
     absorb_observables, expectation_from_probabilities, is_probability_absorbable,
-    measurement_basis_circuit, AbsorptionError, ObservableAbsorption, ProbabilityAbsorber,
+    measurement_basis_circuit, AbsorbedObservables, AbsorptionError, AbsorptionPlan,
+    ObservableAbsorption, ProbabilityAbsorber,
 };
 pub use blocks::CommutingBlocks;
 pub use extract::{basis_change_circuit, extract_clifford, ExtractionConfig, ExtractionResult};
 pub use gf2::Gf2Matrix;
-pub use grouping::{group_qubitwise_commuting, qubit_wise_commute, MeasurementGroup};
+pub use grouping::{
+    group_commuting, group_commuting_frame, group_qubitwise_commuting, qubit_wise_commute,
+    MeasurementGroup,
+};
 pub use pipeline::{compile, QuClearConfig, QuClearResult};
+pub use shots::ShotBatch;
 pub use tree::TreeSynthesizer;
 
 #[cfg(test)]
@@ -73,5 +79,8 @@ mod tests {
         assert_send_sync::<ProbabilityAbsorber>();
         assert_send_sync::<ObservableAbsorption>();
         assert_send_sync::<Gf2Matrix>();
+        assert_send_sync::<AbsorptionPlan>();
+        assert_send_sync::<AbsorbedObservables>();
+        assert_send_sync::<ShotBatch>();
     }
 }

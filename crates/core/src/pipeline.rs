@@ -5,7 +5,7 @@ use quclear_circuit::{optimize_with, Circuit, OptimizeOptions};
 use quclear_pauli::{PauliRotation, SignedPauli};
 use quclear_tableau::CliffordTableau;
 
-use crate::absorb::{AbsorptionError, ObservableAbsorption, ProbabilityAbsorber};
+use crate::absorb::{AbsorptionError, AbsorptionPlan, ObservableAbsorption, ProbabilityAbsorber};
 use crate::extract::{extract_clifford, ExtractionConfig};
 
 /// Configuration of the full QuCLEAR pipeline.
@@ -90,6 +90,14 @@ impl QuClearResult {
     #[must_use]
     pub fn absorb_observables(&self, observables: &[SignedPauli]) -> ObservableAbsorption {
         ObservableAbsorption::new(&self.heisenberg, observables)
+    }
+
+    /// The batch-first absorption recipe for this compilation: built once,
+    /// it rewrites whole observable frames word-parallel (CA-Pre) instead of
+    /// conjugating one string at a time.
+    #[must_use]
+    pub fn absorption_plan(&self) -> AbsorptionPlan {
+        AbsorptionPlan::from_extraction(self.heisenberg.clone(), &self.extracted)
     }
 
     /// CA modules for probability-distribution measurements.

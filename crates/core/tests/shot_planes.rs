@@ -1,0 +1,106 @@
+//! Property tests pinning the bit-plane CA-Post shot pipeline to scalar
+//! oracles: the packed affine map `x ↦ A·x ⊕ b` must agree bit-for-bit
+//! with a naive per-shot, per-bit loop — including shot counts that are
+//! not multiples of 64 — and the word-parallel expectation accumulator
+//! must agree with per-shot parity counting.
+//!
+//! These run in the release-mode CI job as well: the word kernels compile
+//! to different code under optimization, and release is the configuration
+//! the throughput claims are made in.
+
+use proptest::prelude::*;
+use quclear_core::{Gf2Matrix, ShotBatch};
+use quclear_pauli::BitVec;
+
+/// An invertible-ish random GF(2) matrix (identity + random off-diagonal
+/// XORs, i.e. a product of elementary row operations — always invertible).
+fn affine_map(n: usize) -> impl Strategy<Value = (Gf2Matrix, Vec<bool>)> {
+    (
+        prop::collection::vec((0usize..n, 0usize..n), 0..3 * n),
+        prop::collection::vec(any::<bool>(), n),
+    )
+        .prop_map(move |(ops, offset)| {
+            let mut m = Gf2Matrix::identity(n);
+            for (r, c) in ops {
+                if r != c {
+                    // row_r += row_c: an elementary operation over GF(2).
+                    let src = m.row(c).clone();
+                    let mut dst = m.row(r).clone();
+                    dst.xor_with(&src);
+                    for (col, bit) in (0..n).map(|col| (col, dst.get(col))) {
+                        m.set(r, col, bit);
+                    }
+                }
+            }
+            (m, offset)
+        })
+}
+
+/// The scalar oracle: applies `x ↦ A·x ⊕ b` one shot and one bit at a time.
+fn naive_affine(matrix: &Gf2Matrix, offset: &[bool], shots: &[u64]) -> Vec<u64> {
+    let n = matrix.dim();
+    shots
+        .iter()
+        .map(|&x| {
+            let mut out = 0u64;
+            for (r, &flip) in offset.iter().enumerate().take(n) {
+                let mut bit = flip;
+                for c in 0..n {
+                    bit ^= matrix.get(r, c) && (x >> c) & 1 == 1;
+                }
+                out |= u64::from(bit) << r;
+            }
+            out
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Packed plane affine map == naive per-shot per-bit loop, for shot
+    /// counts straddling word boundaries (0..200 covers 0, partial words,
+    /// exact multiples and 3 words).
+    #[test]
+    fn plane_affine_map_matches_naive_per_shot_loop(
+        (matrix, offset) in affine_map(9),
+        shots in prop::collection::vec(0u64..(1 << 9), 0..200),
+    ) {
+        let batch = ShotBatch::from_indices(9, &shots);
+        let mut planes = matrix.mul_planes(batch.planes());
+        for (plane, &flip) in planes.iter_mut().zip(&offset) {
+            if flip {
+                plane.flip_all();
+            }
+        }
+        let mapped = ShotBatch::from_planes(planes);
+        prop_assert_eq!(mapped.to_indices(), naive_affine(&matrix, &offset, &shots));
+    }
+
+    /// Pack → unpack is the identity for any shot count.
+    #[test]
+    fn pack_unpack_roundtrip(
+        shots in prop::collection::vec(any::<u64>().prop_map(|x| x & 0xFFFFF), 0..300),
+    ) {
+        let batch = ShotBatch::from_indices(20, &shots);
+        prop_assert_eq!(batch.to_indices(), shots);
+    }
+
+    /// The popcount expectation accumulator == per-shot parity counting.
+    #[test]
+    fn parity_expectation_matches_per_shot_counting(
+        shots in prop::collection::vec(0u64..(1 << 11), 1..200),
+        mask in 0u64..(1 << 11),
+    ) {
+        let batch = ShotBatch::from_indices(11, &shots);
+        let mut support = BitVec::zeros(11);
+        for q in 0..11 {
+            support.set(q, mask & (1 << q) != 0);
+        }
+        let scalar: f64 = shots
+            .iter()
+            .map(|&s| if (s & mask).count_ones() % 2 == 1 { -1.0 } else { 1.0 })
+            .sum::<f64>() / shots.len() as f64;
+        prop_assert!((batch.parity_expectation(&support) - scalar).abs() < 1e-12);
+    }
+}

@@ -4,7 +4,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use quclear_core::{QuClearConfig, QuClearResult};
+use quclear_core::{AbsorbedObservables, QuClearConfig, QuClearResult};
 use quclear_pauli::{PauliRotation, SignedPauli};
 use rayon::prelude::*;
 
@@ -272,6 +272,27 @@ impl Engine {
             })
             .collect();
         Ok(results)
+    }
+
+    /// CA-Pre for a program's observable set, served through the template
+    /// cache: the observable set is conjugated through the extracted
+    /// Clifford in one word-parallel frame sweep on first sight, and a
+    /// template cache hit with a previously seen set returns the memoized
+    /// rewriting without re-conjugating anything.
+    ///
+    /// # Errors
+    ///
+    /// Propagates template-compilation failures. A register-size mismatch
+    /// between the program and the observables surfaces as
+    /// [`EngineError::CompilationPanicked`] (the absorption panic is
+    /// contained, like every other compilation panic).
+    pub fn absorb_observables(
+        &self,
+        program: &[PauliRotation],
+        observables: &[SignedPauli],
+    ) -> Result<Arc<AbsorbedObservables>, EngineError> {
+        let template = self.template_for(program)?;
+        contain_panics(|| Ok(template.absorb_observables(observables)))
     }
 
     /// A point-in-time snapshot of the counters.

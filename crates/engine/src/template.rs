@@ -25,10 +25,17 @@
 //! Both circuits implement the same unitary; they just need not be
 //! gate-identical.
 
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, RwLock};
+
 use quclear_circuit::{
     is_zero_rotation, optimize_warming, optimize_with_shared_cache, Circuit, Gate, PeepholeCache,
 };
-use quclear_core::{extract_clifford, QuClearConfig, QuClearResult};
+use quclear_core::{
+    extract_clifford, AbsorbedObservables, AbsorptionPlan, QuClearConfig, QuClearResult,
+};
 use quclear_pauli::{PauliRotation, SignedPauli};
 use quclear_tableau::CliffordTableau;
 
@@ -108,6 +115,41 @@ pub struct CompiledTemplate {
     /// pipeline merely confirms the fixpoint in one cheap verify round,
     /// instead of re-deriving every rewrite from the raw skeleton.
     optimized_skeleton: Option<(Circuit, Vec<OptimizedSlot>)>,
+    /// Batch absorption recipe (angle-independent, like the extracted
+    /// Clifford it derives from): built once at compile time so every warm
+    /// bind gets CA-Pre/CA-Post for free.
+    absorption: AbsorptionPlan,
+    /// Memoized CA-Pre results per observable set. Shared across template
+    /// clones (the cache hands out `Arc<CompiledTemplate>` clones), so a
+    /// template cache hit never re-conjugates an observable set it has
+    /// already rewritten.
+    absorbed_memo: Arc<RwLock<HashMap<u64, AbsorbedEntry>>>,
+}
+
+/// One memoized CA-Pre result. The key is a 64-bit hash of the observable
+/// set; the stored set disambiguates collisions exactly.
+#[derive(Clone, Debug)]
+struct AbsorbedEntry {
+    observables: Vec<SignedPauli>,
+    absorbed: Arc<AbsorbedObservables>,
+}
+
+/// Soft cap on memoized observable sets per template: workloads measure a
+/// handful of Hamiltonians per ansatz, so this is generous, and it bounds
+/// memory if a caller streams unique sets through one template.
+const ABSORBED_MEMO_CAPACITY: usize = 16;
+
+/// Order-sensitive 64-bit hash of an observable set (axes + signs + size).
+fn observable_set_key(observables: &[SignedPauli]) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    observables.len().hash(&mut hasher);
+    for observable in observables {
+        observable.is_negative().hash(&mut hasher);
+        observable.pauli().num_qubits().hash(&mut hasher);
+        observable.pauli().x_bits().words().hash(&mut hasher);
+        observable.pauli().z_bits().words().hash(&mut hasher);
+    }
+    hasher.finish()
 }
 
 impl CompiledTemplate {
@@ -175,6 +217,8 @@ impl CompiledTemplate {
             None
         };
 
+        let absorption =
+            AbsorptionPlan::from_extraction(extraction.heisenberg.clone(), &extraction.extracted);
         Ok(CompiledTemplate {
             fingerprint: ProgramFingerprint::of_axes(axes, config),
             config: *config,
@@ -186,6 +230,8 @@ impl CompiledTemplate {
             heisenberg: extraction.heisenberg,
             peephole_cache,
             optimized_skeleton,
+            absorption,
+            absorbed_memo: Arc::new(RwLock::new(HashMap::new())),
         })
     }
 
@@ -360,6 +406,60 @@ impl CompiledTemplate {
     #[must_use]
     pub fn extracted(&self) -> &Circuit {
         &self.extracted
+    }
+
+    /// The batch absorption recipe shared by every binding (the extracted
+    /// Clifford — and hence CA-Pre/CA-Post — is angle-independent).
+    #[must_use]
+    pub fn absorption_plan(&self) -> &AbsorptionPlan {
+        &self.absorption
+    }
+
+    /// CA-Pre on an observable set, memoized per template: the first call
+    /// conjugates the whole set through the extracted Clifford in one
+    /// word-parallel frame sweep; repeat calls with the same set return the
+    /// shared result without re-conjugating anything (hash lookup plus an
+    /// exact equality check — collisions recompute, never corrupt).
+    ///
+    /// The memo is shared across clones of the template, so an
+    /// [`crate::Engine`] cache hit reuses rewritten sets from earlier binds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an observable's qubit count differs from the template's.
+    #[must_use]
+    pub fn absorb_observables(&self, observables: &[SignedPauli]) -> Arc<AbsorbedObservables> {
+        let key = observable_set_key(observables);
+        if let Some(entry) = self
+            .absorbed_memo
+            .read()
+            .expect("absorption memo poisoned")
+            .get(&key)
+        {
+            if entry.observables == observables {
+                return Arc::clone(&entry.absorbed);
+            }
+        }
+        let absorbed = Arc::new(self.absorption.absorb(observables));
+        let mut memo = self
+            .absorbed_memo
+            .write()
+            .expect("absorption memo poisoned");
+        if memo.len() >= ABSORBED_MEMO_CAPACITY && !memo.contains_key(&key) {
+            // Drop an arbitrary entry: the memo is a convenience cache, not
+            // an LRU; workloads rarely exceed a handful of sets.
+            if let Some(&evict) = memo.keys().next() {
+                memo.remove(&evict);
+            }
+        }
+        memo.insert(
+            key,
+            AbsorbedEntry {
+                observables: observables.to_vec(),
+                absorbed: Arc::clone(&absorbed),
+            },
+        );
+        absorbed
     }
 }
 

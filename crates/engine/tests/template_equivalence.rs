@@ -120,6 +120,81 @@ proptest! {
     }
 }
 
+/// Regression for the ROADMAP slot-merge fallback: when the *marker*
+/// peephole merges two parameterized rotations (identical adjacent axes),
+/// the template cannot patch the optimized skeleton and must fall back to
+/// binding from the raw skeleton — which still reproduces a from-scratch
+/// compile gate for gate.
+#[test]
+fn compile_time_slot_merge_falls_back_to_the_raw_skeleton() {
+    let config = QuClearConfig::default();
+    let program = vec![
+        PauliRotation::parse("ZZ", 0.3).unwrap(),
+        PauliRotation::parse("ZZ", 0.5).unwrap(),
+    ];
+    let template = CompiledTemplate::compile_program(&program, &config).unwrap();
+    assert_eq!(template.num_params(), 2);
+    for angles in [[0.3, 0.5], [1.1, -0.4], [0.25, 0.25]] {
+        let bound = template.bind(&angles).unwrap();
+        let reangled: Vec<PauliRotation> = program
+            .iter()
+            .zip(&angles)
+            .map(|(r, &a)| PauliRotation::new(r.pauli().clone(), a))
+            .collect();
+        let direct = compile(&reangled, &config);
+        assert_eq!(
+            bound.optimized.gates(),
+            direct.optimized.gates(),
+            "slot-merge fallback must stay gate-for-gate exact at {angles:?}"
+        );
+    }
+}
+
+/// Regression for the other half of the ROADMAP note: two parameterized
+/// rotations that become *adjacent only after a zero-angle bind* (the
+/// rotation between them vanishes) must trigger the full peephole rerun and
+/// stay sim-equivalent to a from-scratch compile, even though the merged
+/// gate lists legitimately differ.
+#[test]
+fn zero_angle_adjacency_merge_falls_back_and_stays_equivalent() {
+    use quclear_circuit::Gate;
+    let config = QuClearConfig::default();
+    let cases: [&[&str]; 2] = [&["ZZ", "XX", "ZZ"], &["ZZI", "IXX", "ZZI"]];
+    for axes in cases {
+        let program: Vec<PauliRotation> = axes
+            .iter()
+            .map(|p| PauliRotation::parse(p, 0.3).unwrap())
+            .collect();
+        let template = CompiledTemplate::compile_program(&program, &config).unwrap();
+        let angles = [0.3, 0.0, 0.5];
+        let bound = template.bind(&angles[..axes.len()]).unwrap();
+        let zeroed: Vec<PauliRotation> = program
+            .iter()
+            .zip(&angles)
+            .map(|(r, &a)| PauliRotation::new(r.pauli().clone(), a))
+            .collect();
+        let direct = compile(&zeroed, &config);
+        // The from-scratch compile merges the now-adjacent rotations into a
+        // single Rz — fewer parameterized gates than template slots.
+        let rz = |c: &quclear_circuit::Circuit| {
+            c.gates()
+                .iter()
+                .filter(|g| matches!(g, Gate::Rz { .. }))
+                .count()
+        };
+        assert!(
+            rz(&direct.optimized) < axes.len(),
+            "direct compile of {axes:?} must merge the adjacent rotations"
+        );
+        let bound_state = StateVector::from_circuit(&bound.full_circuit());
+        let direct_state = StateVector::from_circuit(&direct.full_circuit());
+        assert!(
+            bound_state.approx_eq_up_to_phase(&direct_state, 1e-8),
+            "zero-angle adjacency merge broke equivalence for {axes:?}"
+        );
+    }
+}
+
 /// Batch compilation over a mixed workload: outputs arrive in input order
 /// and agree with sequential compilation.
 #[test]

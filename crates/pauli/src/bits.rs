@@ -230,10 +230,28 @@ impl BitVec {
         &self.words
     }
 
-    /// Mutable access to the backing words for same-crate word-parallel
-    /// kernels. Callers must keep bits at positions `>= len()` zero.
-    pub(crate) fn words_mut(&mut self) -> &mut [u64] {
+    /// Mutable access to the backing words for word-parallel kernels.
+    ///
+    /// Callers must keep bits at positions `>= len()` zero: every counting
+    /// operation (`count_ones`, `and_parity`, …) assumes the tail bits are a
+    /// canonical zero padding. Writing garbage above `len()` silently
+    /// corrupts popcount-based results.
+    pub fn words_mut(&mut self) -> &mut [u64] {
         &mut self.words
+    }
+
+    /// Flips every bit in the vector (`self = !self`), masking the partial
+    /// tail word so bits at positions `>= len()` stay zero.
+    pub fn flip_all(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        let tail = self.len % WORD_BITS;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= u64::MAX >> (WORD_BITS - tail);
+            }
+        }
     }
 
     /// Resets every bit to zero.
@@ -241,6 +259,29 @@ impl BitVec {
         for w in &mut self.words {
             *w = 0;
         }
+    }
+}
+
+/// Transposes a 64×64 bit matrix in place (the recursive block swap of
+/// Hacker's Delight 7-3, mirrored for least-significant-bit-first
+/// indexing): entry (bit `j` of word `i`) swaps with (bit `i` of word `j`).
+///
+/// This is the building block for word-parallel layout changes between
+/// row-major bit vectors and column-major bit-planes (Pauli frames, shot
+/// batches): 4096 bits move in ~6·64 word operations, never one at a time.
+pub fn transpose64(a: &mut [u64; 64]) {
+    let mut j = 32;
+    let mut m: u64 = 0xFFFF_FFFF_0000_0000;
+    while j != 0 {
+        let mut k = 0;
+        while k < 64 {
+            let t = (a[k] ^ (a[k | j] << j)) & m;
+            a[k] ^= t;
+            a[k | j] ^= t >> j;
+            k = (k + j + 1) & !j;
+        }
+        j >>= 1;
+        m ^= m >> j;
     }
 }
 
@@ -443,6 +484,45 @@ mod tests {
         let mut a = BitVec::zeros(10);
         let b = BitVec::zeros(10);
         a.xor_range(&b, 0, 11);
+    }
+
+    #[test]
+    fn transpose64_moves_every_bit() {
+        let mut a = [0u64; 64];
+        let mut s = 0x1234_5678u64;
+        for w in a.iter_mut() {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            *w = s;
+        }
+        let orig = a;
+        transpose64(&mut a);
+        for (i, &before) in orig.iter().enumerate() {
+            for (j, &after) in a.iter().enumerate() {
+                assert_eq!((after >> i) & 1, (before >> j) & 1, "entry ({i},{j})");
+            }
+        }
+        transpose64(&mut a);
+        assert_eq!(a, orig);
+    }
+
+    #[test]
+    fn flip_all_masks_the_tail() {
+        let mut b = BitVec::zeros(70);
+        b.set(3, true);
+        b.set(69, true);
+        b.flip_all();
+        assert_eq!(b.count_ones(), 68);
+        assert!(!b.get(3) && !b.get(69));
+        assert!(b.get(0) && b.get(64) && b.get(68));
+        // Double flip is the identity.
+        b.flip_all();
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), vec![3, 69]);
+        // Word-aligned length: no tail to mask.
+        let mut c = BitVec::zeros(64);
+        c.flip_all();
+        assert_eq!(c.count_ones(), 64);
     }
 
     #[test]

@@ -35,7 +35,7 @@
 
 use std::fmt;
 
-use crate::bits::BitVec;
+use crate::bits::{transpose64, BitVec};
 use crate::op::PauliOp;
 use crate::signed::SignedPauli;
 use crate::string::PauliString;
@@ -81,19 +81,22 @@ impl PauliFrame {
 
     /// Builds a frame from phase-free Pauli strings (all signs positive).
     ///
+    /// The row-major → column-major layout change runs through
+    /// [`transpose64`] blocks (64 rows × 64 qubits at a time), so loading a
+    /// large batch never touches individual bits.
+    ///
     /// # Panics
     ///
     /// Panics if any string is not on `n` qubits.
     #[must_use]
     pub fn from_paulis(n: usize, paulis: &[PauliString]) -> Self {
         let mut frame = PauliFrame::identities(n, paulis.len());
-        for (i, p) in paulis.iter().enumerate() {
-            frame.load_row(i, p, false);
-        }
+        frame.fill_planes(paulis, |p| (p.x_bits(), p.z_bits()));
         frame
     }
 
-    /// Builds a frame from signed Pauli strings.
+    /// Builds a frame from signed Pauli strings (word-parallel transpose
+    /// ingestion, like [`Self::from_paulis`]).
     ///
     /// # Panics
     ///
@@ -101,10 +104,64 @@ impl PauliFrame {
     #[must_use]
     pub fn from_signed(n: usize, paulis: &[SignedPauli]) -> Self {
         let mut frame = PauliFrame::identities(n, paulis.len());
+        frame.fill_planes(paulis, |p| (p.pauli().x_bits(), p.pauli().z_bits()));
+        let mut word = 0u64;
         for (i, p) in paulis.iter().enumerate() {
-            frame.load_row(i, p.pauli(), p.is_negative());
+            word |= u64::from(p.is_negative()) << (i % 64);
+            if i % 64 == 63 {
+                frame.signs.words_mut()[i / 64] = word;
+                word = 0;
+            }
+        }
+        if !paulis.len().is_multiple_of(64) {
+            frame.signs.words_mut()[paulis.len() / 64] = word;
         }
         frame
+    }
+
+    /// Fills the X/Z planes from row-major symplectic bit vectors via
+    /// 64×64 block transposes.
+    fn fill_planes<T>(&mut self, rows: &[T], bits: impl Fn(&T) -> (&BitVec, &BitVec)) {
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(
+                bits(row).0.len(),
+                self.n,
+                "qubit count mismatch in PauliFrame row {i}"
+            );
+        }
+        let col_words = self.n.div_ceil(64);
+        let row_blocks = rows.len().div_ceil(64);
+        let mut block = [0u64; 64];
+        for c in 0..col_words {
+            for pick in [0usize, 1] {
+                for rb in 0..row_blocks {
+                    let base = rb * 64;
+                    let take = rows.len().min(base + 64) - base;
+                    for (i, row) in rows[base..base + take].iter().enumerate() {
+                        let (x, z) = bits(row);
+                        block[i] = if pick == 0 {
+                            x.words()[c]
+                        } else {
+                            z.words()[c]
+                        };
+                    }
+                    block[take..].fill(0);
+                    transpose64(&mut block);
+                    for (j, &word) in block
+                        .iter()
+                        .enumerate()
+                        .take(self.n.min(c * 64 + 64) - c * 64)
+                    {
+                        let plane = if pick == 0 {
+                            &mut self.x[c * 64 + j]
+                        } else {
+                            &mut self.z[c * 64 + j]
+                        };
+                        plane.words_mut()[rb] = word;
+                    }
+                }
+            }
+        }
     }
 
     /// Overwrites row `i` with the given Pauli and sign.
@@ -230,6 +287,27 @@ impl PauliFrame {
     #[must_use]
     pub fn sign_plane(&self) -> &BitVec {
         &self.signs
+    }
+
+    /// Mutable X bit-plane of qubit `q`, for out-of-crate word-parallel
+    /// kernels (e.g. `CliffordTableau::apply_frame`). Callers must preserve
+    /// the plane length and keep bits at positions `>= num_rows()` zero.
+    #[must_use]
+    pub fn x_plane_mut(&mut self, q: usize) -> &mut BitVec {
+        &mut self.x[q]
+    }
+
+    /// Mutable Z bit-plane of qubit `q`; same invariants as
+    /// [`Self::x_plane_mut`].
+    #[must_use]
+    pub fn z_plane_mut(&mut self, q: usize) -> &mut BitVec {
+        &mut self.z[q]
+    }
+
+    /// Mutable sign plane; same invariants as [`Self::x_plane_mut`].
+    #[must_use]
+    pub fn sign_plane_mut(&mut self) -> &mut BitVec {
+        &mut self.signs
     }
 
     /// Gathers the given rows (in order) into a new, smaller frame.

@@ -37,7 +37,7 @@ mod rotation;
 mod signed;
 mod string;
 
-pub use bits::BitVec;
+pub use bits::{transpose64, BitVec};
 pub use frame::PauliFrame;
 pub use op::PauliOp;
 pub use rotation::PauliRotation;

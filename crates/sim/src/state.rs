@@ -3,6 +3,7 @@
 use quclear_circuit::math::{single_qubit_matrix, C64};
 use quclear_circuit::{Circuit, Gate};
 use quclear_pauli::{PauliString, SignedPauli};
+use rand::Rng;
 
 /// A dense `2^n`-amplitude quantum state.
 ///
@@ -258,6 +259,32 @@ impl StateVector {
     pub fn norm_sq(&self) -> f64 {
         self.amps.iter().map(|a| a.norm_sq()).sum()
     }
+
+    /// Samples `shots` computational-basis measurement outcomes from the
+    /// state's probability distribution (inverse-CDF sampling, one binary
+    /// search per shot). Returned indices use the same little-endian
+    /// convention as [`Self::probability_of`], so they can be packed
+    /// directly into a bit-plane shot batch for CA-Post processing.
+    #[must_use]
+    pub fn sample_indices<R: Rng + ?Sized>(&self, shots: usize, rng: &mut R) -> Vec<u64> {
+        // Cumulative distribution; the final entry is clamped to 1 so a draw
+        // of ~1.0 can never fall off the end from rounding.
+        let mut cdf = Vec::with_capacity(self.amps.len());
+        let mut acc = 0.0f64;
+        for amp in &self.amps {
+            acc += amp.norm_sq();
+            cdf.push(acc);
+        }
+        if let Some(last) = cdf.last_mut() {
+            *last = f64::max(*last, 1.0);
+        }
+        (0..shots)
+            .map(|_| {
+                let draw: f64 = rng.gen_range(0.0..1.0);
+                cdf.partition_point(|&c| c <= draw) as u64
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -276,6 +303,23 @@ mod tests {
         let s = StateVector::zero_state(3);
         assert!((s.probability_of(0) - 1.0).abs() < 1e-12);
         assert!((s.norm_sq() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_tracks_the_distribution() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let state = bell();
+        let mut rng = StdRng::seed_from_u64(11);
+        let shots = state.sample_indices(4000, &mut rng);
+        assert_eq!(shots.len(), 4000);
+        // A Bell state only ever measures |00⟩ or |11⟩, roughly half-half.
+        let ones = shots.iter().filter(|&&s| s == 0b11).count();
+        assert!(shots.iter().all(|&s| s == 0 || s == 0b11));
+        assert!((1500..=2500).contains(&ones), "{ones} out of 4000");
+        // Deterministic in the seed.
+        let mut rng = StdRng::seed_from_u64(11);
+        assert_eq!(state.sample_indices(4000, &mut rng), shots);
     }
 
     #[test]

@@ -86,6 +86,28 @@ proptest! {
         prop_assert!(!image.is_negative());
     }
 
+    /// The batched `apply_frame` agrees with per-string `apply` on every
+    /// row of random frames through random tableaus — signed rows, random
+    /// row counts (including cross-word sizes and zero).
+    #[test]
+    fn apply_frame_matches_per_string_apply(
+        seed in 0u64..256,
+        gates in 1usize..60,
+        rows in prop::collection::vec((pauli_string(N), any::<bool>()), 0..140),
+    ) {
+        let t = random_tableau(seed.wrapping_mul(193).wrapping_add(5), gates);
+        let signed: Vec<SignedPauli> = rows
+            .into_iter()
+            .map(|(p, neg)| SignedPauli::new(p, neg))
+            .collect();
+        let frame = PauliFrame::from_signed(N, &signed);
+        let image = t.apply_frame(&frame);
+        prop_assert_eq!(image.num_rows(), signed.len());
+        for (i, row) in signed.iter().enumerate() {
+            prop_assert_eq!(image.get(i), t.apply_signed(row));
+        }
+    }
+
     /// Synthesis reproduces the tableau exactly (structure and signs).
     #[test]
     fn synthesis_roundtrip(seed in 0u64..128) {

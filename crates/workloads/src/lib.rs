@@ -35,7 +35,10 @@ pub use benchmark::{Benchmark, BenchmarkCategory};
 pub use graphs::Graph;
 pub use molecular::{synthetic_molecular_hamiltonian, Molecule};
 pub use qaoa::{labs_hamiltonian, labs_qaoa, maxcut_observables, maxcut_qaoa, qaoa_initial_layer};
-pub use sweep::{qaoa_grid_sweep, vqe_sweep, SweepScenario};
+pub use sweep::{
+    qaoa_grid_sweep, qaoa_sampling_sweep, vqe_expectation_sweep, vqe_sweep, ObservableSweep,
+    SweepScenario,
+};
 pub use uccsd::{double_excitation_rotations, single_excitation_rotations, Uccsd};
 
 #[cfg(test)]

@@ -9,7 +9,9 @@
 //! angle grids. Feeding them to `quclear_engine::Engine::sweep` is what
 //! turns the shared structure into cache hits.
 
-use quclear_pauli::PauliRotation;
+use std::collections::BTreeSet;
+
+use quclear_pauli::{PauliOp, PauliRotation, PauliString, SignedPauli};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -112,6 +114,76 @@ pub fn qaoa_grid_sweep(graph: &crate::Graph, gammas: &[f64], betas: &[f64]) -> S
     }
 }
 
+/// A parameter sweep paired with the observable set measured at every
+/// point — the shape of an end-to-end variational workload: compile/bind
+/// each angle vector, execute, and estimate every observable from the same
+/// shots via batch Clifford Absorption (CA-Pre rewrites the whole set,
+/// CA-Post folds signs / remaps shots).
+#[derive(Clone, Debug)]
+pub struct ObservableSweep {
+    /// The structure + angle grid to bind.
+    pub scenario: SweepScenario,
+    /// The observables estimated at every sweep point.
+    pub observables: Vec<SignedPauli>,
+}
+
+/// A VQE expectation sweep: the ansatz of `benchmark` at `points` random
+/// parameter vectors, measured against a Hamiltonian-shaped observable set
+/// (every single-qubit `Z` plus each distinct rotation axis of the ansatz).
+///
+/// # Examples
+///
+/// ```
+/// use quclear_workloads::{vqe_expectation_sweep, Benchmark};
+///
+/// let sweep = vqe_expectation_sweep(&Benchmark::Ucc(2, 4), 4, 3);
+/// assert_eq!(sweep.scenario.len(), 4);
+/// assert!(sweep.observables.len() >= 4); // at least one Z per qubit
+/// ```
+#[must_use]
+pub fn vqe_expectation_sweep(benchmark: &Benchmark, points: usize, seed: u64) -> ObservableSweep {
+    let scenario = vqe_sweep(benchmark, points, seed);
+    let n = benchmark.num_qubits();
+    let mut observables: Vec<SignedPauli> = (0..n)
+        .map(|q| SignedPauli::positive(PauliString::single(n, q, PauliOp::Z)))
+        .collect();
+    let mut seen: BTreeSet<String> = observables.iter().map(|o| o.pauli().to_string()).collect();
+    for rotation in &scenario.program {
+        if rotation.pauli().is_identity() {
+            continue;
+        }
+        if seen.insert(rotation.pauli().to_string()) {
+            observables.push(SignedPauli::positive(rotation.pauli().clone()));
+        }
+    }
+    ObservableSweep {
+        scenario,
+        observables,
+    }
+}
+
+/// A QAOA sampling sweep: the angle grid of [`qaoa_grid_sweep`] paired with
+/// the MaxCut edge observables whose expectations score each grid point
+/// (estimated from post-processed shots).
+///
+/// # Examples
+///
+/// ```
+/// use quclear_workloads::{qaoa_sampling_sweep, Graph};
+///
+/// let graph = Graph::regular(8, 3, 11);
+/// let sweep = qaoa_sampling_sweep(&graph, &[0.1, 0.2], &[0.3]);
+/// assert_eq!(sweep.scenario.len(), 2);
+/// assert_eq!(sweep.observables.len(), graph.edges().len());
+/// ```
+#[must_use]
+pub fn qaoa_sampling_sweep(graph: &crate::Graph, gammas: &[f64], betas: &[f64]) -> ObservableSweep {
+    ObservableSweep {
+        scenario: qaoa_grid_sweep(graph, gammas, betas),
+        observables: crate::maxcut_observables(graph),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,6 +202,32 @@ mod tests {
             .iter()
             .flatten()
             .all(|x| (-std::f64::consts::PI..std::f64::consts::PI).contains(x)));
+    }
+
+    #[test]
+    fn expectation_sweep_observables_are_deduplicated_and_sized() {
+        let sweep = vqe_expectation_sweep(&Benchmark::Ucc(2, 4), 3, 5);
+        let n = sweep.scenario.program[0].num_qubits();
+        // One Z per qubit, then distinct axes only.
+        assert!(sweep.observables.len() >= n);
+        let mut seen = std::collections::BTreeSet::new();
+        for o in &sweep.observables {
+            assert_eq!(o.num_qubits(), n);
+            assert!(seen.insert(o.pauli().to_string()), "duplicate {o}");
+        }
+    }
+
+    #[test]
+    fn sampling_sweep_pairs_grid_with_edge_observables() {
+        let graph = Graph::regular(6, 2, 5);
+        let sweep = qaoa_sampling_sweep(&graph, &[0.1, 0.2], &[1.0]);
+        assert_eq!(sweep.scenario.len(), 2);
+        assert_eq!(sweep.observables.len(), graph.edges().len());
+        // Edge observables are weight-2 Z strings.
+        assert!(sweep
+            .observables
+            .iter()
+            .all(|o| o.weight() == 2 && o.pauli().x_bits().is_zero()));
     }
 
     #[test]

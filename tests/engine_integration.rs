@@ -55,6 +55,54 @@ fn qaoa_grid_reuses_template_and_stays_absorbable() {
     assert_eq!(stats.binds, 6);
 }
 
+/// Warm binds get absorption for free: on a template cache hit, a
+/// previously absorbed observable set is returned from the template's memo
+/// (same `Arc`) instead of being re-conjugated — and the rewriting agrees
+/// with the scalar per-string path.
+#[test]
+fn warm_binds_reuse_the_cached_absorption_plan() {
+    use std::sync::Arc;
+
+    let sweep = vqe_sweep(&Benchmark::Ucc(2, 4), 2, 7);
+    let observables: Vec<SignedPauli> = ["ZIII", "IZII", "ZZII", "XXYY", "-YYXX"]
+        .iter()
+        .map(|s| s.parse().unwrap())
+        .collect();
+    let engine = Engine::new(16);
+
+    // Cold: compiles the template and conjugates the set once.
+    let first = engine
+        .absorb_observables(&sweep.program, &observables)
+        .unwrap();
+    // Warm: template cache hit + absorption memo hit — the same Arc comes
+    // back, proving nothing was re-conjugated.
+    let again = engine
+        .absorb_observables(&sweep.program, &observables)
+        .unwrap();
+    assert!(
+        Arc::ptr_eq(&first, &again),
+        "cache hit must reuse the memoized absorption"
+    );
+    let stats = engine.stats();
+    assert_eq!((stats.misses, stats.hits), (1, 1));
+
+    // The batch rewriting agrees with the scalar reference.
+    let reference = compile(&sweep.program, &QuClearConfig::default());
+    let scalar = reference.absorb_observables(&observables);
+    assert_eq!(&first.to_vec(), scalar.transformed());
+
+    // A different set on the same (cached) template is a fresh conjugation.
+    let other: Vec<SignedPauli> = vec!["XIXI".parse().unwrap()];
+    let third = engine.absorb_observables(&sweep.program, &other).unwrap();
+    assert_eq!(third.len(), 1);
+    assert_eq!(engine.stats().hits, 2);
+
+    // And binding through the same template still works as usual.
+    let results = engine.sweep(&sweep.program, &sweep.angle_sets).unwrap();
+    assert!(results.iter().all(Result::is_ok));
+    assert_eq!(engine.stats().misses, 1, "no recompilation happened");
+}
+
 /// Batch compilation over heterogeneous structures via the facade prelude.
 #[test]
 fn batch_compilation_through_the_facade() {
