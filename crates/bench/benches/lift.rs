@@ -1,0 +1,59 @@
+//! Criterion benchmarks of the QASM ingestion path: the lift pass itself
+//! (gate-stream → rotation program), parse + lift, and the engine's
+//! cold-vs-warm `compile_qasm`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use quclear_circuit::qasm::from_qasm;
+use quclear_core::lift;
+use quclear_engine::Engine;
+use quclear_workloads::{hardware_efficient_qasm, zz_chain_qasm};
+
+fn bench_lift_pass(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lift");
+    group.sample_size(30);
+
+    // A deep hardware-efficient ansatz: every CX chain stays in the frame,
+    // so rotation axes grow — the stress shape for the commutation pass.
+    for (n, layers) in [(16, 4), (32, 8)] {
+        let ansatz = hardware_efficient_qasm(n, layers, 5);
+        let circuit = from_qasm(&ansatz.qasm).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("lift_pass", format!("{n}q_{}gates", circuit.len())),
+            &circuit,
+            |b, circuit| {
+                b.iter(|| lift(black_box(circuit)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("parse_and_lift", format!("{n}q_{}gates", circuit.len())),
+            &ansatz.qasm,
+            |b, qasm| {
+                b.iter(|| lift(&from_qasm(black_box(qasm)).unwrap()));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_engine_qasm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_qasm");
+    group.sample_size(20);
+    let ansatz = zz_chain_qasm(10, 3, 17);
+
+    group.bench_function("compile_qasm_cold", |b| {
+        b.iter(|| {
+            let engine = Engine::new(4);
+            engine.compile_qasm(black_box(&ansatz.qasm)).unwrap()
+        });
+    });
+
+    let engine = Engine::new(4);
+    engine.compile_qasm(&ansatz.qasm).unwrap(); // prime the template
+    group.bench_function("compile_qasm_warm", |b| {
+        b.iter(|| engine.compile_qasm(black_box(&ansatz.qasm)).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lift_pass, bench_engine_qasm);
+criterion_main!(benches);

@@ -1,10 +1,26 @@
-//! OpenQASM 2.0 export.
+//! OpenQASM 2.0 import and export.
 //!
 //! The optimized circuits produced by QuCLEAR are meant to be executed by an
 //! external stack ("the optimized circuit is then executed on quantum devices
 //! using any quantum software and hardware" — Section IV of the paper).
 //! Exporting to OpenQASM 2.0 makes the output of this reproduction directly
-//! consumable by Qiskit, tket, and most simulators.
+//! consumable by Qiskit, tket, and most simulators — and [`from_qasm`] is the
+//! front door in the other direction: it parses the gate set real VQE/QAOA
+//! workloads arrive in, so external circuits can be lifted into
+//! Pauli-rotation programs and enter the pipeline.
+//!
+//! # Supported input subset
+//!
+//! * one quantum register named `q`, declared before use; `creg`, `barrier`,
+//!   `include` and comments are accepted and ignored,
+//! * gates: `h`, `s`, `sdg`, `x`, `y`, `z`, `sx`, `sxdg`, `t`, `tdg`,
+//!   `rz(θ)`, `rx(θ)`, `ry(θ)`, `cx`, `cz`, `swap` (`t`/`tdg` parse as
+//!   `Rz(±π/4)`, which is the same unitary up to global phase),
+//! * parameter expressions over `pi`, numeric literals, parentheses and the
+//!   operators `+ - * /` (e.g. `pi/4`, `-3*pi/2`, `0.5*(pi + 1.0)`).
+//!
+//! Parse failures return a [`ParseQasmError`] carrying the 1-based line and
+//! column of the offending token.
 
 use std::fmt::Write as _;
 
@@ -13,7 +29,15 @@ use crate::{Circuit, Gate};
 /// Serializes a circuit as an OpenQASM 2.0 program.
 ///
 /// `Sx`/`Sx†` are emitted with the standard-library names `sx`/`sxdg`; SWAP
-/// and CZ use their `qelib1.inc` definitions.
+/// and CZ use their `qelib1.inc` definitions. Rotation angles are printed
+/// as the shortest decimal that round-trips the `f64` exactly, so
+/// `from_qasm(to_qasm(c))` is gate-for-gate equal to `c`.
+///
+/// # Panics
+///
+/// Panics if a rotation angle is NaN or infinite — there is no valid QASM
+/// spelling for those, and emitting them silently would produce a file no
+/// parser (including [`from_qasm`]) accepts.
 ///
 /// # Examples
 ///
@@ -35,6 +59,12 @@ pub fn to_qasm(circuit: &Circuit) -> String {
     out.push_str("include \"qelib1.inc\";\n");
     let _ = writeln!(out, "qreg q[{}];", circuit.num_qubits());
     for gate in circuit.gates() {
+        if let Gate::Rz { angle, .. } | Gate::Rx { angle, .. } | Gate::Ry { angle, .. } = *gate {
+            assert!(
+                angle.is_finite(),
+                "cannot serialize non-finite rotation angle {angle} as QASM"
+            );
+        }
         let line = match *gate {
             Gate::H(q) => format!("h q[{q}];"),
             Gate::S(q) => format!("s q[{q}];"),
@@ -44,9 +74,11 @@ pub fn to_qasm(circuit: &Circuit) -> String {
             Gate::Z(q) => format!("z q[{q}];"),
             Gate::SqrtX(q) => format!("sx q[{q}];"),
             Gate::SqrtXdg(q) => format!("sxdg q[{q}];"),
-            Gate::Rz { qubit, angle } => format!("rz({angle:.16}) q[{qubit}];"),
-            Gate::Rx { qubit, angle } => format!("rx({angle:.16}) q[{qubit}];"),
-            Gate::Ry { qubit, angle } => format!("ry({angle:.16}) q[{qubit}];"),
+            // `{}` prints the shortest decimal that round-trips the f64
+            // exactly, so `from_qasm(to_qasm(c))` is gate-for-gate equal.
+            Gate::Rz { qubit, angle } => format!("rz({angle}) q[{qubit}];"),
+            Gate::Rx { qubit, angle } => format!("rx({angle}) q[{qubit}];"),
+            Gate::Ry { qubit, angle } => format!("ry({angle}) q[{qubit}];"),
             Gate::Cx { control, target } => format!("cx q[{control}], q[{target}];"),
             Gate::Cz { a, b } => format!("cz q[{a}], q[{b}];"),
             Gate::Swap { a, b } => format!("swap q[{a}], q[{b}];"),
@@ -57,11 +89,15 @@ pub fn to_qasm(circuit: &Circuit) -> String {
     out
 }
 
-/// Error returned by [`from_qasm`].
+/// Error returned by [`from_qasm`], locating the offending token.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseQasmError {
     /// 1-based line number of the offending statement.
     pub line: usize,
+    /// 1-based column of the offending token (0 when unknown).
+    pub column: usize,
+    /// The offending token, when one could be isolated.
+    pub token: String,
     /// Explanation of the failure.
     pub message: String,
 }
@@ -70,120 +106,641 @@ impl std::fmt::Display for ParseQasmError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "QASM parse error at line {}: {}",
-            self.line, self.message
-        )
+            "QASM parse error at line {}, column {}: {}",
+            self.line, self.column, self.message
+        )?;
+        if !self.token.is_empty() {
+            write!(f, " (near `{}`)", self.token)?;
+        }
+        Ok(())
     }
 }
 
 impl std::error::Error for ParseQasmError {}
 
-/// Parses the subset of OpenQASM 2.0 emitted by [`to_qasm`] back into a
-/// circuit (single register, the workspace gate set, no classical registers).
+/// A character-level cursor over the whole source text. Comments and
+/// newlines are whitespace (OpenQASM 2.0 is free-form); errors carry the
+/// 1-based line and column computed from the byte offset.
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    /// Byte offset of the start of each line, for error locations.
+    line_starts: Vec<usize>,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        let bytes = src.as_bytes();
+        let mut line_starts = vec![0];
+        for (i, &b) in bytes.iter().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        Cursor {
+            src: bytes,
+            pos: 0,
+            line_starts,
+        }
+    }
+
+    /// Converts a byte offset into a 1-based (line, column) pair.
+    fn locate(&self, pos: usize) -> (usize, usize) {
+        let line = self.line_starts.partition_point(|&start| start <= pos);
+        (line, pos - self.line_starts[line - 1] + 1)
+    }
+
+    /// Skips whitespace — OpenQASM 2.0 is free-form, so newlines are
+    /// ordinary whitespace — and `//` line comments.
+    fn skip_ws(&mut self) {
+        loop {
+            while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+                self.pos += 1;
+            }
+            if self.src[self.pos..].starts_with(b"//") {
+                while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn at_end(&mut self) -> bool {
+        self.skip_ws();
+        self.pos >= self.src.len()
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.src.get(self.pos).copied()
+    }
+
+    /// Consumes `c` if it is the next non-whitespace character.
+    fn eat(&mut self, c: u8) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The rest of the current *line* from the cursor, for error tokens.
+    fn rest(&self) -> String {
+        let start = self.pos.min(self.src.len());
+        let end = self.src[start..]
+            .iter()
+            .position(|&b| b == b'\n')
+            .map_or(self.src.len(), |i| start + i);
+        String::from_utf8_lossy(&self.src[start..end])
+            .trim()
+            .to_string()
+    }
+
+    /// Steps back from `pos` over whitespace and comments to just past the
+    /// last real character — the natural anchor for "something is missing
+    /// here" errors, so they point at the statement, not at whatever (or
+    /// wherever) the next token happens to be.
+    fn anchor_back(&self, pos: usize) -> usize {
+        let mut p = pos.min(self.src.len());
+        while p > 0 && self.src[p - 1].is_ascii_whitespace() {
+            p -= 1;
+        }
+        p
+    }
+
+    /// An error at absolute byte offset `at`.
+    fn error(
+        &self,
+        at: usize,
+        token: impl Into<String>,
+        message: impl Into<String>,
+    ) -> ParseQasmError {
+        let (line, column) = self.locate(at.min(self.src.len()));
+        ParseQasmError {
+            line,
+            column,
+            token: token.into(),
+            message: message.into(),
+        }
+    }
+
+    /// An error at the current cursor position.
+    fn error_here(
+        &mut self,
+        token: impl Into<String>,
+        message: impl Into<String>,
+    ) -> ParseQasmError {
+        self.skip_ws();
+        self.error(self.pos, token, message)
+    }
+
+    /// Takes an identifier (`[A-Za-z_][A-Za-z0-9_]*`), returning it with its
+    /// 1-based column.
+    fn take_ident(&mut self) -> Option<(String, usize)> {
+        self.skip_ws();
+        let start = self.pos;
+        if self
+            .src
+            .get(self.pos)
+            .is_some_and(|c| c.is_ascii_alphabetic() || *c == b'_')
+        {
+            self.pos += 1;
+            while self
+                .src
+                .get(self.pos)
+                .is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_')
+            {
+                self.pos += 1;
+            }
+            let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+            Some((text, start))
+        } else {
+            None
+        }
+    }
+
+    /// Takes an unsigned integer literal, returning it with its column.
+    ///
+    /// `Ok(None)` means no digits were present; digits that do not fit a
+    /// `usize` are an error *at the literal* (not at whatever follows it).
+    fn take_uint(&mut self) -> Result<Option<(usize, usize)>, ParseQasmError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.src.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Ok(None);
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        match text.parse() {
+            Ok(value) => Ok(Some((value, start))),
+            Err(_) => Err(self.error(
+                start,
+                text.clone(),
+                format!("integer literal `{text}` is out of range"),
+            )),
+        }
+    }
+
+    /// Takes a floating-point literal (digits, `.`, optional exponent),
+    /// returning it with its column.
+    ///
+    /// `Ok(None)` means no literal characters were present; a present but
+    /// malformed literal (e.g. `2.0.1`) is an error *at the literal*.
+    fn take_number(&mut self) -> Result<Option<(f64, usize)>, ParseQasmError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .src
+            .get(self.pos)
+            .is_some_and(|c| c.is_ascii_digit() || *c == b'.')
+        {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Ok(None);
+        }
+        // Optional exponent: e / E with optional sign.
+        if self
+            .src
+            .get(self.pos)
+            .is_some_and(|c| *c == b'e' || *c == b'E')
+        {
+            let mut end = self.pos + 1;
+            if self.src.get(end).is_some_and(|c| *c == b'+' || *c == b'-') {
+                end += 1;
+            }
+            if self.src.get(end).is_some_and(u8::is_ascii_digit) {
+                self.pos = end;
+                while self.src.get(self.pos).is_some_and(u8::is_ascii_digit) {
+                    self.pos += 1;
+                }
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        match text.parse() {
+            Ok(value) => Ok(Some((value, start))),
+            Err(_) => Err(self.error(
+                start,
+                text.clone(),
+                format!("cannot parse numeric literal `{text}`"),
+            )),
+        }
+    }
+
+    /// Takes a run of non-whitespace, non-`;` characters (e.g. a version
+    /// token), returning it with its column.
+    fn take_word(&mut self) -> (String, usize) {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .src
+            .get(self.pos)
+            .is_some_and(|c| !c.is_ascii_whitespace() && *c != b';')
+        {
+            self.pos += 1;
+        }
+        (
+            String::from_utf8_lossy(&self.src[start..self.pos]).into_owned(),
+            start,
+        )
+    }
+
+    /// Expects `c` as the next non-whitespace character.
+    ///
+    /// On failure the error is anchored just past the last real character
+    /// before the expected position (missing-token errors point at the end
+    /// of the statement, not at whatever follows on a later line).
+    fn expect(&mut self, c: u8, context: &str) -> Result<(), ParseQasmError> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            let token = self.rest();
+            let anchor = self.anchor_back(self.pos);
+            Err(self.error(anchor, token, format!("expected `{}` {context}", c as char)))
+        }
+    }
+
+    /// Skips forward past the terminating `;` of the current statement,
+    /// treating comments as whitespace (a `;` inside a `//` comment does not
+    /// terminate the statement).
+    fn skip_statement(&mut self) -> Result<(), ParseQasmError> {
+        loop {
+            self.skip_ws();
+            if self.pos >= self.src.len() {
+                return Err(self.error(self.anchor_back(self.src.len()), "", "missing `;`"));
+            }
+            if self.src[self.pos] == b';' {
+                self.pos += 1;
+                return Ok(());
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+/// Maximum nesting depth of parameter expressions. The parser recurses per
+/// `(` and per unary `-`, so untrusted input must not control the stack;
+/// legitimate QASM parameters nest a handful of levels at most.
+const MAX_EXPR_DEPTH: usize = 64;
+
+/// Parses a parameter expression: `+ - * /`, unary minus, parentheses, `pi`
+/// and numeric literals.
+fn parse_expr(cur: &mut Cursor<'_>, depth: usize) -> Result<f64, ParseQasmError> {
+    if depth > MAX_EXPR_DEPTH {
+        let token = cur.rest();
+        return Err(cur.error_here(token, "parameter expression is nested too deeply"));
+    }
+    let mut value = parse_term(cur, depth)?;
+    loop {
+        if cur.eat(b'+') {
+            value += parse_term(cur, depth)?;
+        } else if cur.eat(b'-') {
+            value -= parse_term(cur, depth)?;
+        } else {
+            return Ok(value);
+        }
+    }
+}
+
+fn parse_term(cur: &mut Cursor<'_>, depth: usize) -> Result<f64, ParseQasmError> {
+    let mut value = parse_unary(cur, depth)?;
+    loop {
+        if cur.eat(b'*') {
+            value *= parse_unary(cur, depth)?;
+        } else if cur.eat(b'/') {
+            cur.skip_ws();
+            let at = cur.pos;
+            let divisor = parse_unary(cur, depth)?;
+            if divisor == 0.0 {
+                return Err(cur.error(at, "0", "division by zero in parameter expression"));
+            }
+            value /= divisor;
+        } else {
+            return Ok(value);
+        }
+    }
+}
+
+fn parse_unary(cur: &mut Cursor<'_>, depth: usize) -> Result<f64, ParseQasmError> {
+    if depth > MAX_EXPR_DEPTH {
+        let token = cur.rest();
+        return Err(cur.error_here(token, "parameter expression is nested too deeply"));
+    }
+    if cur.eat(b'-') {
+        return Ok(-parse_unary(cur, depth + 1)?);
+    }
+    parse_atom(cur, depth)
+}
+
+fn parse_atom(cur: &mut Cursor<'_>, depth: usize) -> Result<f64, ParseQasmError> {
+    if cur.eat(b'(') {
+        let value = parse_expr(cur, depth + 1)?;
+        cur.expect(b')', "to close the parenthesized expression")?;
+        return Ok(value);
+    }
+    match cur.peek() {
+        Some(c) if c.is_ascii_alphabetic() => {
+            let (ident, column) = cur.take_ident().expect("peeked an identifier start");
+            if ident == "pi" {
+                Ok(std::f64::consts::PI)
+            } else {
+                Err(cur.error(
+                    column,
+                    ident.clone(),
+                    format!("unknown constant `{ident}` in parameter expression (only `pi` is supported)"),
+                ))
+            }
+        }
+        Some(c) if c.is_ascii_digit() || c == b'.' => {
+            let at = cur.pos;
+            match cur.take_number()? {
+                Some((value, _)) => Ok(value),
+                None => Err(cur.error(at, "", "cannot parse numeric literal")),
+            }
+        }
+        _ => {
+            let token = cur.rest();
+            Err(cur.error_here(
+                token,
+                "expected a number, `pi`, or `(` in parameter expression",
+            ))
+        }
+    }
+}
+
+/// Parses one `q[i]` operand, checking the register declaration and range.
+fn parse_operand(cur: &mut Cursor<'_>, num_qubits: Option<usize>) -> Result<usize, ParseQasmError> {
+    cur.skip_ws();
+    let operand_at = cur.pos;
+    let Some((name, name_at)) = cur.take_ident() else {
+        let token = cur.rest();
+        return Err(cur.error_here(token, "expected a qubit operand `q[<index>]`"));
+    };
+    if name != "q" {
+        return Err(cur.error(
+            name_at,
+            name.clone(),
+            format!("unknown register `{name}` (only the register `q` is supported)"),
+        ));
+    }
+    cur.expect(b'[', "after the register name")?;
+    let Some((index, _)) = cur.take_uint()? else {
+        let token = cur.rest();
+        return Err(cur.error_here(token, "expected a qubit index"));
+    };
+    cur.expect(b']', "after the qubit index")?;
+    let Some(n) = num_qubits else {
+        return Err(cur.error(
+            operand_at,
+            format!("q[{index}]"),
+            "gate statement before the `qreg` declaration",
+        ));
+    };
+    if index >= n {
+        return Err(cur.error(
+            operand_at,
+            format!("q[{index}]"),
+            format!("qubit index {index} is outside the declared register `q[{n}]`"),
+        ));
+    }
+    Ok(index)
+}
+
+/// Gate names accepted by [`from_qasm`], used to distinguish arity errors
+/// from genuinely unsupported statements.
+const KNOWN_GATES: &[&str] = &[
+    "h", "s", "sdg", "x", "y", "z", "sx", "sxdg", "t", "tdg", "rz", "rx", "ry", "cx", "cz", "swap",
+];
+
+/// Parses one gate statement whose name has already been consumed.
+fn parse_gate(
+    cur: &mut Cursor<'_>,
+    name: &str,
+    name_at: usize,
+    num_qubits: Option<usize>,
+) -> Result<Gate, ParseQasmError> {
+    if !KNOWN_GATES.contains(&name) {
+        let statement = format!("{name} {}", cur.rest().trim_end_matches(';').trim());
+        return Err(cur.error(
+            name_at,
+            name.to_string(),
+            format!("unsupported statement `{}`", statement.trim()),
+        ));
+    }
+
+    // Optional parameter list.
+    let mut params: Vec<f64> = Vec::new();
+    let params_at = {
+        cur.skip_ws();
+        cur.pos
+    };
+    if cur.eat(b'(') {
+        loop {
+            params.push(parse_expr(cur, 0)?);
+            if cur.eat(b',') {
+                continue;
+            }
+            cur.expect(b')', "to close the parameter list")?;
+            break;
+        }
+    }
+    let expected_params = usize::from(matches!(name, "rz" | "rx" | "ry"));
+    if params.len() != expected_params {
+        return Err(cur.error(
+            params_at,
+            name.to_string(),
+            format!(
+                "gate `{name}` takes {expected_params} parameter{} but {} were given",
+                if expected_params == 1 { "" } else { "s" },
+                params.len()
+            ),
+        ));
+    }
+
+    // Operand list.
+    let mut qubits: Vec<usize> = vec![parse_operand(cur, num_qubits)?];
+    while cur.eat(b',') {
+        qubits.push(parse_operand(cur, num_qubits)?);
+    }
+    let expected_qubits = if matches!(name, "cx" | "cz" | "swap") {
+        2
+    } else {
+        1
+    };
+    if qubits.len() != expected_qubits {
+        return Err(cur.error(
+            name_at,
+            name.to_string(),
+            format!(
+                "gate `{name}` acts on {expected_qubits} qubit{} but {} operands were given",
+                if expected_qubits == 1 { "" } else { "s" },
+                qubits.len()
+            ),
+        ));
+    }
+    if expected_qubits == 2 && qubits[0] == qubits[1] {
+        return Err(cur.error(
+            name_at,
+            format!("q[{}]", qubits[0]),
+            format!("gate `{name}` requires two distinct qubits"),
+        ));
+    }
+
+    use std::f64::consts::FRAC_PI_4;
+    let gate = match (name, qubits.as_slice()) {
+        ("h", [q]) => Gate::H(*q),
+        ("s", [q]) => Gate::S(*q),
+        ("sdg", [q]) => Gate::Sdg(*q),
+        ("x", [q]) => Gate::X(*q),
+        ("y", [q]) => Gate::Y(*q),
+        ("z", [q]) => Gate::Z(*q),
+        ("sx", [q]) => Gate::SqrtX(*q),
+        ("sxdg", [q]) => Gate::SqrtXdg(*q),
+        // T = e^{iπ/8}·Rz(π/4): the same unitary up to a global phase.
+        ("t", [q]) => Gate::Rz {
+            qubit: *q,
+            angle: FRAC_PI_4,
+        },
+        ("tdg", [q]) => Gate::Rz {
+            qubit: *q,
+            angle: -FRAC_PI_4,
+        },
+        ("rz", [q]) => Gate::Rz {
+            qubit: *q,
+            angle: params[0],
+        },
+        ("rx", [q]) => Gate::Rx {
+            qubit: *q,
+            angle: params[0],
+        },
+        ("ry", [q]) => Gate::Ry {
+            qubit: *q,
+            angle: params[0],
+        },
+        ("cx", [c, t]) => Gate::Cx {
+            control: *c,
+            target: *t,
+        },
+        ("cz", [a, b]) => Gate::Cz { a: *a, b: *b },
+        ("swap", [a, b]) => Gate::Swap { a: *a, b: *b },
+        _ => unreachable!("gate `{name}` passed arity checks"),
+    };
+    Ok(gate)
+}
+
+/// Parses one statement starting at the cursor. Returns `Ok(())` after
+/// consuming the statement including its terminating `;`.
+fn parse_statement(
+    cur: &mut Cursor<'_>,
+    num_qubits: &mut Option<usize>,
+    gates: &mut Vec<Gate>,
+) -> Result<(), ParseQasmError> {
+    // A stray `;` is an empty statement; accept it.
+    if cur.eat(b';') {
+        return Ok(());
+    }
+    let Some((head, head_at)) = cur.take_ident() else {
+        let token = cur.rest();
+        return Err(cur.error_here(token, "expected a statement"));
+    };
+    match head.as_str() {
+        "OPENQASM" => {
+            let (version, version_column) = cur.take_word();
+            if version != "2.0" {
+                return Err(cur.error(
+                    version_column,
+                    version.clone(),
+                    format!("unsupported OPENQASM version `{version}` (only 2.0 is supported)"),
+                ));
+            }
+            cur.expect(b';', "after the OPENQASM version")
+        }
+        "include" | "barrier" | "creg" => cur.skip_statement(),
+        "qreg" => {
+            let Some((name, column)) = cur.take_ident() else {
+                let token = cur.rest();
+                return Err(cur.error_here(token, "expected a register name after `qreg`"));
+            };
+            if name != "q" {
+                return Err(cur.error(
+                    column,
+                    name.clone(),
+                    format!("unsupported register name `{name}` (only a single register `q` is supported)"),
+                ));
+            }
+            cur.expect(b'[', "after the register name")?;
+            let Some((size, _)) = cur.take_uint()? else {
+                let token = cur.rest();
+                return Err(cur.error_here(token, "expected a register size"));
+            };
+            cur.expect(b']', "after the register size")?;
+            cur.expect(b';', "after the register declaration")?;
+            if num_qubits.is_some() {
+                return Err(cur.error(head_at, "qreg".to_string(), "duplicate `qreg` declaration"));
+            }
+            *num_qubits = Some(size);
+            Ok(())
+        }
+        _ => {
+            let gate = parse_gate(cur, &head, head_at, *num_qubits)?;
+            cur.expect(b';', "after the gate statement")?;
+            gates.push(gate);
+            Ok(())
+        }
+    }
+}
+
+/// Parses OpenQASM 2.0 text into a circuit.
+///
+/// Accepts the subset emitted by [`to_qasm`] plus the gate set external
+/// VQE/QAOA workloads typically use (see the [module docs](self)): `t`/`tdg`
+/// parse as `Rz(±π/4)`, and rotation parameters may be arithmetic
+/// expressions over `pi`. The grammar is free-form, as the OpenQASM 2.0
+/// specification requires: statements may share a line or span several.
 ///
 /// # Errors
 ///
-/// Returns an error describing the first statement that cannot be parsed.
+/// Returns a [`ParseQasmError`] with the 1-based line and column of the
+/// first offending token: malformed headers, unknown gates or registers,
+/// arity mismatches, out-of-range qubit indices, and malformed parameter
+/// expressions are all reported where they occur.
+///
+/// # Examples
+///
+/// ```
+/// use quclear_circuit::qasm::from_qasm;
+///
+/// let circuit = from_qasm(
+///     "OPENQASM 2.0;\n\
+///      include \"qelib1.inc\";\n\
+///      qreg q[3];\n\
+///      h q[0];\n\
+///      cx q[0], q[1]; rz(-3*pi/2) q[1];\n\
+///      t q[2];\n",
+/// )?;
+/// assert_eq!(circuit.num_qubits(), 3);
+/// assert_eq!(circuit.len(), 4);
+/// # Ok::<(), quclear_circuit::qasm::ParseQasmError>(())
+/// ```
 pub fn from_qasm(text: &str) -> Result<Circuit, ParseQasmError> {
-    let mut num_qubits = 0usize;
+    let mut num_qubits: Option<usize> = None;
     let mut gates: Vec<Gate> = Vec::new();
-    for (idx, raw_line) in text.lines().enumerate() {
-        let line_no = idx + 1;
-        let line = raw_line.split("//").next().unwrap_or("").trim();
-        if line.is_empty()
-            || line.starts_with("OPENQASM")
-            || line.starts_with("include")
-            || line.starts_with("barrier")
-            || line.starts_with("creg")
-        {
-            continue;
-        }
-        let err = |message: String| ParseQasmError {
-            line: line_no,
-            message,
-        };
-        let statement = line
-            .strip_suffix(';')
-            .ok_or_else(|| err("missing `;`".into()))?;
-        if let Some(rest) = statement.strip_prefix("qreg") {
-            let size = rest
-                .trim()
-                .strip_prefix("q[")
-                .and_then(|s| s.strip_suffix(']'))
-                .and_then(|s| s.parse::<usize>().ok())
-                .ok_or_else(|| err(format!("cannot parse register declaration `{statement}`")))?;
-            num_qubits = size;
-            continue;
-        }
-        let (head, args) = statement
-            .split_once(' ')
-            .ok_or_else(|| err(format!("cannot parse statement `{statement}`")))?;
-        let qubits: Vec<usize> = args
-            .split(',')
-            .map(|a| {
-                a.trim()
-                    .strip_prefix("q[")
-                    .and_then(|s| s.strip_suffix(']'))
-                    .and_then(|s| s.parse::<usize>().ok())
-                    .ok_or_else(|| err(format!("cannot parse qubit operand `{a}`")))
-            })
-            .collect::<Result<_, _>>()?;
-        let (name, angle) = match head.split_once('(') {
-            Some((name, rest)) => {
-                let angle: f64 = rest
-                    .strip_suffix(')')
-                    .and_then(|s| s.trim().parse().ok())
-                    .ok_or_else(|| err(format!("cannot parse angle in `{head}`")))?;
-                (name, Some(angle))
-            }
-            None => (head, None),
-        };
-        let gate = match (name, qubits.as_slice(), angle) {
-            ("h", [q], None) => Gate::H(*q),
-            ("s", [q], None) => Gate::S(*q),
-            ("sdg", [q], None) => Gate::Sdg(*q),
-            ("x", [q], None) => Gate::X(*q),
-            ("y", [q], None) => Gate::Y(*q),
-            ("z", [q], None) => Gate::Z(*q),
-            ("sx", [q], None) => Gate::SqrtX(*q),
-            ("sxdg", [q], None) => Gate::SqrtXdg(*q),
-            ("rz", [q], Some(a)) => Gate::Rz {
-                qubit: *q,
-                angle: a,
-            },
-            ("rx", [q], Some(a)) => Gate::Rx {
-                qubit: *q,
-                angle: a,
-            },
-            ("ry", [q], Some(a)) => Gate::Ry {
-                qubit: *q,
-                angle: a,
-            },
-            ("cx", [c, t], None) => Gate::Cx {
-                control: *c,
-                target: *t,
-            },
-            ("cz", [a, b], None) => Gate::Cz { a: *a, b: *b },
-            ("swap", [a, b], None) => Gate::Swap { a: *a, b: *b },
-            _ => return Err(err(format!("unsupported statement `{statement}`"))),
-        };
-        gates.push(gate);
+    let mut cur = Cursor::new(text);
+    while !cur.at_end() {
+        parse_statement(&mut cur, &mut num_qubits, &mut gates)?;
     }
-    if gates
-        .iter()
-        .any(|g| g.qubits().iter().any(|&q| q >= num_qubits))
-    {
-        return Err(ParseQasmError {
-            line: 0,
-            message: "gate uses a qubit outside the declared register".into(),
-        });
-    }
-    Ok(Circuit::from_gates(num_qubits, gates))
+    Ok(Circuit::from_gates(num_qubits.unwrap_or(0), gates))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::f64::consts::PI;
 
     fn sample_circuit() -> Circuit {
         let mut c = Circuit::new(3);
@@ -249,13 +806,19 @@ mod tests {
         let text = "OPENQASM 2.0;\nqreg q[2];\nccx q[0], q[1];\n";
         let err = from_qasm(text).unwrap_err();
         assert_eq!(err.line, 3);
+        assert_eq!(err.column, 1);
+        assert_eq!(err.token, "ccx");
         assert!(err.to_string().contains("unsupported"));
     }
 
     #[test]
     fn parse_rejects_out_of_range_qubits() {
         let text = "qreg q[1];\ncx q[0], q[1];\n";
-        assert!(from_qasm(text).is_err());
+        let err = from_qasm(text).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.token, "q[1]");
+        assert_eq!(err.column, 10);
+        assert!(err.message.contains("outside the declared register"));
     }
 
     #[test]
@@ -263,5 +826,216 @@ mod tests {
         let text = "OPENQASM 2.0;\n\n// a comment\nqreg q[1];\nh q[0]; // trailing\n";
         let circuit = from_qasm(text).unwrap();
         assert_eq!(circuit.len(), 1);
+    }
+
+    #[test]
+    fn parse_accepts_multiple_statements_per_line() {
+        let circuit = from_qasm("qreg q[2]; h q[0]; cx q[0], q[1]; s q[1];").unwrap();
+        assert_eq!(circuit.len(), 3);
+    }
+
+    #[test]
+    fn parse_accepts_statements_spanning_lines() {
+        // OpenQASM 2.0 is free-form: newlines are ordinary whitespace, so
+        // reformatted files with wrapped statements must still parse.
+        let text = "OPENQASM\n2.0;\nqreg\n  q[2];\ncx q[0],\n   q[1];\nrz(\n  pi / 4\n) q[0]\n;\n";
+        let circuit = from_qasm(text).unwrap();
+        assert_eq!(circuit.num_qubits(), 2);
+        assert_eq!(circuit.len(), 2);
+        let Gate::Rz { angle, .. } = circuit.gates()[1] else {
+            panic!("expected Rz");
+        };
+        assert!((angle - PI / 4.0).abs() < 1e-15);
+
+        // Comments may interrupt a statement.
+        let circuit = from_qasm("qreg q[2];\ncx q[0], // control\n q[1];\n").unwrap();
+        assert_eq!(circuit.len(), 1);
+
+        // A `;` inside a comment does not terminate an ignored statement.
+        let circuit =
+            from_qasm("OPENQASM 2.0;\nqreg q[2];\ncreg c // old; layout\n[2];\nh q[0];\n").unwrap();
+        assert_eq!(circuit.len(), 1);
+    }
+
+    #[test]
+    fn to_qasm_panics_on_non_finite_angles() {
+        let mut c = Circuit::new(1);
+        c.rz(0, f64::NAN);
+        assert!(std::panic::catch_unwind(|| to_qasm(&c)).is_err());
+    }
+
+    #[test]
+    fn t_and_tdg_parse_as_pi_over_4_rotations() {
+        let circuit = from_qasm("qreg q[1];\nt q[0];\ntdg q[0];\n").unwrap();
+        let gates = circuit.gates();
+        assert_eq!(gates.len(), 2);
+        let Gate::Rz { qubit: 0, angle } = gates[0] else {
+            panic!("t must parse as Rz, got {:?}", gates[0]);
+        };
+        assert!((angle - PI / 4.0).abs() < 1e-15);
+        let Gate::Rz { qubit: 0, angle } = gates[1] else {
+            panic!("tdg must parse as Rz, got {:?}", gates[1]);
+        };
+        assert!((angle + PI / 4.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn parameter_expressions_evaluate() {
+        let cases = [
+            ("pi/4", PI / 4.0),
+            ("-3*pi/2", -3.0 * PI / 2.0),
+            ("2*pi/3", 2.0 * PI / 3.0),
+            ("0.5", 0.5),
+            ("-0.25", -0.25),
+            ("pi", PI),
+            ("-pi", -PI),
+            ("0.5*(pi + 1.0)", 0.5 * (PI + 1.0)),
+            ("pi - pi/2", PI / 2.0),
+            ("1e-3", 1e-3),
+            ("2.5e2", 250.0),
+            ("--1.0", 1.0),
+        ];
+        for (expr, expected) in cases {
+            let text = format!("qreg q[1];\nrz({expr}) q[0];\n");
+            let circuit = from_qasm(&text).unwrap_or_else(|e| panic!("`{expr}`: {e}"));
+            let Gate::Rz { angle, .. } = circuit.gates()[0] else {
+                panic!("expected Rz");
+            };
+            assert!(
+                (angle - expected).abs() < 1e-12,
+                "`{expr}` evaluated to {angle}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_headers_are_rejected() {
+        let err = from_qasm("OPENQASM 3.0;\nqreg q[1];\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert_eq!(err.token, "3.0");
+        assert!(err.message.contains("version"));
+
+        let err = from_qasm("OPENQASM 2.0\nqreg q[1];\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("expected `;`"));
+    }
+
+    #[test]
+    fn gate_before_qreg_is_rejected() {
+        let err = from_qasm("h q[0];\nqreg q[1];\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("before the `qreg`"));
+    }
+
+    #[test]
+    fn bad_register_names_are_rejected() {
+        let err = from_qasm("qreg qubits[4];\n").unwrap_err();
+        assert_eq!(err.token, "qubits");
+
+        let err = from_qasm("qreg q[2];\nh r[0];\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.token, "r");
+        assert!(err.message.contains("register"));
+    }
+
+    #[test]
+    fn arity_errors_are_reported() {
+        // Missing parameter on rz.
+        let err = from_qasm("qreg q[2];\nrz q[0];\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("1 parameter"));
+
+        // Parameter on a parameterless gate.
+        let err = from_qasm("qreg q[2];\nh(0.5) q[0];\n").unwrap_err();
+        assert!(err.message.contains("0 parameters"));
+
+        // One operand on a two-qubit gate.
+        let err = from_qasm("qreg q[2];\ncx q[0];\n").unwrap_err();
+        assert!(err.message.contains("2 qubits"));
+
+        // Coincident operands on a two-qubit gate.
+        let err = from_qasm("qreg q[2];\ncx q[1], q[1];\n").unwrap_err();
+        assert!(err.message.contains("distinct"));
+    }
+
+    #[test]
+    fn expression_errors_are_located() {
+        let err = from_qasm("qreg q[1];\nrz(tau/2) q[0];\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.token, "tau");
+        assert_eq!(err.column, 4);
+
+        let err = from_qasm("qreg q[1];\nrz(pi/0) q[0];\n").unwrap_err();
+        assert!(err.message.contains("division by zero"));
+
+        let err = from_qasm("qreg q[1];\nrz(pi q[0];\n").unwrap_err();
+        assert!(err.message.contains("expected `)`") || err.message.contains("close"));
+    }
+
+    #[test]
+    fn deeply_nested_expressions_error_instead_of_overflowing() {
+        // A stack of unary minus signs.
+        let text = format!("qreg q[1];\nrz({}1.0) q[0];\n", "-".repeat(100_000));
+        let err = from_qasm(&text).unwrap_err();
+        assert!(err.message.contains("nested too deeply"), "{err}");
+
+        // A stack of parentheses.
+        let text = format!(
+            "qreg q[1];\nrz({}1.0{}) q[0];\n",
+            "(".repeat(100_000),
+            ")".repeat(100_000)
+        );
+        let err = from_qasm(&text).unwrap_err();
+        assert!(err.message.contains("nested too deeply"), "{err}");
+
+        // Reasonable nesting still works.
+        let text = format!(
+            "qreg q[1];\nrz({}--pi{}) q[0];\n",
+            "(".repeat(20),
+            ")".repeat(20)
+        );
+        assert!(from_qasm(&text).is_ok());
+    }
+
+    #[test]
+    fn malformed_literals_are_reported_at_the_literal() {
+        // A register size too large for usize.
+        let err = from_qasm("qreg q[99999999999999999999999];\n").unwrap_err();
+        assert!(err.message.contains("out of range"), "{err}");
+        assert_eq!(err.token, "99999999999999999999999");
+        assert_eq!(err.column, 8);
+
+        // A malformed version number.
+        let err = from_qasm("OPENQASM 2.0.1;\nqreg q[1];\n").unwrap_err();
+        assert_eq!(err.token, "2.0.1");
+        assert!(err.message.contains("version"), "{err}");
+
+        // A malformed numeric parameter.
+        let err = from_qasm("qreg q[1];\nrz(1.2.3) q[0];\n").unwrap_err();
+        assert_eq!(err.token, "1.2.3");
+        assert!(err.message.contains("numeric literal"), "{err}");
+    }
+
+    #[test]
+    fn missing_semicolon_is_rejected() {
+        let err = from_qasm("qreg q[1];\nh q[0]\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("expected `;`"));
+    }
+
+    #[test]
+    fn duplicate_qreg_is_rejected() {
+        let err = from_qasm("qreg q[1];\nqreg q[2];\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn display_contains_location_and_token() {
+        let err = from_qasm("qreg q[1];\nccx q[0];\n").unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("line 2"));
+        assert!(text.contains("column 1"));
+        assert!(text.contains("ccx"));
     }
 }

@@ -1,0 +1,83 @@
+//! Property tests for the QASM round trip: `from_qasm(to_qasm(c))` must be
+//! gate-for-gate **equal** to `c` (exact angles: `to_qasm` prints the
+//! shortest decimal that round-trips every `f64`).
+
+use proptest::prelude::*;
+use quclear_circuit::qasm::{from_qasm, to_qasm};
+use quclear_circuit::{Circuit, Gate};
+
+const NUM_QUBITS: usize = 5;
+
+/// Decodes one random word into a gate on `NUM_QUBITS` qubits, covering the
+/// whole exportable gate set (including every rotation kind).
+fn decode_gate(word: u64) -> Gate {
+    let q = (word % NUM_QUBITS as u64) as usize;
+    let other = ((word >> 8) % (NUM_QUBITS as u64 - 1)) as usize;
+    let p = if other >= q { other + 1 } else { other };
+    // Angles on a fine irrational-ish grid, sign included.
+    let angle = ((word >> 16) % 10_000) as f64 * 3.7e-4 - 1.85;
+    match (word >> 32) % 14 {
+        0 => Gate::H(q),
+        1 => Gate::S(q),
+        2 => Gate::Sdg(q),
+        3 => Gate::X(q),
+        4 => Gate::Y(q),
+        5 => Gate::Z(q),
+        6 => Gate::SqrtX(q),
+        7 => Gate::SqrtXdg(q),
+        8 => Gate::Rz { qubit: q, angle },
+        9 => Gate::Rx { qubit: q, angle },
+        10 => Gate::Ry { qubit: q, angle },
+        11 => Gate::Cx {
+            control: q,
+            target: p,
+        },
+        12 => Gate::Cz { a: q, b: p },
+        _ => Gate::Swap { a: q, b: p },
+    }
+}
+
+fn random_circuit(words: &[u64]) -> Circuit {
+    Circuit::from_gates(NUM_QUBITS, words.iter().map(|&w| decode_gate(w)).collect())
+}
+
+proptest! {
+    /// The full gate set survives the text round trip exactly.
+    #[test]
+    fn from_qasm_inverts_to_qasm(words in prop::collection::vec(any::<u64>(), 0..60)) {
+        let original = random_circuit(&words);
+        let parsed = from_qasm(&to_qasm(&original)).expect("exported QASM must parse");
+        prop_assert_eq!(parsed.num_qubits(), original.num_qubits());
+        prop_assert_eq!(parsed.gates(), original.gates());
+    }
+
+    /// Angles of every magnitude round-trip bit-exactly, including values
+    /// that print many digits.
+    #[test]
+    fn extreme_angles_roundtrip_exactly(bits in prop::collection::vec(any::<u64>(), 1..20)) {
+        let gates: Vec<Gate> = bits
+            .iter()
+            .map(|&b| {
+                // Map the raw bits to a finite angle of any scale.
+                let angle = f64::from_bits(b);
+                let angle = if angle.is_finite() { angle } else { (b % 1000) as f64 * 1e-3 };
+                Gate::Rz { qubit: 0, angle }
+            })
+            .collect();
+        let original = Circuit::from_gates(1, gates);
+        let parsed = from_qasm(&to_qasm(&original)).expect("exported QASM must parse");
+        prop_assert_eq!(parsed.gates(), original.gates());
+    }
+}
+
+/// The newly supported input-only spellings (`t`, `tdg`, parameter
+/// expressions) parse to the gates their semantics dictate, and re-export to
+/// the canonical spelling without changing the circuit.
+#[test]
+fn input_only_spellings_reach_a_fixpoint() {
+    let text = "OPENQASM 2.0;\nqreg q[2];\nt q[0];\ntdg q[1];\nrz(-3*pi/2) q[0];\nrx(pi/4) q[1];\nswap q[0], q[1];\ncz q[0], q[1];\nsdg q[0];\n";
+    let first = from_qasm(text).unwrap();
+    let second = from_qasm(&to_qasm(&first)).unwrap();
+    assert_eq!(first.gates(), second.gates());
+    assert_eq!(first.len(), 7);
+}

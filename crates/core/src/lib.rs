@@ -15,7 +15,11 @@
 //!   observables, or reduced to a measurement-basis layer plus a classical
 //!   affine bitstring map for probability measurements (Proposition 1),
 //! * [`compile`] — the end-to-end pipeline with the ablation switches used by
-//!   Figures 9 and 10.
+//!   Figures 9 and 10,
+//! * [`lift`](lift()) / [`lift_qasm`] — the ingestion front door: a
+//!   gate-level (e.g. QASM-parsed) circuit is rewritten as a Pauli-rotation
+//!   program plus one trailing Clifford ([`LiftedProgram`]), so external
+//!   circuits enter the pipeline exactly like native programs.
 //!
 //! # Examples
 //!
@@ -45,6 +49,7 @@ mod blocks;
 mod extract;
 mod gf2;
 mod grouping;
+pub mod lift;
 mod pipeline;
 mod shots;
 mod tree;
@@ -61,9 +66,10 @@ pub use grouping::{
     group_commuting, group_commuting_frame, group_qubitwise_commuting, qubit_wise_commute,
     MeasurementGroup,
 };
+pub use lift::{lift, lift_qasm, LiftedProgram};
 pub use pipeline::{compile, QuClearConfig, QuClearResult};
 pub use shots::ShotBatch;
-pub use tree::TreeSynthesizer;
+pub use tree::{LookaheadOps, TreeSynthesizer};
 
 #[cfg(test)]
 mod tests {
@@ -82,5 +88,6 @@ mod tests {
         assert_send_sync::<AbsorptionPlan>();
         assert_send_sync::<AbsorbedObservables>();
         assert_send_sync::<ShotBatch>();
+        assert_send_sync::<LiftedProgram>();
     }
 }

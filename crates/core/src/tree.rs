@@ -79,7 +79,8 @@ impl LookaheadOps for FrameLookahead<'_> {
 /// everything extracted so far *including* the current rotation's
 /// single-qubit basis layer (the paper's `update_pauli(P, extr_clf)`). The
 /// extraction engine maintains these images incrementally in a
-/// [`PauliFrame`] and serves them through [`FrameLookahead`], so the
+/// [`PauliFrame`] and serves them through the internal `FrameLookahead`
+/// [`LookaheadOps`] source, so the
 /// synthesizer never re-simulates the extracted Clifford.
 pub struct TreeSynthesizer<'a, L: LookaheadOps + ?Sized> {
     lookahead: &'a L,

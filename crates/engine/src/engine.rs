@@ -4,7 +4,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use quclear_core::{AbsorbedObservables, QuClearConfig, QuClearResult};
+use quclear_circuit::qasm::from_qasm;
+use quclear_core::{lift, AbsorbedObservables, LiftedProgram, QuClearConfig, QuClearResult};
 use quclear_pauli::{PauliRotation, SignedPauli};
 use rayon::prelude::*;
 
@@ -274,6 +275,90 @@ impl Engine {
         Ok(results)
     }
 
+    /// Compiles OpenQASM 2.0 text, reusing a cached template when available.
+    ///
+    /// The circuit is parsed ([`quclear_circuit::qasm::from_qasm`]) and
+    /// lifted into a Pauli-rotation program plus a trailing Clifford
+    /// ([`quclear_core::lift()`]); the rotation structure is fingerprinted and
+    /// template-cached exactly like a native program, and the trailing
+    /// Clifford is composed into the returned result's extracted circuit
+    /// and Heisenberg map. QASM programs that differ only in rotation
+    /// angles therefore share one template: the second
+    /// `compile_qasm` of an ansatz costs one parse + lift + `O(gates)`
+    /// bind.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::QasmParse`] when the text does not parse; otherwise
+    /// the same conditions as [`Self::compile`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use quclear_engine::Engine;
+    ///
+    /// let engine = Engine::new(16);
+    /// let qasm = "
+    ///     OPENQASM 2.0;
+    ///     qreg q[2];
+    ///     cx q[0], q[1]; rz(pi/3) q[1]; cx q[0], q[1];
+    /// ";
+    /// let result = engine.compile_qasm(qasm)?;
+    /// assert!(result.cnot_count() <= 2);
+    /// # Ok::<(), quclear_engine::EngineError>(())
+    /// ```
+    pub fn compile_qasm(&self, qasm: &str) -> Result<QuClearResult, EngineError> {
+        let lifted = lift(&from_qasm(qasm)?);
+        self.compile_lifted(&lifted, None)
+    }
+
+    /// Compiles OpenQASM 2.0 text with the rotation angles overridden.
+    ///
+    /// `angles[i]` replaces the angle of the i-th rotation gate of the
+    /// circuit (in gate order, counting `t`/`tdg` as rotations) — the
+    /// parameter-sweep fast path for QASM-origin ansätze: the structure is
+    /// parsed, lifted and template-compiled once, then every angle set is
+    /// an `O(gates)` bind. For more control (e.g. lifting once for many
+    /// binds), use [`quclear_core::lift_qasm`] with
+    /// [`Self::compile_lifted`].
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::QasmParse`] when the text does not parse;
+    /// [`EngineError::AngleCountMismatch`] when `angles.len()` differs from
+    /// the circuit's rotation count; otherwise as [`Self::compile`].
+    pub fn bind_qasm(&self, qasm: &str, angles: &[f64]) -> Result<QuClearResult, EngineError> {
+        let lifted = lift(&from_qasm(qasm)?);
+        self.compile_lifted(&lifted, Some(angles))
+    }
+
+    /// Compiles an already-lifted program through the template cache,
+    /// binding either its native angles (`angles = None`) or an explicit
+    /// override.
+    ///
+    /// The template is keyed on the lifted *signed* axes, so circuits whose
+    /// conjugated axes differ only by sign do not collide. The trailing
+    /// Clifford is composed into the result via [`LiftedProgram::attach`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::compile`], plus
+    /// [`EngineError::AngleCountMismatch`] for an override of the wrong
+    /// length.
+    pub fn compile_lifted(
+        &self,
+        lifted: &LiftedProgram,
+        angles: Option<&[f64]>,
+    ) -> Result<QuClearResult, EngineError> {
+        let template = self.template(lifted.axes())?;
+        let result = contain_panics(|| match angles {
+            Some(angles) => template.bind(angles),
+            None => template.bind(lifted.native_angles()),
+        })?;
+        self.binds.fetch_add(1, Ordering::Relaxed);
+        Ok(lifted.attach(result))
+    }
+
     /// CA-Pre for a program's observable set, served through the template
     /// cache: the observable set is conjugated through the extracted
     /// Clifford in one word-parallel frame sweep on first sight, and a
@@ -465,6 +550,47 @@ mod tests {
         assert_eq!(stats.misses, 1);
         engine.compile(&program_a()).unwrap();
         assert_eq!(engine.stats().misses, 2);
+    }
+
+    #[test]
+    fn qasm_programs_share_templates_across_angle_changes() {
+        let engine = Engine::new(8);
+        let ansatz = |theta: f64| {
+            format!("qreg q[3];\ncx q[0], q[1];\ncx q[1], q[2];\nrz({theta}) q[2];\ncx q[1], q[2];\ncx q[0], q[1];\n")
+        };
+        let first = engine.compile_qasm(&ansatz(0.25)).unwrap();
+        let second = engine.compile_qasm(&ansatz(-1.75)).unwrap();
+        assert_eq!(first.optimized.len(), second.optimized.len());
+        let stats = engine.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+
+        // bind_qasm overrides the textual angle through the same template.
+        let bound = engine.bind_qasm(&ansatz(0.0), &[2.5]).unwrap();
+        assert_eq!(engine.stats().hits, 2);
+        assert_eq!(bound.optimized.len(), first.optimized.len());
+    }
+
+    #[test]
+    fn bind_qasm_validates_the_angle_count() {
+        let engine = Engine::new(8);
+        let qasm = "qreg q[2];\nrz(0.5) q[0];\nrx(0.25) q[1];\n";
+        assert!(matches!(
+            engine.bind_qasm(qasm, &[0.1]).unwrap_err(),
+            EngineError::AngleCountMismatch {
+                expected: 2,
+                found: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn qasm_parse_errors_surface_with_their_location() {
+        let engine = Engine::new(8);
+        let err = engine.compile_qasm("qreg q[1];\nccx q[0];\n").unwrap_err();
+        let EngineError::QasmParse(inner) = err else {
+            panic!("expected a parse error");
+        };
+        assert_eq!(inner.line, 2);
     }
 
     #[test]

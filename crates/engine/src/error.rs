@@ -7,9 +7,14 @@
 use std::error::Error;
 use std::fmt;
 
+use quclear_circuit::qasm::ParseQasmError;
+
 /// Errors produced by the compilation engine.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum EngineError {
+    /// The QASM source of a [`crate::Engine::compile_qasm`] /
+    /// [`crate::Engine::bind_qasm`] call failed to parse.
+    QasmParse(ParseQasmError),
     /// The rotations of one program act on different register sizes.
     InconsistentQubitCounts {
         /// Register size of the first rotation.
@@ -41,6 +46,7 @@ pub enum EngineError {
 impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            EngineError::QasmParse(inner) => write!(f, "{inner}"),
             EngineError::InconsistentQubitCounts {
                 expected,
                 found,
@@ -64,6 +70,12 @@ impl fmt::Display for EngineError {
 }
 
 impl Error for EngineError {}
+
+impl From<ParseQasmError> for EngineError {
+    fn from(inner: ParseQasmError) -> Self {
+        EngineError::QasmParse(inner)
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -15,7 +15,11 @@
 //!   counters ([`EngineStats`]);
 //! * [`Engine::compile_batch`] / [`Engine::sweep`] — parallel batch
 //!   compilation with deterministic output ordering and per-job error
-//!   isolation.
+//!   isolation;
+//! * [`Engine::compile_qasm`] / [`Engine::bind_qasm`] — QASM ingestion:
+//!   OpenQASM 2.0 text is parsed, lifted into a rotation program
+//!   ([`quclear_core::lift()`]) and served through the same template cache,
+//!   with the lifted circuit's trailing Clifford composed into the result.
 //!
 //! # Examples
 //!

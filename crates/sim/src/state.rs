@@ -2,7 +2,7 @@
 
 use quclear_circuit::math::{single_qubit_matrix, C64};
 use quclear_circuit::{Circuit, Gate};
-use quclear_pauli::{PauliString, SignedPauli};
+use quclear_pauli::{PauliRotation, PauliString, SignedPauli};
 use rand::Rng;
 
 /// A dense `2^n`-amplitude quantum state.
@@ -167,6 +167,79 @@ impl StateVector {
         StateVector {
             num_qubits: self.num_qubits,
             amps: out,
+        }
+    }
+
+    /// Applies the Pauli rotation `exp(-i·θ/2·P)` to the state in place:
+    /// `cos(θ/2)·|ψ⟩ − i·sin(θ/2)·P|ψ⟩`.
+    ///
+    /// This simulates a rotation *exactly* (one Pauli application and a
+    /// linear combination) without synthesizing it into gates, so rotation
+    /// programs — including the lifted programs produced by
+    /// `quclear_core::lift` — can be validated directly against circuits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rotation acts on a different number of qubits.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use quclear_circuit::Circuit;
+    /// use quclear_pauli::PauliRotation;
+    /// use quclear_sim::StateVector;
+    ///
+    /// // A weight-1 Z rotation is literally an Rz gate.
+    /// let mut via_rotation = StateVector::zero_state(1);
+    /// let mut h = Circuit::new(1);
+    /// h.h(0);
+    /// via_rotation.apply_circuit(&h);
+    /// via_rotation.apply_rotation(&PauliRotation::parse("Z", 0.7)?);
+    ///
+    /// let mut circuit = Circuit::new(1);
+    /// circuit.h(0);
+    /// circuit.rz(0, 0.7);
+    /// let via_circuit = StateVector::from_circuit(&circuit);
+    /// assert!(via_rotation.approx_eq_up_to_phase(&via_circuit, 1e-12));
+    /// # Ok::<(), quclear_pauli::ParsePauliError>(())
+    /// ```
+    pub fn apply_rotation(&mut self, rotation: &PauliRotation) {
+        assert_eq!(
+            rotation.num_qubits(),
+            self.num_qubits,
+            "rotation qubit count does not match the state"
+        );
+        if rotation.is_trivial() && !rotation.pauli().is_identity() {
+            return;
+        }
+        if rotation.pauli().is_identity() {
+            // exp(-i·θ/2·I) is a global phase.
+            let phase = C64 {
+                re: (rotation.angle() / 2.0).cos(),
+                im: -(rotation.angle() / 2.0).sin(),
+            };
+            for amp in &mut self.amps {
+                *amp = phase * *amp;
+            }
+            return;
+        }
+        let p_psi = self.apply_pauli(rotation.pauli());
+        let c = (rotation.angle() / 2.0).cos();
+        let s = (rotation.angle() / 2.0).sin();
+        let minus_i_s = C64 { re: 0.0, im: -s };
+        for (amp, p_amp) in self.amps.iter_mut().zip(&p_psi.amps) {
+            *amp = amp.scale(c) + minus_i_s * *p_amp;
+        }
+    }
+
+    /// Applies every rotation of a program in time order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rotation acts on a different number of qubits.
+    pub fn apply_rotations(&mut self, rotations: &[PauliRotation]) {
+        for rotation in rotations {
+            self.apply_rotation(rotation);
         }
     }
 

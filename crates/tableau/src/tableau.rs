@@ -76,6 +76,74 @@ impl CliffordTableau {
         CliffordTableau { n, frame }
     }
 
+    /// Builds a tableau directly from explicit generator images:
+    /// `x_images[q]` is `U X_q U†` and `z_images[q]` is `U Z_q U†`.
+    ///
+    /// This is the constructor for passes that *compute* a Clifford map row
+    /// by row instead of replaying a circuit — e.g. the lift pass, which
+    /// maintains Heisenberg generator images incrementally. The caller is
+    /// responsible for supplying a valid symplectic map; debug builds verify
+    /// the generator commutation relations (`U X_i U†` anticommutes with
+    /// `U Z_i U†` and commutes with every other image).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two slices have different lengths or any image acts on
+    /// a different number of qubits. In debug builds, also panics when the
+    /// images do not satisfy the generator commutation relations.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use quclear_tableau::CliffordTableau;
+    ///
+    /// // The Hadamard map on one qubit: X ↦ Z, Z ↦ X.
+    /// let h = CliffordTableau::from_generator_images(
+    ///     &["Z".parse()?],
+    ///     &["X".parse()?],
+    /// );
+    /// assert_eq!(h.apply(&"X".parse()?).to_string(), "+Z");
+    /// # Ok::<(), quclear_pauli::ParsePauliError>(())
+    /// ```
+    #[must_use]
+    pub fn from_generator_images(x_images: &[SignedPauli], z_images: &[SignedPauli]) -> Self {
+        let n = x_images.len();
+        assert_eq!(
+            z_images.len(),
+            n,
+            "generator image counts mismatch: {} X rows vs {} Z rows",
+            n,
+            z_images.len()
+        );
+        for row in x_images.iter().chain(z_images) {
+            assert_eq!(
+                row.num_qubits(),
+                n,
+                "generator image acts on {} qubits, expected {n}",
+                row.num_qubits()
+            );
+        }
+        #[cfg(debug_assertions)]
+        for i in 0..n {
+            for j in 0..n {
+                debug_assert_eq!(
+                    x_images[i].commutes_with(&z_images[j]),
+                    i != j,
+                    "images of X_{i} and Z_{j} violate the generator commutation relations"
+                );
+                debug_assert!(
+                    i == j || x_images[i].commutes_with(&x_images[j]),
+                    "images of X_{i} and X_{j} must commute"
+                );
+                debug_assert!(
+                    i == j || z_images[i].commutes_with(&z_images[j]),
+                    "images of Z_{i} and Z_{j} must commute"
+                );
+            }
+        }
+        CliffordTableau::from_rows(n, x_images, z_images)
+    }
+
     /// Builds the map `P ↦ U·P·U†` of the Clifford circuit `U`.
     ///
     /// # Panics

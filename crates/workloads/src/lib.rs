@@ -28,6 +28,7 @@ mod benchmark;
 mod graphs;
 mod molecular;
 mod qaoa;
+mod qasm_ansatz;
 mod sweep;
 mod uccsd;
 
@@ -35,6 +36,7 @@ pub use benchmark::{Benchmark, BenchmarkCategory};
 pub use graphs::Graph;
 pub use molecular::{synthetic_molecular_hamiltonian, Molecule};
 pub use qaoa::{labs_hamiltonian, labs_qaoa, maxcut_observables, maxcut_qaoa, qaoa_initial_layer};
+pub use qasm_ansatz::{hardware_efficient_qasm, zz_chain_qasm, QasmAnsatz};
 pub use sweep::{
     qaoa_grid_sweep, qaoa_sampling_sweep, vqe_expectation_sweep, vqe_sweep, ObservableSweep,
     SweepScenario,

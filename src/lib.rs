@@ -23,8 +23,11 @@ pub use quclear_workloads as workloads;
 
 /// Commonly used types, re-exported for convenient glob imports.
 pub mod prelude {
+    pub use quclear_circuit::qasm::{from_qasm, to_qasm};
     pub use quclear_circuit::{optimize, Circuit, CouplingMap, Gate};
-    pub use quclear_core::{AbsorbedObservables, AbsorptionPlan, ShotBatch};
+    pub use quclear_core::{
+        lift, lift_qasm, AbsorbedObservables, AbsorptionPlan, LiftedProgram, ShotBatch,
+    };
     pub use quclear_engine::{BatchJob, CompiledTemplate, Engine, ProgramFingerprint};
     pub use quclear_pauli::{PauliOp, PauliRotation, PauliString, SignedPauli};
 }
