@@ -11,11 +11,18 @@
 //!
 //! # Supported input subset
 //!
-//! * one quantum register named `q`, declared before use; `creg`, `barrier`,
+//! * any number of `qreg` declarations (each before its first use), with
+//!   **flattened contiguous indexing**: registers occupy consecutive qubit
+//!   ranges in declaration order, so after `qreg a[2]; qreg b[3];` the
+//!   operand `b[1]` is qubit 3 of a 5-qubit circuit; `creg`, `barrier`,
 //!   `include` and comments are accepted and ignored,
 //! * gates: `h`, `s`, `sdg`, `x`, `y`, `z`, `sx`, `sxdg`, `t`, `tdg`,
 //!   `rz(θ)`, `rx(θ)`, `ry(θ)`, `cx`, `cz`, `swap` (`t`/`tdg` parse as
 //!   `Rz(±π/4)`, which is the same unitary up to global phase),
+//! * the `qelib1.inc` generic single-qubit gates `u1(λ)`, `u2(φ,λ)`,
+//!   `u3(θ,φ,λ)` and the OpenQASM 3-style alias `u(θ,φ,λ)`, decomposed to
+//!   the native `Rz`/`Ry` set up to global phase (`u1(λ) = Rz(λ)`,
+//!   `u2(φ,λ) = Rz(φ)·Ry(π/2)·Rz(λ)`, `u3(θ,φ,λ) = Rz(φ)·Ry(θ)·Rz(λ)`),
 //! * parameter expressions over `pi`, numeric literals, parentheses and the
 //!   operators `+ - * /` (e.g. `pi/4`, `-3*pi/2`, `0.5*(pi + 1.0)`).
 //!
@@ -473,57 +480,111 @@ fn parse_atom(cur: &mut Cursor<'_>, depth: usize) -> Result<f64, ParseQasmError>
     }
 }
 
-/// Parses one `q[i]` operand, checking the register declaration and range.
-fn parse_operand(cur: &mut Cursor<'_>, num_qubits: Option<usize>) -> Result<usize, ParseQasmError> {
+/// The declared quantum registers, flattened into one contiguous index
+/// space: registers occupy consecutive qubit ranges in declaration order.
+#[derive(Default)]
+struct Registers {
+    /// `(name, offset, size)` per declaration, in order.
+    regs: Vec<(String, usize, usize)>,
+}
+
+impl Registers {
+    /// Total qubits across all declared registers.
+    fn total(&self) -> usize {
+        self.regs
+            .last()
+            .map_or(0, |(_, offset, size)| offset + size)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.regs.is_empty()
+    }
+
+    fn contains(&self, name: &str) -> bool {
+        self.regs.iter().any(|(n, _, _)| n == name)
+    }
+
+    /// Appends a register at the end of the flattened index space.
+    fn declare(&mut self, name: String, size: usize) {
+        let offset = self.total();
+        self.regs.push((name, offset, size));
+    }
+
+    /// `(offset, size)` of a declared register.
+    fn lookup(&self, name: &str) -> Option<(usize, usize)> {
+        self.regs
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|&(_, offset, size)| (offset, size))
+    }
+}
+
+/// Parses one `reg[i]` operand, checking the register declaration and range,
+/// and returns the **flattened** qubit index.
+fn parse_operand(cur: &mut Cursor<'_>, registers: &Registers) -> Result<usize, ParseQasmError> {
     cur.skip_ws();
     let operand_at = cur.pos;
     let Some((name, name_at)) = cur.take_ident() else {
         let token = cur.rest();
-        return Err(cur.error_here(token, "expected a qubit operand `q[<index>]`"));
+        return Err(cur.error_here(token, "expected a qubit operand `<register>[<index>]`"));
     };
-    if name != "q" {
-        return Err(cur.error(
-            name_at,
-            name.clone(),
-            format!("unknown register `{name}` (only the register `q` is supported)"),
-        ));
-    }
     cur.expect(b'[', "after the register name")?;
     let Some((index, _)) = cur.take_uint()? else {
         let token = cur.rest();
         return Err(cur.error_here(token, "expected a qubit index"));
     };
     cur.expect(b']', "after the qubit index")?;
-    let Some(n) = num_qubits else {
+    if registers.is_empty() {
         return Err(cur.error(
             operand_at,
-            format!("q[{index}]"),
+            format!("{name}[{index}]"),
             "gate statement before the `qreg` declaration",
         ));
+    }
+    let Some((offset, size)) = registers.lookup(&name) else {
+        return Err(cur.error(
+            name_at,
+            name.clone(),
+            format!("unknown register `{name}` (no `qreg {name}[...]` was declared)"),
+        ));
     };
-    if index >= n {
+    if index >= size {
         return Err(cur.error(
             operand_at,
-            format!("q[{index}]"),
-            format!("qubit index {index} is outside the declared register `q[{n}]`"),
+            format!("{name}[{index}]"),
+            format!("qubit index {index} is outside the declared register `{name}[{size}]`"),
         ));
     }
-    Ok(index)
+    Ok(offset + index)
 }
 
 /// Gate names accepted by [`from_qasm`], used to distinguish arity errors
 /// from genuinely unsupported statements.
 const KNOWN_GATES: &[&str] = &[
     "h", "s", "sdg", "x", "y", "z", "sx", "sxdg", "t", "tdg", "rz", "rx", "ry", "cx", "cz", "swap",
+    "u", "u1", "u2", "u3",
 ];
 
-/// Parses one gate statement whose name has already been consumed.
+/// Number of `(θ...)` parameters each known gate takes.
+fn expected_params(name: &str) -> usize {
+    match name {
+        "rz" | "rx" | "ry" | "u1" => 1,
+        "u2" => 2,
+        "u3" | "u" => 3,
+        _ => 0,
+    }
+}
+
+/// Parses one gate statement whose name has already been consumed,
+/// appending the resulting gate(s) — the `u` family decomposes into up to
+/// three native rotations — to `gates`.
 fn parse_gate(
     cur: &mut Cursor<'_>,
     name: &str,
     name_at: usize,
-    num_qubits: Option<usize>,
-) -> Result<Gate, ParseQasmError> {
+    registers: &Registers,
+    gates: &mut Vec<Gate>,
+) -> Result<(), ParseQasmError> {
     if !KNOWN_GATES.contains(&name) {
         let statement = format!("{name} {}", cur.rest().trim_end_matches(';').trim());
         return Err(cur.error(
@@ -549,7 +610,7 @@ fn parse_gate(
             break;
         }
     }
-    let expected_params = usize::from(matches!(name, "rz" | "rx" | "ry"));
+    let expected_params = expected_params(name);
     if params.len() != expected_params {
         return Err(cur.error(
             params_at,
@@ -563,9 +624,9 @@ fn parse_gate(
     }
 
     // Operand list.
-    let mut qubits: Vec<usize> = vec![parse_operand(cur, num_qubits)?];
+    let mut qubits: Vec<usize> = vec![parse_operand(cur, registers)?];
     while cur.eat(b',') {
-        qubits.push(parse_operand(cur, num_qubits)?);
+        qubits.push(parse_operand(cur, registers)?);
     }
     let expected_qubits = if matches!(name, "cx" | "cz" | "swap") {
         2
@@ -591,53 +652,75 @@ fn parse_gate(
         ));
     }
 
-    use std::f64::consts::FRAC_PI_4;
-    let gate = match (name, qubits.as_slice()) {
-        ("h", [q]) => Gate::H(*q),
-        ("s", [q]) => Gate::S(*q),
-        ("sdg", [q]) => Gate::Sdg(*q),
-        ("x", [q]) => Gate::X(*q),
-        ("y", [q]) => Gate::Y(*q),
-        ("z", [q]) => Gate::Z(*q),
-        ("sx", [q]) => Gate::SqrtX(*q),
-        ("sxdg", [q]) => Gate::SqrtXdg(*q),
+    use std::f64::consts::{FRAC_PI_2, FRAC_PI_4};
+    /// `u3(θ,φ,λ) = Rz(φ)·Ry(θ)·Rz(λ)` up to the global phase
+    /// `e^{i(φ+λ)/2}` (the `qelib1.inc` definition in ZYZ Euler form);
+    /// circuit order is right-to-left, so `Rz(λ)` executes first. `u2` is
+    /// `u3` with `θ = π/2`, `u1` with `θ = φ = 0` (a bare `Rz`).
+    fn push_u(gates: &mut Vec<Gate>, qubit: usize, theta: f64, phi: f64, lambda: f64) {
+        gates.push(Gate::Rz {
+            qubit,
+            angle: lambda,
+        });
+        gates.push(Gate::Ry {
+            qubit,
+            angle: theta,
+        });
+        gates.push(Gate::Rz { qubit, angle: phi });
+    }
+    match (name, qubits.as_slice()) {
+        ("h", [q]) => gates.push(Gate::H(*q)),
+        ("s", [q]) => gates.push(Gate::S(*q)),
+        ("sdg", [q]) => gates.push(Gate::Sdg(*q)),
+        ("x", [q]) => gates.push(Gate::X(*q)),
+        ("y", [q]) => gates.push(Gate::Y(*q)),
+        ("z", [q]) => gates.push(Gate::Z(*q)),
+        ("sx", [q]) => gates.push(Gate::SqrtX(*q)),
+        ("sxdg", [q]) => gates.push(Gate::SqrtXdg(*q)),
         // T = e^{iπ/8}·Rz(π/4): the same unitary up to a global phase.
-        ("t", [q]) => Gate::Rz {
+        ("t", [q]) => gates.push(Gate::Rz {
             qubit: *q,
             angle: FRAC_PI_4,
-        },
-        ("tdg", [q]) => Gate::Rz {
+        }),
+        ("tdg", [q]) => gates.push(Gate::Rz {
             qubit: *q,
             angle: -FRAC_PI_4,
-        },
-        ("rz", [q]) => Gate::Rz {
+        }),
+        ("rz", [q]) => gates.push(Gate::Rz {
             qubit: *q,
             angle: params[0],
-        },
-        ("rx", [q]) => Gate::Rx {
+        }),
+        ("rx", [q]) => gates.push(Gate::Rx {
             qubit: *q,
             angle: params[0],
-        },
-        ("ry", [q]) => Gate::Ry {
+        }),
+        ("ry", [q]) => gates.push(Gate::Ry {
             qubit: *q,
             angle: params[0],
-        },
-        ("cx", [c, t]) => Gate::Cx {
+        }),
+        // u1(λ) = diag(1, e^{iλ}) = e^{iλ/2}·Rz(λ).
+        ("u1", [q]) => gates.push(Gate::Rz {
+            qubit: *q,
+            angle: params[0],
+        }),
+        ("u2", [q]) => push_u(gates, *q, FRAC_PI_2, params[0], params[1]),
+        ("u3" | "u", [q]) => push_u(gates, *q, params[0], params[1], params[2]),
+        ("cx", [c, t]) => gates.push(Gate::Cx {
             control: *c,
             target: *t,
-        },
-        ("cz", [a, b]) => Gate::Cz { a: *a, b: *b },
-        ("swap", [a, b]) => Gate::Swap { a: *a, b: *b },
+        }),
+        ("cz", [a, b]) => gates.push(Gate::Cz { a: *a, b: *b }),
+        ("swap", [a, b]) => gates.push(Gate::Swap { a: *a, b: *b }),
         _ => unreachable!("gate `{name}` passed arity checks"),
-    };
-    Ok(gate)
+    }
+    Ok(())
 }
 
 /// Parses one statement starting at the cursor. Returns `Ok(())` after
 /// consuming the statement including its terminating `;`.
 fn parse_statement(
     cur: &mut Cursor<'_>,
-    num_qubits: &mut Option<usize>,
+    registers: &mut Registers,
     gates: &mut Vec<Gate>,
 ) -> Result<(), ParseQasmError> {
     // A stray `;` is an empty statement; accept it.
@@ -666,13 +749,6 @@ fn parse_statement(
                 let token = cur.rest();
                 return Err(cur.error_here(token, "expected a register name after `qreg`"));
             };
-            if name != "q" {
-                return Err(cur.error(
-                    column,
-                    name.clone(),
-                    format!("unsupported register name `{name}` (only a single register `q` is supported)"),
-                ));
-            }
             cur.expect(b'[', "after the register name")?;
             let Some((size, _)) = cur.take_uint()? else {
                 let token = cur.rest();
@@ -680,17 +756,19 @@ fn parse_statement(
             };
             cur.expect(b']', "after the register size")?;
             cur.expect(b';', "after the register declaration")?;
-            if num_qubits.is_some() {
-                return Err(cur.error(head_at, "qreg".to_string(), "duplicate `qreg` declaration"));
+            if registers.contains(&name) {
+                return Err(cur.error(
+                    column,
+                    name.clone(),
+                    format!("duplicate `qreg` declaration of register `{name}`"),
+                ));
             }
-            *num_qubits = Some(size);
+            registers.declare(name, size);
             Ok(())
         }
         _ => {
-            let gate = parse_gate(cur, &head, head_at, *num_qubits)?;
-            cur.expect(b';', "after the gate statement")?;
-            gates.push(gate);
-            Ok(())
+            parse_gate(cur, &head, head_at, registers, gates)?;
+            cur.expect(b';', "after the gate statement")
         }
     }
 }
@@ -728,13 +806,13 @@ fn parse_statement(
 /// # Ok::<(), quclear_circuit::qasm::ParseQasmError>(())
 /// ```
 pub fn from_qasm(text: &str) -> Result<Circuit, ParseQasmError> {
-    let mut num_qubits: Option<usize> = None;
+    let mut registers = Registers::default();
     let mut gates: Vec<Gate> = Vec::new();
     let mut cur = Cursor::new(text);
     while !cur.at_end() {
-        parse_statement(&mut cur, &mut num_qubits, &mut gates)?;
+        parse_statement(&mut cur, &mut registers, &mut gates)?;
     }
-    Ok(Circuit::from_gates(num_qubits.unwrap_or(0), gates))
+    Ok(Circuit::from_gates(registers.total(), gates))
 }
 
 #[cfg(test)]
@@ -928,14 +1006,64 @@ mod tests {
     }
 
     #[test]
-    fn bad_register_names_are_rejected() {
-        let err = from_qasm("qreg qubits[4];\n").unwrap_err();
-        assert_eq!(err.token, "qubits");
-
+    fn undeclared_registers_are_rejected() {
         let err = from_qasm("qreg q[2];\nh r[0];\n").unwrap_err();
         assert_eq!(err.line, 2);
         assert_eq!(err.token, "r");
-        assert!(err.message.contains("register"));
+        assert!(err.message.contains("unknown register"));
+    }
+
+    #[test]
+    fn arbitrary_register_names_are_accepted() {
+        let circuit = from_qasm("qreg qubits[2];\nh qubits[1];\n").unwrap();
+        assert_eq!(circuit.num_qubits(), 2);
+        assert_eq!(circuit.gates(), &[Gate::H(1)]);
+    }
+
+    #[test]
+    fn multiple_registers_flatten_contiguously() {
+        let text = "OPENQASM 2.0;\n\
+                    qreg a[2];\n\
+                    qreg b[3];\n\
+                    qreg c[1];\n\
+                    h a[0];\n\
+                    x b[0];\n\
+                    cx a[1], b[2];\n\
+                    rz(pi/2) c[0];\n";
+        let circuit = from_qasm(text).unwrap();
+        assert_eq!(circuit.num_qubits(), 6);
+        let gates = circuit.gates();
+        assert_eq!(gates[0], Gate::H(0));
+        assert_eq!(gates[1], Gate::X(2));
+        assert_eq!(
+            gates[2],
+            Gate::Cx {
+                control: 1,
+                target: 4
+            }
+        );
+        let Gate::Rz { qubit: 5, angle } = gates[3] else {
+            panic!(
+                "expected rz on the flattened index of c[0], got {:?}",
+                gates[3]
+            );
+        };
+        assert!((angle - PI / 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn per_register_ranges_are_enforced() {
+        // b[2] would be a valid *flattened* index (total is 5 qubits) but is
+        // outside register b itself.
+        let err = from_qasm("qreg a[3];\nqreg b[2];\nh b[2];\n").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert_eq!(err.token, "b[2]");
+        assert!(err.message.contains("outside the declared register `b[2]`"));
+
+        // A register declared after its use site does not exist yet.
+        let err = from_qasm("qreg a[1];\nh b[0];\nqreg b[2];\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("unknown register"));
     }
 
     #[test]
@@ -1027,7 +1155,67 @@ mod tests {
     fn duplicate_qreg_is_rejected() {
         let err = from_qasm("qreg q[1];\nqreg q[2];\n").unwrap_err();
         assert_eq!(err.line, 2);
+        assert_eq!(err.token, "q");
         assert!(err.message.contains("duplicate"));
+
+        // Distinct names are not duplicates.
+        assert!(from_qasm("qreg q[1];\nqreg r[2];\n").is_ok());
+    }
+
+    #[test]
+    fn u_gates_decompose_to_native_rotations() {
+        // u1(λ) is a bare Rz.
+        let circuit = from_qasm("qreg q[1];\nu1(0.3) q[0];\n").unwrap();
+        assert_eq!(circuit.len(), 1);
+        let Gate::Rz { qubit: 0, angle } = circuit.gates()[0] else {
+            panic!("u1 must parse as Rz, got {:?}", circuit.gates()[0]);
+        };
+        assert!((angle - 0.3).abs() < 1e-15);
+
+        // u2(φ,λ) = Rz(φ)·Ry(π/2)·Rz(λ): circuit order Rz(λ), Ry(π/2), Rz(φ).
+        let circuit = from_qasm("qreg q[1];\nu2(0.25, -0.75) q[0];\n").unwrap();
+        let gates = circuit.gates();
+        assert_eq!(gates.len(), 3);
+        let Gate::Rz { angle: lambda, .. } = gates[0] else {
+            panic!("expected leading Rz(λ), got {:?}", gates[0]);
+        };
+        let Gate::Ry { angle: theta, .. } = gates[1] else {
+            panic!("expected Ry(π/2), got {:?}", gates[1]);
+        };
+        let Gate::Rz { angle: phi, .. } = gates[2] else {
+            panic!("expected trailing Rz(φ), got {:?}", gates[2]);
+        };
+        assert!((lambda + 0.75).abs() < 1e-15);
+        assert!((theta - PI / 2.0).abs() < 1e-15);
+        assert!((phi - 0.25).abs() < 1e-15);
+
+        // u3 and its OpenQASM-3-style alias u produce identical gates.
+        let u3 = from_qasm("qreg q[1];\nu3(1.0, 2.0, 3.0) q[0];\n").unwrap();
+        let u = from_qasm("qreg q[1];\nu(1.0, 2.0, 3.0) q[0];\n").unwrap();
+        assert_eq!(u3.gates(), u.gates());
+        assert_eq!(u3.len(), 3);
+        let angles: Vec<f64> = u3
+            .gates()
+            .iter()
+            .map(|g| match g {
+                Gate::Rz { angle, .. } | Gate::Ry { angle, .. } => *angle,
+                other => panic!("unexpected gate {other:?}"),
+            })
+            .collect();
+        assert_eq!(angles, vec![3.0, 1.0, 2.0]); // λ, θ, φ
+    }
+
+    #[test]
+    fn u_gate_arity_errors_are_located() {
+        let err = from_qasm("qreg q[1];\nu2(0.5) q[0];\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("2 parameters"), "{err}");
+
+        let err = from_qasm("qreg q[1];\nu3(0.5, 0.25) q[0];\n").unwrap_err();
+        assert!(err.message.contains("3 parameters"), "{err}");
+
+        let err = from_qasm("qreg q[2];\nu1(0.5) q[0], q[1];\n").unwrap_err();
+        assert!(err.message.contains("1 qubit"), "{err}");
     }
 
     #[test]

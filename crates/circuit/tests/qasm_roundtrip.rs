@@ -42,6 +42,89 @@ fn random_circuit(words: &[u64]) -> Circuit {
 }
 
 proptest! {
+    /// `u1`/`u2`/`u3` (and the `u` alias) decompose to exactly the unitary
+    /// `qelib1.inc` defines, up to global phase, for any parameter values.
+    /// The reference is the *explicit matrix* from the OpenQASM 2 spec —
+    /// `U(θ,φ,λ) = [[cos(θ/2), −e^{iλ}·sin(θ/2)],
+    ///              [e^{iφ}·sin(θ/2), e^{i(φ+λ)}·cos(θ/2)]]`
+    /// — written out entry by entry, deliberately *not* the same ZYZ
+    /// `Rz·Ry·Rz` formula the parser emits (that would make the test
+    /// circular: a wrong Euler convention would agree with itself).
+    #[test]
+    fn u_gates_match_their_qelib_unitaries(params in prop::collection::vec(-7.0f64..7.0, 3)) {
+        use quclear_circuit::math::{single_qubit_matrix, Mat2, C64};
+        fn u_matrix(theta: f64, phi: f64, lambda: f64) -> Mat2 {
+            let (sin, cos) = (theta / 2.0).sin_cos();
+            let scale = |c: C64, s: f64| C64::new(c.re * s, c.im * s);
+            Mat2::new(
+                C64::new(cos, 0.0),
+                scale(C64::cis(lambda), -sin),
+                scale(C64::cis(phi), sin),
+                scale(C64::cis(phi + lambda), cos),
+            )
+        }
+        let (theta, phi, lambda) = (params[0], params[1], params[2]);
+        let cases = [
+            (format!("u3({theta}, {phi}, {lambda})"), u_matrix(theta, phi, lambda)),
+            (format!("u({theta}, {phi}, {lambda})"), u_matrix(theta, phi, lambda)),
+            // qelib1.inc: u2(φ,λ) = U(π/2,φ,λ), u1(λ) = U(0,0,λ).
+            (
+                format!("u2({phi}, {lambda})"),
+                u_matrix(std::f64::consts::FRAC_PI_2, phi, lambda),
+            ),
+            (format!("u1({lambda})"), u_matrix(0.0, 0.0, lambda)),
+        ];
+        for (spelling, reference) in cases {
+            let text = format!("qreg q[1];\n{spelling} q[0];\n");
+            let circuit = from_qasm(&text).unwrap_or_else(|e| panic!("`{spelling}`: {e}"));
+            // Multiply the decomposed gates in circuit order (leftmost gate
+            // executes first, so it sits rightmost in the matrix product).
+            let mut product = Mat2::identity();
+            for gate in circuit.gates() {
+                product = single_qubit_matrix(gate).mul(&product);
+            }
+            prop_assert!(
+                product.distance_up_to_phase(&reference) < 1e-9,
+                "`{}` decomposition diverges from its qelib definition",
+                spelling
+            );
+        }
+    }
+
+    /// A program spelled over several registers parses to the same circuit
+    /// as the same program hand-flattened onto one register — the contiguous
+    /// flattening is the only difference between the two texts.
+    #[test]
+    fn multi_register_programs_flatten_to_the_single_register_form(
+        words in prop::collection::vec(any::<u64>(), 0..40),
+        split in 1usize..NUM_QUBITS,
+    ) {
+        let flat = random_circuit(&words);
+        // Re-spell every operand `q[i]` as `a[i]` (i < split) or
+        // `b[i - split]`, with `qreg a[split]; qreg b[rest];`.
+        let mut text = String::from("OPENQASM 2.0;\n");
+        text.push_str(&format!("qreg a[{split}];\n"));
+        text.push_str(&format!("qreg b[{}];\n", NUM_QUBITS - split));
+        let operand = |q: usize| {
+            if q < split {
+                format!("a[{q}]")
+            } else {
+                format!("b[{}]", q - split)
+            }
+        };
+        for line in to_qasm(&flat).lines().skip(3) {
+            let mut spelled = line.to_string();
+            for q in 0..NUM_QUBITS {
+                spelled = spelled.replace(&format!("q[{q}]"), &operand(q));
+            }
+            text.push_str(&spelled);
+            text.push('\n');
+        }
+        let parsed = from_qasm(&text).expect("multi-register spelling must parse");
+        prop_assert_eq!(parsed.num_qubits(), flat.num_qubits());
+        prop_assert_eq!(parsed.gates(), flat.gates());
+    }
+
     /// The full gate set survives the text round trip exactly.
     #[test]
     fn from_qasm_inverts_to_qasm(words in prop::collection::vec(any::<u64>(), 0..60)) {
@@ -75,9 +158,20 @@ proptest! {
 /// the canonical spelling without changing the circuit.
 #[test]
 fn input_only_spellings_reach_a_fixpoint() {
-    let text = "OPENQASM 2.0;\nqreg q[2];\nt q[0];\ntdg q[1];\nrz(-3*pi/2) q[0];\nrx(pi/4) q[1];\nswap q[0], q[1];\ncz q[0], q[1];\nsdg q[0];\n";
+    let text = "OPENQASM 2.0;\nqreg q[2];\nt q[0];\ntdg q[1];\nrz(-3*pi/2) q[0];\nrx(pi/4) q[1];\nswap q[0], q[1];\ncz q[0], q[1];\nsdg q[0];\nu1(0.5) q[0];\nu2(pi/3, -0.25) q[1];\nu3(1.5, -2.5, 0.75) q[0];\n";
     let first = from_qasm(text).unwrap();
     let second = from_qasm(&to_qasm(&first)).unwrap();
     assert_eq!(first.gates(), second.gates());
-    assert_eq!(first.len(), 7);
+    // 7 literal gates + 1 (u1) + 3 (u2) + 3 (u3) decomposed rotations.
+    assert_eq!(first.len(), 14);
+}
+
+/// Multi-register spellings fix to the canonical single-register export.
+#[test]
+fn multi_register_spellings_reach_a_fixpoint() {
+    let text = "OPENQASM 2.0;\nqreg left[2];\nqreg right[2];\nh left[0];\ncx left[1], right[0];\nu2(0.5, pi/8) right[1];\n";
+    let first = from_qasm(text).unwrap();
+    assert_eq!(first.num_qubits(), 4);
+    let second = from_qasm(&to_qasm(&first)).unwrap();
+    assert_eq!(first.gates(), second.gates());
 }

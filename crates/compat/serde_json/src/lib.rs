@@ -1,6 +1,10 @@
 //! Offline stand-in for the [`serde_json`](https://crates.io/crates/serde_json)
-//! crate: renders the [`serde::Json`] tree produced by the offline `serde`
-//! stand-in. Only the entry points the workspace uses are provided.
+//! crate: renders and parses the [`serde::Json`] tree used by the offline
+//! `serde` stand-in. Only the entry points the workspace uses are provided:
+//! [`to_string`] / [`to_string_pretty`] for serialization and [`from_str`]
+//! (returning the dynamic [`Json`] tree) for deserialization — the
+//! `quclear-serve` wire protocol reads typed fields out of the tree with
+//! the `Json` accessors.
 
 #![warn(missing_docs)]
 
@@ -29,8 +33,20 @@ impl std::error::Error for Error {}
 ///
 /// Returns an error if the value contains a non-finite float.
 pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    value_to_string(&value.to_json())
+}
+
+/// Serializes an already-built [`Json`] tree as compact JSON, without the
+/// intermediate clone that going through [`Serialize::to_json`] on a
+/// wrapper would cost (used by the `quclear-serve` wire protocol, whose
+/// messages are built as trees directly).
+///
+/// # Errors
+///
+/// Returns an error if the tree contains a non-finite float.
+pub fn value_to_string(value: &Json) -> Result<String, Error> {
     let mut out = String::new();
-    render(&value.to_json(), None, 0, &mut out)?;
+    render(value, None, 0, &mut out)?;
     Ok(out)
 }
 
@@ -123,6 +139,285 @@ fn render(
     Ok(())
 }
 
+/// Parses JSON text into a [`Json`] tree.
+///
+/// Supports the full JSON grammar: all scalar types, nested arrays/objects,
+/// string escapes (including `\uXXXX` with surrogate pairs), and arbitrary
+/// whitespace. Numbers parse as `Uint`/`Int` when they are integral and in
+/// range, `Float` otherwise. Nesting depth is bounded so untrusted network
+/// input cannot overflow the stack.
+///
+/// # Errors
+///
+/// Returns an error describing the offending byte offset for malformed
+/// input, trailing garbage, or over-deep nesting.
+pub fn from_str(text: &str) -> Result<Json, Error> {
+    let mut parser = Parser {
+        src: text.as_bytes(),
+        pos: 0,
+    };
+    let value = parser.parse_value(0)?;
+    parser.skip_ws();
+    if parser.pos < parser.src.len() {
+        return Err(parser.error("trailing characters after the JSON value"));
+    }
+    Ok(value)
+}
+
+/// Maximum nesting depth accepted by [`from_str`]: the parser recurses per
+/// container, so untrusted input must not control the stack.
+const MAX_PARSE_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: impl fmt::Display) -> Error {
+        Error {
+            message: format!("{message} at byte {}", self.pos),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .src
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.src.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, byte: u8) -> bool {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.eat(byte) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{}`", byte as char)))
+        }
+    }
+
+    /// Consumes `word` if it is next (used for `true`/`false`/`null`).
+    fn eat_word(&mut self, word: &str) -> bool {
+        self.skip_ws();
+        if self.src[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Json, Error> {
+        if depth > MAX_PARSE_DEPTH {
+            return Err(self.error("JSON nesting is too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.parse_object(depth),
+            Some(b'[') => self.parse_array(depth),
+            Some(b'"') => Ok(Json::Str(self.parse_string()?)),
+            Some(b't') | Some(b'f') => {
+                if self.eat_word("true") {
+                    Ok(Json::Bool(true))
+                } else if self.eat_word("false") {
+                    Ok(Json::Bool(false))
+                } else {
+                    Err(self.error("invalid literal"))
+                }
+            }
+            Some(b'n') => {
+                if self.eat_word("null") {
+                    Ok(Json::Null)
+                } else {
+                    Err(self.error("invalid literal"))
+                }
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            Some(b) => Err(self.error(format!("unexpected character `{}`", b as char))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn parse_object(&mut self, depth: usize) -> Result<Json, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        if self.eat(b'}') {
+            return Ok(Json::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let value = self.parse_value(depth + 1)?;
+            entries.push((key, value));
+            if self.eat(b',') {
+                continue;
+            }
+            self.expect(b'}')?;
+            return Ok(Json::Object(entries));
+        }
+    }
+
+    fn parse_array(&mut self, depth: usize) -> Result<Json, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.eat(b']') {
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.parse_value(depth + 1)?);
+            if self.eat(b',') {
+                continue;
+            }
+            self.expect(b']')?;
+            return Ok(Json::Array(items));
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.src.get(self.pos) else {
+                return Err(self.error("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.src.get(self.pos) else {
+                        return Err(self.error("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let first = self.parse_hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&first) {
+                                // High surrogate: require the paired low
+                                // surrogate escape *immediately* — we are
+                                // inside a string literal, so no whitespace
+                                // skipping (`eat` would) is allowed here.
+                                if self.src.get(self.pos) == Some(&b'\\')
+                                    && self.src.get(self.pos + 1) == Some(&b'u')
+                                {
+                                    self.pos += 2;
+                                } else {
+                                    return Err(self.error("unpaired surrogate"));
+                                }
+                                let second = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&second) {
+                                    return Err(self.error("invalid low surrogate"));
+                                }
+                                0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00)
+                            } else {
+                                first
+                            };
+                            match char::from_u32(code) {
+                                Some(c) => out.push(c),
+                                None => return Err(self.error("invalid unicode escape")),
+                            }
+                        }
+                        other => {
+                            return Err(self.error(format!("invalid escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                _ => {
+                    // Copy the full UTF-8 sequence starting at this byte.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    let end = start + len;
+                    let Some(chunk) = self.src.get(start..end) else {
+                        return Err(self.error("truncated UTF-8 sequence"));
+                    };
+                    match std::str::from_utf8(chunk) {
+                        Ok(s) => out.push_str(s),
+                        Err(_) => return Err(self.error("invalid UTF-8 in string")),
+                    }
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let Some(chunk) = self.src.get(self.pos..self.pos + 4) else {
+            return Err(self.error("truncated \\u escape"));
+        };
+        let text = std::str::from_utf8(chunk).map_err(|_| self.error("invalid \\u escape"))?;
+        let value = u32::from_str_radix(text, 16).map_err(|_| self.error("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(value)
+    }
+
+    fn parse_number(&mut self) -> Result<Json, Error> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.src.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.src.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("number bytes are ASCII");
+        if !is_float {
+            // Prefer exact integer variants when the digits fit.
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Json::Uint(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Json::Int(i));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(x) => Ok(Json::Float(x)),
+            Err(_) => Err(self.error(format!("invalid number `{text}`"))),
+        }
+    }
+}
+
+/// Length of the UTF-8 sequence introduced by `first` (1 for ASCII and for
+/// malformed continuation bytes, which `from_utf8` then rejects).
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        0xF0..=0xF7 => 4,
+        _ => 1,
+    }
+}
+
 fn push_escaped(s: &str, out: &mut String) {
     out.push('"');
     for c in s.chars() {
@@ -163,5 +458,107 @@ mod tests {
     #[test]
     fn strings_are_escaped() {
         assert_eq!(to_string("a\"b\n").unwrap(), r#""a\"b\n""#);
+    }
+
+    #[test]
+    fn parse_roundtrips_every_scalar() {
+        assert_eq!(from_str("null").unwrap(), Json::Null);
+        assert_eq!(from_str("true").unwrap(), Json::Bool(true));
+        assert_eq!(from_str("false").unwrap(), Json::Bool(false));
+        assert_eq!(from_str("42").unwrap(), Json::Uint(42));
+        assert_eq!(from_str("-7").unwrap(), Json::Int(-7));
+        assert_eq!(from_str("2.5").unwrap(), Json::Float(2.5));
+        assert_eq!(from_str("-1e3").unwrap(), Json::Float(-1000.0));
+        assert_eq!(from_str(r#""hi""#).unwrap(), Json::Str("hi".into()));
+    }
+
+    #[test]
+    fn parse_handles_containers_and_whitespace() {
+        let value = from_str(" { \"xs\" : [ 1 , 2.5 , \"three\" ] , \"ok\": true } ").unwrap();
+        assert_eq!(value.get("ok"), Some(&Json::Bool(true)));
+        let xs = value.get("xs").unwrap().as_array().unwrap();
+        assert_eq!(xs.len(), 3);
+        assert_eq!(xs[0].as_u64(), Some(1));
+        assert_eq!(xs[1].as_f64(), Some(2.5));
+        assert_eq!(xs[2].as_str(), Some("three"));
+        assert_eq!(from_str("[]").unwrap(), Json::Array(vec![]));
+        assert_eq!(from_str("{}").unwrap(), Json::Object(vec![]));
+    }
+
+    #[test]
+    fn parse_decodes_escapes_and_unicode() {
+        assert_eq!(
+            from_str(r#""a\"b\n\t\\\u0041""#).unwrap(),
+            Json::Str("a\"b\n\t\\A".into())
+        );
+        // Surrogate pair: U+1F600.
+        assert_eq!(
+            from_str(r#""\ud83d\ude00""#).unwrap(),
+            Json::Str("😀".into())
+        );
+        // Raw (unescaped) multi-byte UTF-8 passes through.
+        assert_eq!(from_str("\"héllo\"").unwrap(), Json::Str("héllo".into()));
+        // The low surrogate must follow immediately: intervening characters
+        // (even whitespace, which is insignificant *outside* strings) make
+        // the high surrogate unpaired.
+        assert!(from_str(r#""\ud83d \ude00""#).is_err());
+        assert!(from_str(r#""\ud83dx\ude00""#).is_err());
+    }
+
+    #[test]
+    fn serializer_output_parses_back_identically() {
+        let mut m: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+        m.insert("angles".into(), vec![0.5, -1.25, 3.0]);
+        let text = to_string(&m).unwrap();
+        let tree = from_str(&text).unwrap();
+        let angles = tree.get("angles").unwrap().as_array().unwrap();
+        let values: Vec<f64> = angles.iter().map(|v| v.as_f64().unwrap()).collect();
+        assert_eq!(values, vec![0.5, -1.25, 3.0]);
+        // Pretty output parses to the same tree.
+        assert_eq!(from_str(&to_string_pretty(&m).unwrap()).unwrap(), tree);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "tru",
+            "nul",
+            "{",
+            "[1,",
+            "\"unterminated",
+            "{\"k\" 1}",
+            "1 2",
+            "{,}",
+            "[1 2]",
+            "\"\\q\"",
+            "\"\\ud83d\"",
+            "--1",
+            "+1",
+        ] {
+            assert!(from_str(bad).is_err(), "`{bad}` must not parse");
+        }
+        // Over-deep nesting errors instead of overflowing the stack.
+        let deep = "[".repeat(100_000) + &"]".repeat(100_000);
+        assert!(from_str(&deep).is_err());
+    }
+
+    #[test]
+    fn integer_edge_cases_pick_the_right_variant() {
+        assert_eq!(from_str("0").unwrap(), Json::Uint(0));
+        assert_eq!(
+            from_str("18446744073709551615").unwrap(),
+            Json::Uint(u64::MAX)
+        );
+        assert_eq!(
+            from_str("-9223372036854775808").unwrap(),
+            Json::Int(i64::MIN)
+        );
+        // Out-of-range integers degrade to floats like serde_json's
+        // arbitrary_precision-less default.
+        assert!(matches!(
+            from_str("18446744073709551616").unwrap(),
+            Json::Float(_)
+        ));
     }
 }

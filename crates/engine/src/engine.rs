@@ -1,8 +1,8 @@
 //! The thread-safe compilation engine: template cache + batch front-end.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use quclear_circuit::qasm::from_qasm;
 use quclear_core::{lift, AbsorbedObservables, LiftedProgram, QuClearConfig, QuClearResult};
@@ -12,6 +12,7 @@ use rayon::prelude::*;
 use crate::error::EngineError;
 use crate::fingerprint::ProgramFingerprint;
 use crate::sharded::ShardedCache;
+use crate::singleflight::{Role, SingleFlight};
 use crate::template::CompiledTemplate;
 
 /// Default number of cached templates.
@@ -22,18 +23,44 @@ pub const DEFAULT_CACHE_CAPACITY: usize = 256;
 pub const DEFAULT_CACHE_SHARDS: usize = 16;
 
 /// A point-in-time snapshot of the engine's counters.
+///
+/// # Staleness contract
+///
+/// The engine mutates its counters with relaxed atomics on the request hot
+/// paths; [`Engine::stats`] reads them without stopping the world. A
+/// snapshot is therefore **consistent but stale**: each field is a value the
+/// counter actually held at some instant during the `stats()` call, and the
+/// cross-field invariants below are guaranteed to hold *within one
+/// snapshot*, but the fields need not all come from the same instant — a
+/// request that completed mid-snapshot may be reflected in one counter and
+/// not yet in another. Serving dashboards (`/stats` endpoints) should treat
+/// a snapshot as "correct as of roughly now", not as a transactional view.
+///
+/// Within every snapshot:
+///
+/// * [`EngineStats::hit_rate`] is in `[0, 1]`,
+/// * `entries <= capacity`,
+/// * `coalesced_waits <= hits + misses`,
+/// * every counter is monotone across successive snapshots (each counter
+///   only ever increments, and `stats()` reads each one exactly once).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct EngineStats {
-    /// Template-cache hits.
+    /// Template-cache hits. A lookup served by an in-flight compilation
+    /// (see [`EngineStats::coalesced_waits`]) counts as a hit: it was
+    /// answered without running a compilation of its own.
     pub hits: u64,
-    /// Template-cache misses (each one attempted a full template
-    /// compilation; failed compilations count as misses too).
+    /// Template-cache misses (each one attempted — or, for a coalesced
+    /// request, shared the outcome of — a full template compilation; failed
+    /// compilations count as misses too).
     pub misses: u64,
+    /// Lookups that found their structure already compiling on another
+    /// thread and waited for that single flight instead of racing it.
+    pub coalesced_waits: u64,
     /// Templates evicted by the LRU policy.
     pub evictions: u64,
     /// Total successful `bind` operations served.
     pub binds: u64,
-    /// Templates currently cached.
+    /// Templates currently cached (never reported above `capacity`).
     pub entries: usize,
     /// Configured cache capacity.
     pub capacity: usize,
@@ -41,14 +68,25 @@ pub struct EngineStats {
 
 impl EngineStats {
     /// Fraction of template lookups served from the cache, in `[0, 1]`.
+    ///
+    /// Guaranteed to stay in `[0, 1]` even for a snapshot taken while
+    /// requests are mutating the counters: the ratio is computed from the
+    /// two fields of *this* snapshot, not re-read from the live engine.
     #[must_use]
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
+        let total = self.hits.saturating_add(self.misses);
         if total == 0 {
             0.0
         } else {
-            self.hits as f64 / total as f64
+            // `hits <= total` by construction; the division cannot exceed 1.
+            (self.hits.min(total)) as f64 / total as f64
         }
+    }
+
+    /// Total template lookups observed (`hits + misses`).
+    #[must_use]
+    pub fn lookups(&self) -> u64 {
+        self.hits.saturating_add(self.misses)
     }
 }
 
@@ -111,10 +149,21 @@ impl BatchJob {
 pub struct Engine {
     config: QuClearConfig,
     cache: ShardedCache<ProgramFingerprint, CompiledTemplate>,
+    /// Coalesces concurrent compilations of the same structure: one leader
+    /// extracts, everyone else waits for its result (`singleflight`).
+    inflight: SingleFlight<ProgramFingerprint, Result<Arc<CompiledTemplate>, EngineError>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    coalesced_waits: AtomicU64,
     evictions: AtomicU64,
     binds: AtomicU64,
+    /// Test-support fault injection (see [`Engine::inject_lookup_panic`]).
+    /// The flag makes the hot path pay one relaxed load instead of a mutex.
+    fault_armed: AtomicBool,
+    fault_fingerprint: Mutex<Option<ProgramFingerprint>>,
+    /// Test-support compile slowdown (see [`Engine::inject_compile_delay`]).
+    delay_armed: AtomicBool,
+    fault_delay: Mutex<Option<(ProgramFingerprint, std::time::Duration)>>,
 }
 
 impl Default for Engine {
@@ -150,10 +199,16 @@ impl Engine {
         Engine {
             config,
             cache: ShardedCache::new(capacity.max(1), shards),
+            inflight: SingleFlight::new(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            coalesced_waits: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             binds: AtomicU64::new(0),
+            fault_armed: AtomicBool::new(false),
+            fault_fingerprint: Mutex::new(None),
+            delay_armed: AtomicBool::new(false),
+            fault_delay: Mutex::new(None),
         }
     }
 
@@ -165,12 +220,21 @@ impl Engine {
 
     /// Returns the cached template for `axes`, compiling it on a miss.
     ///
+    /// Concurrent misses on the **same** structure are single-flighted: one
+    /// caller runs the extraction, the others block on its flight and share
+    /// the result (counted in [`EngineStats::coalesced_waits`]). Misses on
+    /// *different* structures never serialize — the in-flight table is keyed
+    /// by fingerprint and compilation runs outside every lock.
+    ///
     /// # Errors
     ///
     /// Propagates template-compilation failures (inconsistent register
-    /// sizes, contained panics).
+    /// sizes, contained panics). A coalesced caller receives a clone of the
+    /// leader's error; failed compilations are never cached, so a later
+    /// request retries from scratch.
     pub fn template(&self, axes: &[SignedPauli]) -> Result<Arc<CompiledTemplate>, EngineError> {
         let fingerprint = ProgramFingerprint::of_axes(axes, &self.config);
+        self.maybe_injected_panic(&fingerprint);
         // Hit fast path: a shard *read* lock plus an atomic recency bump —
         // concurrent hits never serialize, even on the same template.
         if let Some(template) = self.cache.get(&fingerprint) {
@@ -178,17 +242,47 @@ impl Engine {
             return Ok(template);
         }
 
-        // Compile outside any lock: extraction is the expensive part, and
-        // concurrent misses on *different* programs must not serialize.
-        // (Concurrent misses on the same program may compile twice; the
-        // second insert simply replaces the first — both are identical.)
+        let (result, role) = self
+            .inflight
+            .run(&fingerprint, || self.compile_into_cache(fingerprint, axes));
+        if role == Role::Coalesced {
+            // The waiter was answered without compiling: a hit when the
+            // leader succeeded, a miss when its compilation failed (keeping
+            // the "misses count failed compilations" convention). The
+            // hit/miss lands *before* the Release increment of
+            // `coalesced_waits`, and `stats()` reads `coalesced_waits` first
+            // with Acquire — so every snapshot observes
+            // `coalesced_waits <= hits + misses`.
+            match &result {
+                Ok(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+                Err(_) => self.misses.fetch_add(1, Ordering::Relaxed),
+            };
+            self.coalesced_waits.fetch_add(1, Ordering::Release);
+        }
+        result
+    }
+
+    /// Single-flight leader body: re-check the cache, then compile outside
+    /// any lock and publish the template. Extraction is the expensive part,
+    /// and concurrent misses on *different* programs must not serialize.
+    fn compile_into_cache(
+        &self,
+        fingerprint: ProgramFingerprint,
+        axes: &[SignedPauli],
+    ) -> Result<Arc<CompiledTemplate>, EngineError> {
+        // Re-check under flight leadership: a previous leader may have
+        // published the template between our cache probe and our election.
+        if let Some(template) = self.cache.get(&fingerprint) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(template);
+        }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        self.maybe_injected_delay(&fingerprint);
         let template = Arc::new(contain_panics(|| {
             CompiledTemplate::compile(axes, &self.config)
         })?);
-        // Replacing our own key (two threads racing the same miss) is not an
-        // eviction; only displacement of a different structure counts, which
-        // is exactly what the sharded insert reports.
+        // Only displacement of a different structure counts as an eviction,
+        // which is exactly what the sharded insert reports.
         if self
             .cache
             .insert(fingerprint, Arc::clone(&template))
@@ -197,6 +291,69 @@ impl Engine {
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
         Ok(template)
+    }
+
+    /// Test-support fault injection: every template lookup whose structural
+    /// fingerprint equals `fingerprint` panics **before** the cache is
+    /// consulted, modeling an unexpected panic on the lookup path (the bug
+    /// class that used to tear down whole batches and poison cache shards).
+    /// Pass `None` to disarm. Hidden from docs; it exists so the panic
+    /// containment of [`Self::compile_batch`] and of `quclear-serve` request
+    /// workers can be exercised end-to-end without depending on a
+    /// coincidental panicking input.
+    #[doc(hidden)]
+    pub fn inject_lookup_panic(&self, fingerprint: Option<ProgramFingerprint>) {
+        *self
+            .fault_fingerprint
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = fingerprint;
+        self.fault_armed
+            .store(fingerprint.is_some(), Ordering::Release);
+    }
+
+    /// Test-support fault injection: makes the single-flight *leader* for
+    /// `fingerprint` sleep for the given duration before compiling, so
+    /// coalescing tests can create a guaranteed-overlapping in-flight window
+    /// instead of racing the (fast) real extraction. Pass `None` to disarm.
+    /// Hidden from docs, like [`Self::inject_lookup_panic`].
+    #[doc(hidden)]
+    pub fn inject_compile_delay(&self, delay: Option<(ProgramFingerprint, std::time::Duration)>) {
+        *self
+            .fault_delay
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = delay;
+        self.delay_armed.store(delay.is_some(), Ordering::Release);
+    }
+
+    /// Sleeps when a compile delay is armed for this fingerprint.
+    fn maybe_injected_delay(&self, fingerprint: &ProgramFingerprint) {
+        if !self.delay_armed.load(Ordering::Acquire) {
+            return;
+        }
+        let armed = *self
+            .fault_delay
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if let Some((target, duration)) = armed {
+            if target == *fingerprint {
+                std::thread::sleep(duration);
+            }
+        }
+    }
+
+    /// Fires the injected lookup panic when armed for this fingerprint.
+    /// Disarmed (the overwhelmingly common case) this is one relaxed load.
+    fn maybe_injected_panic(&self, fingerprint: &ProgramFingerprint) {
+        if !self.fault_armed.load(Ordering::Acquire) {
+            return;
+        }
+        let armed = *self
+            .fault_fingerprint
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if armed == Some(*fingerprint) {
+            panic!("injected template-lookup panic for {fingerprint}");
+        }
     }
 
     /// Returns the cached template for a rotation program's structure.
@@ -232,17 +389,28 @@ impl Engine {
     /// Results come back **in input order**, one per job, and failures are
     /// isolated: a malformed job produces an `Err` in its slot without
     /// affecting any other job. Jobs sharing a structure share one template
-    /// through the cache.
+    /// through the cache (and through the single-flight table when they
+    /// race).
+    ///
+    /// Isolation covers panics end to end: the **whole** per-job pipeline —
+    /// fingerprinting, cache lookup, template compilation *and* binding —
+    /// runs inside one `catch_unwind`, so a panic anywhere in one job
+    /// surfaces as [`EngineError::CompilationPanicked`] in that job's slot
+    /// instead of unwinding through the parallel runner and tearing down
+    /// every sibling job. (Binding alone used to be wrapped; a panicking
+    /// lookup — e.g. against a poisoned cache shard — killed the batch.)
     pub fn compile_batch(&self, jobs: &[BatchJob]) -> Vec<Result<QuClearResult, EngineError>> {
         jobs.par_iter()
             .map(|job| {
-                let template = self.template_for(&job.program)?;
-                let result = contain_panics(|| match &job.angles {
-                    Some(angles) => template.bind(angles),
-                    None => template.bind_program(&job.program),
-                })?;
-                self.binds.fetch_add(1, Ordering::Relaxed);
-                Ok(result)
+                contain_panics(|| {
+                    let template = self.template_for(&job.program)?;
+                    let result = match &job.angles {
+                        Some(angles) => template.bind(angles),
+                        None => template.bind_program(&job.program),
+                    }?;
+                    self.binds.fetch_add(1, Ordering::Relaxed);
+                    Ok(result)
+                })
             })
             .collect()
     }
@@ -381,13 +549,29 @@ impl Engine {
     }
 
     /// A point-in-time snapshot of the counters.
+    ///
+    /// Safe to call concurrently with requests; see the staleness contract
+    /// on [`EngineStats`]. Each counter is read exactly once (so successive
+    /// snapshots are monotone per field), `entries` is clamped to the
+    /// configured capacity (the live length can transiently overshoot by an
+    /// in-progress insert that has reserved its slot but not evicted yet),
+    /// and the read order pins the cross-field invariants:
+    /// `coalesced_waits` is read *first* (Acquire, pairing with the Release
+    /// increment that every coalesced request performs after its hit/miss),
+    /// so `coalesced_waits <= hits + misses` in every snapshot, and the
+    /// `hits`/`misses` pair can only make the reported hit rate
+    /// conservative, never push [`EngineStats::hit_rate`] out of `[0, 1]`.
     pub fn stats(&self) -> EngineStats {
+        let coalesced_waits = self.coalesced_waits.load(Ordering::Acquire);
+        let hits = self.hits.load(Ordering::Relaxed);
+        let misses = self.misses.load(Ordering::Relaxed);
         EngineStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits,
+            misses,
+            coalesced_waits,
             evictions: self.evictions.load(Ordering::Relaxed),
             binds: self.binds.load(Ordering::Relaxed),
-            entries: self.cache.len(),
+            entries: self.cache.len().min(self.cache.capacity()),
             capacity: self.cache.capacity(),
         }
     }

@@ -52,6 +52,7 @@ mod error;
 mod fingerprint;
 mod lru;
 mod sharded;
+pub mod singleflight;
 mod template;
 
 pub use engine::{BatchJob, Engine, EngineStats, DEFAULT_CACHE_CAPACITY, DEFAULT_CACHE_SHARDS};
@@ -59,6 +60,7 @@ pub use error::EngineError;
 pub use fingerprint::ProgramFingerprint;
 pub use lru::LruCache;
 pub use sharded::ShardedCache;
+pub use singleflight::SingleFlight;
 pub use template::CompiledTemplate;
 
 #[cfg(test)]

@@ -21,11 +21,40 @@
 //! of its own shard (stamps come from one global monotone counter); in the
 //! rare case that the inserting shard is empty, the globally oldest entry
 //! is evicted instead. With a single shard this degenerates to exact LRU.
+//!
+//! # Poison recovery
+//!
+//! Every lock acquisition recovers from poisoning instead of propagating it
+//! ([`PoisonError::into_inner`]). A long-running multi-client process must
+//! not let one panicked request disable a shard forever: before this, a
+//! panic while a shard's write lock was held poisoned the lock, and every
+//! later request hashing to that shard panicked again on the acquisition —
+//! a permanent, cascading outage of 1/`shards` of the cache.
+//!
+//! Recovery is sound here because the shard map is **structurally valid at
+//! every panic point**. The only code that can unwind while a shard lock is
+//! held is (a) the standard `HashMap` operations themselves, which leave the
+//! map valid on unwind, and (b) `drop` of an evicted/replaced value — and
+//! every such drop is sequenced *after* the map mutation and its `len`
+//! bookkeeping have both completed (see `insert`/`clear`), so the map and
+//! the shared `len` counter stay consistent even if a value's destructor
+//! panics. The worst case is a recency stamp that was never bumped, which
+//! only perturbs LRU order.
 
 use std::collections::HashMap;
 use std::hash::{BuildHasher, Hash, RandomState};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Acquires a read lock, recovering from poisoning (see the module docs).
+fn read_lock<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Acquires a write lock, recovering from poisoning (see the module docs).
+fn write_lock<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A value plus its last-used stamp.
 struct Entry<V> {
@@ -41,7 +70,8 @@ struct Shard<V, K> {
 /// A sharded LRU-ish cache holding `Arc`ed values.
 ///
 /// Lookups take a shard read lock only; inserts take the shard write lock.
-/// See the module docs for the design.
+/// Lock poisoning is recovered from, never propagated — a panicking request
+/// cannot take a shard out of service. See the module docs for the design.
 pub struct ShardedCache<K, V> {
     shards: Vec<Shard<V, K>>,
     /// Shared capacity across all shards.
@@ -106,7 +136,7 @@ impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
     /// read lock — concurrent hits (same or different keys) never contend
     /// exclusively.
     pub fn get(&self, key: &K) -> Option<Arc<V>> {
-        let map = self.shard(key).map.read().expect("shard poisoned");
+        let map = read_lock(&self.shard(key).map);
         let entry = map.get(key)?;
         entry.last_used.store(self.tick(), Ordering::Relaxed);
         Some(Arc::clone(&entry.value))
@@ -117,11 +147,17 @@ impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
     /// eviction.
     pub fn insert(&self, key: K, value: Arc<V>) -> Option<K> {
         let shard = self.shard(&key);
-        let mut map = shard.map.write().expect("shard poisoned");
+        let mut map = write_lock(&shard.map);
         let stamp = self.tick();
         if let Some(entry) = map.get_mut(&key) {
-            entry.value = value;
+            // Swap rather than assign: the old value's destructor must run
+            // *after* the map is back in its final state, so a panicking
+            // `Drop` cannot leave the shard inconsistent under a (recovered)
+            // poisoned lock.
+            let old = std::mem::replace(&mut entry.value, value);
             entry.last_used.store(stamp, Ordering::Relaxed);
+            drop(map);
+            drop(old);
             return None;
         }
         // Reserve the slot *before* deciding about eviction: concurrent
@@ -129,10 +165,13 @@ impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
         // total, so exactly the inserts that push past capacity evict.
         let prior = self.len.fetch_add(1, Ordering::Relaxed);
         let mut evicted = None;
+        // The victim's value is parked here and dropped only after the map
+        // and `len` are consistent and the lock is released.
+        let mut victim_value = None;
         if prior >= self.capacity {
             // Prefer a victim in the shard whose lock is already held.
             if let Some(lru) = lru_key(&map) {
-                map.remove(&lru);
+                victim_value = map.remove(&lru);
                 self.len.fetch_sub(1, Ordering::Relaxed);
                 evicted = Some(lru);
             }
@@ -145,6 +184,7 @@ impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
             },
         );
         drop(map);
+        drop(victim_value);
         if prior >= self.capacity && evicted.is_none() {
             // The inserting shard was empty; evict the globally oldest
             // entry instead (one shard lock at a time, so no deadlock).
@@ -166,7 +206,7 @@ impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
             }
             let mut victim: Option<(u64, usize, K)> = None;
             for (idx, shard) in self.shards.iter().enumerate() {
-                let map = shard.map.read().expect("shard poisoned");
+                let map = read_lock(&shard.map);
                 for (k, e) in map.iter() {
                     let stamp = e.last_used.load(Ordering::Relaxed);
                     if victim.as_ref().is_none_or(|(s, _, _)| stamp < *s) {
@@ -175,9 +215,11 @@ impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
                 }
             }
             let (_, idx, key) = victim?;
-            let mut map = self.shards[idx].map.write().expect("shard poisoned");
-            if map.remove(&key).is_some() {
+            let mut map = write_lock(&self.shards[idx].map);
+            if let Some(removed) = map.remove(&key) {
                 self.len.fetch_sub(1, Ordering::Relaxed);
+                drop(map);
+                drop(removed);
                 return Some(key);
             }
         }
@@ -187,9 +229,14 @@ impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
     /// Removes every entry, keeping capacity and shard structure.
     pub fn clear(&self) {
         for shard in &self.shards {
-            let mut map = shard.map.write().expect("shard poisoned");
-            self.len.fetch_sub(map.len(), Ordering::Relaxed);
-            map.clear();
+            let mut map = write_lock(&shard.map);
+            // Detach the entries before decrementing `len` and before any
+            // value destructor can run: the shard map is already empty (and
+            // consistent with `len`) when the drops happen outside the lock.
+            let detached = std::mem::take(&mut *map);
+            self.len.fetch_sub(detached.len(), Ordering::Relaxed);
+            drop(map);
+            drop(detached);
         }
     }
 
@@ -198,7 +245,7 @@ impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
     pub fn keys_by_recency(&self) -> Vec<K> {
         let mut stamped: Vec<(u64, K)> = Vec::new();
         for shard in &self.shards {
-            let map = shard.map.read().expect("shard poisoned");
+            let map = read_lock(&shard.map);
             for (k, e) in map.iter() {
                 stamped.push((e.last_used.load(Ordering::Relaxed), k.clone()));
             }
@@ -329,5 +376,100 @@ mod tests {
             }
         });
         assert!(cache.len() <= cache.capacity());
+    }
+
+    /// Poisons the shard holding `key` by panicking on a scoped thread while
+    /// that shard's write lock is held — the exact state a panicked request
+    /// used to leave behind.
+    fn poison_shard_of(cache: &ShardedCache<u32, u32>, key: u32) {
+        let shard = cache.shard(&key);
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| {
+                let _guard = shard.map.write().unwrap();
+                panic!("deliberate poison");
+            });
+            assert!(handle.join().is_err());
+        });
+        assert!(
+            shard.map.read().is_err(),
+            "the shard lock must actually be poisoned for this test to mean anything"
+        );
+    }
+
+    #[test]
+    fn poisoned_shard_keeps_serving() {
+        // One shard so every key exercises the poisoned lock.
+        let cache: ShardedCache<u32, u32> = ShardedCache::new(8, 1);
+        cache.insert(1, Arc::new(10));
+        poison_shard_of(&cache, 1);
+
+        // Reads, writes, replacement, eviction and clear must all keep
+        // working on the poisoned shard.
+        assert_eq!(cache.get(&1).as_deref(), Some(&10), "read after poison");
+        cache.insert(2, Arc::new(20));
+        assert_eq!(cache.get(&2).as_deref(), Some(&20), "insert after poison");
+        cache.insert(1, Arc::new(11));
+        assert_eq!(cache.get(&1).as_deref(), Some(&11), "replace after poison");
+        for i in 3..20 {
+            cache.insert(i, Arc::new(i * 10));
+        }
+        assert!(cache.len() <= cache.capacity(), "eviction after poison");
+        cache.clear();
+        assert!(cache.is_empty(), "clear after poison");
+    }
+
+    #[test]
+    fn poisoned_shard_recovers_under_concurrency() {
+        let cache: Arc<ShardedCache<u32, u32>> = Arc::new(ShardedCache::new(64, 1));
+        poison_shard_of(&cache, 0);
+        std::thread::scope(|scope| {
+            for t in 0..8u32 {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    for i in 0..100u32 {
+                        let key = (t * 13 + i) % 48;
+                        if let Some(v) = cache.get(&key) {
+                            assert_eq!(*v, key);
+                        } else {
+                            cache.insert(key, Arc::new(key));
+                        }
+                    }
+                });
+            }
+        });
+        assert!(cache.len() <= cache.capacity());
+    }
+
+    /// A value whose destructor panics once: the production-shaped poisoning
+    /// vector (an evicted template's drop unwinding under the shard write
+    /// lock) must not take the shard down.
+    struct PanicOnDrop(bool);
+
+    impl Drop for PanicOnDrop {
+        fn drop(&mut self) {
+            if self.0 && !std::thread::panicking() {
+                panic!("destructor panics");
+            }
+        }
+    }
+
+    #[test]
+    fn panicking_value_drop_does_not_disable_the_cache() {
+        let cache: Arc<ShardedCache<u32, PanicOnDrop>> = Arc::new(ShardedCache::new(1, 1));
+        cache.insert(1, Arc::new(PanicOnDrop(true)));
+        // Evicting key 1 drops the panicking value. The drop now happens
+        // after the map and `len` are consistent, so even though the panic
+        // propagates to this caller, the cache stays valid.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.insert(2, Arc::new(PanicOnDrop(false)));
+        }));
+        assert!(result.is_err(), "the destructor panic must surface");
+        // The cache still serves: key 2 resident, len consistent, further
+        // inserts and lookups fine.
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(&2).is_some());
+        cache.insert(3, Arc::new(PanicOnDrop(false)));
+        assert!(cache.get(&3).is_some());
+        assert_eq!(cache.len(), 1);
     }
 }

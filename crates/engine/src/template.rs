@@ -430,10 +430,16 @@ impl CompiledTemplate {
     #[must_use]
     pub fn absorb_observables(&self, observables: &[SignedPauli]) -> Arc<AbsorbedObservables> {
         let key = observable_set_key(observables);
+        // Both acquisitions recover from lock poisoning: the memo map only
+        // holds `Arc`s and every mutation below is a single HashMap
+        // operation, so it is structurally valid at every panic point. A
+        // panicked request (e.g. an `absorb` on mismatched register sizes,
+        // contained by the engine) must not disable the memo for the
+        // template's remaining lifetime.
         if let Some(entry) = self
             .absorbed_memo
             .read()
-            .expect("absorption memo poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .get(&key)
         {
             if entry.observables == observables {
@@ -444,7 +450,7 @@ impl CompiledTemplate {
         let mut memo = self
             .absorbed_memo
             .write()
-            .expect("absorption memo poisoned");
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if memo.len() >= ABSORBED_MEMO_CAPACITY && !memo.contains_key(&key) {
             // Drop an arbitrary entry: the memo is a convenience cache, not
             // an LRU; workloads rarely exceed a handful of sets.

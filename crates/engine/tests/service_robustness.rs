@@ -1,0 +1,256 @@
+//! Long-running-service robustness: panic isolation and request coalescing.
+//!
+//! A compile-once/serve-many engine lives for days inside one process, so a
+//! single panicking request must never take out sibling requests (batch
+//! isolation), future requests (no poisoned shard cascades), or requests
+//! that happened to be waiting on the same compilation (single-flight
+//! abandon handling). These tests drive those properties through the public
+//! `Engine` API, using the engine's fault-injection hook to model a panic on
+//! the template-lookup path — the code that used to sit *outside*
+//! `compile_batch`'s per-job `catch_unwind`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+
+use quclear_core::QuClearConfig;
+use quclear_engine::{BatchJob, Engine, EngineError, ProgramFingerprint};
+use quclear_pauli::PauliRotation;
+
+fn rot(s: &str, angle: f64) -> PauliRotation {
+    PauliRotation::parse(s, angle).unwrap()
+}
+
+fn fingerprint_of(program: &[PauliRotation], engine: &Engine) -> ProgramFingerprint {
+    ProgramFingerprint::of_program(program, engine.config())
+}
+
+/// A structure large enough that its extraction takes a visible amount of
+/// time, so concurrent misses actually overlap in flight.
+fn slow_program(tag: u64) -> Vec<PauliRotation> {
+    let ops = ['X', 'Y', 'Z', 'I'];
+    (0..24u64)
+        .map(|i| {
+            let mut axis = String::new();
+            let mut state = tag
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(i.wrapping_mul(0x517C_C1B7_2722_0A95));
+            for _ in 0..10 {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                axis.push(ops[(state % 4) as usize]);
+            }
+            if !axis.bytes().any(|b| b != b'I') {
+                axis.replace_range(0..1, "Z");
+            }
+            rot(&axis, 0.1 + i as f64 * 0.05)
+        })
+        .collect()
+}
+
+/// Satellite regression: a job whose *lookup* panics (not just its bind)
+/// must fail alone. Before the fix, `template_for` sat outside the per-job
+/// `catch_unwind`, so this panic unwound through the parallel runner and
+/// tore down the entire batch.
+#[test]
+fn panicking_job_is_isolated_in_a_batch() {
+    let engine = Engine::new(32);
+    let poisoned_program = vec![rot("XYZX", 0.4), rot("ZZXX", 0.2)];
+    engine.inject_lookup_panic(Some(fingerprint_of(&poisoned_program, &engine)));
+
+    let jobs = vec![
+        BatchJob::new(vec![rot("ZZII", 0.4)]),
+        BatchJob::new(poisoned_program.clone()),
+        BatchJob::with_angles(vec![rot("IXXI", 0.0)], vec![1.25]),
+        // A second doomed job: isolation must hold per job, not just once.
+        BatchJob::with_angles(poisoned_program.clone(), vec![0.5, 0.6]),
+        BatchJob::new(vec![rot("YYYY", -0.7)]),
+    ];
+    let results = engine.compile_batch(&jobs);
+    assert_eq!(results.len(), 5);
+    assert!(results[0].is_ok(), "healthy job 0 must succeed");
+    assert!(
+        matches!(results[1], Err(EngineError::CompilationPanicked { .. })),
+        "the panicking job must fail in its own slot, got {:?}",
+        results[1]
+    );
+    assert!(results[2].is_ok(), "healthy job 2 must succeed");
+    assert!(matches!(
+        results[3],
+        Err(EngineError::CompilationPanicked { .. })
+    ));
+    assert!(results[4].is_ok(), "healthy job 4 must succeed");
+
+    // The panic left no residue: disarmed, the same structure compiles.
+    engine.inject_lookup_panic(None);
+    assert!(engine.compile(&poisoned_program).is_ok());
+}
+
+/// A panicking request must not poison state consulted by *other*
+/// structures: while the fault is armed for one fingerprint, every other
+/// program keeps compiling — including ones that share a cache shard with
+/// the doomed key (with a single shard, all of them do).
+#[test]
+fn panicking_request_does_not_poison_other_structures() {
+    let engine = Engine::with_shards(16, 1, QuClearConfig::default());
+    let doomed = vec![rot("XXXX", 0.3)];
+    engine.inject_lookup_panic(Some(fingerprint_of(&doomed, &engine)));
+
+    for i in 0..8 {
+        let healthy = vec![rot("ZZII", 0.1 * f64::from(i)), rot("IXXI", 0.2)];
+        assert!(engine.compile(&healthy).is_ok(), "round {i}");
+        let batch = engine.compile_batch(&[
+            BatchJob::new(doomed.clone()),
+            BatchJob::new(vec![rot("YYII", 0.4)]),
+        ]);
+        assert!(matches!(
+            batch[0],
+            Err(EngineError::CompilationPanicked { .. })
+        ));
+        assert!(
+            batch[1].is_ok(),
+            "same-shard neighbour must survive round {i}"
+        );
+    }
+
+    engine.inject_lookup_panic(None);
+    assert!(engine.compile(&doomed).is_ok(), "no lasting damage");
+}
+
+/// Tentpole property: K concurrent requests for one uncached structure run
+/// exactly one extraction. The leader misses; everyone else either waits on
+/// the flight (counted in `coalesced_waits`) or arrives after publication
+/// (a plain hit) — in every schedule, `misses == 1`.
+#[test]
+fn concurrent_identical_requests_compile_once() {
+    let engine = Arc::new(Engine::new(64));
+    let program = slow_program(7);
+    let threads = 16;
+    let barrier = Arc::new(Barrier::new(threads));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let engine = Arc::clone(&engine);
+            let program = program.clone();
+            let barrier = Arc::clone(&barrier);
+            scope.spawn(move || {
+                barrier.wait();
+                engine.compile(&program).expect("compile must succeed");
+            });
+        }
+    });
+    let stats = engine.stats();
+    assert_eq!(stats.misses, 1, "single flight: exactly one extraction");
+    assert_eq!(stats.hits, threads as u64 - 1);
+    assert_eq!(stats.entries, 1);
+    assert_eq!(stats.binds, threads as u64);
+    // `coalesced_waits` counts the subset of hits that actually parked on
+    // the in-flight compile; scheduling decides how many, and the snapshot
+    // must agree with the hit accounting.
+    assert!(stats.coalesced_waits <= stats.hits);
+}
+
+/// With the compile window held open (injected delay), every concurrent
+/// identical request demonstrably parks on the single flight: the
+/// coalesced-wait counter is exact, not best-effort.
+#[test]
+fn coalesced_waits_are_counted() {
+    let engine = Arc::new(Engine::new(64));
+    let program = vec![rot("ZXYZ", 0.3), rot("YZZX", -0.4)];
+    let fingerprint = fingerprint_of(&program, &engine);
+    engine.inject_compile_delay(Some((fingerprint, std::time::Duration::from_millis(750))));
+    let threads = 4;
+    let barrier = Arc::new(Barrier::new(threads));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let engine = Arc::clone(&engine);
+            let program = program.clone();
+            let barrier = Arc::clone(&barrier);
+            scope.spawn(move || {
+                barrier.wait();
+                engine.compile(&program).expect("compile must succeed");
+            });
+        }
+    });
+    engine.inject_compile_delay(None);
+    let stats = engine.stats();
+    assert_eq!(stats.misses, 1);
+    assert_eq!(stats.hits, threads as u64 - 1);
+    assert!(
+        stats.coalesced_waits >= threads as u64 / 2,
+        "the 750ms in-flight window must catch most concurrent requests \
+         (got {})",
+        stats.coalesced_waits
+    );
+}
+
+/// Distinct structures must never wait on each other's flights.
+#[test]
+fn distinct_structures_do_not_coalesce() {
+    let engine = Arc::new(Engine::new(64));
+    let threads = 8;
+    let barrier = Arc::new(Barrier::new(threads));
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let engine = Arc::clone(&engine);
+            let barrier = Arc::clone(&barrier);
+            scope.spawn(move || {
+                barrier.wait();
+                let program = slow_program(100 + t as u64);
+                engine.compile(&program).expect("compile must succeed");
+            });
+        }
+    });
+    let stats = engine.stats();
+    assert_eq!(stats.misses, threads as u64);
+    assert_eq!(stats.coalesced_waits, 0);
+    assert_eq!(stats.entries, threads);
+}
+
+/// Stats stay within their documented invariants while requests hammer the
+/// engine from many threads: every snapshot taken mid-flight keeps
+/// `hit_rate` in `[0, 1]` and `entries <= capacity`.
+#[test]
+fn stats_snapshots_stay_coherent_under_load() {
+    let engine = Arc::new(Engine::with_shards(4, 4, QuClearConfig::default()));
+    let snapshots_bad = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|scope| {
+        for t in 0..4u64 {
+            let engine = Arc::clone(&engine);
+            scope.spawn(move || {
+                for i in 0..50u64 {
+                    // More structures than capacity: constant eviction
+                    // churn while snapshots are taken.
+                    let program = vec![
+                        rot("ZZII", 0.01 * (t * 50 + i) as f64),
+                        rot(
+                            ["XXII", "YYII", "XYZI", "ZXYI", "IYZX", "IZZY"][(i % 6) as usize],
+                            0.3,
+                        ),
+                    ];
+                    engine.compile(&program).unwrap();
+                }
+            });
+        }
+        for _ in 0..2 {
+            let engine = Arc::clone(&engine);
+            let snapshots_bad = Arc::clone(&snapshots_bad);
+            scope.spawn(move || {
+                for _ in 0..500 {
+                    let stats = engine.stats();
+                    let rate = stats.hit_rate();
+                    if !(0.0..=1.0).contains(&rate)
+                        || stats.entries > stats.capacity
+                        || stats.hits + stats.misses < stats.coalesced_waits
+                    {
+                        snapshots_bad.fetch_add(1, Ordering::Relaxed);
+                    }
+                    std::hint::spin_loop();
+                }
+            });
+        }
+    });
+    assert_eq!(snapshots_bad.load(Ordering::Relaxed), 0);
+    let stats = engine.stats();
+    assert_eq!(stats.lookups(), 200);
+    assert!(stats.entries <= stats.capacity);
+}

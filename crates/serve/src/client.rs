@@ -1,0 +1,314 @@
+//! A small blocking client for the serve protocol.
+//!
+//! One [`Client`] owns one TCP connection and issues one request at a time
+//! (the protocol supports pipelining; this client keeps it simple). It is
+//! the reference consumer of the wire format — the integration tests and
+//! the `serve_demo` example drive the server exclusively through it.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::protocol::{
+    read_frame, write_frame, CompiledSummary, Request, RequestKind, Response, ResponseBody,
+    StatsSummary, WireError, MAX_FRAME_BYTES,
+};
+
+/// Failures a client call can produce.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed (connect, read, write, or unexpected EOF).
+    Io(io::Error),
+    /// The server answered, but the frame did not decode or did not match
+    /// the request.
+    Protocol(WireError),
+    /// The server answered with a structured error (e.g. a parse failure or
+    /// a contained compilation panic).
+    Remote(WireError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ClientError::Remote(e) => write!(f, "server error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl ClientError {
+    /// The structured server error, when this is a [`ClientError::Remote`].
+    #[must_use]
+    pub fn remote(&self) -> Option<&WireError> {
+        match self {
+            ClientError::Remote(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// A blocking connection to a `quclear-serve` server.
+///
+/// # Examples
+///
+/// ```no_run
+/// use quclear_serve::Client;
+///
+/// let mut client = Client::connect("127.0.0.1:7878")?;
+/// let compiled = client.compile(&["ZZII", "IXXI"], &[0.3, 0.7])?;
+/// println!("{} CNOTs", compiled.cnot_count);
+/// # Ok::<(), quclear_serve::ClientError>(())
+/// ```
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+    /// Set after a transport or framing failure mid-request. Once the
+    /// request/response rhythm is broken (e.g. a timed-out read whose late
+    /// response is still queued in the socket), every later frame would be
+    /// misattributed — so the connection refuses further use instead of
+    /// silently desynchronizing.
+    broken: bool,
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            next_id: 1,
+            broken: false,
+        })
+    }
+
+    /// Sets a read timeout for responses (`None` blocks indefinitely, the
+    /// default). Useful when probing a server that might be wedged — but
+    /// note that a request which *does* time out breaks the connection's
+    /// request/response pairing, so the client marks itself
+    /// [broken](Client::is_broken) and must be replaced by a fresh
+    /// [`Client::connect`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.stream.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Whether a transport/framing failure has desynchronized this
+    /// connection. A broken client fails every request; reconnect instead.
+    #[must_use]
+    pub fn is_broken(&self) -> bool {
+        self.broken
+    }
+
+    /// Sends one request and waits for its response body.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Remote`] when the server reports a failure (the
+    /// connection stays usable); transport and framing failures otherwise —
+    /// those mark the client [broken](Client::is_broken), because a
+    /// half-completed exchange leaves response frames unaccounted for.
+    pub fn request(&mut self, kind: RequestKind) -> Result<ResponseBody, ClientError> {
+        if self.broken {
+            return Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::NotConnected,
+                "connection is desynchronized by an earlier transport failure; reconnect",
+            )));
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        match self.exchange(id, kind) {
+            Ok(body) => Ok(body),
+            // A server-reported failure is a complete, well-paired exchange.
+            Err(ClientError::Remote(e)) => Err(ClientError::Remote(e)),
+            // Anything else left the stream in an unknown position.
+            Err(e) => {
+                self.broken = true;
+                Err(e)
+            }
+        }
+    }
+
+    fn exchange(&mut self, id: u64, kind: RequestKind) -> Result<ResponseBody, ClientError> {
+        let request = Request { id, kind };
+        write_frame(&mut self.stream, &request.encode())?;
+        let payload = read_frame(&mut self.stream, MAX_FRAME_BYTES)?.ok_or_else(|| {
+            ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection before responding",
+            ))
+        })?;
+        let response = Response::decode(&payload).map_err(ClientError::Protocol)?;
+        if response.id != id && response.id != 0 {
+            return Err(ClientError::Protocol(WireError::new(
+                "bad_response",
+                format!("response id {} does not match request id {id}", response.id),
+            )));
+        }
+        response.body.map_err(ClientError::Remote)
+    }
+
+    /// Compiles a rotation program (`axes` as signed Pauli strings, one
+    /// angle per axis) on the server.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn compile(
+        &mut self,
+        axes: &[&str],
+        angles: &[f64],
+    ) -> Result<CompiledSummary, ClientError> {
+        let body = self.request(RequestKind::Compile {
+            program: axes.iter().map(|s| (*s).to_string()).collect(),
+            angles: angles.to_vec(),
+        })?;
+        expect_compiled(body)
+    }
+
+    /// Compiles the program's structure once, binding every angle set.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`]; per-set failures come back in the vector.
+    #[allow(clippy::type_complexity)]
+    pub fn sweep(
+        &mut self,
+        axes: &[&str],
+        angle_sets: &[Vec<f64>],
+    ) -> Result<Vec<Result<CompiledSummary, WireError>>, ClientError> {
+        let body = self.request(RequestKind::Sweep {
+            program: axes.iter().map(|s| (*s).to_string()).collect(),
+            angle_sets: angle_sets.to_vec(),
+        })?;
+        match body {
+            ResponseBody::Sweep(results) => Ok(results),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Compiles OpenQASM 2.0 text on the server.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn compile_qasm(&mut self, qasm: &str) -> Result<CompiledSummary, ClientError> {
+        let body = self.request(RequestKind::CompileQasm {
+            qasm: qasm.to_string(),
+        })?;
+        expect_compiled(body)
+    }
+
+    /// Compiles QASM text with its rotation angles overridden.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn bind_qasm(
+        &mut self,
+        qasm: &str,
+        angles: &[f64],
+    ) -> Result<CompiledSummary, ClientError> {
+        let body = self.request(RequestKind::BindQasm {
+            qasm: qasm.to_string(),
+            angles: angles.to_vec(),
+        })?;
+        expect_compiled(body)
+    }
+
+    /// CA-Pre on the server: rewrites `observables` through `axes`'s
+    /// extracted Clifford, returning the rewritten strings and their greedy
+    /// commuting groups.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    #[allow(clippy::type_complexity)]
+    pub fn absorb(
+        &mut self,
+        axes: &[&str],
+        observables: &[&str],
+    ) -> Result<(Vec<String>, Vec<Vec<usize>>), ClientError> {
+        let body = self.request(RequestKind::Absorb {
+            program: axes.iter().map(|s| (*s).to_string()).collect(),
+            observables: observables.iter().map(|s| (*s).to_string()).collect(),
+        })?;
+        match body {
+            ResponseBody::Absorbed {
+                observables,
+                groups,
+            } => Ok((observables, groups)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches the engine + server counters.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn stats(&mut self) -> Result<StatsSummary, ClientError> {
+        match self.request(RequestKind::Stats)? {
+            ResponseBody::Stats(stats) => Ok(stats),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Liveness probe; returns the server's uptime in milliseconds.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn health(&mut self) -> Result<u64, ClientError> {
+        match self.request(RequestKind::Health)? {
+            ResponseBody::Health { uptime_ms } => Ok(uptime_ms),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Asks the server to shut down (requires
+    /// [`crate::ServerConfig::allow_remote_shutdown`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Remote`] with kind `"forbidden"` when the server does
+    /// not allow remote shutdown.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        match self.request(RequestKind::Shutdown)? {
+            ResponseBody::ShuttingDown => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn expect_compiled(body: ResponseBody) -> Result<CompiledSummary, ClientError> {
+    match body {
+        ResponseBody::Compiled(summary) => Ok(summary),
+        other => Err(unexpected(&other)),
+    }
+}
+
+fn unexpected(body: &ResponseBody) -> ClientError {
+    ClientError::Protocol(WireError::new(
+        "bad_response",
+        format!("unexpected response body {body:?}"),
+    ))
+}

@@ -1,0 +1,71 @@
+//! `quclear-serve`: a long-running compilation service over
+//! [`quclear_engine::Engine`].
+//!
+//! QuCLEAR's value proposition is *compile once, serve many*: Clifford
+//! Extraction is angle-independent, so the expensive part of compiling a
+//! variational circuit can be cached and every later query with new angles
+//! is a cheap bind. This crate turns that per-process cache into **shared
+//! serving infrastructure**: a TCP server (plain `std::net`, no external
+//! dependencies) in front of one engine, so many clients — a VQE sweep
+//! here, a QAOA grid there — warm and reuse the *same* template cache.
+//!
+//! * [`Server`] — accept loop + fixed worker thread pool, graceful
+//!   shutdown, per-request panic containment (a panicking compilation
+//!   answers *that* request with an error and keeps serving);
+//! * [`Client`] — a small blocking client for the same wire format;
+//! * [`protocol`] — the length-prefixed JSON frame format (built on the
+//!   in-tree `serde`/`serde_json` stand-ins), covering `compile`, `sweep`,
+//!   `compile_qasm`, `bind_qasm`, `absorb`, `stats`, `health` and
+//!   `shutdown`;
+//! * **request coalescing** — concurrent compiles of the same structure are
+//!   single-flighted by the engine ([`quclear_engine::singleflight`]): one
+//!   extraction runs, every concurrent identical request waits for it and
+//!   shares the result ([`quclear_engine::EngineStats::coalesced_waits`]
+//!   counts how often that saved a redundant compile).
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use quclear_engine::Engine;
+//! use quclear_serve::{Client, Server, ServerConfig};
+//!
+//! let engine = Arc::new(Engine::new(256));
+//! let server = Server::bind("127.0.0.1:0", engine, ServerConfig::default())?;
+//!
+//! let mut client = Client::connect(server.local_addr())?;
+//! let compiled = client.compile(&["ZZZZ", "YYXX"], &[0.3, 0.7])?;
+//! assert!(compiled.cnot_count <= 4);
+//! assert_eq!(client.stats()?.misses, 1);
+//!
+//! server.stop(); // graceful: drains workers, joins every thread
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod client;
+pub mod protocol;
+mod server;
+
+pub use client::{Client, ClientError};
+pub use protocol::{
+    CompiledSummary, Request, RequestKind, Response, ResponseBody, StatsSummary, WireError,
+};
+pub use server::{Server, ServerConfig};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Server>();
+        assert_send::<Client>();
+        assert_send::<ClientError>();
+        assert_send::<RequestKind>();
+        assert_send::<ResponseBody>();
+    }
+}

@@ -1,0 +1,967 @@
+//! The wire protocol: length-prefixed JSON frames.
+//!
+//! Every message is one **frame**: a 4-byte big-endian payload length
+//! followed by that many bytes of UTF-8 JSON. Requests carry a client-chosen
+//! `id` that the matching response echoes, so a client can pipeline
+//! requests over one connection and correlate the answers.
+//!
+//! ```text
+//! → {"id": 1, "kind": "compile", "program": ["ZZZZ", "YYXX"], "angles": [0.3, 0.7]}
+//! ← {"id": 1, "ok": true, "kind": "compiled", "optimized_qasm": "...", "cnot_count": 4, ...}
+//! → {"id": 2, "kind": "stats"}
+//! ← {"id": 2, "ok": true, "kind": "stats", "hits": 1, "misses": 1, ...}
+//! ```
+//!
+//! Failures echo the id with `"ok": false` and a structured error:
+//!
+//! ```text
+//! ← {"id": 3, "ok": false, "error": {"kind": "angle_count", "message": "..."}}
+//! ```
+//!
+//! The JSON is produced and consumed with the in-tree `serde`/`serde_json`
+//! stand-ins; no external dependencies are involved.
+
+use std::io::{self, Read, Write};
+
+use serde::Json;
+
+/// Default cap on a single frame's payload (16 MiB): a sweep response over
+/// thousands of angle sets fits comfortably, while a malicious or corrupt
+/// length prefix cannot make the peer allocate unbounded memory.
+pub const MAX_FRAME_BYTES: usize = 16 << 20;
+
+/// Writes one length-prefixed frame, capped at [`MAX_FRAME_BYTES`].
+///
+/// # Errors
+///
+/// Propagates transport errors; rejects payloads above [`MAX_FRAME_BYTES`]
+/// (`InvalidInput`) before touching the socket.
+pub fn write_frame(writer: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    write_frame_with_limit(writer, payload, MAX_FRAME_BYTES)
+}
+
+/// [`write_frame`] with an explicit payload cap (the server passes its
+/// configured `max_frame_bytes` so read and write sides agree).
+///
+/// # Errors
+///
+/// Propagates transport errors; rejects payloads above the cap
+/// (`InvalidInput`) before touching the socket.
+pub fn write_frame_with_limit(
+    writer: &mut impl Write,
+    payload: &[u8],
+    max_bytes: usize,
+) -> io::Result<()> {
+    if payload.len() > max_bytes || u32::try_from(payload.len()).is_err() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "frame of {} bytes exceeds the {max_bytes} byte limit",
+                payload.len(),
+            ),
+        ));
+    }
+    let len = u32::try_from(payload.len()).expect("checked against u32 just above");
+    writer.write_all(&len.to_be_bytes())?;
+    writer.write_all(payload)?;
+    writer.flush()
+}
+
+/// Reads one length-prefixed frame with blocking semantics.
+///
+/// Returns `Ok(None)` on a clean EOF *before* any header byte (the peer
+/// closed between frames — the normal end of a connection).
+///
+/// # Errors
+///
+/// `UnexpectedEof` for a connection cut mid-frame, `InvalidData` for a
+/// length prefix above `max_bytes`, and any transport error otherwise
+/// (including `WouldBlock`/`TimedOut` when the reader has a timeout set).
+pub fn read_frame(reader: &mut impl Read, max_bytes: usize) -> io::Result<Option<Vec<u8>>> {
+    read_frame_with(reader, max_bytes, &mut Err)
+}
+
+/// The one copy of the framing rules, shared by the blocking [`read_frame`]
+/// and the server's shutdown-aware polling read.
+///
+/// `on_block` decides what a `WouldBlock`/`TimedOut` read means:
+/// `Ok(true)` retries (poll again), `Ok(false)` abandons the frame — the
+/// caller sees `Ok(None)`, the "connection over" signal — and `Err`
+/// propagates the failure to the caller.
+pub(crate) fn read_frame_with(
+    reader: &mut impl Read,
+    max_bytes: usize,
+    on_block: &mut dyn FnMut(io::Error) -> io::Result<bool>,
+) -> io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match reader.read(&mut header[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Ok(None)
+                } else {
+                    Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-header",
+                    ))
+                }
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if !on_block(e)? {
+                    return Ok(None);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_be_bytes(header) as usize;
+    if len > max_bytes {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds the {max_bytes} byte limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    let mut filled = 0;
+    while filled < len {
+        match reader.read(&mut payload[filled..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if !on_block(e)? {
+                    return Ok(None);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Some(payload))
+}
+
+/// A request, as decoded from one frame.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// What the client wants done.
+    pub kind: RequestKind,
+}
+
+/// The operations the service exposes — the `quclear_engine::Engine`
+/// surface plus observability and lifecycle.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RequestKind {
+    /// Compile a rotation program (signed Pauli axes + one angle each).
+    Compile {
+        /// Signed Pauli axes, e.g. `["ZZII", "-XXYY"]`.
+        program: Vec<String>,
+        /// One rotation angle per axis.
+        angles: Vec<f64>,
+    },
+    /// Compile a program's structure once and bind many angle sets.
+    Sweep {
+        /// Signed Pauli axes shared by every binding.
+        program: Vec<String>,
+        /// The angle sets to bind, one result per set.
+        angle_sets: Vec<Vec<f64>>,
+    },
+    /// Compile OpenQASM 2.0 text through the lift front-end.
+    CompileQasm {
+        /// The QASM source.
+        qasm: String,
+    },
+    /// Compile QASM text with its rotation angles overridden.
+    BindQasm {
+        /// The QASM source.
+        qasm: String,
+        /// Replacement angles, one per rotation gate in the source.
+        angles: Vec<f64>,
+    },
+    /// CA-Pre: rewrite an observable set through a program's extracted
+    /// Clifford (served from the template cache's memo when warm).
+    Absorb {
+        /// Signed Pauli axes of the program (angles are irrelevant to
+        /// absorption).
+        program: Vec<String>,
+        /// Signed Pauli observables to rewrite.
+        observables: Vec<String>,
+    },
+    /// Engine + server counters.
+    Stats,
+    /// Cheap liveness probe.
+    Health,
+    /// Ask the server to shut down gracefully (honored only when the server
+    /// was configured to allow it).
+    Shutdown,
+}
+
+impl RequestKind {
+    /// The wire name of this request kind.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            RequestKind::Compile { .. } => "compile",
+            RequestKind::Sweep { .. } => "sweep",
+            RequestKind::CompileQasm { .. } => "compile_qasm",
+            RequestKind::BindQasm { .. } => "bind_qasm",
+            RequestKind::Absorb { .. } => "absorb",
+            RequestKind::Stats => "stats",
+            RequestKind::Health => "health",
+            RequestKind::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// A structured error carried by a failure response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireError {
+    /// Stable machine-readable category (e.g. `"qasm_parse"`, `"panicked"`,
+    /// `"bad_request"`).
+    pub kind: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl WireError {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(kind: impl Into<String>, message: impl Into<String>) -> Self {
+        WireError {
+            kind: kind.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.kind, self.message)
+    }
+}
+
+/// Summary of one compiled circuit, as returned over the wire.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompiledSummary {
+    /// The optimized circuit `U'`, as OpenQASM 2.0 text.
+    pub optimized_qasm: String,
+    /// The extracted Clifford `U_CL` (never executed; absorbed), as QASM.
+    pub extracted_qasm: String,
+    /// Register size.
+    pub num_qubits: usize,
+    /// CNOT count of the optimized circuit.
+    pub cnot_count: usize,
+    /// Total gate count of the optimized circuit.
+    pub gate_count: usize,
+}
+
+/// Engine + server counters, as returned by a `stats` request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StatsSummary {
+    /// Template-cache hits.
+    pub hits: u64,
+    /// Template-cache misses.
+    pub misses: u64,
+    /// Lookups that waited on an in-flight compilation instead of racing it.
+    pub coalesced_waits: u64,
+    /// LRU evictions.
+    pub evictions: u64,
+    /// Successful binds.
+    pub binds: u64,
+    /// Cached templates.
+    pub entries: usize,
+    /// Cache capacity.
+    pub capacity: usize,
+    /// Cache hit rate in `[0, 1]`.
+    pub hit_rate: f64,
+    /// Requests the server has answered (all kinds, including failures).
+    pub requests_served: u64,
+    /// Connections the server has accepted.
+    pub connections_accepted: u64,
+    /// Milliseconds since the server started.
+    pub uptime_ms: u64,
+}
+
+/// A response, as decoded from one frame.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Response {
+    /// The id of the request this answers.
+    pub id: u64,
+    /// The outcome.
+    pub body: Result<ResponseBody, WireError>,
+}
+
+/// The success payloads, one per request kind.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ResponseBody {
+    /// Answer to `compile`, `compile_qasm` and `bind_qasm`.
+    Compiled(CompiledSummary),
+    /// Answer to `sweep`: one result per angle set, order preserved,
+    /// failures isolated per set.
+    Sweep(Vec<Result<CompiledSummary, WireError>>),
+    /// Answer to `absorb`: the rewritten observables (as signed Pauli
+    /// strings, input order) and their greedy commuting groups.
+    Absorbed {
+        /// Rewritten observables `C† O C`.
+        observables: Vec<String>,
+        /// Indices of mutually commuting observables, greedily grouped.
+        groups: Vec<Vec<usize>>,
+    },
+    /// Answer to `stats`.
+    Stats(StatsSummary),
+    /// Answer to `health`.
+    Health {
+        /// Milliseconds since the server started.
+        uptime_ms: u64,
+    },
+    /// Answer to `shutdown`: the server acknowledges and then stops
+    /// accepting new work.
+    ShuttingDown,
+}
+
+// ---------------------------------------------------------------------------
+// JSON encoding
+// ---------------------------------------------------------------------------
+
+fn obj(entries: Vec<(&str, Json)>) -> Json {
+    Json::Object(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn str_array(items: &[String]) -> Json {
+    Json::Array(items.iter().map(|s| Json::Str(s.clone())).collect())
+}
+
+fn f64_array(items: &[f64]) -> Json {
+    Json::Array(items.iter().map(|&x| Json::Float(x)).collect())
+}
+
+impl Request {
+    /// Encodes the request as one JSON frame payload.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut entries = vec![
+            ("id", Json::Uint(self.id)),
+            ("kind", Json::Str(self.kind.name().to_string())),
+        ];
+        match &self.kind {
+            RequestKind::Compile { program, angles } => {
+                entries.push(("program", str_array(program)));
+                entries.push(("angles", f64_array(angles)));
+            }
+            RequestKind::Sweep {
+                program,
+                angle_sets,
+            } => {
+                entries.push(("program", str_array(program)));
+                entries.push((
+                    "angle_sets",
+                    Json::Array(angle_sets.iter().map(|set| f64_array(set)).collect()),
+                ));
+            }
+            RequestKind::CompileQasm { qasm } => {
+                entries.push(("qasm", Json::Str(qasm.clone())));
+            }
+            RequestKind::BindQasm { qasm, angles } => {
+                entries.push(("qasm", Json::Str(qasm.clone())));
+                entries.push(("angles", f64_array(angles)));
+            }
+            RequestKind::Absorb {
+                program,
+                observables,
+            } => {
+                entries.push(("program", str_array(program)));
+                entries.push(("observables", str_array(observables)));
+            }
+            RequestKind::Stats | RequestKind::Health | RequestKind::Shutdown => {}
+        }
+        render(&obj(entries))
+    }
+
+    /// Decodes a request frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] (kind `"bad_request"`) describing the first
+    /// malformed or missing field.
+    pub fn decode(payload: &[u8]) -> Result<Request, WireError> {
+        let tree = parse(payload)?;
+        let id = field_u64(&tree, "id")?;
+        let kind_name = field_str(&tree, "kind")?;
+        let kind = match kind_name.as_str() {
+            "compile" => RequestKind::Compile {
+                program: field_strings(&tree, "program")?,
+                angles: field_f64s(&tree, "angles")?,
+            },
+            "sweep" => RequestKind::Sweep {
+                program: field_strings(&tree, "program")?,
+                angle_sets: field_f64_sets(&tree, "angle_sets")?,
+            },
+            "compile_qasm" => RequestKind::CompileQasm {
+                qasm: field_str(&tree, "qasm")?,
+            },
+            "bind_qasm" => RequestKind::BindQasm {
+                qasm: field_str(&tree, "qasm")?,
+                angles: field_f64s(&tree, "angles")?,
+            },
+            "absorb" => RequestKind::Absorb {
+                program: field_strings(&tree, "program")?,
+                observables: field_strings(&tree, "observables")?,
+            },
+            "stats" => RequestKind::Stats,
+            "health" => RequestKind::Health,
+            "shutdown" => RequestKind::Shutdown,
+            other => {
+                return Err(WireError::new(
+                    "bad_request",
+                    format!("unknown request kind `{other}`"),
+                ))
+            }
+        };
+        Ok(Request { id, kind })
+    }
+}
+
+impl CompiledSummary {
+    fn to_entries(&self) -> Vec<(&'static str, Json)> {
+        vec![
+            ("optimized_qasm", Json::Str(self.optimized_qasm.clone())),
+            ("extracted_qasm", Json::Str(self.extracted_qasm.clone())),
+            ("num_qubits", Json::Uint(self.num_qubits as u64)),
+            ("cnot_count", Json::Uint(self.cnot_count as u64)),
+            ("gate_count", Json::Uint(self.gate_count as u64)),
+        ]
+    }
+
+    fn from_json(tree: &Json) -> Result<Self, WireError> {
+        Ok(CompiledSummary {
+            optimized_qasm: field_str(tree, "optimized_qasm")?,
+            extracted_qasm: field_str(tree, "extracted_qasm")?,
+            num_qubits: field_u64(tree, "num_qubits")? as usize,
+            cnot_count: field_u64(tree, "cnot_count")? as usize,
+            gate_count: field_u64(tree, "gate_count")? as usize,
+        })
+    }
+}
+
+fn error_json(error: &WireError) -> Json {
+    obj(vec![
+        ("kind", Json::Str(error.kind.clone())),
+        ("message", Json::Str(error.message.clone())),
+    ])
+}
+
+fn error_from_json(tree: &Json) -> Result<WireError, WireError> {
+    Ok(WireError {
+        kind: field_str(tree, "kind")?,
+        message: field_str(tree, "message")?,
+    })
+}
+
+impl Response {
+    /// Encodes the response as one JSON frame payload.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut entries = vec![("id", Json::Uint(self.id))];
+        match &self.body {
+            Err(error) => {
+                entries.push(("ok", Json::Bool(false)));
+                entries.push(("error", error_json(error)));
+            }
+            Ok(body) => {
+                entries.push(("ok", Json::Bool(true)));
+                match body {
+                    ResponseBody::Compiled(summary) => {
+                        entries.push(("kind", Json::Str("compiled".into())));
+                        entries.extend(summary.to_entries());
+                    }
+                    ResponseBody::Sweep(results) => {
+                        entries.push(("kind", Json::Str("sweep".into())));
+                        let items: Vec<Json> = results
+                            .iter()
+                            .map(|result| match result {
+                                Ok(summary) => {
+                                    let mut e = vec![("ok", Json::Bool(true))];
+                                    e.extend(summary.to_entries());
+                                    obj(e)
+                                }
+                                Err(error) => obj(vec![
+                                    ("ok", Json::Bool(false)),
+                                    ("error", error_json(error)),
+                                ]),
+                            })
+                            .collect();
+                        entries.push(("results", Json::Array(items)));
+                    }
+                    ResponseBody::Absorbed {
+                        observables,
+                        groups,
+                    } => {
+                        entries.push(("kind", Json::Str("absorbed".into())));
+                        entries.push(("observables", str_array(observables)));
+                        entries.push((
+                            "groups",
+                            Json::Array(
+                                groups
+                                    .iter()
+                                    .map(|g| {
+                                        Json::Array(
+                                            g.iter().map(|&i| Json::Uint(i as u64)).collect(),
+                                        )
+                                    })
+                                    .collect(),
+                            ),
+                        ));
+                    }
+                    ResponseBody::Stats(stats) => {
+                        entries.push(("kind", Json::Str("stats".into())));
+                        entries.push(("hits", Json::Uint(stats.hits)));
+                        entries.push(("misses", Json::Uint(stats.misses)));
+                        entries.push(("coalesced_waits", Json::Uint(stats.coalesced_waits)));
+                        entries.push(("evictions", Json::Uint(stats.evictions)));
+                        entries.push(("binds", Json::Uint(stats.binds)));
+                        entries.push(("entries", Json::Uint(stats.entries as u64)));
+                        entries.push(("capacity", Json::Uint(stats.capacity as u64)));
+                        entries.push(("hit_rate", Json::Float(stats.hit_rate)));
+                        entries.push(("requests_served", Json::Uint(stats.requests_served)));
+                        entries.push((
+                            "connections_accepted",
+                            Json::Uint(stats.connections_accepted),
+                        ));
+                        entries.push(("uptime_ms", Json::Uint(stats.uptime_ms)));
+                    }
+                    ResponseBody::Health { uptime_ms } => {
+                        entries.push(("kind", Json::Str("health".into())));
+                        entries.push(("status", Json::Str("ok".into())));
+                        entries.push(("uptime_ms", Json::Uint(*uptime_ms)));
+                    }
+                    ResponseBody::ShuttingDown => {
+                        entries.push(("kind", Json::Str("shutting_down".into())));
+                    }
+                }
+            }
+        }
+        render(&obj(entries))
+    }
+
+    /// Decodes a response frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] (kind `"bad_response"`) for malformed frames.
+    pub fn decode(payload: &[u8]) -> Result<Response, WireError> {
+        // The shared field helpers report `bad_request` (their common use is
+        // request decoding); on this side every malformed frame is the
+        // *server's* fault, so normalize the kind before it reaches callers
+        // that dispatch on it.
+        Self::decode_inner(payload).map_err(|e| WireError::new("bad_response", e.message))
+    }
+
+    fn decode_inner(payload: &[u8]) -> Result<Response, WireError> {
+        let tree = parse(payload).map_err(|e| WireError::new("bad_response", e.message))?;
+        let id = field_u64(&tree, "id")?;
+        let ok = tree
+            .get("ok")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| WireError::new("bad_response", "missing boolean `ok`"))?;
+        if !ok {
+            let error = tree
+                .get("error")
+                .ok_or_else(|| WireError::new("bad_response", "failure without `error`"))?;
+            return Ok(Response {
+                id,
+                body: Err(error_from_json(error)?),
+            });
+        }
+        let kind = field_str(&tree, "kind")?;
+        let body = match kind.as_str() {
+            "compiled" => ResponseBody::Compiled(CompiledSummary::from_json(&tree)?),
+            "sweep" => {
+                let items = tree
+                    .get("results")
+                    .and_then(Json::as_array)
+                    .ok_or_else(|| WireError::new("bad_response", "missing `results` array"))?;
+                let mut results = Vec::with_capacity(items.len());
+                for item in items {
+                    let ok = item
+                        .get("ok")
+                        .and_then(Json::as_bool)
+                        .ok_or_else(|| WireError::new("bad_response", "sweep item without `ok`"))?;
+                    if ok {
+                        results.push(Ok(CompiledSummary::from_json(item)?));
+                    } else {
+                        let error = item.get("error").ok_or_else(|| {
+                            WireError::new("bad_response", "failed sweep item without `error`")
+                        })?;
+                        results.push(Err(error_from_json(error)?));
+                    }
+                }
+                ResponseBody::Sweep(results)
+            }
+            "absorbed" => ResponseBody::Absorbed {
+                observables: field_strings(&tree, "observables")?,
+                groups: {
+                    let raw = tree
+                        .get("groups")
+                        .and_then(Json::as_array)
+                        .ok_or_else(|| WireError::new("bad_response", "missing `groups`"))?;
+                    let mut groups = Vec::with_capacity(raw.len());
+                    for group in raw {
+                        let indices = group
+                            .as_array()
+                            .ok_or_else(|| WireError::new("bad_response", "group is not an array"))?
+                            .iter()
+                            .map(|i| {
+                                i.as_u64().map(|i| i as usize).ok_or_else(|| {
+                                    WireError::new("bad_response", "group index is not an integer")
+                                })
+                            })
+                            .collect::<Result<Vec<usize>, WireError>>()?;
+                        groups.push(indices);
+                    }
+                    groups
+                },
+            },
+            "stats" => ResponseBody::Stats(StatsSummary {
+                hits: field_u64(&tree, "hits")?,
+                misses: field_u64(&tree, "misses")?,
+                coalesced_waits: field_u64(&tree, "coalesced_waits")?,
+                evictions: field_u64(&tree, "evictions")?,
+                binds: field_u64(&tree, "binds")?,
+                entries: field_u64(&tree, "entries")? as usize,
+                capacity: field_u64(&tree, "capacity")? as usize,
+                hit_rate: field_f64(&tree, "hit_rate")?,
+                requests_served: field_u64(&tree, "requests_served")?,
+                connections_accepted: field_u64(&tree, "connections_accepted")?,
+                uptime_ms: field_u64(&tree, "uptime_ms")?,
+            }),
+            "health" => ResponseBody::Health {
+                uptime_ms: field_u64(&tree, "uptime_ms")?,
+            },
+            "shutting_down" => ResponseBody::ShuttingDown,
+            other => {
+                return Err(WireError::new(
+                    "bad_response",
+                    format!("unknown response kind `{other}`"),
+                ))
+            }
+        };
+        Ok(Response { id, body: Ok(body) })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON field helpers
+// ---------------------------------------------------------------------------
+
+fn render(tree: &Json) -> Vec<u8> {
+    // Fast path: almost every tree is already finite — serialize it in
+    // place. Only a tree that actually holds a NaN/inf angle pays the
+    // sanitizing rebuild.
+    let text = match serde_json::value_to_string(tree) {
+        Ok(text) => text,
+        Err(_) => serde_json::value_to_string(&sanitize(tree))
+            .expect("sanitize() removed every non-finite float"),
+    };
+    text.into_bytes()
+}
+
+/// Replaces non-finite floats with `null` so encoding is total: JSON has no
+/// spelling for NaN/inf, and callers pass arbitrary `f64` angles. The
+/// receiver's typed field parsing then rejects the `null` with a structured
+/// `… must be numbers` error instead of the sender panicking.
+fn sanitize(tree: &Json) -> Json {
+    match tree {
+        Json::Float(x) if !x.is_finite() => Json::Null,
+        Json::Array(items) => Json::Array(items.iter().map(sanitize).collect()),
+        Json::Object(entries) => Json::Object(
+            entries
+                .iter()
+                .map(|(k, v)| (k.clone(), sanitize(v)))
+                .collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+fn parse(payload: &[u8]) -> Result<Json, WireError> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|_| WireError::new("bad_request", "frame is not UTF-8"))?;
+    serde_json::from_str(text).map_err(|e| WireError::new("bad_request", e.to_string()))
+}
+
+fn field<'a>(tree: &'a Json, key: &str) -> Result<&'a Json, WireError> {
+    tree.get(key)
+        .ok_or_else(|| WireError::new("bad_request", format!("missing field `{key}`")))
+}
+
+fn field_u64(tree: &Json, key: &str) -> Result<u64, WireError> {
+    field(tree, key)?
+        .as_u64()
+        .ok_or_else(|| WireError::new("bad_request", format!("field `{key}` is not an integer")))
+}
+
+fn field_f64(tree: &Json, key: &str) -> Result<f64, WireError> {
+    field(tree, key)?
+        .as_f64()
+        .ok_or_else(|| WireError::new("bad_request", format!("field `{key}` is not a number")))
+}
+
+fn field_str(tree: &Json, key: &str) -> Result<String, WireError> {
+    Ok(field(tree, key)?
+        .as_str()
+        .ok_or_else(|| WireError::new("bad_request", format!("field `{key}` is not a string")))?
+        .to_string())
+}
+
+fn field_strings(tree: &Json, key: &str) -> Result<Vec<String>, WireError> {
+    field(tree, key)?
+        .as_array()
+        .ok_or_else(|| WireError::new("bad_request", format!("field `{key}` is not an array")))?
+        .iter()
+        .map(|item| {
+            item.as_str().map(str::to_string).ok_or_else(|| {
+                WireError::new("bad_request", format!("`{key}` items must be strings"))
+            })
+        })
+        .collect()
+}
+
+fn field_f64s(tree: &Json, key: &str) -> Result<Vec<f64>, WireError> {
+    field(tree, key)?
+        .as_array()
+        .ok_or_else(|| WireError::new("bad_request", format!("field `{key}` is not an array")))?
+        .iter()
+        .map(|item| {
+            item.as_f64().ok_or_else(|| {
+                WireError::new("bad_request", format!("`{key}` items must be numbers"))
+            })
+        })
+        .collect()
+}
+
+fn field_f64_sets(tree: &Json, key: &str) -> Result<Vec<Vec<f64>>, WireError> {
+    field(tree, key)?
+        .as_array()
+        .ok_or_else(|| WireError::new("bad_request", format!("field `{key}` is not an array")))?
+        .iter()
+        .map(|set| {
+            set.as_array()
+                .ok_or_else(|| {
+                    WireError::new("bad_request", format!("`{key}` items must be arrays"))
+                })?
+                .iter()
+                .map(|item| {
+                    item.as_f64().ok_or_else(|| {
+                        WireError::new("bad_request", format!("`{key}` entries must be numbers"))
+                    })
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(kind: RequestKind) {
+        let request = Request { id: 42, kind };
+        let decoded = Request::decode(&request.encode()).expect("must decode");
+        assert_eq!(decoded, request);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_request(RequestKind::Compile {
+            program: vec!["ZZII".into(), "-XXYY".into()],
+            angles: vec![0.25, -1.5],
+        });
+        roundtrip_request(RequestKind::Sweep {
+            program: vec!["ZZ".into()],
+            angle_sets: vec![vec![0.1], vec![0.2], vec![]],
+        });
+        roundtrip_request(RequestKind::CompileQasm {
+            qasm: "qreg q[2];\ncx q[0], q[1];\n".into(),
+        });
+        roundtrip_request(RequestKind::BindQasm {
+            qasm: "qreg q[1];\nrz(0.5) q[0];\n".into(),
+            angles: vec![2.5],
+        });
+        roundtrip_request(RequestKind::Absorb {
+            program: vec!["ZZ".into()],
+            observables: vec!["+ZI".into(), "-IZ".into()],
+        });
+        roundtrip_request(RequestKind::Stats);
+        roundtrip_request(RequestKind::Health);
+        roundtrip_request(RequestKind::Shutdown);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let summary = CompiledSummary {
+            optimized_qasm: "OPENQASM 2.0;\n".into(),
+            extracted_qasm: String::new(),
+            num_qubits: 4,
+            cnot_count: 3,
+            gate_count: 9,
+        };
+        let bodies = vec![
+            ResponseBody::Compiled(summary.clone()),
+            ResponseBody::Sweep(vec![
+                Ok(summary.clone()),
+                Err(WireError::new("angle_count", "expected 2, got 1")),
+            ]),
+            ResponseBody::Absorbed {
+                observables: vec!["+ZZ".into(), "-XI".into()],
+                groups: vec![vec![0, 1], vec![]],
+            },
+            ResponseBody::Stats(StatsSummary {
+                hits: 10,
+                misses: 2,
+                coalesced_waits: 3,
+                evictions: 0,
+                binds: 12,
+                entries: 2,
+                capacity: 64,
+                hit_rate: 10.0 / 12.0,
+                requests_served: 15,
+                connections_accepted: 4,
+                uptime_ms: 12345,
+            }),
+            ResponseBody::Health { uptime_ms: 1 },
+            ResponseBody::ShuttingDown,
+        ];
+        for body in bodies {
+            let response = Response {
+                id: 7,
+                body: Ok(body),
+            };
+            let decoded = Response::decode(&response.encode()).expect("must decode");
+            assert_eq!(decoded, response);
+        }
+        let failure = Response {
+            id: 8,
+            body: Err(WireError::new("panicked", "compilation panicked: boom")),
+        };
+        assert_eq!(Response::decode(&failure.encode()).unwrap(), failure);
+    }
+
+    #[test]
+    fn frames_roundtrip_over_a_buffer() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        write_frame(&mut wire, b"world").unwrap();
+        let mut reader = wire.as_slice();
+        assert_eq!(
+            read_frame(&mut reader, MAX_FRAME_BYTES).unwrap().as_deref(),
+            Some(&b"hello"[..])
+        );
+        assert_eq!(
+            read_frame(&mut reader, MAX_FRAME_BYTES).unwrap().as_deref(),
+            Some(&b""[..])
+        );
+        assert_eq!(
+            read_frame(&mut reader, MAX_FRAME_BYTES).unwrap().as_deref(),
+            Some(&b"world"[..])
+        );
+        assert_eq!(read_frame(&mut reader, MAX_FRAME_BYTES).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_and_truncated_frames_error() {
+        // A length prefix beyond the cap must be rejected before allocating.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&u32::MAX.to_be_bytes());
+        let mut reader = wire.as_slice();
+        assert!(read_frame(&mut reader, MAX_FRAME_BYTES).is_err());
+
+        // A frame cut mid-payload is an UnexpectedEof, not a clean end.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"truncated").unwrap();
+        wire.truncate(wire.len() - 3);
+        let mut reader = wire.as_slice();
+        let err = read_frame(&mut reader, MAX_FRAME_BYTES).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+
+        // Writing above the cap fails locally.
+        let huge = vec![0u8; MAX_FRAME_BYTES + 1];
+        assert!(write_frame(&mut Vec::new(), &huge).is_err());
+    }
+
+    #[test]
+    fn non_finite_angles_encode_without_panicking_and_fail_decode() {
+        // JSON has no NaN/inf spelling; they encode as null, and the typed
+        // decode rejects the null with a structured error (no panic on
+        // either side of the wire).
+        let request = Request {
+            id: 1,
+            kind: RequestKind::Compile {
+                program: vec!["ZZ".into()],
+                angles: vec![f64::NAN, f64::INFINITY],
+            },
+        };
+        let err = Request::decode(&request.encode()).unwrap_err();
+        assert_eq!(err.kind, "bad_request");
+        assert!(err.message.contains("angles"), "{err}");
+    }
+
+    #[test]
+    fn malformed_responses_report_bad_response_not_bad_request() {
+        for bad in [
+            &b"not json"[..],
+            br#"{"id": 1}"#,
+            br#"{"id": 1, "ok": true, "kind": "stats"}"#,
+            br#"{"id": 1, "ok": true, "kind": "wat"}"#,
+        ] {
+            let err = Response::decode(bad).unwrap_err();
+            assert_eq!(err.kind, "bad_response", "payload {bad:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn write_frame_with_limit_honors_the_cap() {
+        let payload = vec![0u8; 512];
+        assert!(write_frame_with_limit(&mut Vec::new(), &payload, 256).is_err());
+        let mut wire = Vec::new();
+        write_frame_with_limit(&mut wire, &payload, 1024).unwrap();
+        let mut reader = wire.as_slice();
+        assert_eq!(
+            read_frame(&mut reader, 1024).unwrap().map(|p| p.len()),
+            Some(512)
+        );
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_with_context() {
+        let err = Request::decode(b"not json").unwrap_err();
+        assert_eq!(err.kind, "bad_request");
+
+        let err = Request::decode(br#"{"id": 1, "kind": "launch_missiles"}"#).unwrap_err();
+        assert!(err.message.contains("launch_missiles"));
+
+        let err =
+            Request::decode(br#"{"id": 1, "kind": "compile", "program": ["ZZ"]}"#).unwrap_err();
+        assert!(err.message.contains("angles"));
+
+        let err = Request::decode(br#"{"kind": "stats"}"#).unwrap_err();
+        assert!(err.message.contains("id"));
+    }
+}

@@ -1,0 +1,573 @@
+//! The long-running TCP server.
+//!
+//! # Architecture
+//!
+//! ```text
+//!             ┌────────────┐   mpsc    ┌──────────────┐
+//!  clients ──▶│ accept loop │──────────▶│ worker pool  │──▶ Arc<Engine>
+//!             │ (1 thread)  │  streams  │ (N threads)  │    (shared cache,
+//!             └────────────┘           └──────────────┘     single-flight)
+//! ```
+//!
+//! One thread accepts connections and hands each accepted stream to a
+//! fixed-size worker pool over a channel; a worker owns a connection for its
+//! lifetime, answering frames one at a time (clients may keep connections
+//! open and pipeline requests). All workers share one
+//! [`quclear_engine::Engine`], so every client sees the same warm template
+//! cache, and concurrent compiles of the same structure are coalesced by the
+//! engine's single-flight table instead of racing.
+//!
+//! # Robustness
+//!
+//! The server is built to survive its own requests:
+//!
+//! * every request is handled inside `catch_unwind` — a panicking
+//!   compilation (or a bug anywhere in request handling) produces an
+//!   `"panicked"` error *response* on that connection, and the worker, its
+//!   siblings, and the engine keep serving (the engine's caches recover
+//!   from lock poisoning by construction);
+//! * a malformed frame or a dead socket only ends that one connection;
+//! * shutdown is graceful: in-flight requests finish and are answered,
+//!   workers drain, and [`Server::join`] returns only when every thread has
+//!   exited — no leaks, no aborted writes.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use quclear_engine::{Engine, EngineError};
+use quclear_pauli::{PauliRotation, SignedPauli};
+
+use crate::protocol::{
+    write_frame_with_limit, CompiledSummary, Request, RequestKind, Response, ResponseBody,
+    StatsSummary, WireError, MAX_FRAME_BYTES,
+};
+
+/// Tuning knobs for [`Server::bind`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker threads (each owns one connection at a time). Clamped to ≥ 1.
+    pub workers: usize,
+    /// Per-frame payload cap, applied to both reads and writes (an
+    /// over-cap response degrades into a `response_too_large` error). Note
+    /// the stock [`crate::Client`] reads with the [`MAX_FRAME_BYTES`]
+    /// default, so raising this beyond that only helps custom clients.
+    pub max_frame_bytes: usize,
+    /// Whether a client `shutdown` request stops the server. Off by
+    /// default: in shared deployments lifecycle belongs to the operator
+    /// ([`Server::shutdown`]), not to any client with a socket.
+    pub allow_remote_shutdown: bool,
+    /// Close a connection after this long without a complete frame
+    /// (`None` = never). Workers own their connection while serving it, so
+    /// without a bound, `workers` idle clients would occupy the whole pool
+    /// and newly accepted connections would queue forever. The same clock
+    /// also bounds half-sent (stalled) frames.
+    pub idle_timeout: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            max_frame_bytes: MAX_FRAME_BYTES,
+            allow_remote_shutdown: false,
+            idle_timeout: Some(Duration::from_secs(300)),
+        }
+    }
+}
+
+/// State shared by the accept loop, the workers, and the handle.
+struct Shared {
+    engine: Arc<Engine>,
+    config: ServerConfig,
+    shutdown: AtomicBool,
+    started: Instant,
+    requests_served: AtomicU64,
+    connections_accepted: AtomicU64,
+}
+
+impl Shared {
+    fn stats(&self) -> StatsSummary {
+        let engine = self.engine.stats();
+        StatsSummary {
+            hits: engine.hits,
+            misses: engine.misses,
+            coalesced_waits: engine.coalesced_waits,
+            evictions: engine.evictions,
+            binds: engine.binds,
+            entries: engine.entries,
+            capacity: engine.capacity,
+            hit_rate: engine.hit_rate(),
+            requests_served: self.requests_served.load(Ordering::Relaxed),
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+        }
+    }
+}
+
+/// A running server: spawned by [`Server::bind`], stopped by
+/// [`Server::shutdown`] + [`Server::join`] (or just [`Server::stop`]).
+///
+/// Dropping a `Server` shuts it down and joins every thread, so a test or
+/// example cannot leak the listener or the pool by accident.
+#[derive(Debug)]
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("shutdown", &self.shutdown.load(Ordering::Relaxed))
+            .field(
+                "requests_served",
+                &self.requests_served.load(Ordering::Relaxed),
+            )
+            .finish()
+    }
+}
+
+/// How often blocked I/O wakes up to check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+impl Server {
+    /// Binds `addr` and starts the accept loop plus the worker pool.
+    ///
+    /// Bind to port 0 to let the OS choose; [`Server::local_addr`] reports
+    /// the actual address. The engine is shared — pass a clone of an
+    /// existing `Arc<Engine>` to serve an already-warm cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors (bind/listen).
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        engine: Arc<Engine>,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            engine,
+            config: ServerConfig {
+                workers: config.workers.max(1),
+                ..config
+            },
+            shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+            requests_served: AtomicU64::new(0),
+            connections_accepted: AtomicU64::new(0),
+        });
+
+        let (tx, rx) = channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let mut threads = Vec::with_capacity(shared.config.workers + 1);
+        for worker_id in 0..shared.config.workers {
+            let shared = Arc::clone(&shared);
+            let rx = Arc::clone(&rx);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("quclear-serve-worker-{worker_id}"))
+                    .spawn(move || worker_loop(&shared, &rx))
+                    .expect("spawning a worker thread"),
+            );
+        }
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("quclear-serve-accept".to_string())
+                    .spawn(move || accept_loop(&shared, &listener, &tx))
+                    .expect("spawning the accept thread"),
+            );
+        }
+        Ok(Server {
+            shared,
+            local_addr,
+            threads,
+        })
+    }
+
+    /// The address the server is listening on.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The engine behind the server (e.g. to inspect stats directly).
+    #[must_use]
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.shared.engine
+    }
+
+    /// Signals every thread to stop after finishing its current work.
+    /// Idempotent; returns immediately — pair with [`Server::join`].
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+    }
+
+    /// Waits for every server thread to exit. Does **not** signal shutdown
+    /// by itself; call [`Server::shutdown`] first (or use [`Server::stop`]).
+    pub fn join(mut self) {
+        self.join_threads();
+    }
+
+    /// [`Server::shutdown`] followed by [`Server::join`].
+    pub fn stop(self) {
+        self.shutdown();
+        self.join();
+    }
+
+    fn join_threads(&mut self) {
+        for handle in self.threads.drain(..) {
+            // A worker that somehow panicked outside its catch_unwind has
+            // nothing left to give us; ignore its poison during teardown.
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+        self.join_threads();
+    }
+}
+
+/// Accepts connections until shutdown, handing streams to the worker pool.
+fn accept_loop(shared: &Shared, listener: &TcpListener, tx: &std::sync::mpsc::Sender<TcpStream>) {
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return; // dropping `tx` wakes every idle worker
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                shared.connections_accepted.fetch_add(1, Ordering::Relaxed);
+                // Short read timeouts let workers poll the shutdown flag
+                // while parked on an idle connection.
+                let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+                let _ = stream.set_nodelay(true);
+                if tx.send(stream).is_err() {
+                    return; // every worker is gone; nothing left to serve
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                // Listener failure (fd limit, teardown): back off and retry;
+                // shutdown remains the only way to stop serving.
+                std::thread::sleep(POLL_INTERVAL);
+            }
+        }
+    }
+}
+
+/// What a handled request asks the connection loop to do next.
+enum Continuation {
+    KeepServing,
+    CloseConnection,
+}
+
+/// One worker: pull connections off the channel until it closes, serving
+/// each to completion. A panic while serving one connection (outside the
+/// per-request guard) is contained here, so the worker thread itself always
+/// survives to take the next connection.
+fn worker_loop(shared: &Shared, rx: &Arc<Mutex<Receiver<TcpStream>>>) {
+    loop {
+        let next = {
+            let guard = rx.lock().unwrap_or_else(PoisonError::into_inner);
+            guard.recv()
+        };
+        let Ok(stream) = next else {
+            return; // channel closed: accept loop exited and queue drained
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| serve_connection(shared, stream)));
+        debug_assert!(result.is_ok(), "serve_connection must contain its panics");
+    }
+}
+
+/// Serves one connection until EOF, a transport error, or shutdown.
+fn serve_connection(shared: &Shared, mut stream: TcpStream) {
+    loop {
+        let payload = match read_frame_polling(shared, &mut stream) {
+            Ok(Some(payload)) => payload,
+            Ok(None) | Err(_) => return, // clean EOF, shutdown while idle, or dead socket
+        };
+        let (response, continuation) = respond(shared, &payload);
+        shared.requests_served.fetch_add(1, Ordering::Relaxed);
+        let sent = send_response(shared, &mut stream, response);
+        if sent.is_err() || matches!(continuation, Continuation::CloseConnection) {
+            return;
+        }
+    }
+}
+
+/// Writes a response within the configured frame cap. A response that
+/// encodes larger than the cap (e.g. an enormous sweep) degrades into a
+/// structured `response_too_large` error on the same id, so the client
+/// learns *why* instead of seeing a silently dropped connection.
+fn send_response(shared: &Shared, stream: &mut TcpStream, response: Response) -> io::Result<()> {
+    let max = shared.config.max_frame_bytes;
+    let mut encoded = response.encode();
+    if encoded.len() > max {
+        let too_large = Response {
+            id: response.id,
+            body: Err(WireError::new(
+                "response_too_large",
+                format!(
+                    "response of {} bytes exceeds the server's {max} byte frame \
+                     limit; split the request (e.g. fewer angle sets per sweep)",
+                    encoded.len()
+                ),
+            )),
+        };
+        encoded = too_large.encode();
+    }
+    write_frame_with_limit(stream, &encoded, max)
+}
+
+/// Builds the response for one raw frame. Panics anywhere in decoding or
+/// handling are converted into an error response carrying the panic text.
+fn respond(shared: &Shared, payload: &[u8]) -> (Response, Continuation) {
+    let request = match Request::decode(payload) {
+        Ok(request) => request,
+        Err(error) => {
+            // The id could not be recovered; answer on id 0 so the client
+            // can at least surface the failure.
+            return (
+                Response {
+                    id: 0,
+                    body: Err(error),
+                },
+                Continuation::KeepServing,
+            );
+        }
+    };
+    let id = request.id;
+    match catch_unwind(AssertUnwindSafe(|| handle_request(shared, request.kind))) {
+        Ok((body, continuation)) => (Response { id, body }, continuation),
+        Err(panic) => {
+            let message = panic
+                .downcast_ref::<&str>()
+                .map(ToString::to_string)
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            (
+                Response {
+                    id,
+                    body: Err(WireError::new(
+                        "panicked",
+                        format!("request handling panicked: {message}"),
+                    )),
+                },
+                Continuation::KeepServing,
+            )
+        }
+    }
+}
+
+/// Dispatches one decoded request against the shared engine.
+fn handle_request(
+    shared: &Shared,
+    kind: RequestKind,
+) -> (Result<ResponseBody, WireError>, Continuation) {
+    let body = match kind {
+        RequestKind::Compile { program, angles } => compile(shared, &program, &angles),
+        RequestKind::Sweep {
+            program,
+            angle_sets,
+        } => sweep(shared, &program, &angle_sets),
+        RequestKind::CompileQasm { qasm } => shared
+            .engine
+            .compile_qasm(&qasm)
+            .map(|result| ResponseBody::Compiled(summarize(&result)))
+            .map_err(|e| engine_error(&e)),
+        RequestKind::BindQasm { qasm, angles } => shared
+            .engine
+            .bind_qasm(&qasm, &angles)
+            .map(|result| ResponseBody::Compiled(summarize(&result)))
+            .map_err(|e| engine_error(&e)),
+        RequestKind::Absorb {
+            program,
+            observables,
+        } => absorb(shared, &program, &observables),
+        RequestKind::Stats => Ok(ResponseBody::Stats(shared.stats())),
+        RequestKind::Health => Ok(ResponseBody::Health {
+            uptime_ms: shared.started.elapsed().as_millis() as u64,
+        }),
+        RequestKind::Shutdown => {
+            return if shared.config.allow_remote_shutdown {
+                shared.shutdown.store(true, Ordering::Release);
+                (
+                    Ok(ResponseBody::ShuttingDown),
+                    Continuation::CloseConnection,
+                )
+            } else {
+                (
+                    Err(WireError::new(
+                        "forbidden",
+                        "this server does not accept remote shutdown",
+                    )),
+                    Continuation::KeepServing,
+                )
+            };
+        }
+    };
+    (body, Continuation::KeepServing)
+}
+
+/// Parses the wire spelling of a rotation program into signed axes.
+fn parse_axes(program: &[String]) -> Result<Vec<SignedPauli>, WireError> {
+    program
+        .iter()
+        .map(|axis| {
+            axis.parse::<SignedPauli>().map_err(|e| {
+                WireError::new("bad_program", format!("axis `{axis}` does not parse: {e}"))
+            })
+        })
+        .collect()
+}
+
+/// Folds axis signs into the angles (`exp(-iθ/2·(−P)) = exp(-i(−θ)/2·P)`)
+/// and pairs them up as rotations.
+fn to_rotations(axes: &[SignedPauli], angles: &[f64]) -> Result<Vec<PauliRotation>, WireError> {
+    if axes.len() != angles.len() {
+        return Err(WireError::new(
+            "angle_count",
+            format!("{} axes but {} angles", axes.len(), angles.len()),
+        ));
+    }
+    Ok(axes
+        .iter()
+        .zip(angles)
+        .map(|(axis, &angle)| PauliRotation::with_signed_pauli(axis.clone(), angle))
+        .collect())
+}
+
+fn compile(shared: &Shared, program: &[String], angles: &[f64]) -> Result<ResponseBody, WireError> {
+    let axes = parse_axes(program)?;
+    let rotations = to_rotations(&axes, angles)?;
+    shared
+        .engine
+        .compile(&rotations)
+        .map(|result| ResponseBody::Compiled(summarize(&result)))
+        .map_err(|e| engine_error(&e))
+}
+
+fn sweep(
+    shared: &Shared,
+    program: &[String],
+    angle_sets: &[Vec<f64>],
+) -> Result<ResponseBody, WireError> {
+    let axes = parse_axes(program)?;
+    // The engine's sweep binds raw angles against positive axes, so fold
+    // each axis sign into every angle set once up front. Sets of the wrong
+    // length pass through unfolded (folding would silently truncate them) so
+    // the engine's bind reports the arity mismatch in that set's slot.
+    let folded: Vec<Vec<f64>> = angle_sets
+        .iter()
+        .map(|set| {
+            if set.len() != axes.len() {
+                return set.clone();
+            }
+            set.iter()
+                .zip(&axes)
+                .map(|(&angle, axis)| if axis.is_negative() { -angle } else { angle })
+                .collect()
+        })
+        .collect();
+    let rotations = to_rotations(&axes, &vec![0.0; axes.len()])?;
+    let results = shared
+        .engine
+        .sweep(&rotations, &folded)
+        .map_err(|e| engine_error(&e))?;
+    Ok(ResponseBody::Sweep(
+        results
+            .into_iter()
+            .map(|result| result.map(|r| summarize(&r)).map_err(|e| engine_error(&e)))
+            .collect(),
+    ))
+}
+
+fn absorb(
+    shared: &Shared,
+    program: &[String],
+    observables: &[String],
+) -> Result<ResponseBody, WireError> {
+    let axes = parse_axes(program)?;
+    let rotations = to_rotations(&axes, &vec![0.0; axes.len()])?;
+    let parsed: Vec<SignedPauli> = observables
+        .iter()
+        .map(|o| {
+            o.parse::<SignedPauli>().map_err(|e| {
+                WireError::new(
+                    "bad_observable",
+                    format!("observable `{o}` does not parse: {e}"),
+                )
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    let absorbed = shared
+        .engine
+        .absorb_observables(&rotations, &parsed)
+        .map_err(|e| engine_error(&e))?;
+    Ok(ResponseBody::Absorbed {
+        observables: absorbed.to_vec().iter().map(ToString::to_string).collect(),
+        groups: absorbed.commuting_groups(),
+    })
+}
+
+fn summarize(result: &quclear_core::QuClearResult) -> CompiledSummary {
+    CompiledSummary {
+        optimized_qasm: quclear_circuit::qasm::to_qasm(&result.optimized),
+        extracted_qasm: quclear_circuit::qasm::to_qasm(&result.extracted),
+        num_qubits: result.optimized.num_qubits(),
+        cnot_count: result.cnot_count(),
+        gate_count: result.optimized.len(),
+    }
+}
+
+/// Maps engine failures onto stable wire error kinds.
+fn engine_error(error: &EngineError) -> WireError {
+    let kind = match error {
+        EngineError::QasmParse(_) => "qasm_parse",
+        EngineError::InconsistentQubitCounts { .. } => "bad_program",
+        EngineError::AngleCountMismatch { .. } => "angle_count",
+        EngineError::NonFiniteAngle { .. } => "non_finite_angle",
+        EngineError::CompilationPanicked { .. } => "panicked",
+    };
+    WireError::new(kind, error.to_string())
+}
+
+/// Reads one frame, waking every [`POLL_INTERVAL`] (the socket's read
+/// timeout) to honor shutdown and the idle budget. `Ok(None)` means
+/// "connection over" — clean EOF, shutdown arrived (between frames the
+/// request was never handled; mid-frame the half-sent request is
+/// abandoned), or the connection sat idle past
+/// [`ServerConfig::idle_timeout`] without delivering a frame. The framing
+/// rules themselves live in one place,
+/// [`crate::protocol::read_frame_with`]; only the blocked-read policy
+/// differs from the client's blocking read.
+fn read_frame_polling(shared: &Shared, stream: &mut TcpStream) -> io::Result<Option<Vec<u8>>> {
+    let waiting_since = Instant::now();
+    crate::protocol::read_frame_with(stream, shared.config.max_frame_bytes, &mut |_timeout| {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return Ok(false);
+        }
+        let expired = shared
+            .config
+            .idle_timeout
+            .is_some_and(|budget| waiting_since.elapsed() > budget);
+        Ok(!expired)
+    })
+}

@@ -17,6 +17,7 @@ pub use quclear_circuit as circuit;
 pub use quclear_core as core;
 pub use quclear_engine as engine;
 pub use quclear_pauli as pauli;
+pub use quclear_serve as serve;
 pub use quclear_sim as sim;
 pub use quclear_tableau as tableau;
 pub use quclear_workloads as workloads;
@@ -30,4 +31,5 @@ pub mod prelude {
     };
     pub use quclear_engine::{BatchJob, CompiledTemplate, Engine, ProgramFingerprint};
     pub use quclear_pauli::{PauliOp, PauliRotation, PauliString, SignedPauli};
+    pub use quclear_serve::{Client, Server, ServerConfig};
 }
