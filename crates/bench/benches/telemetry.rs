@@ -1,0 +1,109 @@
+//! Benchmarks of the `quclear-telemetry` record path and exposition.
+//!
+//! The instruments sit on the engine's hot paths (every bind, every cache
+//! lookup, every served request), so the record path must be nearly free:
+//! a histogram record is three relaxed atomic RMWs, a counter bump is one.
+//! The smoke target enforces the budget — **< 100 ns per histogram
+//! record** — with its own `Instant`-based loop, so the assertion also
+//! runs under `cargo bench -p quclear-bench --bench telemetry -- --test`
+//! (where the criterion stand-in skips timing). Record a baseline with
+//! `CRITERION_JSON=... cargo bench -p quclear-bench --bench telemetry`
+//! (see `BENCH_telemetry.json` at the workspace root).
+
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use quclear_telemetry::{Counter, Histogram, MetricsRegistry};
+
+/// Per-record budget for the lock-free histogram, in nanoseconds.
+const RECORD_BUDGET_NS: f64 = 100.0;
+
+/// A registry populated the way a busy engine + serve node populates one:
+/// a few counter families, gauges, and labeled histograms with spread-out
+/// samples in every bucket region.
+fn populated_registry() -> MetricsRegistry {
+    let registry = MetricsRegistry::new();
+    for (name, value) in [
+        ("quclear_engine_cache_hits_total", 4_096),
+        ("quclear_engine_cache_misses_total", 128),
+        ("quclear_serve_requests_total", 4_224),
+    ] {
+        registry.counter(name, "counter").add(value);
+    }
+    registry.gauge("quclear_serve_queue_depth", "gauge").set(3);
+    for stage in ["fingerprint", "extract", "bind", "absorb_pre"] {
+        let h = registry.histogram_labeled(
+            "quclear_engine_stage_duration_ns",
+            "stage latency",
+            ("stage", stage),
+        );
+        let mut v: u64 = 0x9E37_79B9;
+        for _ in 0..512 {
+            v ^= v << 13;
+            v ^= v >> 7;
+            v ^= v << 17;
+            h.record(v % 1_000_000);
+        }
+    }
+    registry
+}
+
+fn bench_record_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry");
+    group.sample_size(50);
+
+    let histogram = Histogram::new();
+    let mut tick: u64 = 1;
+    group.bench_function("histogram_record", |b| {
+        b.iter(|| {
+            tick = tick.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            histogram.record(black_box(tick >> 33));
+        });
+    });
+
+    let counter = Counter::new();
+    group.bench_function("counter_inc", |b| {
+        b.iter(|| black_box(&counter).inc());
+    });
+
+    let registry = populated_registry();
+    group.bench_function("registry_snapshot", |b| {
+        b.iter(|| black_box(registry.snapshot()));
+    });
+
+    let snapshot = registry.snapshot();
+    group.bench_function("prometheus_render", |b| {
+        b.iter(|| black_box(snapshot.to_prometheus_text()));
+    });
+    group.finish();
+}
+
+/// The acceptance smoke: time the record path directly and fail the run if
+/// it regresses past [`RECORD_BUDGET_NS`]. Runs in `--test` mode too.
+fn record_path_smoke(_c: &mut Criterion) {
+    const ITERS: u64 = 1_000_000;
+    let histogram = Histogram::new();
+    // Warm the cache lines (and the branch predictor) before timing.
+    for v in 0..10_000u64 {
+        histogram.record(v);
+    }
+    let start = Instant::now();
+    let mut tick: u64 = 1;
+    for _ in 0..ITERS {
+        tick = tick.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+        histogram.record(black_box(tick >> 33));
+    }
+    let per_record = start.elapsed().as_nanos() as f64 / ITERS as f64;
+    println!(
+        "telemetry/record_path_smoke: {per_record:.2} ns/record (budget {RECORD_BUDGET_NS} ns)"
+    );
+    assert!(
+        per_record < RECORD_BUDGET_NS,
+        "histogram record path took {per_record:.2} ns/op, budget is {RECORD_BUDGET_NS} ns"
+    );
+    // The samples all landed where they should: nothing was optimized away.
+    assert_eq!(histogram.snapshot().count(), ITERS + 10_000);
+}
+
+criterion_group!(benches, bench_record_path, record_path_smoke);
+criterion_main!(benches);

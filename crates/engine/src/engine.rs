@@ -1,19 +1,33 @@
 //! The thread-safe compilation engine: template cache + batch front-end.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
 
 use quclear_circuit::qasm::from_qasm;
-use quclear_core::{lift, AbsorbedObservables, LiftedProgram, QuClearConfig, QuClearResult};
+use quclear_core::{
+    lift, AbsorbedObservables, LiftedProgram, QuClearConfig, QuClearResult, ShotBatch,
+};
 use quclear_pauli::{PauliRotation, SignedPauli};
+use quclear_telemetry::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
 use rayon::prelude::*;
 
 use crate::error::EngineError;
 use crate::fingerprint::ProgramFingerprint;
 use crate::sharded::ShardedCache;
 use crate::singleflight::{Role, SingleFlight};
-use crate::template::CompiledTemplate;
+use crate::template::{CompiledTemplate, StageMetrics};
+
+/// Metric name of the engine's per-stage latency histograms (labeled by
+/// `stage`: `fingerprint`, `extract`, `bind`, `peephole`, `absorb_pre`,
+/// `absorb_post`).
+pub const ENGINE_STAGE_METRIC: &str = "quclear_engine_stage_duration_ns";
+
+/// Metric name of the single-flight latency histograms (labeled by `role`:
+/// `leader` — the full compile a flight leader performs — vs `waiter` — how
+/// long a coalesced request blocked on someone else's flight).
+pub const ENGINE_SINGLEFLIGHT_METRIC: &str = "quclear_engine_singleflight_duration_ns";
 
 /// Default number of cached templates.
 pub const DEFAULT_CACHE_CAPACITY: usize = 256;
@@ -152,11 +166,24 @@ pub struct Engine {
     /// Coalesces concurrent compilations of the same structure: one leader
     /// extracts, everyone else waits for its result (`singleflight`).
     inflight: SingleFlight<ProgramFingerprint, Result<Arc<CompiledTemplate>, EngineError>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    coalesced_waits: AtomicU64,
-    evictions: AtomicU64,
-    binds: AtomicU64,
+    /// The engine's metric registry. The counters below are *handles into
+    /// this registry* — `stats()` and the metrics exposition read the same
+    /// atomic cells, so the two views cannot drift apart.
+    metrics: Arc<MetricsRegistry>,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    coalesced_waits: Arc<Counter>,
+    evictions: Arc<Counter>,
+    binds: Arc<Counter>,
+    cache_entries: Arc<Gauge>,
+    stage_fingerprint: Arc<Histogram>,
+    stage_extract: Arc<Histogram>,
+    stage_absorb_post: Arc<Histogram>,
+    singleflight_leader: Arc<Histogram>,
+    singleflight_waiter: Arc<Histogram>,
+    /// Handles handed to every compiled template (bind / peephole /
+    /// absorb_pre run template-side).
+    template_metrics: StageMetrics,
     /// Test-support fault injection (see [`Engine::inject_lookup_panic`]).
     /// The flag makes the hot path pay one relaxed load instead of a mutex.
     fault_armed: AtomicBool,
@@ -196,15 +223,65 @@ impl Engine {
     /// single-cache LRU semantics.
     #[must_use]
     pub fn with_shards(capacity: usize, shards: usize, config: QuClearConfig) -> Self {
+        let cache = ShardedCache::new(capacity.max(1), shards);
+        let metrics = Arc::new(MetricsRegistry::new());
+        let stage = |name: &str| {
+            metrics.histogram_labeled(
+                ENGINE_STAGE_METRIC,
+                "engine pipeline stage latency in nanoseconds",
+                ("stage", name),
+            )
+        };
+        let flight = |role: &str| {
+            metrics.histogram_labeled(
+                ENGINE_SINGLEFLIGHT_METRIC,
+                "single-flight compile latency in nanoseconds, by role",
+                ("role", role),
+            )
+        };
+        metrics
+            .gauge(
+                "quclear_engine_cache_capacity",
+                "configured template-cache capacity",
+            )
+            .set(cache.capacity() as i64);
         Engine {
-            config,
-            cache: ShardedCache::new(capacity.max(1), shards),
             inflight: SingleFlight::new(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            coalesced_waits: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
-            binds: AtomicU64::new(0),
+            hits: metrics.counter(
+                "quclear_engine_cache_hits_total",
+                "template lookups served from the cache (or a shared flight)",
+            ),
+            misses: metrics.counter(
+                "quclear_engine_cache_misses_total",
+                "template lookups that compiled (or shared a failed compile)",
+            ),
+            coalesced_waits: metrics.counter(
+                "quclear_engine_coalesced_waits_total",
+                "lookups that waited on another thread's in-flight compile",
+            ),
+            evictions: metrics.counter(
+                "quclear_engine_cache_evictions_total",
+                "templates evicted by the LRU policy",
+            ),
+            binds: metrics.counter(
+                "quclear_engine_binds_total",
+                "successful template bind operations",
+            ),
+            cache_entries: metrics
+                .gauge("quclear_engine_cache_entries", "templates currently cached"),
+            stage_fingerprint: stage("fingerprint"),
+            stage_extract: stage("extract"),
+            stage_absorb_post: stage("absorb_post"),
+            singleflight_leader: flight("leader"),
+            singleflight_waiter: flight("waiter"),
+            template_metrics: StageMetrics {
+                bind: stage("bind"),
+                peephole: stage("peephole"),
+                absorb_pre: stage("absorb_pre"),
+            },
+            metrics,
+            config,
+            cache,
             fault_armed: AtomicBool::new(false),
             fault_fingerprint: Mutex::new(None),
             delay_armed: AtomicBool::new(false),
@@ -233,31 +310,42 @@ impl Engine {
     /// leader's error; failed compilations are never cached, so a later
     /// request retries from scratch.
     pub fn template(&self, axes: &[SignedPauli]) -> Result<Arc<CompiledTemplate>, EngineError> {
+        let fingerprint_start = Instant::now();
         let fingerprint = ProgramFingerprint::of_axes(axes, &self.config);
+        self.stage_fingerprint
+            .record_duration(fingerprint_start.elapsed());
         self.maybe_injected_panic(&fingerprint);
         // Hit fast path: a shard *read* lock plus an atomic recency bump —
         // concurrent hits never serialize, even on the same template.
         if let Some(template) = self.cache.get(&fingerprint) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.inc();
             return Ok(template);
         }
 
+        let flight_start = Instant::now();
         let (result, role) = self
             .inflight
             .run(&fingerprint, || self.compile_into_cache(fingerprint, axes));
-        if role == Role::Coalesced {
-            // The waiter was answered without compiling: a hit when the
-            // leader succeeded, a miss when its compilation failed (keeping
-            // the "misses count failed compilations" convention). The
-            // hit/miss lands *before* the Release increment of
-            // `coalesced_waits`, and `stats()` reads `coalesced_waits` first
-            // with Acquire — so every snapshot observes
-            // `coalesced_waits <= hits + misses`.
-            match &result {
-                Ok(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-                Err(_) => self.misses.fetch_add(1, Ordering::Relaxed),
-            };
-            self.coalesced_waits.fetch_add(1, Ordering::Release);
+        match role {
+            Role::Led => self
+                .singleflight_leader
+                .record_duration(flight_start.elapsed()),
+            Role::Coalesced => {
+                self.singleflight_waiter
+                    .record_duration(flight_start.elapsed());
+                // The waiter was answered without compiling: a hit when the
+                // leader succeeded, a miss when its compilation failed
+                // (keeping the "misses count failed compilations"
+                // convention). The hit/miss lands *before* the Release
+                // increment of `coalesced_waits`, and `stats()` reads
+                // `coalesced_waits` first with Acquire — so every snapshot
+                // observes `coalesced_waits <= hits + misses`.
+                match &result {
+                    Ok(_) => self.hits.inc(),
+                    Err(_) => self.misses.inc(),
+                };
+                self.coalesced_waits.add_ordered(1, Ordering::Release);
+            }
         }
         result
     }
@@ -273,14 +361,17 @@ impl Engine {
         // Re-check under flight leadership: a previous leader may have
         // published the template between our cache probe and our election.
         if let Some(template) = self.cache.get(&fingerprint) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.inc();
             return Ok(template);
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
         self.maybe_injected_delay(&fingerprint);
-        let template = Arc::new(contain_panics(|| {
-            CompiledTemplate::compile(axes, &self.config)
-        })?);
+        let extract_start = Instant::now();
+        let compiled = contain_panics(|| CompiledTemplate::compile(axes, &self.config));
+        self.stage_extract.record_duration(extract_start.elapsed());
+        let mut template = compiled?;
+        template.set_stage_metrics(self.template_metrics.clone());
+        let template = Arc::new(template);
         // Only displacement of a different structure counts as an eviction,
         // which is exactly what the sharded insert reports.
         if self
@@ -288,8 +379,10 @@ impl Engine {
             .insert(fingerprint, Arc::clone(&template))
             .is_some()
         {
-            self.evictions.fetch_add(1, Ordering::Relaxed);
+            self.evictions.inc();
         }
+        self.cache_entries
+            .set(self.cache.len().min(self.cache.capacity()) as i64);
         Ok(template)
     }
 
@@ -380,7 +473,7 @@ impl Engine {
     pub fn compile(&self, program: &[PauliRotation]) -> Result<QuClearResult, EngineError> {
         let template = self.template_for(program)?;
         let result = contain_panics(|| template.bind_program(program))?;
-        self.binds.fetch_add(1, Ordering::Relaxed);
+        self.binds.inc();
         Ok(result)
     }
 
@@ -408,7 +501,7 @@ impl Engine {
                         Some(angles) => template.bind(angles),
                         None => template.bind_program(&job.program),
                     }?;
-                    self.binds.fetch_add(1, Ordering::Relaxed);
+                    self.binds.inc();
                     Ok(result)
                 })
             })
@@ -436,7 +529,7 @@ impl Engine {
             .par_iter()
             .map(|angles| {
                 let result = contain_panics(|| template.bind(angles))?;
-                self.binds.fetch_add(1, Ordering::Relaxed);
+                self.binds.inc();
                 Ok(result)
             })
             .collect();
@@ -523,7 +616,7 @@ impl Engine {
             Some(angles) => template.bind(angles),
             None => template.bind(lifted.native_angles()),
         })?;
-        self.binds.fetch_add(1, Ordering::Relaxed);
+        self.binds.inc();
         Ok(lifted.attach(result))
     }
 
@@ -548,6 +641,53 @@ impl Engine {
         contain_panics(|| Ok(template.absorb_observables(observables)))
     }
 
+    /// CA-Post for measured shots, served through the template cache: the
+    /// extracted Clifford is reduced once per template to a classical affine
+    /// map over GF(2) (memoized on the template, like the CA-Pre results),
+    /// and every call rewrites the shot batch word-parallel — no quantum
+    /// re-simulation, no tableau algebra.
+    ///
+    /// # Errors
+    ///
+    /// Propagates template-compilation failures, and returns
+    /// [`EngineError::NotAbsorbable`] when the program's extracted Clifford
+    /// is not a basis layer + CNOT network (the QAOA form of Proposition 1);
+    /// such programs should use [`Self::absorb_observables`] instead.
+    pub fn post_process_shots(
+        &self,
+        program: &[PauliRotation],
+        shots: &ShotBatch,
+    ) -> Result<ShotBatch, EngineError> {
+        let template = self.template_for(program)?;
+        let absorber = template
+            .probability_absorber()
+            .map_err(EngineError::NotAbsorbable)?;
+        let start = Instant::now();
+        let processed = contain_panics(|| Ok(absorber.post_process_shots(shots)))?;
+        self.stage_absorb_post.record_duration(start.elapsed());
+        Ok(processed)
+    }
+
+    /// The engine's metric registry: per-stage latency histograms
+    /// ([`ENGINE_STAGE_METRIC`], [`ENGINE_SINGLEFLIGHT_METRIC`]) plus the
+    /// cache counters behind [`Engine::stats`]. Other subsystems (the
+    /// `quclear-serve` front-end) register their own metrics here so one
+    /// snapshot covers the whole process.
+    #[must_use]
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// A coherent snapshot of every metric in [`Engine::metrics`], with the
+    /// cache-occupancy gauge refreshed first (it is a derived quantity the
+    /// hot path does not maintain exactly — see [`EngineStats::entries`]).
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.cache_entries
+            .set(self.cache.len().min(self.cache.capacity()) as i64);
+        self.metrics.snapshot()
+    }
+
     /// A point-in-time snapshot of the counters.
     ///
     /// Safe to call concurrently with requests; see the staleness contract
@@ -561,16 +701,24 @@ impl Engine {
     /// so `coalesced_waits <= hits + misses` in every snapshot, and the
     /// `hits`/`misses` pair can only make the reported hit rate
     /// conservative, never push [`EngineStats::hit_rate`] out of `[0, 1]`.
+    ///
+    /// The counters read here are the *same atomic cells* the telemetry
+    /// registry snapshots ([`Engine::metrics_snapshot`]) — registering a
+    /// counter twice returns one shared cell — so there is one source of
+    /// truth and the two views cannot drift. `stats()` keeps its own read
+    /// path (instead of going through the registry snapshot) for exactly one
+    /// reason: the `coalesced_waits`-first Acquire read order above, which a
+    /// name-ordered registry sweep would not preserve.
     pub fn stats(&self) -> EngineStats {
-        let coalesced_waits = self.coalesced_waits.load(Ordering::Acquire);
-        let hits = self.hits.load(Ordering::Relaxed);
-        let misses = self.misses.load(Ordering::Relaxed);
+        let coalesced_waits = self.coalesced_waits.get_ordered(Ordering::Acquire);
+        let hits = self.hits.get();
+        let misses = self.misses.get();
         EngineStats {
             hits,
             misses,
             coalesced_waits,
-            evictions: self.evictions.load(Ordering::Relaxed),
-            binds: self.binds.load(Ordering::Relaxed),
+            evictions: self.evictions.get(),
+            binds: self.binds.get(),
             entries: self.cache.len().min(self.cache.capacity()),
             capacity: self.cache.capacity(),
         }
@@ -585,6 +733,7 @@ impl Engine {
     /// Drops every cached template (counters are kept).
     pub fn clear_cache(&self) {
         self.cache.clear();
+        self.cache_entries.set(0);
     }
 }
 
@@ -786,5 +935,121 @@ mod tests {
                 message: "boom".to_string()
             }
         );
+    }
+
+    #[test]
+    fn hit_rate_handles_zero_lookups_and_saturation() {
+        // Zero lookups: defined as 0.0, not NaN.
+        assert_eq!(EngineStats::default().hit_rate(), 0.0);
+        // Saturating totals stay in [0, 1] even at the u64 extremes.
+        let extreme = EngineStats {
+            hits: u64::MAX,
+            misses: u64::MAX,
+            ..EngineStats::default()
+        };
+        let rate = extreme.hit_rate();
+        assert!((0.0..=1.0).contains(&rate), "rate {rate} out of range");
+        assert_eq!(extreme.lookups(), u64::MAX);
+        // All hits: exactly 1.
+        let all_hits = EngineStats {
+            hits: 7,
+            ..EngineStats::default()
+        };
+        assert_eq!(all_hits.hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn stats_and_metrics_snapshot_read_the_same_cells() {
+        let engine = Engine::new(8);
+        engine.compile(&program_a()).unwrap();
+        engine.compile(&program_a()).unwrap();
+        let stats = engine.stats();
+        let snapshot = engine.metrics_snapshot();
+        assert_eq!(
+            snapshot.counter_value("quclear_engine_cache_hits_total", None),
+            Some(stats.hits)
+        );
+        assert_eq!(
+            snapshot.counter_value("quclear_engine_cache_misses_total", None),
+            Some(stats.misses)
+        );
+        assert_eq!(
+            snapshot.counter_value("quclear_engine_binds_total", None),
+            Some(stats.binds)
+        );
+        assert_eq!(
+            snapshot.counter_value("quclear_engine_coalesced_waits_total", None),
+            Some(stats.coalesced_waits)
+        );
+        assert_eq!(
+            snapshot.gauge_value("quclear_engine_cache_entries", None),
+            Some(stats.entries as i64)
+        );
+        assert_eq!(
+            snapshot.gauge_value("quclear_engine_cache_capacity", None),
+            Some(stats.capacity as i64)
+        );
+    }
+
+    #[test]
+    fn pipeline_stages_record_into_the_registry() {
+        let engine = Engine::new(8);
+        engine.compile(&program_a()).unwrap();
+        engine.compile(&program_a()).unwrap();
+        let observables: Vec<SignedPauli> = vec!["+ZIII".parse().unwrap()];
+        engine
+            .absorb_observables(&program_a(), &observables)
+            .unwrap();
+        let snapshot = engine.metrics_snapshot();
+        let stage = |name: &str| {
+            snapshot
+                .histogram(ENGINE_STAGE_METRIC, Some(("stage", name)))
+                .unwrap_or_else(|| panic!("stage `{name}` not registered"))
+        };
+        // Two compiles: two fingerprint timings (plus one from absorb's
+        // template lookup), one extract, two binds.
+        assert!(stage("fingerprint").count() >= 2);
+        assert_eq!(stage("extract").count(), 1);
+        assert_eq!(stage("bind").count(), 2);
+        assert_eq!(stage("absorb_pre").count(), 1);
+        // Uncontended compiles lead their own flights.
+        let leader = snapshot
+            .histogram(ENGINE_SINGLEFLIGHT_METRIC, Some(("role", "leader")))
+            .unwrap();
+        assert_eq!(leader.count(), 1);
+    }
+
+    #[test]
+    fn post_process_shots_roundtrips_qaoa_form_programs() {
+        let engine = Engine::new(8);
+        // ZZ-rotation programs are the QAOA form Proposition 1 covers.
+        let program = vec![rot("ZZ", 0.4), rot("IZ", 0.9)];
+        engine.compile(&program).unwrap();
+        let shots = ShotBatch::from_indices(2, &[0b00, 0b01, 0b10, 0b11, 0b01]);
+        let processed = engine.post_process_shots(&program, &shots).unwrap();
+        assert_eq!(processed.num_shots(), 5);
+        // Template-side absorber construction happened once; the stage
+        // histogram saw the call.
+        let snapshot = engine.metrics_snapshot();
+        let absorb_post = snapshot
+            .histogram(ENGINE_STAGE_METRIC, Some(("stage", "absorb_post")))
+            .unwrap();
+        assert_eq!(absorb_post.count(), 1);
+    }
+
+    #[test]
+    fn post_process_shots_rejects_non_absorbable_programs() {
+        let engine = Engine::new(8);
+        // An X-axis rotation extracts a Clifford with a Hadamard-like basis
+        // change sandwich that is not a pure basis layer + CNOT network for
+        // CA-Post... unless it is: probe and accept either a clean answer or
+        // the typed rejection, but never a panic or a wrong-variant error.
+        let program = vec![rot("XY", 0.3), rot("YX", 0.8)];
+        let shots = ShotBatch::from_indices(2, &[0, 1, 2, 3]);
+        match engine.post_process_shots(&program, &shots) {
+            Ok(processed) => assert_eq!(processed.num_shots(), 4),
+            Err(EngineError::NotAbsorbable(_)) => {}
+            Err(other) => panic!("unexpected error {other:?}"),
+        }
     }
 }

@@ -8,6 +8,7 @@ use std::error::Error;
 use std::fmt;
 
 use quclear_circuit::qasm::ParseQasmError;
+use quclear_core::AbsorptionError;
 
 /// Errors produced by the compilation engine.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -41,6 +42,11 @@ pub enum EngineError {
         /// The panic payload, if it was a string.
         message: String,
     },
+    /// The program's extracted Clifford is not of the basis-layer + CNOT
+    /// network form required for CA-Post shot post-processing
+    /// ([`crate::Engine::post_process_shots`]); use observable absorption
+    /// instead.
+    NotAbsorbable(AbsorptionError),
 }
 
 impl fmt::Display for EngineError {
@@ -64,6 +70,9 @@ impl fmt::Display for EngineError {
             }
             EngineError::CompilationPanicked { message } => {
                 write!(f, "compilation panicked: {message}")
+            }
+            EngineError::NotAbsorbable(inner) => {
+                write!(f, "shot post-processing is not available: {inner}")
             }
         }
     }

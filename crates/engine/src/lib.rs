@@ -55,7 +55,10 @@ mod sharded;
 pub mod singleflight;
 mod template;
 
-pub use engine::{BatchJob, Engine, EngineStats, DEFAULT_CACHE_CAPACITY, DEFAULT_CACHE_SHARDS};
+pub use engine::{
+    BatchJob, Engine, EngineStats, DEFAULT_CACHE_CAPACITY, DEFAULT_CACHE_SHARDS,
+    ENGINE_SINGLEFLIGHT_METRIC, ENGINE_STAGE_METRIC,
+};
 pub use error::EngineError;
 pub use fingerprint::ProgramFingerprint;
 pub use lru::LruCache;

@@ -28,19 +28,35 @@
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Instant;
 
 use quclear_circuit::{
     is_zero_rotation, optimize_warming, optimize_with_shared_cache, Circuit, Gate, PeepholeCache,
 };
 use quclear_core::{
-    extract_clifford, AbsorbedObservables, AbsorptionPlan, QuClearConfig, QuClearResult,
+    extract_clifford, AbsorbedObservables, AbsorptionError, AbsorptionPlan, ProbabilityAbsorber,
+    QuClearConfig, QuClearResult,
 };
 use quclear_pauli::{PauliRotation, SignedPauli};
 use quclear_tableau::CliffordTableau;
+use quclear_telemetry::Histogram;
 
 use crate::error::EngineError;
 use crate::fingerprint::ProgramFingerprint;
+
+/// Histogram handles for the template-side pipeline stages, attached by the
+/// owning [`crate::Engine`] after compilation. Templates compiled directly
+/// (without an engine) carry no handles and record nothing.
+#[derive(Clone, Debug)]
+pub(crate) struct StageMetrics {
+    /// Whole `bind` latency (validate + patch + peephole).
+    pub(crate) bind: Arc<Histogram>,
+    /// The peephole sub-stage of a bind (only recorded when a pass runs).
+    pub(crate) peephole: Arc<Histogram>,
+    /// CA-Pre conjugation work (memo misses only — hits do no stage work).
+    pub(crate) absorb_pre: Arc<Histogram>,
+}
 
 /// One parameterized `Rz` in the *optimized* marker skeleton: the peephole
 /// may have folded Z-axis Clifford gates into the slot, contributing a
@@ -124,6 +140,12 @@ pub struct CompiledTemplate {
     /// template cache hit never re-conjugates an observable set it has
     /// already rewritten.
     absorbed_memo: Arc<RwLock<HashMap<u64, AbsorbedEntry>>>,
+    /// Memoized CA-Post shot absorber (or the reason the extracted Clifford
+    /// does not reduce to one), built on first use and shared across clones.
+    probability_absorber: Arc<OnceLock<Result<Arc<ProbabilityAbsorber>, AbsorptionError>>>,
+    /// Stage histograms attached by the owning engine; `None` for
+    /// standalone templates.
+    stage_metrics: Option<StageMetrics>,
 }
 
 /// One memoized CA-Pre result. The key is a 64-bit hash of the observable
@@ -232,7 +254,15 @@ impl CompiledTemplate {
             optimized_skeleton,
             absorption,
             absorbed_memo: Arc::new(RwLock::new(HashMap::new())),
+            probability_absorber: Arc::new(OnceLock::new()),
+            stage_metrics: None,
         })
+    }
+
+    /// Attaches the engine's stage histograms (recorded on every bind /
+    /// absorb through this template and its clones).
+    pub(crate) fn set_stage_metrics(&mut self, metrics: StageMetrics) {
+        self.stage_metrics = Some(metrics);
     }
 
     /// Compiles a template from a rotation program, ignoring its angles
@@ -274,8 +304,18 @@ impl CompiledTemplate {
     }
 
     /// Shared implementation of the bind variants: validate, patch the `Rz`
-    /// slots, and run the (memo-backed) peephole.
+    /// slots, and run the (memo-backed) peephole. Records the whole call
+    /// into the engine's `bind` stage histogram when handles are attached.
     fn patch_and_peephole(&self, angles: &[f64]) -> Result<Circuit, EngineError> {
+        let start = Instant::now();
+        let result = self.patch_and_peephole_impl(angles);
+        if let Some(metrics) = &self.stage_metrics {
+            metrics.bind.record_duration(start.elapsed());
+        }
+        result
+    }
+
+    fn patch_and_peephole_impl(&self, angles: &[f64]) -> Result<Circuit, EngineError> {
         if angles.len() != self.num_params {
             return Err(EngineError::AngleCountMismatch {
                 expected: self.num_params,
@@ -312,11 +352,7 @@ impl CompiledTemplate {
             if !any_zero {
                 return Ok(patched);
             }
-            return Ok(optimize_with_shared_cache(
-                &patched,
-                &self.config.peephole,
-                &self.peephole_cache,
-            ));
+            return Ok(self.run_peephole(&patched));
         }
 
         let mut gates = self.skeleton.gates().to_vec();
@@ -331,14 +367,22 @@ impl CompiledTemplate {
         }
         let patched = Circuit::from_gates(self.num_qubits, gates);
         if self.config.apply_peephole {
-            Ok(optimize_with_shared_cache(
-                &patched,
-                &self.config.peephole,
-                &self.peephole_cache,
-            ))
+            Ok(self.run_peephole(&patched))
         } else {
             Ok(patched)
         }
+    }
+
+    /// The memo-backed peephole pass, timed into the `peephole` stage
+    /// histogram when handles are attached.
+    fn run_peephole(&self, patched: &Circuit) -> Circuit {
+        let start = Instant::now();
+        let optimized =
+            optimize_with_shared_cache(patched, &self.config.peephole, &self.peephole_cache);
+        if let Some(metrics) = &self.stage_metrics {
+            metrics.peephole.record_duration(start.elapsed());
+        }
+        optimized
     }
 
     /// Rebinds to concrete angles, returning only the optimized circuit.
@@ -446,7 +490,11 @@ impl CompiledTemplate {
                 return Arc::clone(&entry.absorbed);
             }
         }
+        let start = Instant::now();
         let absorbed = Arc::new(self.absorption.absorb(observables));
+        if let Some(metrics) = &self.stage_metrics {
+            metrics.absorb_pre.record_duration(start.elapsed());
+        }
         let mut memo = self
             .absorbed_memo
             .write()
@@ -466,6 +514,22 @@ impl CompiledTemplate {
             },
         );
         absorbed
+    }
+
+    /// The CA-Post shot absorber for this template's extracted Clifford,
+    /// built on first use and shared across template clones (so an engine
+    /// cache hit never re-derives the affine map).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`AbsorptionError`] when the extracted
+    /// Clifford is not a basis layer + CNOT network (Proposition 1 of the
+    /// QuCLEAR paper does not apply); the error is memoized too, so
+    /// repeated probes of a non-absorbable template stay cheap.
+    pub fn probability_absorber(&self) -> Result<Arc<ProbabilityAbsorber>, AbsorptionError> {
+        self.probability_absorber
+            .get_or_init(|| ProbabilityAbsorber::from_extracted(&self.extracted).map(Arc::new))
+            .clone()
     }
 }
 

@@ -272,6 +272,21 @@ impl Client {
         }
     }
 
+    /// Fetches the full telemetry snapshot — every engine + serve counter,
+    /// gauge and latency histogram. Render it with
+    /// [`quclear_telemetry::MetricsSnapshot::to_prometheus_text`] to feed a
+    /// Prometheus scrape, or query it directly.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn metrics(&mut self) -> Result<quclear_telemetry::MetricsSnapshot, ClientError> {
+        match self.request(RequestKind::Metrics)? {
+            ResponseBody::Metrics(snapshot) => Ok(snapshot),
+            other => Err(unexpected(&other)),
+        }
+    }
+
     /// Liveness probe; returns the server's uptime in milliseconds.
     ///
     /// # Errors

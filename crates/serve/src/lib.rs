@@ -15,13 +15,19 @@
 //! * [`Client`] — a small blocking client for the same wire format;
 //! * [`protocol`] — the length-prefixed JSON frame format (built on the
 //!   in-tree `serde`/`serde_json` stand-ins), covering `compile`, `sweep`,
-//!   `compile_qasm`, `bind_qasm`, `absorb`, `stats`, `health` and
-//!   `shutdown`;
+//!   `compile_qasm`, `bind_qasm`, `absorb`, `stats`, `metrics`, `health`
+//!   and `shutdown`;
 //! * **request coalescing** — concurrent compiles of the same structure are
 //!   single-flighted by the engine ([`quclear_engine::singleflight`]): one
 //!   extraction runs, every concurrent identical request waits for it and
 //!   shares the result ([`quclear_engine::EngineStats::coalesced_waits`]
-//!   counts how often that saved a redundant compile).
+//!   counts how often that saved a redundant compile);
+//! * **observability** — every request kind is timed into a lock-free
+//!   latency histogram, frame sizes, queue depth, connection states,
+//!   idle reclamations and contained panics are instrumented, and the
+//!   `metrics` request returns one coherent
+//!   [`quclear_telemetry::MetricsSnapshot`] covering the serve layer *and*
+//!   the engine's pipeline stages (renderable as Prometheus text).
 //!
 //! # Examples
 //!
@@ -51,9 +57,12 @@ mod server;
 
 pub use client::{Client, ClientError};
 pub use protocol::{
-    CompiledSummary, Request, RequestKind, Response, ResponseBody, StatsSummary, WireError,
+    CompiledSummary, Request, RequestKind, RequestLatencySummary, Response, ResponseBody,
+    StatsSummary, WireError,
 };
-pub use server::{Server, ServerConfig};
+pub use server::{
+    Server, ServerConfig, SERVE_ERROR_METRIC, SERVE_FRAME_METRIC, SERVE_REQUEST_METRIC,
+};
 
 #[cfg(test)]
 mod tests {

@@ -23,6 +23,7 @@
 
 use std::io::{self, Read, Write};
 
+use quclear_telemetry::MetricsSnapshot;
 use serde::Json;
 
 /// Default cap on a single frame's payload (16 MiB): a sweep response over
@@ -201,6 +202,10 @@ pub enum RequestKind {
     },
     /// Engine + server counters.
     Stats,
+    /// Full telemetry snapshot: every engine + serve counter, gauge and
+    /// latency histogram, suitable for rendering as Prometheus text
+    /// ([`quclear_telemetry::MetricsSnapshot::to_prometheus_text`]).
+    Metrics,
     /// Cheap liveness probe.
     Health,
     /// Ask the server to shut down gracefully (honored only when the server
@@ -219,6 +224,7 @@ impl RequestKind {
             RequestKind::BindQasm { .. } => "bind_qasm",
             RequestKind::Absorb { .. } => "absorb",
             RequestKind::Stats => "stats",
+            RequestKind::Metrics => "metrics",
             RequestKind::Health => "health",
             RequestKind::Shutdown => "shutdown",
         }
@@ -267,6 +273,23 @@ pub struct CompiledSummary {
     pub gate_count: usize,
 }
 
+/// Latency digest of one request kind, folded into [`StatsSummary`].
+///
+/// A compressed view of the full per-kind latency histogram the `metrics`
+/// request exposes: enough for a dashboard's headline numbers without
+/// shipping bucket arrays on every `stats` poll.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RequestLatencySummary {
+    /// Request kind name (e.g. `"compile"`).
+    pub kind: String,
+    /// Requests of this kind the server has answered.
+    pub count: u64,
+    /// Median handling latency, in nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile handling latency, in nanoseconds.
+    pub p99_ns: u64,
+}
+
 /// Engine + server counters, as returned by a `stats` request.
 #[derive(Clone, Debug, PartialEq)]
 pub struct StatsSummary {
@@ -292,6 +315,10 @@ pub struct StatsSummary {
     pub connections_accepted: u64,
     /// Milliseconds since the server started.
     pub uptime_ms: u64,
+    /// Per-request-kind latency digests (kinds the server has actually
+    /// answered, sorted by kind name). Empty when talking to a server from
+    /// before this field existed — decoding tolerates its absence.
+    pub request_latencies: Vec<RequestLatencySummary>,
 }
 
 /// A response, as decoded from one frame.
@@ -321,6 +348,8 @@ pub enum ResponseBody {
     },
     /// Answer to `stats`.
     Stats(StatsSummary),
+    /// Answer to `metrics`: the full telemetry snapshot.
+    Metrics(MetricsSnapshot),
     /// Answer to `health`.
     Health {
         /// Milliseconds since the server started.
@@ -389,7 +418,10 @@ impl Request {
                 entries.push(("program", str_array(program)));
                 entries.push(("observables", str_array(observables)));
             }
-            RequestKind::Stats | RequestKind::Health | RequestKind::Shutdown => {}
+            RequestKind::Stats
+            | RequestKind::Metrics
+            | RequestKind::Health
+            | RequestKind::Shutdown => {}
         }
         render(&obj(entries))
     }
@@ -425,6 +457,7 @@ impl Request {
                 observables: field_strings(&tree, "observables")?,
             },
             "stats" => RequestKind::Stats,
+            "metrics" => RequestKind::Metrics,
             "health" => RequestKind::Health,
             "shutdown" => RequestKind::Shutdown,
             other => {
@@ -545,6 +578,27 @@ impl Response {
                             Json::Uint(stats.connections_accepted),
                         ));
                         entries.push(("uptime_ms", Json::Uint(stats.uptime_ms)));
+                        entries.push((
+                            "request_latencies",
+                            Json::Array(
+                                stats
+                                    .request_latencies
+                                    .iter()
+                                    .map(|digest| {
+                                        obj(vec![
+                                            ("kind", Json::Str(digest.kind.clone())),
+                                            ("count", Json::Uint(digest.count)),
+                                            ("p50_ns", Json::Uint(digest.p50_ns)),
+                                            ("p99_ns", Json::Uint(digest.p99_ns)),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ));
+                    }
+                    ResponseBody::Metrics(snapshot) => {
+                        entries.push(("kind", Json::Str("metrics".into())));
+                        entries.push(("snapshot", snapshot.to_json()));
                     }
                     ResponseBody::Health { uptime_ms } => {
                         entries.push(("kind", Json::Str("health".into())));
@@ -650,7 +704,17 @@ impl Response {
                 requests_served: field_u64(&tree, "requests_served")?,
                 connections_accepted: field_u64(&tree, "connections_accepted")?,
                 uptime_ms: field_u64(&tree, "uptime_ms")?,
+                request_latencies: latency_digests(&tree)?,
             }),
+            "metrics" => {
+                let snapshot = tree
+                    .get("snapshot")
+                    .ok_or_else(|| WireError::new("bad_response", "missing `snapshot`"))?;
+                ResponseBody::Metrics(
+                    MetricsSnapshot::from_json(snapshot)
+                        .map_err(|e| WireError::new("bad_response", e))?,
+                )
+            }
             "health" => ResponseBody::Health {
                 uptime_ms: field_u64(&tree, "uptime_ms")?,
             },
@@ -756,6 +820,29 @@ fn field_f64s(tree: &Json, key: &str) -> Result<Vec<f64>, WireError> {
         .collect()
 }
 
+/// Decodes the optional `request_latencies` array of a `stats` response.
+/// Absence (a pre-telemetry server) decodes as empty; a present-but-
+/// malformed array is an error.
+fn latency_digests(tree: &Json) -> Result<Vec<RequestLatencySummary>, WireError> {
+    let Some(raw) = tree.get("request_latencies") else {
+        return Ok(Vec::new());
+    };
+    let items = raw
+        .as_array()
+        .ok_or_else(|| WireError::new("bad_request", "`request_latencies` is not an array"))?;
+    items
+        .iter()
+        .map(|item| {
+            Ok(RequestLatencySummary {
+                kind: field_str(item, "kind")?,
+                count: field_u64(item, "count")?,
+                p50_ns: field_u64(item, "p50_ns")?,
+                p99_ns: field_u64(item, "p99_ns")?,
+            })
+        })
+        .collect()
+}
+
 fn field_f64_sets(tree: &Json, key: &str) -> Result<Vec<Vec<f64>>, WireError> {
     field(tree, key)?
         .as_array()
@@ -780,6 +867,22 @@ fn field_f64_sets(tree: &Json, key: &str) -> Result<Vec<Vec<f64>>, WireError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// A non-trivial telemetry snapshot: one of each metric kind, with and
+    /// without labels, so the wire encoding of all three sections is covered.
+    fn sample_snapshot() -> quclear_telemetry::MetricsSnapshot {
+        let registry = quclear_telemetry::MetricsRegistry::new();
+        registry.counter("reqs_total", "requests").add(7);
+        registry
+            .counter_labeled("errs_total", "errors", ("kind", "compile"))
+            .add(2);
+        registry.gauge("queue_depth", "queued connections").set(3);
+        let latency = registry.histogram_labeled("latency_ns", "latency", ("kind", "compile"));
+        for v in [100, 900, 4_000] {
+            latency.record(v);
+        }
+        registry.snapshot()
+    }
 
     fn roundtrip_request(kind: RequestKind) {
         let request = Request { id: 42, kind };
@@ -809,6 +912,7 @@ mod tests {
             observables: vec!["+ZI".into(), "-IZ".into()],
         });
         roundtrip_request(RequestKind::Stats);
+        roundtrip_request(RequestKind::Metrics);
         roundtrip_request(RequestKind::Health);
         roundtrip_request(RequestKind::Shutdown);
     }
@@ -844,7 +948,22 @@ mod tests {
                 requests_served: 15,
                 connections_accepted: 4,
                 uptime_ms: 12345,
+                request_latencies: vec![
+                    RequestLatencySummary {
+                        kind: "compile".into(),
+                        count: 12,
+                        p50_ns: 1_500,
+                        p99_ns: 90_000,
+                    },
+                    RequestLatencySummary {
+                        kind: "stats".into(),
+                        count: 3,
+                        p50_ns: 200,
+                        p99_ns: 400,
+                    },
+                ],
             }),
+            ResponseBody::Metrics(sample_snapshot()),
             ResponseBody::Health { uptime_ms: 1 },
             ResponseBody::ShuttingDown,
         ];
@@ -921,6 +1040,24 @@ mod tests {
         let err = Request::decode(&request.encode()).unwrap_err();
         assert_eq!(err.kind, "bad_request");
         assert!(err.message.contains("angles"), "{err}");
+    }
+
+    #[test]
+    fn stats_without_request_latencies_still_decode() {
+        // A response from a server predating the latency digests must
+        // decode, with the new field defaulting to empty.
+        let legacy = br#"{"id": 5, "ok": true, "kind": "stats",
+            "hits": 1, "misses": 2, "coalesced_waits": 0, "evictions": 0,
+            "binds": 3, "entries": 1, "capacity": 64, "hit_rate": 0.333,
+            "requests_served": 6, "connections_accepted": 1, "uptime_ms": 9}"#;
+        let decoded = Response::decode(legacy).expect("legacy stats must decode");
+        match decoded.body {
+            Ok(ResponseBody::Stats(stats)) => {
+                assert_eq!(stats.hits, 1);
+                assert!(stats.request_latencies.is_empty());
+            }
+            other => panic!("unexpected body {other:?}"),
+        }
     }
 
     #[test]

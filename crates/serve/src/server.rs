@@ -31,10 +31,11 @@
 //!   workers drain, and [`Server::join`] returns only when every thread has
 //!   exited — no leaks, no aborted writes.
 
+use std::collections::BTreeMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
@@ -42,11 +43,39 @@ use std::time::{Duration, Instant};
 
 use quclear_engine::{Engine, EngineError};
 use quclear_pauli::{PauliRotation, SignedPauli};
+use quclear_telemetry::{Counter, Gauge, Histogram, MetricsRegistry};
 
 use crate::protocol::{
-    write_frame_with_limit, CompiledSummary, Request, RequestKind, Response, ResponseBody,
-    StatsSummary, WireError, MAX_FRAME_BYTES,
+    write_frame_with_limit, CompiledSummary, Request, RequestKind, RequestLatencySummary, Response,
+    ResponseBody, StatsSummary, WireError, MAX_FRAME_BYTES,
 };
+
+/// Metric family: per-request-kind handling latency, in nanoseconds
+/// (`kind` label = the wire name, e.g. `"compile"`).
+pub const SERVE_REQUEST_METRIC: &str = "quclear_serve_request_duration_ns";
+
+/// Metric family: frame payload sizes in bytes (`direction` label =
+/// `"in"` for requests, `"out"` for responses).
+pub const SERVE_FRAME_METRIC: &str = "quclear_serve_frame_bytes";
+
+/// Metric family: error responses per request kind (`kind` label; decode
+/// failures, which have no recoverable kind, count under `"unknown"`).
+pub const SERVE_ERROR_METRIC: &str = "quclear_serve_errors_total";
+
+/// Every wire name [`respond`] can attribute work to, including the
+/// `"unknown"` bucket for frames whose kind never decoded.
+const REQUEST_KIND_NAMES: [&str; 10] = [
+    "compile",
+    "sweep",
+    "compile_qasm",
+    "bind_qasm",
+    "absorb",
+    "stats",
+    "metrics",
+    "health",
+    "shutdown",
+    "unknown",
+];
 
 /// Tuning knobs for [`Server::bind`].
 #[derive(Clone, Debug)]
@@ -81,19 +110,135 @@ impl Default for ServerConfig {
     }
 }
 
+/// The serve layer's own instruments, registered in the **engine's**
+/// registry so one `metrics` request (or one Prometheus scrape) covers the
+/// whole pipeline. Counters here are the same cells [`Shared::stats`]
+/// reads — there is no second bookkeeping to drift from.
+struct ServeMetrics {
+    requests_served: Arc<Counter>,
+    connections_accepted: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+    connections_active: Arc<Gauge>,
+    connections_idle: Arc<Gauge>,
+    idle_reclaimed: Arc<Counter>,
+    panics_contained: Arc<Counter>,
+    frame_bytes_in: Arc<Histogram>,
+    frame_bytes_out: Arc<Histogram>,
+    /// Per-kind handling latency, prebuilt so the hot path never takes the
+    /// registry lock.
+    request_duration: BTreeMap<&'static str, Arc<Histogram>>,
+    /// Per-kind error responses, prebuilt for the same reason.
+    errors: BTreeMap<&'static str, Arc<Counter>>,
+}
+
+impl ServeMetrics {
+    fn register(registry: &MetricsRegistry) -> ServeMetrics {
+        ServeMetrics {
+            requests_served: registry.counter(
+                "quclear_serve_requests_total",
+                "requests answered (all kinds, including failures)",
+            ),
+            connections_accepted: registry.counter(
+                "quclear_serve_connections_accepted_total",
+                "connections accepted since the server started",
+            ),
+            queue_depth: registry.gauge(
+                "quclear_serve_queue_depth",
+                "accepted connections waiting for a free worker",
+            ),
+            connections_active: registry.gauge(
+                "quclear_serve_connections_active",
+                "connections currently owned by a worker",
+            ),
+            connections_idle: registry.gauge(
+                "quclear_serve_connections_idle",
+                "owned connections currently waiting for a request frame",
+            ),
+            idle_reclaimed: registry.counter(
+                "quclear_serve_idle_reclaimed_total",
+                "connections closed for exceeding the idle timeout",
+            ),
+            panics_contained: registry.counter(
+                "quclear_serve_panics_contained_total",
+                "request handlers that panicked and were answered with an error",
+            ),
+            frame_bytes_in: registry.histogram_labeled(
+                SERVE_FRAME_METRIC,
+                "frame payload sizes in bytes",
+                ("direction", "in"),
+            ),
+            frame_bytes_out: registry.histogram_labeled(
+                SERVE_FRAME_METRIC,
+                "frame payload sizes in bytes",
+                ("direction", "out"),
+            ),
+            request_duration: REQUEST_KIND_NAMES
+                .iter()
+                .map(|&kind| {
+                    (
+                        kind,
+                        registry.histogram_labeled(
+                            SERVE_REQUEST_METRIC,
+                            "request handling latency in nanoseconds",
+                            ("kind", kind),
+                        ),
+                    )
+                })
+                .collect(),
+            errors: REQUEST_KIND_NAMES
+                .iter()
+                .map(|&kind| {
+                    (
+                        kind,
+                        registry.counter_labeled(
+                            SERVE_ERROR_METRIC,
+                            "error responses per request kind",
+                            ("kind", kind),
+                        ),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// The latency histogram of `kind` (falling back to `"unknown"`, which
+    /// is always present).
+    fn duration(&self, kind: &str) -> &Arc<Histogram> {
+        self.request_duration
+            .get(kind)
+            .unwrap_or(&self.request_duration["unknown"])
+    }
+
+    /// The error counter of `kind` (falling back to `"unknown"`).
+    fn error(&self, kind: &str) -> &Arc<Counter> {
+        self.errors.get(kind).unwrap_or(&self.errors["unknown"])
+    }
+}
+
 /// State shared by the accept loop, the workers, and the handle.
 struct Shared {
     engine: Arc<Engine>,
     config: ServerConfig,
     shutdown: AtomicBool,
     started: Instant,
-    requests_served: AtomicU64,
-    connections_accepted: AtomicU64,
+    metrics: ServeMetrics,
 }
 
 impl Shared {
     fn stats(&self) -> StatsSummary {
         let engine = self.engine.stats();
+        let mut request_latencies = Vec::new();
+        for (&kind, histogram) in &self.metrics.request_duration {
+            let snapshot = histogram.snapshot();
+            if snapshot.count() > 0 {
+                request_latencies.push(RequestLatencySummary {
+                    kind: kind.to_string(),
+                    count: snapshot.count(),
+                    p50_ns: snapshot.p50(),
+                    p99_ns: snapshot.p99(),
+                });
+            }
+        }
         StatsSummary {
             hits: engine.hits,
             misses: engine.misses,
@@ -103,9 +248,10 @@ impl Shared {
             entries: engine.entries,
             capacity: engine.capacity,
             hit_rate: engine.hit_rate(),
-            requests_served: self.requests_served.load(Ordering::Relaxed),
-            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            requests_served: self.metrics.requests_served.get(),
+            connections_accepted: self.metrics.connections_accepted.get(),
             uptime_ms: self.started.elapsed().as_millis() as u64,
+            request_latencies,
         }
     }
 }
@@ -126,10 +272,7 @@ impl std::fmt::Debug for Shared {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Shared")
             .field("shutdown", &self.shutdown.load(Ordering::Relaxed))
-            .field(
-                "requests_served",
-                &self.requests_served.load(Ordering::Relaxed),
-            )
+            .field("requests_served", &self.metrics.requests_served.get())
             .finish()
     }
 }
@@ -155,6 +298,7 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
+        let metrics = ServeMetrics::register(engine.metrics());
         let shared = Arc::new(Shared {
             engine,
             config: ServerConfig {
@@ -163,8 +307,7 @@ impl Server {
             },
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
-            requests_served: AtomicU64::new(0),
-            connections_accepted: AtomicU64::new(0),
+            metrics,
         });
 
         let (tx, rx) = channel::<TcpStream>();
@@ -250,12 +393,14 @@ fn accept_loop(shared: &Shared, listener: &TcpListener, tx: &std::sync::mpsc::Se
         }
         match listener.accept() {
             Ok((stream, _peer)) => {
-                shared.connections_accepted.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.connections_accepted.inc();
                 // Short read timeouts let workers poll the shutdown flag
                 // while parked on an idle connection.
                 let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
                 let _ = stream.set_nodelay(true);
+                shared.metrics.queue_depth.inc();
                 if tx.send(stream).is_err() {
+                    shared.metrics.queue_depth.dec();
                     return; // every worker is gone; nothing left to serve
                 }
             }
@@ -291,6 +436,7 @@ fn worker_loop(shared: &Shared, rx: &Arc<Mutex<Receiver<TcpStream>>>) {
         let Ok(stream) = next else {
             return; // channel closed: accept loop exited and queue drained
         };
+        shared.metrics.queue_depth.dec();
         let result = catch_unwind(AssertUnwindSafe(|| serve_connection(shared, stream)));
         debug_assert!(result.is_ok(), "serve_connection must contain its panics");
     }
@@ -298,13 +444,22 @@ fn worker_loop(shared: &Shared, rx: &Arc<Mutex<Receiver<TcpStream>>>) {
 
 /// Serves one connection until EOF, a transport error, or shutdown.
 fn serve_connection(shared: &Shared, mut stream: TcpStream) {
+    let _active = shared.metrics.connections_active.track();
     loop {
-        let payload = match read_frame_polling(shared, &mut stream) {
-            Ok(Some(payload)) => payload,
-            Ok(None) | Err(_) => return, // clean EOF, shutdown while idle, or dead socket
+        let payload = {
+            // Between frames the connection is idle: it holds a worker but
+            // costs no CPU. The gauge pair (active, idle) makes pool
+            // starvation by idle clients visible before the idle timeout
+            // reclaims them.
+            let _idle = shared.metrics.connections_idle.track();
+            match read_frame_polling(shared, &mut stream) {
+                Ok(Some(payload)) => payload,
+                Ok(None) | Err(_) => return, // clean EOF, shutdown while idle, or dead socket
+            }
         };
+        shared.metrics.frame_bytes_in.record(payload.len() as u64);
         let (response, continuation) = respond(shared, &payload);
-        shared.requests_served.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.requests_served.inc();
         let sent = send_response(shared, &mut stream, response);
         if sent.is_err() || matches!(continuation, Continuation::CloseConnection) {
             return;
@@ -333,6 +488,7 @@ fn send_response(shared: &Shared, stream: &mut TcpStream, response: Response) ->
         };
         encoded = too_large.encode();
     }
+    shared.metrics.frame_bytes_out.record(encoded.len() as u64);
     write_frame_with_limit(stream, &encoded, max)
 }
 
@@ -342,6 +498,7 @@ fn respond(shared: &Shared, payload: &[u8]) -> (Response, Continuation) {
     let request = match Request::decode(payload) {
         Ok(request) => request,
         Err(error) => {
+            shared.metrics.error("unknown").inc();
             // The id could not be recovered; answer on id 0 so the client
             // can at least surface the failure.
             return (
@@ -354,9 +511,23 @@ fn respond(shared: &Shared, payload: &[u8]) -> (Response, Continuation) {
         }
     };
     let id = request.id;
-    match catch_unwind(AssertUnwindSafe(|| handle_request(shared, request.kind))) {
-        Ok((body, continuation)) => (Response { id, body }, continuation),
+    let kind_name = request.kind.name();
+    let start = Instant::now();
+    let outcome = catch_unwind(AssertUnwindSafe(|| handle_request(shared, request.kind)));
+    shared
+        .metrics
+        .duration(kind_name)
+        .record_duration(start.elapsed());
+    match outcome {
+        Ok((body, continuation)) => {
+            if body.is_err() {
+                shared.metrics.error(kind_name).inc();
+            }
+            (Response { id, body }, continuation)
+        }
         Err(panic) => {
+            shared.metrics.panics_contained.inc();
+            shared.metrics.error(kind_name).inc();
             let message = panic
                 .downcast_ref::<&str>()
                 .map(ToString::to_string)
@@ -402,6 +573,7 @@ fn handle_request(
             observables,
         } => absorb(shared, &program, &observables),
         RequestKind::Stats => Ok(ResponseBody::Stats(shared.stats())),
+        RequestKind::Metrics => Ok(ResponseBody::Metrics(shared.engine.metrics_snapshot())),
         RequestKind::Health => Ok(ResponseBody::Health {
             uptime_ms: shared.started.elapsed().as_millis() as u64,
         }),
@@ -545,6 +717,7 @@ fn engine_error(error: &EngineError) -> WireError {
         EngineError::AngleCountMismatch { .. } => "angle_count",
         EngineError::NonFiniteAngle { .. } => "non_finite_angle",
         EngineError::CompilationPanicked { .. } => "panicked",
+        EngineError::NotAbsorbable(_) => "not_absorbable",
     };
     WireError::new(kind, error.to_string())
 }
@@ -568,6 +741,9 @@ fn read_frame_polling(shared: &Shared, stream: &mut TcpStream) -> io::Result<Opt
             .config
             .idle_timeout
             .is_some_and(|budget| waiting_since.elapsed() > budget);
+        if expired {
+            shared.metrics.idle_reclaimed.inc();
+        }
         Ok(!expired)
     })
 }

@@ -550,3 +550,125 @@ fn malformed_frames_do_not_kill_the_server() {
 
     server.stop();
 }
+
+/// The `metrics` endpoint answers with one coherent snapshot spanning both
+/// layers: engine pipeline-stage histograms (fingerprint/extract/bind) and
+/// serve-side per-kind request latencies, frame sizes, connection gauges —
+/// and the whole thing renders as Prometheus text.
+#[test]
+fn metrics_endpoint_spans_engine_and_serve() {
+    let engine = Arc::new(Engine::new(16));
+    let server = start_server(Arc::clone(&engine), 2);
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    let axes = program_axes(400, 6);
+    let refs: Vec<&str> = axes.iter().map(String::as_str).collect();
+    client
+        .compile(&refs, &angles_for(&axes, 0.1))
+        .expect("first compile");
+    client
+        .compile(&refs, &angles_for(&axes, 0.2))
+        .expect("second compile (cache hit)");
+    // One deliberate failure, so the per-kind error counter has something
+    // to show.
+    let err = client.compile(&["ZZ"], &[0.1, 0.2]).unwrap_err();
+    assert_eq!(err.remote().expect("remote error").kind, "angle_count");
+
+    let snapshot = client.metrics().expect("metrics request");
+
+    // Engine side: stage histograms with real counts.
+    let stage = |name: &str| {
+        snapshot
+            .histogram(quclear_engine::ENGINE_STAGE_METRIC, Some(("stage", name)))
+            .unwrap_or_else(|| panic!("stage `{name}` missing from snapshot"))
+    };
+    // Only the two successful compiles reach the engine (the angle-count
+    // failure is rejected at the protocol layer, before fingerprinting).
+    assert!(stage("fingerprint").count() >= 2);
+    assert_eq!(stage("extract").count(), 1);
+    assert_eq!(stage("bind").count(), 2);
+    assert_eq!(
+        snapshot.counter_value("quclear_engine_cache_hits_total", None),
+        Some(engine.stats().hits)
+    );
+
+    // Serve side: per-kind latency, error counters, frame sizes, gauges.
+    let compile_latency = snapshot
+        .histogram(
+            quclear_serve::SERVE_REQUEST_METRIC,
+            Some(("kind", "compile")),
+        )
+        .expect("compile latency histogram");
+    assert_eq!(compile_latency.count(), 3);
+    assert_eq!(
+        snapshot.counter_value(quclear_serve::SERVE_ERROR_METRIC, Some(("kind", "compile"))),
+        Some(1)
+    );
+    let frames_in = snapshot
+        .histogram(quclear_serve::SERVE_FRAME_METRIC, Some(("direction", "in")))
+        .expect("inbound frame sizes");
+    assert!(frames_in.count() >= 3);
+    // This connection is inside the metrics request right now: active, and
+    // (snapshot taken while handling) not idle-parked beyond 1.
+    assert_eq!(
+        snapshot.gauge_value("quclear_serve_connections_active", None),
+        Some(1)
+    );
+
+    // The whole snapshot renders as Prometheus text with both families.
+    let text = snapshot.to_prometheus_text();
+    assert!(text.contains("# TYPE quclear_engine_stage_duration_ns histogram"));
+    assert!(text.contains("quclear_serve_request_duration_ns_count{kind=\"compile\"} 3"));
+    assert!(text.contains("quclear_serve_errors_total{kind=\"compile\"} 1"));
+
+    server.stop();
+}
+
+/// `stats` folds per-kind latency digests in back-compatibly: kinds that
+/// served requests appear with count/p50/p99, and the digest agrees with
+/// the requests the connection actually made.
+#[test]
+fn stats_carry_request_latency_digests() {
+    let engine = Arc::new(Engine::new(16));
+    let server = start_server(Arc::clone(&engine), 2);
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    let axes = program_axes(500, 5);
+    let refs: Vec<&str> = axes.iter().map(String::as_str).collect();
+    for seed in [0.1, 0.2, 0.3] {
+        client
+            .compile(&refs, &angles_for(&axes, seed))
+            .expect("compile");
+    }
+    client.health().expect("health");
+
+    let stats = client.stats().expect("stats");
+    let digest = |kind: &str| {
+        stats
+            .request_latencies
+            .iter()
+            .find(|d| d.kind == kind)
+            .unwrap_or_else(|| panic!("no `{kind}` digest in {:?}", stats.request_latencies))
+            .clone()
+    };
+    let compile = digest("compile");
+    assert_eq!(compile.count, 3);
+    assert!(compile.p50_ns <= compile.p99_ns);
+    assert_eq!(digest("health").count, 1);
+    // No failed or unknown requests were made on this connection.
+    assert!(stats.request_latencies.iter().all(|d| d.kind != "unknown"));
+    // A request's latency is recorded after it is answered, so the first
+    // stats response cannot include itself...
+    assert!(stats.request_latencies.iter().all(|d| d.kind != "stats"));
+
+    // ...but a second stats call sees the first one counted.
+    let again = client.stats().expect("stats again");
+    let stats_digest = again
+        .request_latencies
+        .iter()
+        .find(|d| d.kind == "stats")
+        .expect("stats digest on the second call");
+    assert_eq!(stats_digest.count, 1);
+
+    server.stop();
+}

@@ -1,0 +1,163 @@
+//! Scalar metrics: monotone counters and signed gauges.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing event counter.
+///
+/// The record path is one relaxed `fetch_add`. Callers that need a
+/// cross-counter ordering guarantee (the engine's coalesced-wait invariant)
+/// can pick explicit orderings via [`Counter::add_ordered`] /
+/// [`Counter::get_ordered`] — the counter is a thin veneer over one
+/// `AtomicU64`, shared by every handle cloned from the registry, so the
+/// stats path and the metrics-exposition path read the *same* cell.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds `n` (relaxed).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one (relaxed).
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` with an explicit memory ordering.
+    #[inline]
+    pub fn add_ordered(&self, n: u64, ordering: Ordering) {
+        self.value.fetch_add(n, ordering);
+    }
+
+    /// Current value (relaxed).
+    #[must_use]
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Current value with an explicit memory ordering.
+    #[must_use]
+    #[inline]
+    pub fn get_ordered(&self, ordering: Ordering) -> u64 {
+        self.value.load(ordering)
+    }
+}
+
+/// An instantaneous signed value (queue depths, connection counts).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the gauge to an absolute value.
+    #[inline]
+    pub fn set(&self, value: i64) {
+        self.value.store(value, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (which may be negative).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Decrements by one.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Current value.
+    #[must_use]
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Increments now and returns a guard that decrements on drop —
+    /// panic-safe tracking of "currently in flight" quantities.
+    #[must_use]
+    pub fn track(self: &Arc<Self>) -> GaugeGuard {
+        self.inc();
+        GaugeGuard {
+            gauge: Arc::clone(self),
+        }
+    }
+}
+
+/// RAII guard from [`Gauge::track`]: decrements its gauge when dropped.
+#[derive(Debug)]
+pub struct GaugeGuard {
+    gauge: Arc<Gauge>,
+}
+
+impl Drop for GaugeGuard {
+    fn drop(&mut self) {
+        self.gauge.dec();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = Gauge::new();
+        g.inc();
+        g.add(3);
+        g.dec();
+        assert_eq!(g.get(), 3);
+        g.set(-7);
+        assert_eq!(g.get(), -7);
+    }
+
+    #[test]
+    fn gauge_guard_is_panic_safe() {
+        let g = Arc::new(Gauge::new());
+        let result = std::panic::catch_unwind({
+            let g = Arc::clone(&g);
+            move || {
+                let _guard = g.track();
+                assert_eq!(g.get(), 1);
+                panic!("unwind through the guard");
+            }
+        });
+        assert!(result.is_err());
+        assert_eq!(g.get(), 0, "guard must decrement during unwind");
+    }
+}

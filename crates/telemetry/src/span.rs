@@ -1,0 +1,183 @@
+//! RAII timing spans and slow-event sinks.
+//!
+//! A [`Span`] is the cheapest useful unit of tracing: it remembers when it
+//! was created and, when dropped, records the elapsed nanoseconds into a
+//! histogram. There is no subscriber machinery, no thread-local context
+//! stack, no id allocation — a span is a start time plus an `Arc` to its
+//! histogram. When a registry has an [`EventSink`] armed, spans that run at
+//! least the configured threshold additionally hand the sink a structured
+//! [`SlowEvent`], which is how "log every compile slower than 10ms" is
+//! spelled without paying for formatting on the fast path.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::histogram::Histogram;
+
+/// A structured record of a span that exceeded the slow threshold.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SlowEvent {
+    /// The span (and histogram) name.
+    pub span: &'static str,
+    /// How long the span ran, in nanoseconds.
+    pub elapsed_ns: u64,
+}
+
+/// Receiver for [`SlowEvent`]s, installed via
+/// [`crate::MetricsRegistry::set_event_sink`].
+///
+/// Called on the instrumented thread inside the span guard's drop:
+/// implementations should be cheap (push to a channel, append a line) and
+/// must not panic.
+pub trait EventSink: Send + Sync + std::fmt::Debug {
+    /// Handles one slow-span record.
+    fn record(&self, event: &SlowEvent);
+}
+
+/// RAII guard that records its lifetime into a histogram on drop.
+///
+/// Created via [`crate::span!`], [`crate::MetricsRegistry::span_named`], or
+/// — on hot paths that hold a histogram handle already —
+/// [`crate::MetricsRegistry::span_on`].
+///
+/// # Examples
+///
+/// ```
+/// use quclear_telemetry::MetricsRegistry;
+///
+/// let registry = MetricsRegistry::new();
+/// {
+///     let _span = registry.span_named("compile");
+///     // ... timed work ...
+/// } // drop records elapsed ns into the `compile` histogram
+/// assert_eq!(registry.snapshot().histogram("compile", None).unwrap().count(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Span {
+    histogram: Arc<Histogram>,
+    name: &'static str,
+    slow: Option<(Arc<dyn EventSink>, u64)>,
+    start: Instant,
+}
+
+impl Span {
+    pub(crate) fn new(
+        histogram: Arc<Histogram>,
+        name: &'static str,
+        slow: Option<(Arc<dyn EventSink>, u64)>,
+        start: Instant,
+    ) -> Self {
+        Span {
+            histogram,
+            name,
+            slow,
+            start,
+        }
+    }
+
+    /// The span's name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Time elapsed since the span started (it keeps running until drop).
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let elapsed_ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.histogram.record(elapsed_ns);
+        if let Some((sink, threshold_ns)) = &self.slow {
+            if elapsed_ns >= *threshold_ns {
+                sink.record(&SlowEvent {
+                    span: self.name,
+                    elapsed_ns,
+                });
+            }
+        }
+    }
+}
+
+/// Starts a [`Span`] by name.
+///
+/// `span!("compile")` times into the [global
+/// registry](crate::MetricsRegistry::global); `span!(registry, "compile")`
+/// times into an explicit one. Bind the guard — `let _span = span!(...)` —
+/// so it lives until the end of the scope (`let _ =` would drop it
+/// immediately and record ~0ns).
+#[macro_export]
+macro_rules! span {
+    ($registry:expr, $name:expr) => {
+        $registry.span_named($name)
+    };
+    ($name:expr) => {
+        $crate::MetricsRegistry::global().span_named($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+    use std::sync::Mutex;
+
+    #[derive(Debug, Default)]
+    struct CapturingSink {
+        events: Mutex<Vec<SlowEvent>>,
+    }
+
+    impl EventSink for CapturingSink {
+        fn record(&self, event: &SlowEvent) {
+            self.events.lock().unwrap().push(event.clone());
+        }
+    }
+
+    #[test]
+    fn span_records_into_its_histogram_on_drop() {
+        let registry = MetricsRegistry::new();
+        {
+            let span = registry.span_named("stage");
+            assert_eq!(span.name(), "stage");
+        }
+        let snap = registry.snapshot().histogram("stage", None).unwrap();
+        assert_eq!(snap.count(), 1);
+    }
+
+    #[test]
+    fn slow_spans_reach_the_sink_and_fast_ones_do_not() {
+        let registry = MetricsRegistry::new();
+        let sink = Arc::new(CapturingSink::default());
+        registry.set_event_sink(Arc::clone(&sink) as Arc<dyn EventSink>, Duration::ZERO);
+        drop(registry.span_named("always_slow"));
+        assert_eq!(sink.events.lock().unwrap().len(), 1);
+        assert_eq!(sink.events.lock().unwrap()[0].span, "always_slow");
+
+        registry.set_event_sink(
+            Arc::clone(&sink) as Arc<dyn EventSink>,
+            Duration::from_secs(3600),
+        );
+        drop(registry.span_named("never_slow"));
+        assert_eq!(sink.events.lock().unwrap().len(), 1, "threshold not met");
+
+        registry.clear_event_sink();
+        drop(registry.span_named("always_slow"));
+        assert_eq!(sink.events.lock().unwrap().len(), 1, "sink disarmed");
+    }
+
+    #[test]
+    fn span_macro_reaches_both_registries() {
+        let registry = MetricsRegistry::new();
+        drop(span!(registry, "local_span"));
+        assert!(registry.snapshot().histogram("local_span", None).is_some());
+        drop(span!("global_span_macro_test"));
+        assert!(MetricsRegistry::global()
+            .snapshot()
+            .histogram("global_span_macro_test", None)
+            .is_some());
+    }
+}

@@ -94,6 +94,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.connections_accepted,
     );
 
+    // Per-kind latency digests ride along on the same stats response.
+    for digest in &stats.request_latencies {
+        println!(
+            "latency[{}]: {} served, p50 {} ns, p99 {} ns",
+            digest.kind, digest.count, digest.p50_ns, digest.p99_ns
+        );
+    }
+
+    // The full telemetry picture: engine pipeline stages (fingerprint,
+    // extract, bind, absorb) and serve-side instruments in one snapshot,
+    // rendered as Prometheus text — point a scraper at this and the node
+    // is on a dashboard.
+    let snapshot = client.metrics()?;
+    println!("\n--- metrics (Prometheus text exposition) ---");
+    print!("{}", snapshot.to_prometheus_text());
+    println!("--- end of scrape ---\n");
+
     drop(client);
     server.stop(); // graceful: drains the pool, joins every thread
     println!("server stopped cleanly");

@@ -20,6 +20,7 @@ pub use quclear_pauli as pauli;
 pub use quclear_serve as serve;
 pub use quclear_sim as sim;
 pub use quclear_tableau as tableau;
+pub use quclear_telemetry as telemetry;
 pub use quclear_workloads as workloads;
 
 /// Commonly used types, re-exported for convenient glob imports.
@@ -32,4 +33,5 @@ pub mod prelude {
     pub use quclear_engine::{BatchJob, CompiledTemplate, Engine, ProgramFingerprint};
     pub use quclear_pauli::{PauliOp, PauliRotation, PauliString, SignedPauli};
     pub use quclear_serve::{Client, Server, ServerConfig};
+    pub use quclear_telemetry::{MetricsRegistry, MetricsSnapshot};
 }
