@@ -13,6 +13,7 @@ use quclear_pauli::{PauliRotation, SignedPauli};
 use quclear_telemetry::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
 use rayon::prelude::*;
 
+use crate::deadline::Deadline;
 use crate::error::EngineError;
 use crate::fingerprint::ProgramFingerprint;
 use crate::sharded::ShardedCache;
@@ -310,22 +311,61 @@ impl Engine {
     /// leader's error; failed compilations are never cached, so a later
     /// request retries from scratch.
     pub fn template(&self, axes: &[SignedPauli]) -> Result<Arc<CompiledTemplate>, EngineError> {
+        self.template_with_deadline(axes, Deadline::none())
+    }
+
+    /// [`Self::template`] under a request [`Deadline`].
+    ///
+    /// The budget is cooperative: cache hits are always served (they cost
+    /// microseconds), but a miss checks the deadline before extracting, and
+    /// a coalesced waiter parks on the leader's flight **at most** until the
+    /// deadline and then detaches with [`EngineError::DeadlineExceeded`]
+    /// instead of waiting out an arbitrarily slow leader. The leader's
+    /// flight is unaffected by a detach — its eventual template still lands
+    /// in the cache, so the work a detached waiter paid for is not wasted.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::template`], plus [`EngineError::DeadlineExceeded`] once the
+    /// budget is spent. A detached waiter counts as a miss (it was not
+    /// answered from the cache or a shared flight) without a
+    /// `coalesced_waits` increment, preserving the
+    /// `coalesced_waits <= hits + misses` snapshot invariant.
+    pub fn template_with_deadline(
+        &self,
+        axes: &[SignedPauli],
+        deadline: Deadline,
+    ) -> Result<Arc<CompiledTemplate>, EngineError> {
         let fingerprint_start = Instant::now();
         let fingerprint = ProgramFingerprint::of_axes(axes, &self.config);
         self.stage_fingerprint
             .record_duration(fingerprint_start.elapsed());
         self.maybe_injected_panic(&fingerprint);
         // Hit fast path: a shard *read* lock plus an atomic recency bump —
-        // concurrent hits never serialize, even on the same template.
+        // concurrent hits never serialize, even on the same template. Hits
+        // are served even past the deadline: answering from the cache is
+        // cheaper than composing the error.
         if let Some(template) = self.cache.get(&fingerprint) {
             self.hits.inc();
             return Ok(template);
         }
 
         let flight_start = Instant::now();
-        let (result, role) = self
-            .inflight
-            .run(&fingerprint, || self.compile_into_cache(fingerprint, axes));
+        let Some((result, role)) =
+            self.inflight
+                .run_with_deadline(&fingerprint, deadline.instant(), || {
+                    self.compile_into_cache(fingerprint, axes, deadline)
+                })
+        else {
+            // Detached: the leader outlived this request's budget. The
+            // flight keeps running and will populate the cache; this lookup
+            // was answered by neither the cache nor a shared result, so it
+            // counts as a miss (and *not* as a coalesced wait).
+            self.singleflight_waiter
+                .record_duration(flight_start.elapsed());
+            self.misses.inc();
+            return Err(EngineError::DeadlineExceeded);
+        };
         match role {
             Role::Led => self
                 .singleflight_leader
@@ -357,6 +397,7 @@ impl Engine {
         &self,
         fingerprint: ProgramFingerprint,
         axes: &[SignedPauli],
+        deadline: Deadline,
     ) -> Result<Arc<CompiledTemplate>, EngineError> {
         // Re-check under flight leadership: a previous leader may have
         // published the template between our cache probe and our election.
@@ -365,6 +406,12 @@ impl Engine {
             return Ok(template);
         }
         self.misses.inc();
+        // Last cooperative checkpoint before the expensive extraction: a
+        // leader whose budget is already spent fails fast instead of
+        // compiling a template nobody is waiting for. (Waiters coalesced on
+        // this flight share the error, never cache it — the next request
+        // retries from scratch, exactly like any other failed compile.)
+        deadline.check()?;
         self.maybe_injected_delay(&fingerprint);
         let extract_start = Instant::now();
         let compiled = contain_panics(|| CompiledTemplate::compile(axes, &self.config));
@@ -458,11 +505,25 @@ impl Engine {
         &self,
         program: &[PauliRotation],
     ) -> Result<Arc<CompiledTemplate>, EngineError> {
+        self.template_for_with_deadline(program, Deadline::none())
+    }
+
+    /// [`Self::template_for`] under a request [`Deadline`]; see
+    /// [`Self::template_with_deadline`] for the budget semantics.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::template_with_deadline`].
+    pub fn template_for_with_deadline(
+        &self,
+        program: &[PauliRotation],
+        deadline: Deadline,
+    ) -> Result<Arc<CompiledTemplate>, EngineError> {
         let axes: Vec<SignedPauli> = program
             .iter()
             .map(|r| SignedPauli::positive(r.pauli().clone()))
             .collect();
-        self.template(&axes)
+        self.template_with_deadline(&axes, deadline)
     }
 
     /// Compiles one program, reusing a cached template when available.
@@ -471,7 +532,24 @@ impl Engine {
     ///
     /// Propagates template and binding failures for this program.
     pub fn compile(&self, program: &[PauliRotation]) -> Result<QuClearResult, EngineError> {
-        let template = self.template_for(program)?;
+        self.compile_with_deadline(program, Deadline::none())
+    }
+
+    /// [`Self::compile`] under a request [`Deadline`], checked at every
+    /// stage boundary (before the template lookup resolves and again before
+    /// binding).
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::compile`], plus [`EngineError::DeadlineExceeded`] once the
+    /// budget is spent.
+    pub fn compile_with_deadline(
+        &self,
+        program: &[PauliRotation],
+        deadline: Deadline,
+    ) -> Result<QuClearResult, EngineError> {
+        let template = self.template_for_with_deadline(program, deadline)?;
+        deadline.check()?;
         let result = contain_panics(|| template.bind_program(program))?;
         self.binds.inc();
         Ok(result)
@@ -493,10 +571,29 @@ impl Engine {
     /// every sibling job. (Binding alone used to be wrapped; a panicking
     /// lookup — e.g. against a poisoned cache shard — killed the batch.)
     pub fn compile_batch(&self, jobs: &[BatchJob]) -> Vec<Result<QuClearResult, EngineError>> {
+        self.compile_batch_with_deadline(jobs, Deadline::none())
+    }
+
+    /// [`Self::compile_batch`] under a request [`Deadline`].
+    ///
+    /// The budget is **shared** across the batch, not per job: `Deadline` is
+    /// an absolute instant, so every job checks the same wall-clock expiry.
+    /// Jobs that start after the budget is spent fail fast with
+    /// [`EngineError::DeadlineExceeded`] in their slot — failure isolation
+    /// works exactly as for any other per-job error, so a batch that runs
+    /// out of time returns the jobs it finished plus typed errors for the
+    /// rest, never a torn result.
+    pub fn compile_batch_with_deadline(
+        &self,
+        jobs: &[BatchJob],
+        deadline: Deadline,
+    ) -> Vec<Result<QuClearResult, EngineError>> {
         jobs.par_iter()
             .map(|job| {
                 contain_panics(|| {
-                    let template = self.template_for(&job.program)?;
+                    deadline.check()?;
+                    let template = self.template_for_with_deadline(&job.program, deadline)?;
+                    deadline.check()?;
                     let result = match &job.angles {
                         Some(angles) => template.bind(angles),
                         None => template.bind_program(&job.program),
@@ -524,10 +621,28 @@ impl Engine {
         program: &[PauliRotation],
         angle_sets: &[Vec<f64>],
     ) -> Result<Vec<Result<QuClearResult, EngineError>>, EngineError> {
-        let template = self.template_for(program)?;
+        self.sweep_with_deadline(program, angle_sets, Deadline::none())
+    }
+
+    /// [`Self::sweep`] under a request [`Deadline`] shared by the template
+    /// compilation and every per-angle-set bind.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::sweep`]; angle sets bound after the budget is spent get
+    /// [`EngineError::DeadlineExceeded`] in their slot.
+    #[allow(clippy::type_complexity)]
+    pub fn sweep_with_deadline(
+        &self,
+        program: &[PauliRotation],
+        angle_sets: &[Vec<f64>],
+        deadline: Deadline,
+    ) -> Result<Vec<Result<QuClearResult, EngineError>>, EngineError> {
+        let template = self.template_for_with_deadline(program, deadline)?;
         let results = angle_sets
             .par_iter()
             .map(|angles| {
+                deadline.check()?;
                 let result = contain_panics(|| template.bind(angles))?;
                 self.binds.inc();
                 Ok(result)
@@ -569,8 +684,24 @@ impl Engine {
     /// # Ok::<(), quclear_engine::EngineError>(())
     /// ```
     pub fn compile_qasm(&self, qasm: &str) -> Result<QuClearResult, EngineError> {
+        self.compile_qasm_with_deadline(qasm, Deadline::none())
+    }
+
+    /// [`Self::compile_qasm`] under a request [`Deadline`], checked after
+    /// the parse + lift stage and at every later stage boundary.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::compile_qasm`], plus [`EngineError::DeadlineExceeded`]
+    /// once the budget is spent.
+    pub fn compile_qasm_with_deadline(
+        &self,
+        qasm: &str,
+        deadline: Deadline,
+    ) -> Result<QuClearResult, EngineError> {
         let lifted = lift(&from_qasm(qasm)?);
-        self.compile_lifted(&lifted, None)
+        deadline.check()?;
+        self.compile_lifted_with_deadline(&lifted, None, deadline)
     }
 
     /// Compiles OpenQASM 2.0 text with the rotation angles overridden.
@@ -589,8 +720,25 @@ impl Engine {
     /// [`EngineError::AngleCountMismatch`] when `angles.len()` differs from
     /// the circuit's rotation count; otherwise as [`Self::compile`].
     pub fn bind_qasm(&self, qasm: &str, angles: &[f64]) -> Result<QuClearResult, EngineError> {
+        self.bind_qasm_with_deadline(qasm, angles, Deadline::none())
+    }
+
+    /// [`Self::bind_qasm`] under a request [`Deadline`], checked after the
+    /// parse + lift stage and at every later stage boundary.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::bind_qasm`], plus [`EngineError::DeadlineExceeded`] once
+    /// the budget is spent.
+    pub fn bind_qasm_with_deadline(
+        &self,
+        qasm: &str,
+        angles: &[f64],
+        deadline: Deadline,
+    ) -> Result<QuClearResult, EngineError> {
         let lifted = lift(&from_qasm(qasm)?);
-        self.compile_lifted(&lifted, Some(angles))
+        deadline.check()?;
+        self.compile_lifted_with_deadline(&lifted, Some(angles), deadline)
     }
 
     /// Compiles an already-lifted program through the template cache,
@@ -611,7 +759,24 @@ impl Engine {
         lifted: &LiftedProgram,
         angles: Option<&[f64]>,
     ) -> Result<QuClearResult, EngineError> {
-        let template = self.template(lifted.axes())?;
+        self.compile_lifted_with_deadline(lifted, angles, Deadline::none())
+    }
+
+    /// [`Self::compile_lifted`] under a request [`Deadline`]; see
+    /// [`Self::template_with_deadline`] for the budget semantics.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::compile_lifted`], plus
+    /// [`EngineError::DeadlineExceeded`] once the budget is spent.
+    pub fn compile_lifted_with_deadline(
+        &self,
+        lifted: &LiftedProgram,
+        angles: Option<&[f64]>,
+        deadline: Deadline,
+    ) -> Result<QuClearResult, EngineError> {
+        let template = self.template_with_deadline(lifted.axes(), deadline)?;
+        deadline.check()?;
         let result = contain_panics(|| match angles {
             Some(angles) => template.bind(angles),
             None => template.bind(lifted.native_angles()),
@@ -637,7 +802,24 @@ impl Engine {
         program: &[PauliRotation],
         observables: &[SignedPauli],
     ) -> Result<Arc<AbsorbedObservables>, EngineError> {
-        let template = self.template_for(program)?;
+        self.absorb_observables_with_deadline(program, observables, Deadline::none())
+    }
+
+    /// [`Self::absorb_observables`] under a request [`Deadline`]; the check
+    /// sits between the template lookup and the conjugation sweep.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::absorb_observables`], plus
+    /// [`EngineError::DeadlineExceeded`] once the budget is spent.
+    pub fn absorb_observables_with_deadline(
+        &self,
+        program: &[PauliRotation],
+        observables: &[SignedPauli],
+        deadline: Deadline,
+    ) -> Result<Arc<AbsorbedObservables>, EngineError> {
+        let template = self.template_for_with_deadline(program, deadline)?;
+        deadline.check()?;
         contain_panics(|| Ok(template.absorb_observables(observables)))
     }
 
@@ -924,6 +1106,70 @@ mod tests {
             panic!("expected a parse error");
         };
         assert_eq!(inner.line, 2);
+    }
+
+    #[test]
+    fn expired_deadline_fails_a_cold_compile_fast() {
+        let engine = Engine::new(8);
+        let err = engine
+            .compile_with_deadline(&program_a(), Deadline::within(std::time::Duration::ZERO))
+            .unwrap_err();
+        assert_eq!(err, EngineError::DeadlineExceeded);
+        // The budget check fired before extraction: nothing was cached.
+        assert_eq!(engine.stats().entries, 0);
+    }
+
+    #[test]
+    fn expired_deadline_still_serves_cache_hits() {
+        let engine = Engine::new(8);
+        engine.compile(&program_a()).unwrap();
+        // A hit costs microseconds; serving it beats composing the error.
+        let template = engine
+            .template_for_with_deadline(&program_a(), Deadline::within(std::time::Duration::ZERO))
+            .unwrap();
+        assert!(template.num_params() > 0);
+        assert_eq!(engine.stats().hits, 1);
+    }
+
+    #[test]
+    fn batch_deadline_errors_are_isolated_per_job() {
+        let engine = Engine::new(8);
+        let jobs = vec![
+            BatchJob::new(vec![rot("ZZ", 0.4)]),
+            BatchJob::new(vec![rot("XX", 0.1)]),
+        ];
+        let results =
+            engine.compile_batch_with_deadline(&jobs, Deadline::within(std::time::Duration::ZERO));
+        assert_eq!(results.len(), 2);
+        for result in results {
+            assert_eq!(result.unwrap_err(), EngineError::DeadlineExceeded);
+        }
+        // A generous budget compiles the same batch normally.
+        let results = engine.compile_batch_with_deadline(
+            &jobs,
+            Deadline::within(std::time::Duration::from_secs(60)),
+        );
+        assert!(results.iter().all(Result::is_ok));
+    }
+
+    #[test]
+    fn qasm_deadlines_cover_the_lifted_pipeline() {
+        let engine = Engine::new(8);
+        let qasm = "qreg q[2];\ncx q[0], q[1];\nrz(0.5) q[1];\ncx q[0], q[1];\n";
+        let err = engine
+            .compile_qasm_with_deadline(qasm, Deadline::within(std::time::Duration::ZERO))
+            .unwrap_err();
+        assert_eq!(err, EngineError::DeadlineExceeded);
+        engine
+            .compile_qasm_with_deadline(qasm, Deadline::within(std::time::Duration::from_secs(60)))
+            .unwrap();
+        engine
+            .bind_qasm_with_deadline(
+                qasm,
+                &[1.5],
+                Deadline::within(std::time::Duration::from_secs(60)),
+            )
+            .unwrap();
     }
 
     #[test]

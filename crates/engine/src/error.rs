@@ -47,6 +47,13 @@ pub enum EngineError {
     /// ([`crate::Engine::post_process_shots`]); use observable absorption
     /// instead.
     NotAbsorbable(AbsorptionError),
+    /// The request's [`crate::Deadline`] expired before the pipeline
+    /// finished. The work already done is not wasted — a compilation that
+    /// completes after its requester detached still populates the template
+    /// cache — but this request's caller asked not to wait any longer.
+    /// Transient by construction: retrying once the cache is warm (or the
+    /// system less loaded) typically succeeds.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for EngineError {
@@ -73,6 +80,9 @@ impl fmt::Display for EngineError {
             }
             EngineError::NotAbsorbable(inner) => {
                 write!(f, "shot post-processing is not available: {inner}")
+            }
+            EngineError::DeadlineExceeded => {
+                write!(f, "request deadline exceeded before compilation finished")
             }
         }
     }

@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod deadline;
 mod engine;
 mod error;
 mod fingerprint;
@@ -55,6 +56,7 @@ mod sharded;
 pub mod singleflight;
 mod template;
 
+pub use deadline::Deadline;
 pub use engine::{
     BatchJob, Engine, EngineStats, DEFAULT_CACHE_CAPACITY, DEFAULT_CACHE_SHARDS,
     ENGINE_SINGLEFLIGHT_METRIC, ENGINE_STAGE_METRIC,
@@ -79,5 +81,6 @@ mod tests {
         assert_send_sync::<ProgramFingerprint>();
         assert_send_sync::<EngineError>();
         assert_send_sync::<BatchJob>();
+        assert_send_sync::<Deadline>();
     }
 }

@@ -29,6 +29,7 @@
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::Instant;
 
 /// How a [`SingleFlight::run`] call obtained its value.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -47,6 +48,18 @@ enum FlightState<V> {
     Done(V),
     /// The leader unwound without producing a value; waiters must retry.
     Abandoned,
+}
+
+/// How one parked wait on a flight resolved.
+enum WaitOutcome<V> {
+    /// The leader finished; here is a clone of its value.
+    Done(V),
+    /// The leader unwound; the waiter should retry (and may lead).
+    Abandoned,
+    /// The waiter's deadline passed while the leader was still computing;
+    /// the waiter detached. The flight itself is unaffected — the leader
+    /// keeps computing and will still serve any waiter with more budget.
+    Detached,
 }
 
 /// One in-flight computation: its state plus the condvar waiters park on.
@@ -96,6 +109,28 @@ where
     /// panics, its waiters elect a new leader among themselves instead of
     /// hanging, and the panic propagates to the original leader's caller.
     pub fn run(&self, key: &K, compute: impl FnOnce() -> V) -> (V, Role) {
+        self.run_with_deadline(key, None, compute)
+            .expect("an unbounded wait cannot detach")
+    }
+
+    /// [`SingleFlight::run`] with a bounded wait: a **waiter** whose
+    /// `deadline` passes while the leader is still computing detaches and
+    /// returns `None` instead of parking forever behind a slow flight. The
+    /// flight itself is unaffected — the leader runs to completion and its
+    /// result still serves every waiter with more budget (and, in the
+    /// engine, still populates the template cache).
+    ///
+    /// A caller that *leads* is never interrupted: the computation is not
+    /// preemptible, so leaders always return `Some` (callers wanting a
+    /// pre-flight budget check should make it inside `compute`, where a
+    /// fail-fast value is shared with the waiters like any other result).
+    /// `deadline: None` waits unboundedly, exactly like [`SingleFlight::run`].
+    pub fn run_with_deadline(
+        &self,
+        key: &K,
+        deadline: Option<Instant>,
+        compute: impl FnOnce() -> V,
+    ) -> Option<(V, Role)> {
         // `Option` because the loop can only consume the closure once: every
         // leading iteration returns, so retries after an abandoned flight
         // still hold the un-run closure.
@@ -113,13 +148,15 @@ where
                     inflight.insert(key.clone(), Arc::clone(&flight));
                     drop(inflight);
                     let compute = compute.take().expect("leading consumes the closure once");
-                    return (self.lead(key, &flight, compute), Role::Led);
+                    return Some((self.lead(key, &flight, compute), Role::Led));
                 }
             };
-            if let Some(value) = Self::wait(&flight) {
-                return (value, Role::Coalesced);
+            match Self::wait(&flight, deadline) {
+                WaitOutcome::Done(value) => return Some((value, Role::Coalesced)),
+                WaitOutcome::Detached => return None,
+                // The leader unwound without a value; loop and try to lead.
+                WaitOutcome::Abandoned => {}
             }
-            // The leader unwound without a value; loop and try to lead.
         }
     }
 
@@ -137,20 +174,34 @@ where
         value
     }
 
-    /// Waiter path: park until the flight resolves. `None` means the leader
-    /// abandoned the flight (it unwound) and the caller should retry.
-    fn wait(flight: &Flight<V>) -> Option<V> {
+    /// Waiter path: park until the flight resolves, the leader abandons it,
+    /// or `deadline` passes (checked against the wall clock on every wake,
+    /// so spurious condvar wakeups cannot extend the wait).
+    fn wait(flight: &Flight<V>, deadline: Option<Instant>) -> WaitOutcome<V> {
         let mut state = flight.state.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             match &*state {
-                FlightState::Running => {
-                    state = flight
-                        .done
-                        .wait(state)
-                        .unwrap_or_else(PoisonError::into_inner);
-                }
-                FlightState::Done(value) => return Some(value.clone()),
-                FlightState::Abandoned => return None,
+                FlightState::Running => match deadline {
+                    None => {
+                        state = flight
+                            .done
+                            .wait(state)
+                            .unwrap_or_else(PoisonError::into_inner);
+                    }
+                    Some(at) => {
+                        let now = Instant::now();
+                        if now >= at {
+                            return WaitOutcome::Detached;
+                        }
+                        let (guard, _timed_out) = flight
+                            .done
+                            .wait_timeout(state, at - now)
+                            .unwrap_or_else(PoisonError::into_inner);
+                        state = guard;
+                    }
+                },
+                FlightState::Done(value) => return WaitOutcome::Done(value.clone()),
+                FlightState::Abandoned => return WaitOutcome::Abandoned,
             }
         }
     }
@@ -298,6 +349,56 @@ mod tests {
         // The flight closed with the error; the next call recomputes.
         let (v, role) = sf.run(&1, || Ok(5));
         assert_eq!((v, role), (Ok(5), Role::Led));
+    }
+
+    #[test]
+    fn deadline_waiter_detaches_while_flight_completes() {
+        let sf: Arc<SingleFlight<u32, u32>> = Arc::new(SingleFlight::new());
+        let barrier = Arc::new(Barrier::new(2));
+        std::thread::scope(|scope| {
+            let leader = {
+                let sf = Arc::clone(&sf);
+                let barrier = Arc::clone(&barrier);
+                scope.spawn(move || {
+                    sf.run(&5, || {
+                        barrier.wait();
+                        // Outlive the waiter's deadline by a wide margin.
+                        std::thread::sleep(std::time::Duration::from_millis(400));
+                        77
+                    })
+                })
+            };
+            let waiter = {
+                let sf = Arc::clone(&sf);
+                let barrier = Arc::clone(&barrier);
+                scope.spawn(move || {
+                    barrier.wait();
+                    let deadline = Instant::now() + std::time::Duration::from_millis(50);
+                    sf.run_with_deadline(&5, Some(deadline), || {
+                        panic!("a waiter that detaches must never run the closure")
+                    })
+                })
+            };
+            assert!(
+                waiter.join().unwrap().is_none(),
+                "the waiter must detach at its deadline"
+            );
+            // The leader was unaffected by the detach.
+            assert_eq!(leader.join().unwrap(), (77, Role::Led));
+        });
+        assert_eq!(sf.in_flight(), 0);
+    }
+
+    #[test]
+    fn expired_deadline_still_leads_an_uncontended_flight() {
+        // Leaders are never interrupted: with no flight to wait on, the
+        // caller leads regardless of its deadline (budget checks belong
+        // inside the computation).
+        let sf: SingleFlight<u32, u32> = SingleFlight::new();
+        let past = Instant::now() - std::time::Duration::from_millis(1);
+        let outcome = sf.run_with_deadline(&9, Some(past), || 13);
+        assert_eq!(outcome, Some((13, Role::Led)));
+        assert_eq!(sf.in_flight(), 0);
     }
 
     #[test]

@@ -1,0 +1,225 @@
+//! Deterministic fault injection for chaos testing.
+//!
+//! A [`FaultPlan`] describes *transport-level* misbehavior the server
+//! inflicts on its own connections — read stalls, write stalls, torn
+//! response frames, mid-response disconnects — from one seed, so a chaos
+//! run is reproducible byte for byte. Engine-level faults (compile panics
+//! and delays) are injected through the engine's existing seams
+//! (`Engine::inject_lookup_panic`, `Engine::inject_compile_delay`); the
+//! chaos suite arms both layers together.
+//!
+//! Everything here compiles only under `cfg(any(test, feature = "faults"))`:
+//! production builds carry no fault hooks, while `tests/chaos.rs` gets them
+//! through the crate's self dev-dependency (which enables the `faults`
+//! feature for test builds only).
+//!
+//! # Determinism
+//!
+//! Each accepted connection draws its faults from its own SplitMix64 stream,
+//! seeded from `plan.seed` and the connection's admission index. The
+//! schedule therefore depends only on (seed, connection index, draw index) —
+//! not on thread interleaving — so a failing chaos run replays exactly from
+//! its seed even though connections are served concurrently.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded, deterministic schedule of transport faults for every
+/// connection a server serves.
+///
+/// All probabilities are per *event* (per frame read, per response write),
+/// in `[0, 1]`; the default plan injects nothing.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// Seed of the whole schedule. Two servers configured with the same
+    /// plan inflict identical fault sequences on their n-th connections.
+    pub seed: u64,
+    /// Probability that a frame read stalls for [`FaultPlan::read_delay`]
+    /// before the worker starts waiting on the socket.
+    pub read_delay_probability: f64,
+    /// How long a delayed read stalls.
+    pub read_delay: Duration,
+    /// Probability that a response write stalls for
+    /// [`FaultPlan::write_delay`] before any byte is sent.
+    pub write_delay_probability: f64,
+    /// How long a delayed write stalls.
+    pub write_delay: Duration,
+    /// Probability that a response frame is torn: the length header promises
+    /// more bytes than are sent, then the connection closes. The client
+    /// observes an `UnexpectedEof` mid-frame — the classic half-written
+    /// crash.
+    pub torn_frame_probability: f64,
+    /// Probability that the connection drops with no response bytes at all
+    /// (mid-response disconnect from the client's point of view: request
+    /// sent, socket died).
+    pub disconnect_probability: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            read_delay_probability: 0.0,
+            read_delay: Duration::ZERO,
+            write_delay_probability: 0.0,
+            write_delay: Duration::ZERO,
+            torn_frame_probability: 0.0,
+            disconnect_probability: 0.0,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// The fault stream of one connection, keyed by its admission index.
+    #[must_use]
+    pub(crate) fn connection(&self, index: u64) -> ConnectionFaults {
+        // Decorrelate per-connection streams: adjacent indices land far
+        // apart in SplitMix64 state space (golden-ratio increment).
+        let seed = self
+            .seed
+            .wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        ConnectionFaults {
+            plan: self.clone(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+/// What to do to the next response write.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum WriteFault {
+    /// Write normally.
+    None,
+    /// Stall, then write normally.
+    Delay(Duration),
+    /// Send a frame header promising more bytes than follow, then close.
+    TearFrame,
+    /// Close without sending a byte.
+    Disconnect,
+}
+
+/// One connection's deterministic fault stream.
+#[derive(Clone, Debug)]
+pub(crate) struct ConnectionFaults {
+    plan: FaultPlan,
+    rng: StdRng,
+}
+
+impl ConnectionFaults {
+    /// The stall (if any) to apply before waiting for the next frame.
+    pub(crate) fn read_stall(&mut self) -> Option<Duration> {
+        (self.plan.read_delay_probability > 0.0
+            && self.rng.gen_bool(self.plan.read_delay_probability))
+        .then_some(self.plan.read_delay)
+    }
+
+    /// The fault (if any) to apply to the next response write. Terminal
+    /// faults (tear, disconnect) are drawn before the stall so a torn frame
+    /// is torn promptly — the deadline budget, not the fault schedule,
+    /// governs how long a request may take.
+    pub(crate) fn write_fault(&mut self) -> WriteFault {
+        if self.plan.disconnect_probability > 0.0
+            && self.rng.gen_bool(self.plan.disconnect_probability)
+        {
+            return WriteFault::Disconnect;
+        }
+        if self.plan.torn_frame_probability > 0.0
+            && self.rng.gen_bool(self.plan.torn_frame_probability)
+        {
+            return WriteFault::TearFrame;
+        }
+        if self.plan.write_delay_probability > 0.0
+            && self.rng.gen_bool(self.plan.write_delay_probability)
+        {
+            return WriteFault::Delay(self.plan.write_delay);
+        }
+        WriteFault::None
+    }
+}
+
+/// Writes a deliberately torn frame: a header promising `declared` bytes
+/// followed by fewer, then lets the caller close the stream. The peer's
+/// framed read fails with `UnexpectedEof` mid-frame.
+pub(crate) fn write_torn_frame(stream: &mut impl std::io::Write) -> std::io::Result<()> {
+    let fragment = br#"{"torn": true"#;
+    let declared = fragment.len() as u32 + 64;
+    stream.write_all(&declared.to_be_bytes())?;
+    stream.write_all(fragment)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chaotic_plan(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            read_delay_probability: 0.3,
+            read_delay: Duration::from_millis(1),
+            write_delay_probability: 0.3,
+            write_delay: Duration::from_millis(1),
+            torn_frame_probability: 0.2,
+            disconnect_probability: 0.2,
+        }
+    }
+
+    #[test]
+    fn default_plan_injects_nothing() {
+        let mut faults = FaultPlan::default().connection(0);
+        for _ in 0..100 {
+            assert_eq!(faults.read_stall(), None);
+            assert_eq!(faults.write_fault(), WriteFault::None);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let mut a = chaotic_plan(42).connection(3);
+        let mut b = chaotic_plan(42).connection(3);
+        for _ in 0..200 {
+            assert_eq!(a.read_stall(), b.read_stall());
+            assert_eq!(a.write_fault(), b.write_fault());
+        }
+    }
+
+    #[test]
+    fn different_connections_get_different_schedules() {
+        let plan = chaotic_plan(42);
+        let (mut a, mut b) = (plan.connection(0), plan.connection(1));
+        let schedule = |faults: &mut ConnectionFaults| {
+            (0..64).map(|_| faults.write_fault()).collect::<Vec<_>>()
+        };
+        assert_ne!(schedule(&mut a), schedule(&mut b));
+    }
+
+    #[test]
+    fn chaotic_plan_eventually_draws_every_fault() {
+        let mut faults = chaotic_plan(7).connection(0);
+        let mut seen_stall = false;
+        let mut seen = [false; 4];
+        for _ in 0..500 {
+            seen_stall |= faults.read_stall().is_some();
+            match faults.write_fault() {
+                WriteFault::None => seen[0] = true,
+                WriteFault::Delay(_) => seen[1] = true,
+                WriteFault::TearFrame => seen[2] = true,
+                WriteFault::Disconnect => seen[3] = true,
+            }
+        }
+        assert!(seen_stall && seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn torn_frames_promise_more_than_they_deliver() {
+        let mut wire = Vec::new();
+        write_torn_frame(&mut wire).unwrap();
+        let declared = u32::from_be_bytes(wire[..4].try_into().unwrap()) as usize;
+        assert!(declared > wire.len() - 4, "the tear must under-deliver");
+        // A framed read of the tear fails mid-frame, not cleanly.
+        let err = crate::protocol::read_frame(&mut wire.as_slice(), 1 << 20).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+}

@@ -27,7 +27,18 @@
 //!   idle reclamations and contained panics are instrumented, and the
 //!   `metrics` request returns one coherent
 //!   [`quclear_telemetry::MetricsSnapshot`] covering the serve layer *and*
-//!   the engine's pipeline stages (renderable as Prometheus text).
+//!   the engine's pipeline stages (renderable as Prometheus text);
+//! * **overload protection** — admission is bounded
+//!   ([`ServerConfig::max_queued_connections`]): connections beyond the
+//!   queue cap are *shed* with a retryable `overloaded` error instead of
+//!   queueing without bound, and every admitted request runs under a
+//!   cooperative deadline ([`ServerConfig::request_deadline`]) answered as
+//!   `deadline_exceeded` when the budget runs out — both counted
+//!   (`quclear_serve_shed_total`, `quclear_serve_deadline_exceeded_total`);
+//! * **client resilience** — [`RetryPolicy`] gives the blocking [`Client`]
+//!   seeded exponential backoff with jitter, automatic reconnection, and
+//!   retries restricted to idempotent requests
+//!   ([`RequestKind::is_idempotent`]) failing transiently.
 //!
 //! # Examples
 //!
@@ -52,10 +63,14 @@
 #![warn(missing_debug_implementations)]
 
 mod client;
+#[cfg(any(test, feature = "faults"))]
+pub mod faults;
 pub mod protocol;
 mod server;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, RetryPolicy};
+#[cfg(any(test, feature = "faults"))]
+pub use faults::FaultPlan;
 pub use protocol::{
     CompiledSummary, Request, RequestKind, RequestLatencySummary, Response, ResponseBody,
     StatsSummary, WireError,

@@ -229,6 +229,22 @@ impl RequestKind {
             RequestKind::Shutdown => "shutdown",
         }
     }
+
+    /// Whether repeating this request after an ambiguous failure is safe.
+    ///
+    /// This is what a [`crate::RetryPolicy`] consults before re-sending: an
+    /// idempotent request executed twice (because the first response was
+    /// lost in transit) observes the same state transitions as executed
+    /// once. Compilation requests are pure functions of their payload served
+    /// through an idempotent cache; observability reads (`stats`, `metrics`,
+    /// `health`) have no side effects worth guarding. Only `shutdown` is
+    /// excluded — not because stopping twice is harmful, but because a
+    /// lifecycle command should never fire more times than the operator
+    /// asked for.
+    #[must_use]
+    pub fn is_idempotent(&self) -> bool {
+        !matches!(self, RequestKind::Shutdown)
+    }
 }
 
 /// A structured error carried by a failure response.
@@ -313,6 +329,15 @@ pub struct StatsSummary {
     pub requests_served: u64,
     /// Connections the server has accepted.
     pub connections_accepted: u64,
+    /// Connections shed at admission because the queue was full
+    /// ([`crate::ServerConfig::max_queued_connections`]). Zero when talking
+    /// to a server from before overload protection — decoding tolerates the
+    /// field's absence.
+    pub shed_connections: u64,
+    /// Requests answered `deadline_exceeded` because their
+    /// [`crate::ServerConfig::request_deadline`] budget ran out. Zero when
+    /// the field is absent (pre-overload-protection server).
+    pub deadline_exceeded: u64,
     /// Milliseconds since the server started.
     pub uptime_ms: u64,
     /// Per-request-kind latency digests (kinds the server has actually
@@ -577,6 +602,8 @@ impl Response {
                             "connections_accepted",
                             Json::Uint(stats.connections_accepted),
                         ));
+                        entries.push(("shed_connections", Json::Uint(stats.shed_connections)));
+                        entries.push(("deadline_exceeded", Json::Uint(stats.deadline_exceeded)));
                         entries.push(("uptime_ms", Json::Uint(stats.uptime_ms)));
                         entries.push((
                             "request_latencies",
@@ -703,6 +730,8 @@ impl Response {
                 hit_rate: field_f64(&tree, "hit_rate")?,
                 requests_served: field_u64(&tree, "requests_served")?,
                 connections_accepted: field_u64(&tree, "connections_accepted")?,
+                shed_connections: field_u64_or_zero(&tree, "shed_connections")?,
+                deadline_exceeded: field_u64_or_zero(&tree, "deadline_exceeded")?,
                 uptime_ms: field_u64(&tree, "uptime_ms")?,
                 request_latencies: latency_digests(&tree)?,
             }),
@@ -785,6 +814,18 @@ fn field_f64(tree: &Json, key: &str) -> Result<f64, WireError> {
     field(tree, key)?
         .as_f64()
         .ok_or_else(|| WireError::new("bad_request", format!("field `{key}` is not a number")))
+}
+
+/// Like [`field_u64`] but tolerating absence (decodes as 0) for counters
+/// added to the stats payload after the first protocol release; a *present*
+/// non-integer value is still an error.
+fn field_u64_or_zero(tree: &Json, key: &str) -> Result<u64, WireError> {
+    match tree.get(key) {
+        None => Ok(0),
+        Some(value) => value.as_u64().ok_or_else(|| {
+            WireError::new("bad_request", format!("field `{key}` is not an integer"))
+        }),
+    }
 }
 
 fn field_str(tree: &Json, key: &str) -> Result<String, WireError> {
@@ -947,6 +988,8 @@ mod tests {
                 hit_rate: 10.0 / 12.0,
                 requests_served: 15,
                 connections_accepted: 4,
+                shed_connections: 2,
+                deadline_exceeded: 1,
                 uptime_ms: 12345,
                 request_latencies: vec![
                     RequestLatencySummary {
@@ -1055,9 +1098,45 @@ mod tests {
             Ok(ResponseBody::Stats(stats)) => {
                 assert_eq!(stats.hits, 1);
                 assert!(stats.request_latencies.is_empty());
+                // Overload counters from after this payload's vintage
+                // default to zero.
+                assert_eq!(stats.shed_connections, 0);
+                assert_eq!(stats.deadline_exceeded, 0);
             }
             other => panic!("unexpected body {other:?}"),
         }
+    }
+
+    #[test]
+    fn only_shutdown_is_not_idempotent() {
+        assert!(RequestKind::Compile {
+            program: vec!["ZZ".into()],
+            angles: vec![0.1],
+        }
+        .is_idempotent());
+        assert!(RequestKind::Sweep {
+            program: vec!["ZZ".into()],
+            angle_sets: vec![],
+        }
+        .is_idempotent());
+        assert!(RequestKind::CompileQasm {
+            qasm: String::new()
+        }
+        .is_idempotent());
+        assert!(RequestKind::BindQasm {
+            qasm: String::new(),
+            angles: vec![],
+        }
+        .is_idempotent());
+        assert!(RequestKind::Absorb {
+            program: vec![],
+            observables: vec![],
+        }
+        .is_idempotent());
+        assert!(RequestKind::Stats.is_idempotent());
+        assert!(RequestKind::Metrics.is_idempotent());
+        assert!(RequestKind::Health.is_idempotent());
+        assert!(!RequestKind::Shutdown.is_idempotent());
     }
 
     #[test]

@@ -41,7 +41,7 @@ use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use quclear_engine::{Engine, EngineError};
+use quclear_engine::{Deadline, Engine, EngineError};
 use quclear_pauli::{PauliRotation, SignedPauli};
 use quclear_telemetry::{Counter, Gauge, Histogram, MetricsRegistry};
 
@@ -97,6 +97,28 @@ pub struct ServerConfig {
     /// and newly accepted connections would queue forever. The same clock
     /// also bounds half-sent (stalled) frames.
     pub idle_timeout: Option<Duration>,
+    /// Bounded admission: accepted connections waiting for a free worker
+    /// beyond this count are **shed** — answered with a best-effort
+    /// `overloaded` error frame and closed — instead of queueing without
+    /// bound. Shedding keeps the time-in-system of admitted work bounded
+    /// under overload (a deep queue serves every request, each uselessly
+    /// late); shed clients are expected to back off and retry
+    /// ([`crate::RetryPolicy`] does). Clamped to ≥ 1.
+    pub max_queued_connections: usize,
+    /// Cooperative per-request time budget (`None` = unbounded). The clock
+    /// starts when a request frame has been read; the budget is checked
+    /// between pipeline stages (never preempting a running extraction) and
+    /// bounds how long a request may wait on another request's in-flight
+    /// compilation. An exceeded budget is answered as a structured
+    /// `deadline_exceeded` error on the request's id — a *transient* error:
+    /// the compile it detached from keeps running and warms the cache, so a
+    /// retry typically hits.
+    pub request_deadline: Option<Duration>,
+    /// Deterministic fault injection for chaos tests (`None` = no faults —
+    /// the only production behavior; the field exists only in test/`faults`
+    /// builds).
+    #[cfg(any(test, feature = "faults"))]
+    pub faults: Option<crate::faults::FaultPlan>,
 }
 
 impl Default for ServerConfig {
@@ -106,6 +128,10 @@ impl Default for ServerConfig {
             max_frame_bytes: MAX_FRAME_BYTES,
             allow_remote_shutdown: false,
             idle_timeout: Some(Duration::from_secs(300)),
+            max_queued_connections: 64,
+            request_deadline: Some(Duration::from_secs(5)),
+            #[cfg(any(test, feature = "faults"))]
+            faults: None,
         }
     }
 }
@@ -117,6 +143,9 @@ impl Default for ServerConfig {
 struct ServeMetrics {
     requests_served: Arc<Counter>,
     connections_accepted: Arc<Counter>,
+    shed: Arc<Counter>,
+    deadline_exceeded: Arc<Counter>,
+    accept_errors: Arc<Counter>,
     queue_depth: Arc<Gauge>,
     connections_active: Arc<Gauge>,
     connections_idle: Arc<Gauge>,
@@ -141,6 +170,18 @@ impl ServeMetrics {
             connections_accepted: registry.counter(
                 "quclear_serve_connections_accepted_total",
                 "connections accepted since the server started",
+            ),
+            shed: registry.counter(
+                "quclear_serve_shed_total",
+                "connections shed at admission because the queue was full",
+            ),
+            deadline_exceeded: registry.counter(
+                "quclear_serve_deadline_exceeded_total",
+                "requests answered deadline_exceeded (budget spent mid-pipeline)",
+            ),
+            accept_errors: registry.counter(
+                "quclear_serve_accept_errors_total",
+                "listener accept failures (e.g. fd exhaustion), each backed off",
             ),
             queue_depth: registry.gauge(
                 "quclear_serve_queue_depth",
@@ -222,6 +263,10 @@ struct Shared {
     shutdown: AtomicBool,
     started: Instant,
     metrics: ServeMetrics,
+    /// Admission index of the next connection, used to key its
+    /// deterministic fault stream.
+    #[cfg(any(test, feature = "faults"))]
+    fault_connections: std::sync::atomic::AtomicU64,
 }
 
 impl Shared {
@@ -250,6 +295,8 @@ impl Shared {
             hit_rate: engine.hit_rate(),
             requests_served: self.metrics.requests_served.get(),
             connections_accepted: self.metrics.connections_accepted.get(),
+            shed_connections: self.metrics.shed.get(),
+            deadline_exceeded: self.metrics.deadline_exceeded.get(),
             uptime_ms: self.started.elapsed().as_millis() as u64,
             request_latencies,
         }
@@ -266,6 +313,12 @@ pub struct Server {
     shared: Arc<Shared>,
     local_addr: SocketAddr,
     threads: Vec<JoinHandle<()>>,
+    /// The handle's own view of the connection queue, kept so teardown can
+    /// drain streams that never reached a worker (see
+    /// [`Server::join_threads`]) — without it, queued connections would be
+    /// dropped with the channel and the `queue_depth` gauge would stay
+    /// nonzero forever.
+    queue: Arc<Mutex<Receiver<TcpStream>>>,
 }
 
 impl std::fmt::Debug for Shared {
@@ -303,11 +356,14 @@ impl Server {
             engine,
             config: ServerConfig {
                 workers: config.workers.max(1),
+                max_queued_connections: config.max_queued_connections.max(1),
                 ..config
             },
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
             metrics,
+            #[cfg(any(test, feature = "faults"))]
+            fault_connections: std::sync::atomic::AtomicU64::new(0),
         });
 
         let (tx, rx) = channel::<TcpStream>();
@@ -336,6 +392,7 @@ impl Server {
             shared,
             local_addr,
             threads,
+            queue: rx,
         })
     }
 
@@ -375,6 +432,23 @@ impl Server {
             // nothing left to give us; ignore its poison during teardown.
             let _ = handle.join();
         }
+        // Drain connections that were accepted but never reached a worker
+        // (possible when workers die early, or raced shutdown). Each queued
+        // stream was counted into `queue_depth` at admission; dropping them
+        // with the channel would leave the gauge nonzero forever — a lying
+        // dashboard after every restart.
+        let drained = {
+            let queue = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            std::iter::from_fn(|| queue.try_recv().ok()).count()
+        };
+        for _ in 0..drained {
+            self.shared.metrics.queue_depth.dec();
+        }
+        debug_assert_eq!(
+            self.shared.metrics.queue_depth.get(),
+            0,
+            "every queued connection is drained (workers or teardown)"
+        );
     }
 }
 
@@ -385,19 +459,34 @@ impl Drop for Server {
     }
 }
 
-/// Accepts connections until shutdown, handing streams to the worker pool.
+/// Longest the accept loop backs off after persistent listener errors.
+const MAX_ACCEPT_BACKOFF: Duration = Duration::from_secs(1);
+
+/// Accepts connections until shutdown, handing streams to the worker pool —
+/// or shedding them when the pool's queue is full (bounded admission).
 fn accept_loop(shared: &Shared, listener: &TcpListener, tx: &std::sync::mpsc::Sender<TcpStream>) {
+    let mut backoff = POLL_INTERVAL;
     loop {
         if shared.shutdown.load(Ordering::Acquire) {
             return; // dropping `tx` wakes every idle worker
         }
         match listener.accept() {
             Ok((stream, _peer)) => {
+                backoff = POLL_INTERVAL;
                 shared.metrics.connections_accepted.inc();
                 // Short read timeouts let workers poll the shutdown flag
                 // while parked on an idle connection.
                 let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
                 let _ = stream.set_nodelay(true);
+                // Bounded admission: when every worker is busy and the queue
+                // is at capacity, shed this connection instead of queueing
+                // it. Queueing past the bound serves *every* request — each
+                // uselessly late; shedding answers immediately with a
+                // retryable error and keeps admitted requests fast.
+                if shared.metrics.queue_depth.get() >= shared.config.max_queued_connections as i64 {
+                    shed(shared, stream);
+                    continue;
+                }
                 shared.metrics.queue_depth.inc();
                 if tx.send(stream).is_err() {
                     shared.metrics.queue_depth.dec();
@@ -405,16 +494,49 @@ fn accept_loop(shared: &Shared, listener: &TcpListener, tx: &std::sync::mpsc::Se
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                backoff = POLL_INTERVAL;
                 std::thread::sleep(POLL_INTERVAL);
             }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(_) => {
-                // Listener failure (fd limit, teardown): back off and retry;
-                // shutdown remains the only way to stop serving.
-                std::thread::sleep(POLL_INTERVAL);
+                // Listener failure (fd exhaustion, teardown): count it and
+                // back off exponentially (capped) instead of busy-retrying a
+                // persistent failure every poll tick; a successful accept
+                // resets the backoff. Shutdown remains the only way to stop
+                // serving.
+                shared.metrics.accept_errors.inc();
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(MAX_ACCEPT_BACKOFF);
             }
         }
     }
+}
+
+/// Sheds one connection at admission: answers a best-effort `overloaded`
+/// error frame (id 0 — no request was read, so there is no id to echo) and
+/// closes. Best-effort means exactly that: the write gets a short timeout
+/// and its failure is ignored — under real overload the kindest thing is to
+/// get off the socket quickly. The client may see the structured error or
+/// just a closed/reset connection; both are retryable-transient to a
+/// [`crate::RetryPolicy`].
+fn shed(shared: &Shared, mut stream: TcpStream) {
+    shared.metrics.shed.inc();
+    let response = Response {
+        id: 0,
+        body: Err(WireError::new(
+            "overloaded",
+            format!(
+                "admission queue is full ({} connections waiting); retry with backoff",
+                shared.config.max_queued_connections
+            ),
+        )),
+    };
+    let _ = stream.set_write_timeout(Some(POLL_INTERVAL));
+    let _ = write_frame_with_limit(
+        &mut stream,
+        &response.encode(),
+        shared.config.max_frame_bytes,
+    );
 }
 
 /// What a handled request asks the connection loop to do next.
@@ -445,7 +567,25 @@ fn worker_loop(shared: &Shared, rx: &Arc<Mutex<Receiver<TcpStream>>>) {
 /// Serves one connection until EOF, a transport error, or shutdown.
 fn serve_connection(shared: &Shared, mut stream: TcpStream) {
     let _active = shared.metrics.connections_active.track();
+    // Chaos hook: each connection draws its own deterministic fault stream
+    // from the configured plan (no plan — the only production state — means
+    // no faults and no extra work).
+    #[cfg(any(test, feature = "faults"))]
+    let mut faults = shared.config.faults.as_ref().map(|plan| {
+        plan.connection(
+            shared
+                .fault_connections
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        )
+    });
     loop {
+        #[cfg(any(test, feature = "faults"))]
+        if let Some(stall) = faults
+            .as_mut()
+            .and_then(crate::faults::ConnectionFaults::read_stall)
+        {
+            std::thread::sleep(stall);
+        }
         let payload = {
             // Between frames the connection is idle: it holds a worker but
             // costs no CPU. The gauge pair (active, idle) makes pool
@@ -460,6 +600,18 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
         shared.metrics.frame_bytes_in.record(payload.len() as u64);
         let (response, continuation) = respond(shared, &payload);
         shared.metrics.requests_served.inc();
+        #[cfg(any(test, feature = "faults"))]
+        if let Some(faults) = faults.as_mut() {
+            match faults.write_fault() {
+                crate::faults::WriteFault::None => {}
+                crate::faults::WriteFault::Delay(stall) => std::thread::sleep(stall),
+                crate::faults::WriteFault::TearFrame => {
+                    let _ = crate::faults::write_torn_frame(&mut stream);
+                    return;
+                }
+                crate::faults::WriteFault::Disconnect => return,
+            }
+        }
         let sent = send_response(shared, &mut stream, response);
         if sent.is_err() || matches!(continuation, Continuation::CloseConnection) {
             return;
@@ -512,16 +664,29 @@ fn respond(shared: &Shared, payload: &[u8]) -> (Response, Continuation) {
     };
     let id = request.id;
     let kind_name = request.kind.name();
+    // The request's time-in-system budget starts now — after the frame was
+    // read, before any pipeline stage. One absolute deadline is shared by
+    // every stage (and every job of a batch), so slow stages eat into the
+    // budget of later ones rather than each getting a fresh allowance.
+    let deadline = shared
+        .config
+        .request_deadline
+        .map_or(Deadline::none(), Deadline::within);
     let start = Instant::now();
-    let outcome = catch_unwind(AssertUnwindSafe(|| handle_request(shared, request.kind)));
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        handle_request(shared, request.kind, deadline)
+    }));
     shared
         .metrics
         .duration(kind_name)
         .record_duration(start.elapsed());
     match outcome {
         Ok((body, continuation)) => {
-            if body.is_err() {
+            if let Err(error) = &body {
                 shared.metrics.error(kind_name).inc();
+                if error.kind == "deadline_exceeded" {
+                    shared.metrics.deadline_exceeded.inc();
+                }
             }
             (Response { id, body }, continuation)
         }
@@ -547,31 +712,33 @@ fn respond(shared: &Shared, payload: &[u8]) -> (Response, Continuation) {
     }
 }
 
-/// Dispatches one decoded request against the shared engine.
+/// Dispatches one decoded request against the shared engine under the
+/// request's deadline.
 fn handle_request(
     shared: &Shared,
     kind: RequestKind,
+    deadline: Deadline,
 ) -> (Result<ResponseBody, WireError>, Continuation) {
     let body = match kind {
-        RequestKind::Compile { program, angles } => compile(shared, &program, &angles),
+        RequestKind::Compile { program, angles } => compile(shared, &program, &angles, deadline),
         RequestKind::Sweep {
             program,
             angle_sets,
-        } => sweep(shared, &program, &angle_sets),
+        } => sweep(shared, &program, &angle_sets, deadline),
         RequestKind::CompileQasm { qasm } => shared
             .engine
-            .compile_qasm(&qasm)
+            .compile_qasm_with_deadline(&qasm, deadline)
             .map(|result| ResponseBody::Compiled(summarize(&result)))
             .map_err(|e| engine_error(&e)),
         RequestKind::BindQasm { qasm, angles } => shared
             .engine
-            .bind_qasm(&qasm, &angles)
+            .bind_qasm_with_deadline(&qasm, &angles, deadline)
             .map(|result| ResponseBody::Compiled(summarize(&result)))
             .map_err(|e| engine_error(&e)),
         RequestKind::Absorb {
             program,
             observables,
-        } => absorb(shared, &program, &observables),
+        } => absorb(shared, &program, &observables, deadline),
         RequestKind::Stats => Ok(ResponseBody::Stats(shared.stats())),
         RequestKind::Metrics => Ok(ResponseBody::Metrics(shared.engine.metrics_snapshot())),
         RequestKind::Health => Ok(ResponseBody::Health {
@@ -626,12 +793,17 @@ fn to_rotations(axes: &[SignedPauli], angles: &[f64]) -> Result<Vec<PauliRotatio
         .collect())
 }
 
-fn compile(shared: &Shared, program: &[String], angles: &[f64]) -> Result<ResponseBody, WireError> {
+fn compile(
+    shared: &Shared,
+    program: &[String],
+    angles: &[f64],
+    deadline: Deadline,
+) -> Result<ResponseBody, WireError> {
     let axes = parse_axes(program)?;
     let rotations = to_rotations(&axes, angles)?;
     shared
         .engine
-        .compile(&rotations)
+        .compile_with_deadline(&rotations, deadline)
         .map(|result| ResponseBody::Compiled(summarize(&result)))
         .map_err(|e| engine_error(&e))
 }
@@ -640,6 +812,7 @@ fn sweep(
     shared: &Shared,
     program: &[String],
     angle_sets: &[Vec<f64>],
+    deadline: Deadline,
 ) -> Result<ResponseBody, WireError> {
     let axes = parse_axes(program)?;
     // The engine's sweep binds raw angles against positive axes, so fold
@@ -661,7 +834,7 @@ fn sweep(
     let rotations = to_rotations(&axes, &vec![0.0; axes.len()])?;
     let results = shared
         .engine
-        .sweep(&rotations, &folded)
+        .sweep_with_deadline(&rotations, &folded, deadline)
         .map_err(|e| engine_error(&e))?;
     Ok(ResponseBody::Sweep(
         results
@@ -675,6 +848,7 @@ fn absorb(
     shared: &Shared,
     program: &[String],
     observables: &[String],
+    deadline: Deadline,
 ) -> Result<ResponseBody, WireError> {
     let axes = parse_axes(program)?;
     let rotations = to_rotations(&axes, &vec![0.0; axes.len()])?;
@@ -691,7 +865,7 @@ fn absorb(
         .collect::<Result<_, _>>()?;
     let absorbed = shared
         .engine
-        .absorb_observables(&rotations, &parsed)
+        .absorb_observables_with_deadline(&rotations, &parsed, deadline)
         .map_err(|e| engine_error(&e))?;
     Ok(ResponseBody::Absorbed {
         observables: absorbed.to_vec().iter().map(ToString::to_string).collect(),
@@ -718,6 +892,7 @@ fn engine_error(error: &EngineError) -> WireError {
         EngineError::NonFiniteAngle { .. } => "non_finite_angle",
         EngineError::CompilationPanicked { .. } => "panicked",
         EngineError::NotAbsorbable(_) => "not_absorbable",
+        EngineError::DeadlineExceeded => "deadline_exceeded",
     };
     WireError::new(kind, error.to_string())
 }

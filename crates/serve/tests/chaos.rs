@@ -1,0 +1,483 @@
+//! Chaos suite: the server under deterministic fault injection.
+//!
+//! Every test arms a seeded [`FaultPlan`] (transport faults: read/write
+//! stalls, torn frames, mid-response disconnects) and/or the engine's fault
+//! seams (compile panics and delays), then asserts the overload-protection
+//! acceptance properties:
+//!
+//! 1. **No worker death** — after any fault storm, a fresh client is still
+//!    served (and a retrying client completes *through* the storm).
+//! 2. **Typed outcomes** — every in-flight request terminates as exactly one
+//!    of: success, `overloaded`, `deadline_exceeded`, a contained
+//!    `panicked`, or a transport error. Nothing hangs, nothing is
+//!    misattributed (a protocol error fails the test).
+//! 3. **Gauges drain** — `queue_depth`, `connections_active` and
+//!    `connections_idle` all return to zero once clients are gone and the
+//!    server has stopped.
+//! 4. **Bounded admission** — with a tiny queue and a slow engine, excess
+//!    connections are shed with the retryable `overloaded` error, and the
+//!    books balance: shed + connections that reached a worker = accepted.
+//!
+//! Determinism: the fault schedules derive from plan seeds (see
+//! `quclear_serve::faults`), so a failure replays from the seed in the
+//! assertion message.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use quclear_engine::{Engine, ProgramFingerprint};
+use quclear_pauli::PauliRotation;
+use quclear_serve::{
+    Client, ClientError, FaultPlan, RequestKind, RetryPolicy, Server, ServerConfig,
+};
+
+/// A deterministic pseudo-random program; `tag` selects the structure.
+fn program_axes(tag: u64, rotations: usize) -> Vec<String> {
+    let n = 10;
+    let ops = ['X', 'Y', 'Z', 'I'];
+    let mut state = tag.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..rotations)
+        .map(|_| {
+            let mut axis: String = (0..n).map(|_| ops[(next() % 4) as usize]).collect();
+            if !axis.bytes().any(|b| b != b'I') {
+                axis.replace_range(0..1, "Z");
+            }
+            axis
+        })
+        .collect()
+}
+
+fn fingerprint_of(engine: &Engine, axes: &[String]) -> ProgramFingerprint {
+    let rotations: Vec<PauliRotation> = axes
+        .iter()
+        .map(|axis| PauliRotation::parse(axis, 0.0).unwrap())
+        .collect();
+    ProgramFingerprint::of_program(&rotations, engine.config())
+}
+
+fn compile_request(axes: &[String]) -> RequestKind {
+    RequestKind::Compile {
+        program: axes.to_vec(),
+        angles: (0..axes.len()).map(|i| 0.1 + 0.05 * i as f64).collect(),
+    }
+}
+
+/// The closed set of ways a request under chaos may end. Anything outside
+/// it — above all a protocol/desync error — panics the classifying thread
+/// and fails the test.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Outcome {
+    Ok,
+    Overloaded,
+    DeadlineExceeded,
+    Panicked,
+    Transport,
+}
+
+fn classify(result: &Result<quclear_serve::ResponseBody, ClientError>) -> Outcome {
+    match result {
+        Ok(_) => Outcome::Ok,
+        Err(ClientError::Io(_)) => Outcome::Transport,
+        Err(ClientError::Remote(e)) if e.kind == "overloaded" => Outcome::Overloaded,
+        Err(ClientError::Remote(e)) if e.kind == "deadline_exceeded" => Outcome::DeadlineExceeded,
+        Err(ClientError::Remote(e)) if e.kind == "panicked" => Outcome::Panicked,
+        Err(other) => panic!("request ended with an untyped outcome: {other}"),
+    }
+}
+
+/// A retry policy generous enough to outlast any seeded storm in here.
+fn storm_proof_policy(seed: u64) -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 32,
+        initial_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(20),
+        total_budget: Duration::from_secs(30),
+        jitter: 0.5,
+        seed,
+    }
+}
+
+/// The headline storm: 13 concurrent clients against a server injecting
+/// read/write stalls, torn frames and disconnects, with the engine armed to
+/// panic on one structure and crawl on another. Every request must end
+/// typed, the server must outlive the storm, and every gauge must drain.
+#[test]
+fn fault_storm_leaves_the_server_serving_and_every_outcome_typed() {
+    const CLIENTS: u64 = 12;
+    const REQUESTS: u64 = 8;
+    let engine = Arc::new(Engine::new(256));
+    // Engine-level faults, armed through the existing seams: structure 7
+    // panics inside the cache lookup, structure 2 compiles slowly (which
+    // keeps single-flight waiters in play while the transport misbehaves).
+    engine.inject_lookup_panic(Some(fingerprint_of(&engine, &program_axes(7, 12))));
+    engine.inject_compile_delay(Some((
+        fingerprint_of(&engine, &program_axes(2, 12)),
+        Duration::from_millis(40),
+    )));
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Arc::clone(&engine),
+        ServerConfig {
+            workers: 6,
+            faults: Some(FaultPlan {
+                seed: 0xC4A05,
+                read_delay_probability: 0.2,
+                read_delay: Duration::from_millis(2),
+                write_delay_probability: 0.2,
+                write_delay: Duration::from_millis(2),
+                torn_frame_probability: 0.12,
+                disconnect_probability: 0.12,
+            }),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("binding an ephemeral port");
+    let addr = server.local_addr();
+
+    // Index order matches `Outcome`'s variants.
+    let counts: Arc<[AtomicU64; 5]> = Arc::new(Default::default());
+    let mut threads = Vec::new();
+    for i in 0..CLIENTS {
+        let counts = Arc::clone(&counts);
+        threads.push(std::thread::spawn(move || {
+            let axes = program_axes(i % 3, 12);
+            let mut client = Client::connect(addr).expect("connecting through the storm");
+            for r in 0..REQUESTS {
+                if client.is_broken() && client.reconnect().is_err() {
+                    counts[Outcome::Transport as usize].fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                let result = if r % 2 == 0 {
+                    client.request(compile_request(&axes))
+                } else {
+                    client.request(RequestKind::Health)
+                };
+                counts[classify(&result) as usize].fetch_add(1, Ordering::Relaxed);
+            }
+        }));
+    }
+    // A 13th client hammers the doomed structure: its compiles must come
+    // back as *contained* panics (or die on the faulty transport) — never
+    // hang, never kill a worker.
+    {
+        let counts = Arc::clone(&counts);
+        threads.push(std::thread::spawn(move || {
+            let axes = program_axes(7, 12);
+            let mut client = Client::connect(addr).expect("connecting through the storm");
+            for _ in 0..10 {
+                if client.is_broken() && client.reconnect().is_err() {
+                    counts[Outcome::Transport as usize].fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                let result = client.request(compile_request(&axes));
+                let outcome = classify(&result);
+                assert!(
+                    matches!(outcome, Outcome::Panicked | Outcome::Transport),
+                    "a doomed compile must end contained or dead, got {outcome:?}"
+                );
+                counts[outcome as usize].fetch_add(1, Ordering::Relaxed);
+            }
+        }));
+    }
+    for thread in threads {
+        thread.join().expect("no chaos client may die untyped");
+    }
+
+    let total: u64 = counts.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+    assert_eq!(total, CLIENTS * REQUESTS + 10, "every request ended typed");
+    assert!(
+        counts[Outcome::Ok as usize].load(Ordering::Relaxed) > 0,
+        "a storm this size must still serve successes"
+    );
+    assert!(
+        counts[Outcome::Panicked as usize].load(Ordering::Relaxed) > 0,
+        "the doomed structure must surface contained panics"
+    );
+
+    // No worker death: a retrying client completes *after* the storm, on
+    // the same still-faulty server.
+    let mut survivor = Client::connect(addr).expect("the server must still accept");
+    survivor.set_retry_policy(Some(storm_proof_policy(42)));
+    survivor
+        .request(compile_request(&program_axes(1, 12)))
+        .expect("a retrying client completes against the still-faulty server");
+    assert!(survivor.request(RequestKind::Health).is_ok());
+    drop(survivor);
+
+    // Engine invariants survived the storm.
+    let stats = engine.stats();
+    assert!(stats.coalesced_waits <= stats.hits + stats.misses);
+
+    server.stop();
+    let snapshot = engine.metrics_snapshot();
+    for gauge in [
+        "quclear_serve_queue_depth",
+        "quclear_serve_connections_active",
+        "quclear_serve_connections_idle",
+    ] {
+        assert_eq!(
+            snapshot.gauge_value(gauge, None),
+            Some(0),
+            "{gauge} must drain to zero after stop"
+        );
+    }
+}
+
+/// Retry completion: with a generous policy, every idempotent request
+/// completes despite torn frames, disconnects and stalls — the storm costs
+/// retries and reconnects, never results.
+#[test]
+fn retry_policy_completes_every_idempotent_request_despite_faults() {
+    const CLIENTS: u64 = 12;
+    const REQUESTS: u64 = 4;
+    let engine = Arc::new(Engine::new(256));
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Arc::clone(&engine),
+        ServerConfig {
+            workers: 6,
+            faults: Some(FaultPlan {
+                seed: 0xBEE5,
+                read_delay_probability: 0.2,
+                read_delay: Duration::from_millis(2),
+                write_delay_probability: 0.2,
+                write_delay: Duration::from_millis(2),
+                torn_frame_probability: 0.1,
+                disconnect_probability: 0.1,
+            }),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("binding an ephemeral port");
+    let addr = server.local_addr();
+
+    let total_retries = Arc::new(AtomicU64::new(0));
+    let total_reconnects = Arc::new(AtomicU64::new(0));
+    let mut threads = Vec::new();
+    for i in 0..CLIENTS {
+        let (retries, reconnects) = (Arc::clone(&total_retries), Arc::clone(&total_reconnects));
+        threads.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("connecting");
+            client.set_retry_policy(Some(storm_proof_policy(i)));
+            let axes = program_axes(i % 4, 10);
+            for r in 0..REQUESTS {
+                let result = if r % 2 == 0 {
+                    client.request(compile_request(&axes))
+                } else {
+                    client.request(RequestKind::Stats)
+                };
+                result.unwrap_or_else(|e| {
+                    panic!("client {i} request {r} must complete under retry, got {e}")
+                });
+            }
+            retries.fetch_add(client.retries(), Ordering::Relaxed);
+            reconnects.fetch_add(client.reconnects(), Ordering::Relaxed);
+        }));
+    }
+    for thread in threads {
+        thread.join().expect("no retrying client may fail");
+    }
+    // The storm was real: at this fault rate, 48 completed requests without
+    // a single retry would mean the policy never engaged.
+    assert!(
+        total_retries.load(Ordering::Relaxed) + total_reconnects.load(Ordering::Relaxed) > 0,
+        "a seeded storm must have cost at least one retry or reconnect"
+    );
+    server.stop();
+}
+
+/// Bounded admission: one worker owning a slow compile, a queue of one —
+/// every further connection is shed with the typed `overloaded` error, and
+/// the books balance exactly: accepted = shed + reached-a-worker.
+#[test]
+fn overload_sheds_excess_connections_and_the_books_balance() {
+    let engine = Arc::new(Engine::new(64));
+    let axes = program_axes(11, 16);
+    engine.inject_compile_delay(Some((
+        fingerprint_of(&engine, &axes),
+        Duration::from_millis(400),
+    )));
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Arc::clone(&engine),
+        ServerConfig {
+            workers: 1,
+            max_queued_connections: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("binding an ephemeral port");
+    let addr = server.local_addr();
+
+    // Client A occupies the only worker with the slow compile.
+    let slow_axes = axes.clone();
+    let slow = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).expect("connecting the slow client");
+        client.request(compile_request(&slow_axes))
+    });
+    std::thread::sleep(Duration::from_millis(100)); // worker now owns A
+
+    // Client B lands in the (size-1) queue and waits its turn.
+    let mut queued = Client::connect(addr).expect("connecting the queued client");
+    std::thread::sleep(Duration::from_millis(50));
+
+    // Four more connections find the queue full and are shed.
+    let mut shed_clients = Vec::new();
+    for _ in 0..4 {
+        shed_clients.push(Client::connect(addr).expect("shed connections still accept"));
+        std::thread::sleep(Duration::from_millis(30));
+    }
+    for (i, client) in shed_clients.iter_mut().enumerate() {
+        let error = client
+            .request(RequestKind::Health)
+            .expect_err("a shed connection cannot be served");
+        assert!(
+            error.is_transient(),
+            "shed client {i} must see a retryable outcome, got {error}"
+        );
+        if let Some(remote) = error.remote() {
+            assert_eq!(remote.kind, "overloaded");
+        }
+        assert!(client.is_broken(), "a shed connection is done");
+    }
+
+    // The slow compile itself completed: shedding protected it, not broke it.
+    assert!(slow.join().expect("slow client thread").is_ok());
+
+    // With the worker free again, the queued client is served normally.
+    let stats = match queued
+        .request(RequestKind::Stats)
+        .expect("the queued client is served once the worker frees")
+    {
+        quclear_serve::ResponseBody::Stats(stats) => stats,
+        other => panic!("unexpected body {other:?}"),
+    };
+    assert_eq!(stats.shed_connections, 4);
+    assert_eq!(stats.connections_accepted, 6);
+    // accepted = shed + connections that reached a worker (A and B).
+    assert_eq!(
+        stats.connections_accepted,
+        stats.shed_connections + 2,
+        "admission accounting must balance"
+    );
+
+    drop(queued);
+    drop(shed_clients);
+    server.stop();
+    assert_eq!(
+        engine
+            .metrics_snapshot()
+            .gauge_value("quclear_serve_queue_depth", None),
+        Some(0)
+    );
+}
+
+/// Request deadlines: a compile slower than the budget is answered with the
+/// typed, counted `deadline_exceeded` — and because the extraction it paid
+/// for still landed in the cache, the retry is a fast hit.
+#[test]
+fn deadline_exceeded_is_typed_counted_and_retry_hits_the_warmed_cache() {
+    let engine = Arc::new(Engine::new(64));
+    let axes = program_axes(5, 16);
+    engine.inject_compile_delay(Some((
+        fingerprint_of(&engine, &axes),
+        Duration::from_millis(400),
+    )));
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Arc::clone(&engine),
+        ServerConfig {
+            workers: 2,
+            request_deadline: Some(Duration::from_millis(100)),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("binding an ephemeral port");
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).expect("connecting");
+
+    let error = client
+        .request(compile_request(&axes))
+        .expect_err("a 400ms compile cannot fit a 100ms budget");
+    let remote = error.remote().expect("a structured server error");
+    assert_eq!(remote.kind, "deadline_exceeded");
+    assert!(error.is_transient(), "deadline misses invite a retry");
+
+    // The budget bounded the *answer*, not the extraction: the template the
+    // leader compiled landed in the cache, so the retry is a hit — served
+    // even under the same tight deadline.
+    engine.inject_compile_delay(None);
+    let started = Instant::now();
+    client
+        .request(compile_request(&axes))
+        .expect("the retry rides the warmed cache");
+    assert!(
+        started.elapsed() < Duration::from_millis(400),
+        "the retry must not pay for a second extraction"
+    );
+
+    let stats = engine.stats();
+    assert_eq!(stats.misses, 1, "one extraction, despite the deadline miss");
+    assert!(stats.hits >= 1, "the retry was a cache hit");
+    assert_eq!(
+        engine
+            .metrics_snapshot()
+            .counter_value("quclear_serve_deadline_exceeded_total", None),
+        Some(1)
+    );
+    drop(client);
+    server.stop();
+}
+
+/// Shutdown with a backed-up queue: queued connections that never reach a
+/// worker are drained at teardown and the `queue_depth` gauge lands on
+/// zero — not frozen at the backlog size (the restart-dashboard lie).
+#[test]
+fn stopping_with_a_backed_up_queue_drains_the_depth_gauge() {
+    let engine = Arc::new(Engine::new(64));
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Arc::clone(&engine),
+        ServerConfig {
+            workers: 1,
+            max_queued_connections: 8,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("binding an ephemeral port");
+    let addr = server.local_addr();
+
+    // One connection owns the worker; five more back up in the queue.
+    let owner = Client::connect(addr).expect("connecting the owning client");
+    std::thread::sleep(Duration::from_millis(100));
+    let queued: Vec<Client> = (0..5)
+        .map(|_| Client::connect(addr).expect("queued connections still accept"))
+        .collect();
+    std::thread::sleep(Duration::from_millis(100));
+    assert_eq!(
+        engine
+            .metrics_snapshot()
+            .gauge_value("quclear_serve_queue_depth", None),
+        Some(5),
+        "the backlog is visible while the worker is occupied"
+    );
+
+    // Stop with the queue still full: must neither hang nor leak depth.
+    server.stop();
+    assert_eq!(
+        engine
+            .metrics_snapshot()
+            .gauge_value("quclear_serve_queue_depth", None),
+        Some(0),
+        "teardown must drain every queued connection from the gauge"
+    );
+    drop(owner);
+    drop(queued);
+}

@@ -16,7 +16,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // One engine behind the server: its sharded template cache and
     // single-flight table are what every client shares.
     let engine = Arc::new(Engine::new(256));
-    let server = Server::bind("127.0.0.1:0", Arc::clone(&engine), ServerConfig::default())?;
+    let config = ServerConfig {
+        // Overload protection: admission beyond this queue depth is shed
+        // with a retryable `overloaded` error, and every admitted request
+        // runs under a cooperative time budget answered as
+        // `deadline_exceeded` when spent.
+        max_queued_connections: 64,
+        request_deadline: Some(std::time::Duration::from_secs(5)),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&engine), config)?;
     let addr = server.local_addr();
     println!("serving on {addr}");
 
@@ -24,11 +33,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ansatz = ["ZZII", "YXII", "IZZI", "IYXI", "IIZZ", "IIYX"];
 
     // Four clients sweep the same structure with different angles — the
-    // paper's VQE inner loop, but over TCP with a shared cache.
+    // paper's VQE inner loop, but over TCP with a shared cache. Each client
+    // carries a retry policy: a shed connection, a spent deadline or a dead
+    // socket costs a seeded backoff and a reconnect, not the result.
     std::thread::scope(|scope| {
         for client_id in 0..4 {
             scope.spawn(move || {
                 let mut client = Client::connect(addr).expect("connect");
+                client.set_retry_policy(Some(RetryPolicy::default()));
                 for step in 0..5 {
                     let angles: Vec<f64> = (0..ansatz.len())
                         .map(|i| 0.1 * f64::from(client_id) + 0.07 * (step * i) as f64 + 0.01)
@@ -46,6 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     });
 
     let mut client = Client::connect(addr)?;
+    client.set_retry_policy(Some(RetryPolicy::default()));
 
     // A QASM front-door round trip through the same cache.
     let qasm = "OPENQASM 2.0;\nqreg q[3];\ncx q[0], q[1];\nrz(pi/3) q[1];\ncx q[0], q[1];\nu2(0.4, -0.9) q[2];\n";
@@ -92,6 +105,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         100.0 * stats.hit_rate,
         stats.requests_served,
         stats.connections_accepted,
+    );
+
+    // Overload-protection counters: how often the server shed at admission
+    // or ran a request out of budget, and what recovery cost this client.
+    println!(
+        "overload: {} connections shed, {} deadlines exceeded; this client \
+         retried {} times across {} reconnects",
+        stats.shed_connections,
+        stats.deadline_exceeded,
+        client.retries(),
+        client.reconnects(),
     );
 
     // Per-kind latency digests ride along on the same stats response.
