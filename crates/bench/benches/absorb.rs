@@ -15,6 +15,8 @@
 //! Record results with `CRITERION_JSON=<path> cargo bench -p quclear-bench
 //! --bench absorb`.
 
+use std::time::Instant;
+
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use quclear_core::{absorb_observables, compile, QuClearConfig, ShotBatch};
 use quclear_pauli::{BitVec, PauliFrame, PauliOp, PauliString, SignedPauli};
@@ -147,8 +149,114 @@ fn bench_ca_post(c: &mut Criterion) {
             });
         },
     );
+    let masks: Vec<BitVec> = supports.iter().map(|(_, mask)| mask.clone()).collect();
+    group.bench_with_input(
+        BenchmarkId::new("expectations_batched", SHOTS),
+        &packed,
+        |b, batch| {
+            b.iter(|| {
+                batch
+                    .parity_expectations(black_box(&masks))
+                    .iter()
+                    .sum::<f64>()
+            });
+        },
+    );
     group.finish();
 }
 
-criterion_group!(benches, bench_ca_pre, bench_ca_post);
+/// Noise margin for the lane-vs-scalar smoke: the wide-lane kernels must
+/// not be slower than the width-1 scalar instantiation beyond measurement
+/// jitter.
+const LANE_SLOWDOWN_TOLERANCE: f64 = 1.10;
+
+/// Best-of-N wall time of `f`, in nanoseconds.
+fn best_of<F: FnMut() -> u64>(mut f: F) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut sink = 0u64;
+    for _ in 0..5 {
+        let start = Instant::now();
+        sink = sink.wrapping_add(f());
+        best = best.min(start.elapsed().as_nanos() as f64);
+    }
+    (best, sink)
+}
+
+/// The acceptance smoke: on an absorb-shaped workload (1M shots packed into
+/// bit planes, 64 observables) the wide-lane kernels behind
+/// `parity_expectation` and `mul_planes` must never run slower than their
+/// scalar (width-1) instantiations. Runs in `--test` mode too, where the
+/// criterion stand-in skips timing but this `Instant` loop does not.
+fn lane_vs_scalar_smoke(_c: &mut Criterion) {
+    const N: usize = 20;
+    const WORDS: usize = SHOTS / 64;
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    let planes: Vec<Vec<u64>> = (0..N)
+        .map(|_| (0..WORDS).map(|_| rng.gen_range(0..u64::MAX)).collect())
+        .collect();
+    let supports: Vec<Vec<usize>> = (0..EXPECTATION_OBSERVABLES)
+        .map(|_| (0..N).filter(|_| rng.gen_bool(0.3)).collect())
+        .collect();
+
+    // Expectation path: XOR-fold + popcount over each support's planes.
+    let fold = |width_is_lane: bool| -> u64 {
+        supports
+            .iter()
+            .map(|support| {
+                let srcs: Vec<&[u64]> = support.iter().map(|&q| planes[q].as_slice()).collect();
+                if width_is_lane {
+                    simd::xor_popcount_w::<{ simd::LANE_WORDS }>(black_box(&srcs), WORDS)
+                } else {
+                    simd::xor_popcount_w::<1>(black_box(&srcs), WORDS)
+                }
+            })
+            .sum()
+    };
+    let (scalar_ns, scalar_sum) = best_of(|| fold(false));
+    let (lane_ns, lane_sum) = best_of(|| fold(true));
+    assert_eq!(scalar_sum, lane_sum, "lane fold disagrees with scalar fold");
+    let ratio = lane_ns / scalar_ns;
+    println!(
+        "absorb/lane_vs_scalar_smoke: xor_popcount lane={:.2} ms scalar={:.2} ms ratio={ratio:.3} \
+         (lane_words={})",
+        lane_ns / 1e6,
+        scalar_ns / 1e6,
+        simd::LANE_WORDS,
+    );
+    assert!(
+        ratio < LANE_SLOWDOWN_TOLERANCE,
+        "wide-lane xor_popcount is {ratio:.3}x the scalar path (tolerance {LANE_SLOWDOWN_TOLERANCE})"
+    );
+
+    // Map path: fused multi-source XOR into a destination row.
+    let xor_many = |width_is_lane: bool| -> u64 {
+        let mut acc = 0u64;
+        let mut dst = vec![0u64; WORDS];
+        for support in &supports {
+            let srcs: Vec<&[u64]> = support.iter().map(|&q| planes[q].as_slice()).collect();
+            if width_is_lane {
+                simd::xor_many_into_w::<{ simd::LANE_WORDS }>(black_box(&mut dst), &srcs);
+            } else {
+                simd::xor_many_into_w::<1>(black_box(&mut dst), &srcs);
+            }
+            acc = acc.wrapping_add(dst[WORDS / 2]);
+        }
+        acc
+    };
+    let (scalar_ns, scalar_acc) = best_of(|| xor_many(false));
+    let (lane_ns, lane_acc) = best_of(|| xor_many(true));
+    assert_eq!(scalar_acc, lane_acc, "lane xor_many disagrees with scalar");
+    let ratio = lane_ns / scalar_ns;
+    println!(
+        "absorb/lane_vs_scalar_smoke: xor_many lane={:.2} ms scalar={:.2} ms ratio={ratio:.3}",
+        lane_ns / 1e6,
+        scalar_ns / 1e6,
+    );
+    assert!(
+        ratio < LANE_SLOWDOWN_TOLERANCE,
+        "wide-lane xor_many_into is {ratio:.3}x the scalar path (tolerance {LANE_SLOWDOWN_TOLERANCE})"
+    );
+}
+
+criterion_group!(benches, bench_ca_pre, bench_ca_post, lane_vs_scalar_smoke);
 criterion_main!(benches);

@@ -10,6 +10,12 @@
 use std::fmt;
 
 use quclear_pauli::BitVec;
+use rayon::prelude::*;
+
+/// Minimum total words of output (rows × plane words) before
+/// [`Gf2Matrix::mul_planes`] fans rows out to the rayon pool; smaller
+/// products are faster sequential than the thread-spawn overhead.
+const MUL_PLANES_PAR_WORDS: usize = 1 << 14;
 
 /// A square matrix over GF(2) with bit-packed rows.
 ///
@@ -163,6 +169,12 @@ impl Gf2Matrix {
     /// batch, and output plane `r` is the XOR of the input planes selected by
     /// row `r` — the packed matvec behind bit-plane CA-Post.
     ///
+    /// Each output plane is produced in a **single fused pass**
+    /// ([`simd::xor_many_into`]): every selected input plane is read once and
+    /// the output written once, instead of one read-modify-write sweep per
+    /// selected column. Rows are independent, so large products fan out to
+    /// the rayon pool (in row order, deterministically).
+    ///
     /// # Panics
     ///
     /// Panics if `planes.len()` differs from the dimension or the planes have
@@ -175,16 +187,18 @@ impl Gf2Matrix {
             "plane count must match matrix dimension"
         );
         let shots = planes.first().map_or(0, BitVec::len);
-        self.rows
-            .iter()
-            .map(|row| {
-                let mut out = BitVec::zeros(shots);
-                for c in row.iter_ones() {
-                    out.xor_with(&planes[c]);
-                }
-                out
-            })
-            .collect()
+        let words = shots.div_ceil(64);
+        let one_row = |row: &BitVec| {
+            let mut out = BitVec::zeros(shots);
+            let srcs: Vec<&[u64]> = row.iter_ones().map(|c| planes[c].words()).collect();
+            simd::xor_many_into(out.words_mut(), &srcs);
+            out
+        };
+        if self.n * words >= MUL_PLANES_PAR_WORDS && rayon::current_num_threads() > 1 {
+            self.rows.par_iter().map(one_row).collect()
+        } else {
+            self.rows.iter().map(one_row).collect()
+        }
     }
 
     /// The inverse matrix, if it exists (Gauss–Jordan elimination with

@@ -15,10 +15,20 @@
 
 use std::collections::BTreeMap;
 
-use quclear_pauli::{transpose64, BitVec, PauliString};
+use quclear_pauli::{transpose64_pack32, transpose64_top, BitVec, PauliString};
+use rayon::prelude::*;
 
 /// Number of bits per storage word (matches [`BitVec`]).
 const WORD_BITS: usize = 64;
+
+/// Minimum total words of work (observables × plane words) before
+/// [`ShotBatch::parity_expectations`] fans observables out to the rayon
+/// pool.
+const EXPECTATIONS_PAR_WORDS: usize = 1 << 14;
+
+/// Minimum 64-shot transpose blocks before pack/unpack fans blocks out to
+/// the rayon pool (each block is an independent 64×64 bit transpose).
+const TRANSPOSE_PAR_BLOCKS: usize = 1 << 10;
 
 /// A batch of measurement shots stored as per-qubit bit-planes.
 ///
@@ -58,15 +68,67 @@ impl ShotBatch {
         let count = shots.len();
         let words = count.div_ceil(WORD_BITS);
         let mut planes = vec![BitVec::zeros(count); n];
-        let mut block = [0u64; 64];
-        for w in 0..words {
-            let base = w * WORD_BITS;
-            let chunk = &shots[base..count.min(base + WORD_BITS)];
-            block[..chunk.len()].copy_from_slice(chunk);
-            block[chunk.len()..].fill(0);
-            transpose64(&mut block);
-            for (q, plane) in planes.iter_mut().enumerate() {
-                plane.words_mut()[w] = block[q];
+        if n == 0 {
+            return ShotBatch {
+                n,
+                shots: count,
+                planes,
+            };
+        }
+        // Each 64-shot block transposes independently; the plane stitch
+        // stays sequential (one word store per qubit per block). The
+        // parallel path materializes the transposed blocks; the sequential
+        // path scatters each block straight from registers so no
+        // blocks-sized intermediate ever leaves the cache. Only the first
+        // `n` of each block's 64 transposed rows become planes, so the
+        // butterfly ladder is pruned to that prefix — and for `n ≤ 32` the
+        // source load fuses with the first stage into a half-size block.
+        let parallel = words >= TRANSPOSE_PAR_BLOCKS && rayon::current_num_threads() > 1;
+        if n <= 32 {
+            let pack_block = |w: &usize| -> [u64; 32] {
+                let base = *w * WORD_BITS;
+                transpose64_pack32(&shots[base..count.min(base + WORD_BITS)], n)
+            };
+            if parallel {
+                let word_idx: Vec<usize> = (0..words).collect();
+                let blocks: Vec<[u64; 32]> = word_idx.par_iter().map(pack_block).collect();
+                for (w, block) in blocks.iter().enumerate() {
+                    for (q, plane) in planes.iter_mut().enumerate() {
+                        plane.words_mut()[w] = block[q];
+                    }
+                }
+            } else {
+                for w in 0..words {
+                    let block = pack_block(&w);
+                    for (q, plane) in planes.iter_mut().enumerate() {
+                        plane.words_mut()[w] = block[q];
+                    }
+                }
+            }
+        } else {
+            let transpose_block = |w: &usize| -> [u64; 64] {
+                let base = *w * WORD_BITS;
+                let chunk = &shots[base..count.min(base + WORD_BITS)];
+                let mut block = [0u64; 64];
+                block[..chunk.len()].copy_from_slice(chunk);
+                transpose64_top(&mut block, n);
+                block
+            };
+            if parallel {
+                let word_idx: Vec<usize> = (0..words).collect();
+                let blocks: Vec<[u64; 64]> = word_idx.par_iter().map(transpose_block).collect();
+                for (w, block) in blocks.iter().enumerate() {
+                    for (q, plane) in planes.iter_mut().enumerate() {
+                        plane.words_mut()[w] = block[q];
+                    }
+                }
+            } else {
+                for w in 0..words {
+                    let block = transpose_block(&w);
+                    for (q, plane) in planes.iter_mut().enumerate() {
+                        plane.words_mut()[w] = block[q];
+                    }
+                }
             }
         }
         ShotBatch {
@@ -142,16 +204,35 @@ impl ShotBatch {
     pub fn to_indices(&self) -> Vec<u64> {
         let words = self.shots.div_ceil(WORD_BITS);
         let mut out = vec![0u64; self.shots];
-        let mut block = [0u64; 64];
-        for w in 0..words {
+        if self.shots == 0 {
+            return out;
+        }
+        // Only the shots actually present in a block are copied out, so the
+        // tail block's transpose is pruned to its occupied prefix.
+        let transpose_block = |w: &usize| -> [u64; 64] {
+            let mut block = [0u64; 64];
             for (q, plane) in self.planes.iter().enumerate() {
-                block[q] = plane.words()[w];
+                block[q] = plane.words()[*w];
             }
-            block[self.n..].fill(0);
-            transpose64(&mut block);
-            let base = w * WORD_BITS;
-            let take = self.shots.min(base + WORD_BITS) - base;
-            out[base..base + take].copy_from_slice(&block[..take]);
+            let take = self.shots.min((*w + 1) * WORD_BITS) - *w * WORD_BITS;
+            transpose64_top(&mut block, take);
+            block
+        };
+        if words >= TRANSPOSE_PAR_BLOCKS && rayon::current_num_threads() > 1 {
+            let word_idx: Vec<usize> = (0..words).collect();
+            let blocks: Vec<[u64; 64]> = word_idx.par_iter().map(transpose_block).collect();
+            for (w, block) in blocks.iter().enumerate() {
+                let base = w * WORD_BITS;
+                let take = self.shots.min(base + WORD_BITS) - base;
+                out[base..base + take].copy_from_slice(&block[..take]);
+            }
+        } else {
+            for w in 0..words {
+                let block = transpose_block(&w);
+                let base = w * WORD_BITS;
+                let take = self.shots.min(base + WORD_BITS) - base;
+                out[base..base + take].copy_from_slice(&block[..take]);
+            }
         }
         out
     }
@@ -170,6 +251,10 @@ impl ShotBatch {
     /// support planes is the per-shot parity, and its popcount counts the
     /// `−1` outcomes.
     ///
+    /// The XOR-fold and the popcount are fused ([`simd::xor_popcount`]): no
+    /// parity plane is ever materialized, so an observable costs one read of
+    /// each support plane and zero allocation regardless of the shot count.
+    ///
     /// Returns `0.0` for an empty batch.
     ///
     /// # Panics
@@ -185,12 +270,39 @@ impl ShotBatch {
         if self.shots == 0 {
             return 0.0;
         }
-        let mut parity = BitVec::zeros(self.shots);
-        for q in support.iter_ones() {
-            parity.xor_with(&self.planes[q]);
-        }
-        let minus = parity.count_ones() as f64;
+        let words = self.shots.div_ceil(WORD_BITS);
+        let srcs: Vec<&[u64]> = support
+            .iter_ones()
+            .map(|q| self.planes[q].words())
+            .collect();
+        let minus = simd::xor_popcount(&srcs, words) as f64;
         (self.shots as f64 - 2.0 * minus) / self.shots as f64
+    }
+
+    /// Estimates [`Self::parity_expectation`] for a whole set of observables
+    /// at once, fanning the (independent) observables out to the rayon pool
+    /// when the batch is large enough to amortize the threads.
+    ///
+    /// The result order matches the input order and is bit-identical to
+    /// calling [`Self::parity_expectation`] per support sequentially.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any mask length differs from the qubit count.
+    #[must_use]
+    pub fn parity_expectations(&self, supports: &[BitVec]) -> Vec<f64> {
+        let words = self.shots.div_ceil(WORD_BITS);
+        if supports.len() * words >= EXPECTATIONS_PAR_WORDS && rayon::current_num_threads() > 1 {
+            supports
+                .par_iter()
+                .map(|s| self.parity_expectation(s))
+                .collect()
+        } else {
+            supports
+                .iter()
+                .map(|s| self.parity_expectation(s))
+                .collect()
+        }
     }
 
     /// [`Self::parity_expectation`] with the support taken from a Pauli
@@ -208,9 +320,7 @@ impl ShotBatch {
             "observable qubit count must match the batch"
         );
         let mut support = observable.x_bits().clone();
-        for q in observable.z_bits().iter_ones() {
-            support.set(q, true);
-        }
+        support.or_with(observable.z_bits());
         self.parity_expectation(&support)
     }
 }
@@ -221,6 +331,7 @@ mod tests {
 
     #[test]
     fn transpose64_is_an_involution_and_moves_bits() {
+        use quclear_pauli::transpose64;
         let mut a = [0u64; 64];
         a[3] = 1 << 17;
         a[63] = (1 << 0) | (1 << 63);

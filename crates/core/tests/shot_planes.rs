@@ -103,4 +103,31 @@ proptest! {
             .sum::<f64>() / shots.len() as f64;
         prop_assert!((batch.parity_expectation(&support) - scalar).abs() < 1e-12);
     }
+
+    /// The batched `parity_expectations` sweep returns exactly the same
+    /// values, in the same order, as calling `parity_expectation` per
+    /// support — the parallel path must be bit-identical to the scalar one.
+    #[test]
+    fn batched_expectations_match_per_support_calls(
+        shots in prop::collection::vec(0u64..(1 << 11), 1..200),
+        masks in prop::collection::vec(0u64..(1 << 11), 0..40),
+    ) {
+        let batch = ShotBatch::from_indices(11, &shots);
+        let supports: Vec<BitVec> = masks
+            .iter()
+            .map(|&mask| {
+                let mut support = BitVec::zeros(11);
+                for q in 0..11 {
+                    support.set(q, mask & (1 << q) != 0);
+                }
+                support
+            })
+            .collect();
+        let batched = batch.parity_expectations(&supports);
+        prop_assert_eq!(batched.len(), supports.len());
+        for (got, support) in batched.iter().zip(&supports) {
+            // Exact equality: both paths run the identical word kernel.
+            prop_assert_eq!(*got, batch.parity_expectation(support));
+        }
+    }
 }

@@ -79,6 +79,14 @@ pub struct EngineStats {
     pub entries: usize,
     /// Configured cache capacity.
     pub capacity: usize,
+    /// Lane width of the bit-plane kernels, in 64-bit words (a compile-time
+    /// constant of the build: the `simd` shim's `lane*` feature; `1` means
+    /// the scalar fallback).
+    pub lane_words: usize,
+    /// Worker threads the parallel plane sweeps use when a sweep exceeds its
+    /// sequential cutoff (`rayon::current_num_threads()`; `1` means every
+    /// sweep runs sequentially).
+    pub sweep_threads: usize,
 }
 
 impl EngineStats {
@@ -246,6 +254,18 @@ impl Engine {
                 "configured template-cache capacity",
             )
             .set(cache.capacity() as i64);
+        metrics
+            .gauge(
+                "quclear_engine_kernel_lane_words",
+                "lane width of the bit-plane kernels in 64-bit words (1 = scalar fallback)",
+            )
+            .set(quclear_pauli::kernel_lane_words() as i64);
+        metrics
+            .gauge(
+                "quclear_engine_sweep_threads",
+                "worker threads available to the parallel plane sweeps",
+            )
+            .set(rayon::current_num_threads() as i64);
         Engine {
             inflight: SingleFlight::new(),
             hits: metrics.counter(
@@ -903,6 +923,8 @@ impl Engine {
             binds: self.binds.get(),
             entries: self.cache.len().min(self.cache.capacity()),
             capacity: self.cache.capacity(),
+            lane_words: quclear_pauli::kernel_lane_words(),
+            sweep_threads: rayon::current_num_threads(),
         }
     }
 

@@ -6,6 +6,11 @@
 //! deliberately small — only the operations needed by the Pauli/Clifford
 //! algebra are provided — but those operations are word-parallel so that
 //! conjugating Pauli strings through large Clifford tableaus stays cheap.
+//!
+//! The bulk operations (`xor_with`, `and_popcount`, …) run on the wide-lane
+//! kernels of the [`simd`] shim, so a single cargo feature on that crate
+//! (`lane2`/`lane4`/`lane8`) selects how many words every kernel in the
+//! workspace processes per step.
 
 use std::fmt;
 
@@ -119,7 +124,8 @@ impl BitVec {
     /// Number of bits set to one.
     #[must_use]
     pub fn count_ones(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        debug_assert!(self.tail_is_clear(), "dirty tail word in count_ones");
+        simd::popcount(&self.words) as usize
     }
 
     /// Returns `true` if no bit is set.
@@ -135,24 +141,44 @@ impl BitVec {
     /// Panics if the lengths differ.
     pub fn xor_with(&mut self, other: &BitVec) {
         assert_eq!(self.len, other.len, "length mismatch in BitVec::xor_with");
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a ^= b;
-        }
+        simd::xor_into(&mut self.words, &other.words);
     }
 
-    /// Returns the number of positions where both vectors have a one bit.
+    /// ORs `other` into `self` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn or_with(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "length mismatch in BitVec::or_with");
+        simd::or_into(&mut self.words, &other.words);
+    }
+
+    /// Returns the number of positions where both vectors have a one bit,
+    /// without materializing the AND.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    #[must_use]
+    pub fn and_popcount(&self, other: &BitVec) -> usize {
+        assert_eq!(
+            self.len, other.len,
+            "length mismatch in BitVec::and_popcount"
+        );
+        debug_assert!(self.tail_is_clear(), "dirty tail word in and_popcount");
+        debug_assert!(other.tail_is_clear(), "dirty tail word in and_popcount");
+        simd::and_popcount(&self.words, &other.words) as usize
+    }
+
+    /// Alias of [`BitVec::and_popcount`], kept for the original call sites.
     ///
     /// # Panics
     ///
     /// Panics if the lengths differ.
     #[must_use]
     pub fn and_count(&self, other: &BitVec) -> usize {
-        assert_eq!(self.len, other.len, "length mismatch in BitVec::and_count");
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
+        self.and_popcount(other)
     }
 
     /// Parity (XOR) of the AND of the two vectors; this is the symplectic
@@ -191,18 +217,30 @@ impl BitVec {
         }
         let first = start / WORD_BITS;
         let last = (end - 1) / WORD_BITS;
-        for w in first..=last {
-            let mut mask = u64::MAX;
-            if w == first {
-                mask &= u64::MAX << (start % WORD_BITS);
-            }
-            if w == last {
+        // Masked partial words at the two ends, wide lanes for the interior.
+        let mut lo = first;
+        if !start.is_multiple_of(WORD_BITS) {
+            let mut mask = u64::MAX << (start % WORD_BITS);
+            if first == last {
                 let tail = end % WORD_BITS;
                 if tail != 0 {
                     mask &= u64::MAX >> (WORD_BITS - tail);
                 }
             }
-            self.words[w] ^= other.words[w] & mask;
+            self.words[first] ^= other.words[first] & mask;
+            lo = first + 1;
+        }
+        if lo > last {
+            return;
+        }
+        let mut hi = last + 1;
+        let tail = end % WORD_BITS;
+        if tail != 0 && last >= lo {
+            self.words[last] ^= other.words[last] & (u64::MAX >> (WORD_BITS - tail));
+            hi = last;
+        }
+        if lo < hi {
+            simd::xor_into(&mut self.words[lo..hi], &other.words[lo..hi]);
         }
     }
 
@@ -215,9 +253,34 @@ impl BitVec {
     pub fn xor_with_and(&mut self, a: &BitVec, b: &BitVec) {
         assert_eq!(self.len, a.len, "length mismatch in BitVec::xor_with_and");
         assert_eq!(self.len, b.len, "length mismatch in BitVec::xor_with_and");
-        for ((s, wa), wb) in self.words.iter_mut().zip(&a.words).zip(&b.words) {
-            *s ^= wa & wb;
-        }
+        simd::xor_and_into(&mut self.words, &a.words, &b.words);
+    }
+
+    /// XORs the word-wise AND-NOT of `a` and `b` into `self`
+    /// (`self ^= a & !b`), the other sign-update primitive (`S†`/`√X`
+    /// conjugation flips signs where one plane is set and the other clear).
+    ///
+    /// The complement of `b` only exists lane-by-lane inside the kernel, so
+    /// its tail words never see the inverted padding bits — `self` stays
+    /// canonical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn xor_with_andnot(&mut self, a: &BitVec, b: &BitVec) {
+        assert_eq!(
+            self.len, a.len,
+            "length mismatch in BitVec::xor_with_andnot"
+        );
+        assert_eq!(
+            self.len, b.len,
+            "length mismatch in BitVec::xor_with_andnot"
+        );
+        simd::xor_andnot_into(&mut self.words, &a.words, &b.words);
+        // a & !b can set padding bits only where a's tail is dirty; a
+        // canonical `a` keeps `self` canonical. Checked, not re-masked, so
+        // the cost is debug-only.
+        debug_assert!(self.tail_is_clear(), "dirty tail word in xor_with_andnot");
     }
 
     /// The backing `u64` words, least-significant bit first.
@@ -235,9 +298,28 @@ impl BitVec {
     /// Callers must keep bits at positions `>= len()` zero: every counting
     /// operation (`count_ones`, `and_parity`, …) assumes the tail bits are a
     /// canonical zero padding. Writing garbage above `len()` silently
-    /// corrupts popcount-based results.
+    /// corrupts popcount-based results — debug builds catch it via the
+    /// [`BitVec::tail_is_clear`] assertions in the counting ops.
     pub fn words_mut(&mut self) -> &mut [u64] {
         &mut self.words
+    }
+
+    /// Returns `true` if every bit at position `>= len()` in the final
+    /// partial word is zero — the canonical-padding invariant that
+    /// popcount-based operations rely on.
+    ///
+    /// Always `true` unless a [`BitVec::words_mut`] caller wrote past the
+    /// logical length; counting operations `debug_assert!` it.
+    #[must_use]
+    pub fn tail_is_clear(&self) -> bool {
+        let tail = self.len % WORD_BITS;
+        if tail == 0 {
+            return true;
+        }
+        match self.words.last() {
+            Some(&last) => last & (u64::MAX << tail) == 0,
+            None => true,
+        }
     }
 
     /// Flips every bit in the vector (`self = !self`), masking the partial
@@ -270,19 +352,96 @@ impl BitVec {
 /// row-major bit vectors and column-major bit-planes (Pauli frames, shot
 /// batches): 4096 bits move in ~6·64 word operations, never one at a time.
 pub fn transpose64(a: &mut [u64; 64]) {
+    transpose64_top(a, 64);
+}
+
+/// [`transpose64`], but only the first `rows` output words are produced;
+/// the remaining words are left in an unspecified state.
+///
+/// Butterflies whose outputs all land past `rows` are skipped, so a partial
+/// transpose costs roughly `rows/64` of the full ladder plus the shared
+/// leading stages — packing `n`-qubit shot indices into `n < 64` planes
+/// (the `ShotBatch` ingest path in `quclear-core`) never pays for the
+/// 64 − n planes it is about to throw away. A stage with stride `j` only ever mixes rows
+/// within an aligned `2j`-block, so the rows needed *at* that stage are
+/// `rows` rounded up to the enclosing aligned `j`-blocks — everything below
+/// that bound is computed exactly as in the full transpose.
+///
+/// # Panics
+///
+/// Panics if `rows` is 0 or greater than 64.
+pub fn transpose64_top(a: &mut [u64; 64], rows: usize) {
+    assert!((1..=64).contains(&rows), "rows must be in 1..=64");
     let mut j = 32;
     let mut m: u64 = 0xFFFF_FFFF_0000_0000;
     while j != 0 {
+        // Output rows this stage must produce: the full aligned j-blocks
+        // covering `rows` (later stages never reach outside their block).
+        let needed = rows.div_ceil(j) * j;
         let mut k = 0;
-        while k < 64 {
+        while k < needed {
             let t = (a[k] ^ (a[k | j] << j)) & m;
             a[k] ^= t;
-            a[k | j] ^= t >> j;
+            if (k | j) < needed {
+                a[k | j] ^= t >> j;
+            }
             k = (k + j + 1) & !j;
         }
         j >>= 1;
         m ^= m >> j;
     }
+}
+
+/// Transposes up to 64 source words into their first `rows ≤ 32` transposed
+/// rows, fusing the source load with the stride-32 butterfly stage.
+///
+/// When at most 32 output rows are wanted, the stride-32 stage only keeps
+/// the low half of every butterfly, so the 64 source words collapse into a
+/// 32-word working block as they are first read — there is no 64-word copy
+/// and the remaining ladder runs on half the state. This is the hot path of
+/// shot-index packing (`ShotBatch::from_indices` in `quclear-core`) for
+/// `n ≤ 32` qubits. Source words past `chunk.len()` are treated as zero (a
+/// partial tail block of shots).
+///
+/// # Panics
+///
+/// Panics if `rows` is 0 or greater than 32, or `chunk` has more than 64
+/// words.
+#[must_use]
+pub fn transpose64_pack32(chunk: &[u64], rows: usize) -> [u64; 32] {
+    assert!((1..=32).contains(&rows), "rows must be in 1..=32");
+    assert!(
+        chunk.len() <= 64,
+        "a transpose block holds at most 64 words"
+    );
+    let src = |i: usize| chunk.get(i).copied().unwrap_or(0);
+    let mut a = [0u64; 32];
+    // Stride-32 stage fused with the load: only the low output rows are
+    // kept, so each pair (k, k+32) of source words produces one block word.
+    let m32: u64 = 0xFFFF_FFFF_0000_0000;
+    for (k, word) in a.iter_mut().enumerate() {
+        let x = src(k);
+        let t = (x ^ (src(k + 32) << 32)) & m32;
+        *word = x ^ t;
+    }
+    // Remaining ladder, pruned exactly as in [`transpose64_top`].
+    let mut j = 16;
+    let mut m: u64 = 0xFFFF_0000_FFFF_0000;
+    while j != 0 {
+        let needed = rows.div_ceil(j) * j;
+        let mut k = 0;
+        while k < needed {
+            let t = (a[k] ^ (a[k | j] << j)) & m;
+            a[k] ^= t;
+            if (k | j) < needed {
+                a[k | j] ^= t >> j;
+            }
+            k = (k + j + 1) & !j;
+        }
+        j >>= 1;
+        m ^= m >> j;
+    }
+    a
 }
 
 struct IterWordOnes {
@@ -508,6 +667,50 @@ mod tests {
     }
 
     #[test]
+    fn transpose64_top_matches_full_prefix_at_every_row_count() {
+        let mut base = [0u64; 64];
+        let mut s = 0x9e37_79b9u64;
+        for w in base.iter_mut() {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            *w = s;
+        }
+        let mut full = base;
+        transpose64(&mut full);
+        for rows in 1..=64 {
+            let mut partial = base;
+            transpose64_top(&mut partial, rows);
+            assert_eq!(partial[..rows], full[..rows], "rows = {rows}");
+        }
+    }
+
+    #[test]
+    fn transpose64_pack32_matches_full_at_every_row_count_and_chunk_len() {
+        let mut base = [0u64; 64];
+        let mut s = 0x51_7cc1u64;
+        for w in base.iter_mut() {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            *w = s;
+        }
+        for chunk_len in [0usize, 1, 13, 31, 32, 33, 57, 63, 64] {
+            let mut full = [0u64; 64];
+            full[..chunk_len].copy_from_slice(&base[..chunk_len]);
+            transpose64(&mut full);
+            for rows in 1..=32 {
+                let packed = transpose64_pack32(&base[..chunk_len], rows);
+                assert_eq!(
+                    packed[..rows],
+                    full[..rows],
+                    "chunk_len = {chunk_len}, rows = {rows}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn flip_all_masks_the_tail() {
         let mut b = BitVec::zeros(70);
         b.set(3, true);
@@ -523,6 +726,82 @@ mod tests {
         let mut c = BitVec::zeros(64);
         c.flip_all();
         assert_eq!(c.count_ones(), 64);
+    }
+
+    #[test]
+    fn or_with_combines() {
+        let mut a = BitVec::from_bools((0..130).map(|i| i % 3 == 0));
+        let b = BitVec::from_bools((0..130).map(|i| i % 5 == 0));
+        a.or_with(&b);
+        for i in 0..130 {
+            assert_eq!(a.get(i), i % 3 == 0 || i % 5 == 0, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn and_popcount_matches_and_count() {
+        let a = BitVec::from_bools((0..200).map(|i| i % 3 == 0));
+        let b = BitVec::from_bools((0..200).map(|i| i % 4 == 0));
+        let want = (0..200).filter(|i| i % 3 == 0 && i % 4 == 0).count();
+        assert_eq!(a.and_popcount(&b), want);
+        assert_eq!(a.and_count(&b), want);
+    }
+
+    #[test]
+    fn xor_with_andnot_matches_bitwise_definition() {
+        let a = BitVec::from_bools((0..100).map(|i| i % 3 == 0));
+        let b = BitVec::from_bools((0..100).map(|i| i % 5 == 0));
+        let mut s = BitVec::from_bools((0..100).map(|i| i % 7 == 0));
+        let mut expected = s.clone();
+        for i in 0..100 {
+            expected.set(i, expected.get(i) ^ (a.get(i) & !b.get(i)));
+        }
+        s.xor_with_andnot(&a, &b);
+        assert_eq!(s, expected);
+        assert!(s.tail_is_clear());
+    }
+
+    #[test]
+    fn xor_range_wide_interior_with_masked_ends() {
+        // Long enough that the interior spans several full lanes.
+        let mut a = BitVec::zeros(1000);
+        let b = BitVec::from_bools((0..1000).map(|i| i % 2 == 0));
+        a.xor_range(&b, 3, 997);
+        for i in 0..1000 {
+            let expected = (3..997).contains(&i) && i % 2 == 0;
+            assert_eq!(a.get(i), expected, "bit {i}");
+        }
+        // Word-aligned start, masked end only.
+        let mut c = BitVec::zeros(1000);
+        c.xor_range(&b, 64, 999);
+        for i in 0..1000 {
+            let expected = (64..999).contains(&i) && i % 2 == 0;
+            assert_eq!(c.get(i), expected, "bit {i}");
+        }
+        assert!(a.tail_is_clear() && c.tail_is_clear());
+    }
+
+    #[test]
+    fn tail_is_clear_tracks_padding() {
+        let mut b = BitVec::zeros(70);
+        assert!(b.tail_is_clear());
+        b.set(69, true);
+        assert!(b.tail_is_clear());
+        b.words_mut()[1] |= 1 << 20; // bit 84: past len
+        assert!(!b.tail_is_clear());
+        // Word-aligned lengths have no padding to dirty.
+        let mut c = BitVec::zeros(128);
+        c.words_mut()[1] = u64::MAX;
+        assert!(c.tail_is_clear());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "dirty tail word")]
+    fn dirty_tail_is_caught_by_counting_ops() {
+        let mut b = BitVec::zeros(70);
+        b.words_mut()[1] |= 1 << 30;
+        let _ = b.count_ones();
     }
 
     #[test]

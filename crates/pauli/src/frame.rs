@@ -35,10 +35,90 @@
 
 use std::fmt;
 
-use crate::bits::{transpose64, BitVec};
+use simd::Lane;
+
+use crate::bits::{transpose64_top, BitVec};
 use crate::op::PauliOp;
 use crate::signed::SignedPauli;
 use crate::string::PauliString;
+
+/// Lane width of the in-crate sweep kernels. The fused two-qubit sweeps
+/// keep five to six planes live per loop iteration, so lanes wider than one
+/// vector register spill to the stack and run slower than scalar. With AVX2
+/// a 4-word lane is one ymm register and everything stays resident, so the
+/// workspace-wide `simd::LANE_WORDS` knob applies up to 4; on narrower ISAs
+/// (SSE2/NEON baseline) these sweeps stay scalar.
+const LW: usize = if cfg!(target_feature = "avx2") {
+    if simd::LANE_WORDS < 4 {
+        simd::LANE_WORDS
+    } else {
+        4
+    }
+} else {
+    1
+};
+
+/// Disjoint mutable borrows of two planes of the same axis.
+fn pair_mut(planes: &mut [BitVec], a: usize, b: usize) -> (&mut BitVec, &mut BitVec) {
+    debug_assert_ne!(a, b);
+    if a < b {
+        let (lo, hi) = planes.split_at_mut(b);
+        (&mut lo[a], &mut hi[0])
+    } else {
+        let (lo, hi) = planes.split_at_mut(a);
+        (&mut hi[0], &mut lo[b])
+    }
+}
+
+/// The fused CX conjugation sweep over raw plane words (pre-update reads):
+/// `S ^= Xc & Zt & !(Xt ^ Zc)`, `Xt ^= Xc`, `Zc ^= Zt`.
+fn cx_sweep<const W: usize>(s: &mut [u64], xc: &[u64], xt: &mut [u64], zc: &mut [u64], zt: &[u64]) {
+    let len = s.len();
+    let mut i = 0;
+    while i + W <= len {
+        let lxc = Lane::<W>::load(&xc[i..]);
+        let lzt = Lane::<W>::load(&zt[i..]);
+        let lxt = Lane::<W>::load(&xt[i..]);
+        let lzc = Lane::<W>::load(&zc[i..]);
+        let ls = Lane::<W>::load(&s[i..]);
+        (ls ^ (lxc & lzt).andnot(lxt ^ lzc)).store(&mut s[i..]);
+        (lxt ^ lxc).store(&mut xt[i..]);
+        (lzc ^ lzt).store(&mut zc[i..]);
+        i += W;
+    }
+    while i < len {
+        let (wxc, wzt, wxt, wzc) = (xc[i], zt[i], xt[i], zc[i]);
+        s[i] ^= wxc & wzt & !(wxt ^ wzc);
+        xt[i] = wxt ^ wxc;
+        zc[i] = wzc ^ wzt;
+        i += 1;
+    }
+}
+
+/// The fused CZ conjugation sweep over raw plane words (pre-update reads):
+/// `S ^= Xa & Xb & (Za ^ Zb)`, `Za ^= Xb`, `Zb ^= Xa`.
+fn cz_sweep<const W: usize>(s: &mut [u64], xa: &[u64], xb: &[u64], za: &mut [u64], zb: &mut [u64]) {
+    let len = s.len();
+    let mut i = 0;
+    while i + W <= len {
+        let lxa = Lane::<W>::load(&xa[i..]);
+        let lxb = Lane::<W>::load(&xb[i..]);
+        let lza = Lane::<W>::load(&za[i..]);
+        let lzb = Lane::<W>::load(&zb[i..]);
+        let ls = Lane::<W>::load(&s[i..]);
+        (ls ^ (lxa & lxb & (lza ^ lzb))).store(&mut s[i..]);
+        (lza ^ lxb).store(&mut za[i..]);
+        (lzb ^ lxa).store(&mut zb[i..]);
+        i += W;
+    }
+    while i < len {
+        let (wxa, wxb, wza, wzb) = (xa[i], xb[i], za[i], zb[i]);
+        s[i] ^= wxa & wxb & (wza ^ wzb);
+        za[i] = wza ^ wxb;
+        zb[i] = wzb ^ wxa;
+        i += 1;
+    }
+}
 
 /// A batch of signed Pauli strings stored as per-qubit bit-planes.
 ///
@@ -82,8 +162,8 @@ impl PauliFrame {
     /// Builds a frame from phase-free Pauli strings (all signs positive).
     ///
     /// The row-major → column-major layout change runs through
-    /// [`transpose64`] blocks (64 rows × 64 qubits at a time), so loading a
-    /// large batch never touches individual bits.
+    /// [`transpose64_top`] blocks (64 rows × 64 qubits at a time), so loading
+    /// a large batch never touches individual bits.
     ///
     /// # Panics
     ///
@@ -133,6 +213,9 @@ impl PauliFrame {
         let row_blocks = rows.len().div_ceil(64);
         let mut block = [0u64; 64];
         for c in 0..col_words {
+            // Only the qubits covered by this column word become planes, so
+            // the block transpose is pruned to that prefix.
+            let out_rows = self.n.min(c * 64 + 64) - c * 64;
             for pick in [0usize, 1] {
                 for rb in 0..row_blocks {
                     let base = rb * 64;
@@ -146,12 +229,8 @@ impl PauliFrame {
                         };
                     }
                     block[take..].fill(0);
-                    transpose64(&mut block);
-                    for (j, &word) in block
-                        .iter()
-                        .enumerate()
-                        .take(self.n.min(c * 64 + 64) - c * 64)
-                    {
+                    transpose64_top(&mut block, out_rows);
+                    for (j, &word) in block.iter().enumerate().take(out_rows) {
                         let plane = if pick == 0 {
                             &mut self.x[c * 64 + j]
                         } else {
@@ -348,30 +427,14 @@ impl PauliFrame {
     /// Conjugates every row by `S†` on qubit `q`.
     pub fn conj_sdg(&mut self, q: usize) {
         // S ^= X & !Z, then Z ^= X.
-        for ((s, xw), zw) in self
-            .signs
-            .words_mut()
-            .iter_mut()
-            .zip(self.x[q].words())
-            .zip(self.z[q].words())
-        {
-            *s ^= xw & !zw;
-        }
+        self.signs.xor_with_andnot(&self.x[q], &self.z[q]);
         self.z[q].xor_with(&self.x[q]);
     }
 
     /// Conjugates every row by `√X` on qubit `q`.
     pub fn conj_sqrt_x(&mut self, q: usize) {
         // S ^= Z & !X, then X ^= Z.
-        for ((s, zw), xw) in self
-            .signs
-            .words_mut()
-            .iter_mut()
-            .zip(self.z[q].words())
-            .zip(self.x[q].words())
-        {
-            *s ^= zw & !xw;
-        }
+        self.signs.xor_with_andnot(&self.z[q], &self.x[q]);
         self.x[q].xor_with(&self.z[q]);
     }
 
@@ -404,17 +467,16 @@ impl PauliFrame {
     /// Panics if `control == target`.
     pub fn conj_cx(&mut self, control: usize, target: usize) {
         assert_ne!(control, target, "CX control and target must differ");
-        // Per word (pre-update values): S ^= Xc & Zt & !(Xt ^ Zc),
-        // Xt ^= Xc, Zc ^= Zt.
-        for i in 0..self.signs.words().len() {
-            let xc = self.x[control].words()[i];
-            let zt = self.z[target].words()[i];
-            let xt = self.x[target].words()[i];
-            let zc = self.z[control].words()[i];
-            self.signs.words_mut()[i] ^= xc & zt & !(xt ^ zc);
-            self.x[target].words_mut()[i] = xt ^ xc;
-            self.z[control].words_mut()[i] = zc ^ zt;
-        }
+        // Pre-update values: S ^= Xc & Zt & !(Xt ^ Zc), Xt ^= Xc, Zc ^= Zt.
+        let (xc, xt) = pair_mut(&mut self.x, control, target);
+        let (zc, zt) = pair_mut(&mut self.z, control, target);
+        cx_sweep::<LW>(
+            self.signs.words_mut(),
+            xc.words(),
+            xt.words_mut(),
+            zc.words_mut(),
+            zt.words(),
+        );
     }
 
     /// Conjugates every row by `CZ(a, b)`.
@@ -424,17 +486,16 @@ impl PauliFrame {
     /// Panics if `a == b`.
     pub fn conj_cz(&mut self, a: usize, b: usize) {
         assert_ne!(a, b, "CZ qubits must differ");
-        // Per word (pre-update values): S ^= Xa & Xb & (Za ^ Zb),
-        // Za ^= Xb, Zb ^= Xa.
-        for i in 0..self.signs.words().len() {
-            let xa = self.x[a].words()[i];
-            let xb = self.x[b].words()[i];
-            let za = self.z[a].words()[i];
-            let zb = self.z[b].words()[i];
-            self.signs.words_mut()[i] ^= xa & xb & (za ^ zb);
-            self.z[a].words_mut()[i] = za ^ xb;
-            self.z[b].words_mut()[i] = zb ^ xa;
-        }
+        // Pre-update values: S ^= Xa & Xb & (Za ^ Zb), Za ^= Xb, Zb ^= Xa.
+        let (xa, xb) = pair_mut(&mut self.x, a, b);
+        let (za, zb) = pair_mut(&mut self.z, a, b);
+        cz_sweep::<LW>(
+            self.signs.words_mut(),
+            xa.words(),
+            xb.words(),
+            za.words_mut(),
+            zb.words_mut(),
+        );
     }
 
     /// Conjugates every row by `SWAP(a, b)`.
@@ -603,6 +664,57 @@ mod tests {
         assert_eq!(f.get(128).to_string(), "+ZI");
         // Row 129 is "YZ": H(0) → -YZ, CX(0,1) → -XY (YZ→XY), S(1) → +XX.
         assert_eq!(f.get(129).to_string(), "+XX");
+    }
+
+    #[test]
+    fn two_qubit_sweeps_agree_at_every_lane_width() {
+        fn words(len: usize, seed: u64) -> Vec<u64> {
+            let mut s = seed;
+            (0..len)
+                .map(|_| {
+                    s = s
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    s
+                })
+                .collect()
+        }
+        // 11 words: not a multiple of any lane width, exercising the tails.
+        let len = 11;
+        let run_cx = |w: usize| {
+            let mut s = words(len, 1);
+            let xc = words(len, 2);
+            let mut xt = words(len, 3);
+            let mut zc = words(len, 4);
+            let zt = words(len, 5);
+            match w {
+                1 => cx_sweep::<1>(&mut s, &xc, &mut xt, &mut zc, &zt),
+                2 => cx_sweep::<2>(&mut s, &xc, &mut xt, &mut zc, &zt),
+                4 => cx_sweep::<4>(&mut s, &xc, &mut xt, &mut zc, &zt),
+                _ => cx_sweep::<8>(&mut s, &xc, &mut xt, &mut zc, &zt),
+            }
+            (s, xt, zc)
+        };
+        let run_cz = |w: usize| {
+            let mut s = words(len, 1);
+            let xa = words(len, 2);
+            let xb = words(len, 3);
+            let mut za = words(len, 4);
+            let mut zb = words(len, 5);
+            match w {
+                1 => cz_sweep::<1>(&mut s, &xa, &xb, &mut za, &mut zb),
+                2 => cz_sweep::<2>(&mut s, &xa, &xb, &mut za, &mut zb),
+                4 => cz_sweep::<4>(&mut s, &xa, &xb, &mut za, &mut zb),
+                _ => cz_sweep::<8>(&mut s, &xa, &xb, &mut za, &mut zb),
+            }
+            (s, za, zb)
+        };
+        let cx_oracle = run_cx(1);
+        let cz_oracle = run_cz(1);
+        for w in [2usize, 4, 8] {
+            assert_eq!(run_cx(w), cx_oracle, "cx_sweep at width {w}");
+            assert_eq!(run_cz(w), cz_oracle, "cz_sweep at width {w}");
+        }
     }
 
     #[test]

@@ -37,12 +37,22 @@ mod rotation;
 mod signed;
 mod string;
 
-pub use bits::{transpose64, BitVec};
+pub use bits::{transpose64, transpose64_pack32, transpose64_top, BitVec};
 pub use frame::PauliFrame;
 pub use op::PauliOp;
 pub use rotation::PauliRotation;
 pub use signed::SignedPauli;
 pub use string::PauliString;
+
+/// Lane width of the workspace's bit-plane kernels, in 64-bit words.
+///
+/// Fixed at compile time by the cargo features of the `simd` shim
+/// (`lane2`/`lane4`/`lane8`, or `1` for the scalar fallback); surfaced here
+/// so deployments can report which kernel configuration they are running.
+#[must_use]
+pub fn kernel_lane_words() -> usize {
+    simd::LANE_WORDS
+}
 
 use std::error::Error;
 use std::fmt;

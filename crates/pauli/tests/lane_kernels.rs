@@ -1,0 +1,133 @@
+//! Scalar-oracle property tests for the wide-lane kernels.
+//!
+//! Every slice kernel of the `simd` shim is compared against its width-1
+//! (plain `u64`) instantiation — the scalar oracle — at **every** supported
+//! lane width, on lengths that are not multiples of any lane width. The
+//! `BitVec` layer is then checked against a `Vec<bool>` oracle on lengths
+//! that are not multiples of 64, so the masked final partial word and the
+//! tail-padding invariant are exercised on every operation.
+
+use proptest::prelude::*;
+use quclear_pauli::BitVec;
+
+/// Applies `f` to a fresh copy of `dst` and returns the result.
+fn on_copy(dst: &[u64], f: impl Fn(&mut Vec<u64>)) -> Vec<u64> {
+    let mut out = dst.to_vec();
+    f(&mut out);
+    out
+}
+
+fn bitvec(bools: &[bool]) -> BitVec {
+    BitVec::from_bools(bools.iter().copied())
+}
+
+proptest! {
+    /// Every in-place slice kernel agrees with the scalar (width-1) oracle
+    /// at widths 2, 4 and 8, including on lengths with a partial final lane.
+    #[test]
+    fn slice_kernels_match_scalar_oracle(
+        data in prop::collection::vec((any::<u64>(), any::<u64>(), any::<u64>()), 0..131),
+    ) {
+        let a: Vec<u64> = data.iter().map(|t| t.0).collect();
+        let b: Vec<u64> = data.iter().map(|t| t.1).collect();
+        let c: Vec<u64> = data.iter().map(|t| t.2).collect();
+        let len = a.len();
+
+        macro_rules! check2 {
+            ($name:ident, $($src:expr),*) => {{
+                let oracle = on_copy(&a, |d| simd::$name::<1>(d, $($src),*));
+                prop_assert_eq!(&on_copy(&a, |d| simd::$name::<2>(d, $($src),*)), &oracle);
+                prop_assert_eq!(&on_copy(&a, |d| simd::$name::<4>(d, $($src),*)), &oracle);
+                prop_assert_eq!(&on_copy(&a, |d| simd::$name::<8>(d, $($src),*)), &oracle);
+            }};
+        }
+        check2!(xor_into_w, &b);
+        check2!(and_into_w, &b);
+        check2!(or_into_w, &b);
+        check2!(xor_and_into_w, &b, &c);
+        check2!(xor_andnot_into_w, &b, &c);
+        check2!(xor_many_into_w, &[&b[..], &c[..], &b[..]]);
+
+        let pop_oracle = simd::popcount_w::<1>(&a);
+        let and_oracle = simd::and_popcount_w::<1>(&a, &b);
+        let fold_oracle = simd::xor_popcount_w::<1>(&[&a, &b, &c], len);
+        prop_assert_eq!(simd::popcount_w::<2>(&a), pop_oracle);
+        prop_assert_eq!(simd::popcount_w::<4>(&a), pop_oracle);
+        prop_assert_eq!(simd::popcount_w::<8>(&a), pop_oracle);
+        prop_assert_eq!(simd::and_popcount_w::<2>(&a, &b), and_oracle);
+        prop_assert_eq!(simd::and_popcount_w::<4>(&a, &b), and_oracle);
+        prop_assert_eq!(simd::and_popcount_w::<8>(&a, &b), and_oracle);
+        prop_assert_eq!(simd::xor_popcount_w::<2>(&[&a, &b, &c], len), fold_oracle);
+        prop_assert_eq!(simd::xor_popcount_w::<4>(&[&a, &b, &c], len), fold_oracle);
+        prop_assert_eq!(simd::xor_popcount_w::<8>(&[&a, &b, &c], len), fold_oracle);
+        // Empty source set: parity identically zero at every width.
+        prop_assert_eq!(simd::xor_popcount_w::<8>(&[], len), 0);
+    }
+
+    /// The `BitVec` bulk operations agree with a per-bit `Vec<bool>` oracle
+    /// on lengths with a masked final partial word, and all of them preserve
+    /// the tail-padding invariant.
+    #[test]
+    fn bitvec_ops_match_bool_oracle(
+        pairs in prop::collection::vec((any::<bool>(), any::<bool>()), 0..200),
+    ) {
+        let ab: Vec<bool> = pairs.iter().map(|p| p.0).collect();
+        let bb: Vec<bool> = pairs.iter().map(|p| p.1).collect();
+        let len = ab.len();
+        let a = bitvec(&ab);
+        let b = bitvec(&bb);
+
+        prop_assert_eq!(a.count_ones(), ab.iter().filter(|&&x| x).count());
+        let and_want = (0..len).filter(|&i| ab[i] && bb[i]).count();
+        prop_assert_eq!(a.and_popcount(&b), and_want);
+        prop_assert_eq!(a.and_parity(&b), and_want % 2 == 1);
+
+        let mut x = a.clone();
+        x.xor_with(&b);
+        prop_assert_eq!(&x, &bitvec(&(0..len).map(|i| ab[i] ^ bb[i]).collect::<Vec<_>>()));
+        prop_assert!(x.tail_is_clear());
+
+        let mut o = a.clone();
+        o.or_with(&b);
+        prop_assert_eq!(&o, &bitvec(&(0..len).map(|i| ab[i] | bb[i]).collect::<Vec<_>>()));
+        prop_assert!(o.tail_is_clear());
+
+        let mut s = BitVec::zeros(len);
+        s.xor_with_and(&a, &b);
+        prop_assert_eq!(&s, &bitvec(&(0..len).map(|i| ab[i] & bb[i]).collect::<Vec<_>>()));
+        let mut s = BitVec::zeros(len);
+        s.xor_with_andnot(&a, &b);
+        prop_assert_eq!(&s, &bitvec(&(0..len).map(|i| ab[i] & !bb[i]).collect::<Vec<_>>()));
+        prop_assert!(s.tail_is_clear());
+
+        let mut f = a.clone();
+        f.flip_all();
+        prop_assert_eq!(&f, &bitvec(&ab.iter().map(|&x| !x).collect::<Vec<_>>()));
+        prop_assert!(f.tail_is_clear());
+    }
+
+    /// `xor_range` (masked ends + wide-lane interior) agrees with a per-bit
+    /// oracle on arbitrary sub-ranges, including empty and full ranges.
+    #[test]
+    fn xor_range_matches_bool_oracle(
+        pairs in prop::collection::vec((any::<bool>(), any::<bool>()), 1..200),
+        lo in 0usize..1000,
+        hi in 0usize..1000,
+    ) {
+        let ab: Vec<bool> = pairs.iter().map(|p| p.0).collect();
+        let bb: Vec<bool> = pairs.iter().map(|p| p.1).collect();
+        let len = ab.len();
+        let mut start = lo % (len + 1);
+        let mut end = hi % (len + 1);
+        if start > end {
+            std::mem::swap(&mut start, &mut end);
+        }
+        let mut got = bitvec(&ab);
+        got.xor_range(&bitvec(&bb), start, end);
+        let want: Vec<bool> = (0..len)
+            .map(|i| ab[i] ^ ((start..end).contains(&i) && bb[i]))
+            .collect();
+        prop_assert_eq!(&got, &bitvec(&want));
+        prop_assert!(got.tail_is_clear());
+    }
+}

@@ -338,6 +338,13 @@ pub struct StatsSummary {
     /// [`crate::ServerConfig::request_deadline`] budget ran out. Zero when
     /// the field is absent (pre-overload-protection server).
     pub deadline_exceeded: u64,
+    /// Lane width of the server's bit-plane kernels in 64-bit words (1 =
+    /// scalar fallback). Zero when the field is absent (a server from before
+    /// the wide-lane kernels).
+    pub lane_words: u64,
+    /// Worker threads available to the server's parallel plane sweeps. Zero
+    /// when the field is absent (pre-wide-lane server).
+    pub sweep_threads: u64,
     /// Milliseconds since the server started.
     pub uptime_ms: u64,
     /// Per-request-kind latency digests (kinds the server has actually
@@ -604,6 +611,8 @@ impl Response {
                         ));
                         entries.push(("shed_connections", Json::Uint(stats.shed_connections)));
                         entries.push(("deadline_exceeded", Json::Uint(stats.deadline_exceeded)));
+                        entries.push(("lane_words", Json::Uint(stats.lane_words)));
+                        entries.push(("sweep_threads", Json::Uint(stats.sweep_threads)));
                         entries.push(("uptime_ms", Json::Uint(stats.uptime_ms)));
                         entries.push((
                             "request_latencies",
@@ -732,6 +741,8 @@ impl Response {
                 connections_accepted: field_u64(&tree, "connections_accepted")?,
                 shed_connections: field_u64_or_zero(&tree, "shed_connections")?,
                 deadline_exceeded: field_u64_or_zero(&tree, "deadline_exceeded")?,
+                lane_words: field_u64_or_zero(&tree, "lane_words")?,
+                sweep_threads: field_u64_or_zero(&tree, "sweep_threads")?,
                 uptime_ms: field_u64(&tree, "uptime_ms")?,
                 request_latencies: latency_digests(&tree)?,
             }),
@@ -990,6 +1001,8 @@ mod tests {
                 connections_accepted: 4,
                 shed_connections: 2,
                 deadline_exceeded: 1,
+                lane_words: 4,
+                sweep_threads: 8,
                 uptime_ms: 12345,
                 request_latencies: vec![
                     RequestLatencySummary {
@@ -1102,6 +1115,9 @@ mod tests {
                 // default to zero.
                 assert_eq!(stats.shed_connections, 0);
                 assert_eq!(stats.deadline_exceeded, 0);
+                // So do the kernel-configuration fields.
+                assert_eq!(stats.lane_words, 0);
+                assert_eq!(stats.sweep_threads, 0);
             }
             other => panic!("unexpected body {other:?}"),
         }

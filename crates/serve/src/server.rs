@@ -297,6 +297,8 @@ impl Shared {
             connections_accepted: self.metrics.connections_accepted.get(),
             shed_connections: self.metrics.shed.get(),
             deadline_exceeded: self.metrics.deadline_exceeded.get(),
+            lane_words: engine.lane_words as u64,
+            sweep_threads: engine.sweep_threads as u64,
             uptime_ms: self.started.elapsed().as_millis() as u64,
             request_latencies,
         }

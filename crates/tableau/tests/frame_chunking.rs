@@ -1,0 +1,66 @@
+//! Determinism of the blocked (rayon-parallel) frame sweep.
+//!
+//! `CliffordTableau::apply_frame` splits the batch dimension into word-range
+//! blocks and runs them on the thread pool; every update is element-wise in
+//! the batch dimension, so the result must be **bit-identical** at any block
+//! size — sequential, maximally split, or anything between — and must match
+//! the scalar per-row conjugation.
+
+use proptest::prelude::*;
+use quclear_pauli::{PauliFrame, PauliOp, PauliString, SignedPauli};
+use quclear_tableau::{random_clifford_circuit, CliffordTableau};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N: usize = 6;
+
+fn random_tableau(seed: u64, gates: usize) -> CliffordTableau {
+    let mut rng = StdRng::seed_from_u64(seed);
+    CliffordTableau::from_circuit(&random_clifford_circuit(N, gates, &mut rng))
+}
+
+fn signed_pauli(n: usize) -> impl Strategy<Value = SignedPauli> {
+    (prop::collection::vec(0u8..4, n), any::<bool>()).prop_map(|(ops, neg)| {
+        let ops: Vec<PauliOp> = ops
+            .into_iter()
+            .map(|v| match v {
+                0 => PauliOp::I,
+                1 => PauliOp::X,
+                2 => PauliOp::Y,
+                _ => PauliOp::Z,
+            })
+            .collect();
+        SignedPauli::new(PauliString::from_ops(&ops), neg)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every chunking of the frame sweep produces the same bits, and they
+    /// match the scalar one-row-at-a-time conjugation.
+    #[test]
+    fn chunked_sweep_is_bit_identical_to_sequential(
+        seed in 0u64..128,
+        rows in prop::collection::vec(signed_pauli(N), 1..300),
+    ) {
+        let t = random_tableau(seed, 40);
+        let input = PauliFrame::from_signed(N, &rows);
+        let words = input.sign_plane().words().len();
+
+        // Sequential reference: one block covering the whole batch.
+        let reference = t.apply_frame_chunked(&input, words);
+        // Scalar oracle.
+        for (i, row) in rows.iter().enumerate() {
+            prop_assert_eq!(reference.get(i), t.apply_signed(row));
+        }
+        // Every other block size, including the pathological one-word
+        // blocks, must reproduce the reference bit for bit.
+        for block_words in [1usize, 2, 3, words.div_ceil(2).max(1)] {
+            let chunked = t.apply_frame_chunked(&input, block_words);
+            prop_assert_eq!(&chunked, &reference);
+        }
+        // And the automatic path (whatever the thread count picked) too.
+        prop_assert_eq!(&t.apply_frame(&input), &reference);
+    }
+}
