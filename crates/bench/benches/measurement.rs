@@ -1,0 +1,288 @@
+//! Criterion benchmarks of grouped measurement reduction: diagonalizing the
+//! commuting groups of a UCC Hamiltonian-shaped observable set and reading
+//! every member's expectation out of one packed shot batch per group.
+//!
+//! Three ids measure the pipeline against its naive baseline:
+//!
+//! * `measurement/diagonalize` — building a [`MeasurementPlan`] (grouping +
+//!   Clifford diagonalizer synthesis + parity-block packing) from the
+//!   absorbed observable frame.
+//! * `measurement/grouped_planes` — the CA-Post readout: pack one batch per
+//!   commuting group and estimate every observable via the plan's bit-plane
+//!   parity kernels.
+//! * `measurement/per_observable_scalar` — the pre-grouping baseline: one
+//!   shot vector per observable, parities counted one shot at a time.
+//!
+//! The `grouped_vs_per_observable_smoke` assertion runs under
+//! `cargo bench -p quclear-bench --bench measurement -- --test` and is wired
+//! into CI: grouped estimation must agree with the scalar readout
+//! bit-for-bit and must not be slower than the per-observable loop.
+
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use quclear_core::{MeasurementPlan, ShotBatch};
+use quclear_pauli::PauliFrame;
+use quclear_workloads::{vqe_expectation_sweep, Benchmark};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shots per batch (per group for the grouped path, per observable for the
+/// scalar baseline).
+const SHOTS: usize = 1 << 16;
+
+/// The UCC-(4,8) Hamiltonian-shaped observable set (every single-qubit `Z`
+/// plus each distinct ansatz rotation axis), as a Pauli frame plus its
+/// measurement plan.
+fn ucc_plan() -> (usize, PauliFrame, MeasurementPlan) {
+    let sweep = vqe_expectation_sweep(&Benchmark::Ucc(4, 8), 1, 13);
+    let n = sweep.observables[0].num_qubits();
+    let frame = PauliFrame::from_signed(n, &sweep.observables);
+    let plan = MeasurementPlan::from_frame(&frame);
+    (n, frame, plan)
+}
+
+/// One random shot-index vector per batch, deterministic in `seed`.
+fn random_shots(n: usize, batches: usize, seed: u64) -> Vec<Vec<u64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..batches)
+        .map(|_| (0..SHOTS).map(|_| rng.gen_range(0..1u64 << n)).collect())
+        .collect()
+}
+
+/// The naive per-observable readout over one group's raw indices: mask,
+/// popcount, count parities one shot at a time, apply the tracked sign.
+fn scalar_readout(plan: &MeasurementPlan, indices: &[Vec<u64>]) -> Vec<f64> {
+    let mut out = vec![0.0; plan.num_observables()];
+    for (group, shots) in plan.groups().iter().zip(indices) {
+        let diagonalizer = group.diagonalizer();
+        for (slot, &member) in group.members().iter().enumerate() {
+            let mask: u64 = (0..plan.num_qubits())
+                .filter(|&q| diagonalizer.z_support(slot).get(q))
+                .map(|q| 1u64 << q)
+                .sum();
+            let parity_sum: i64 = shots
+                .iter()
+                .map(|&s| {
+                    if (s & mask).count_ones().is_multiple_of(2) {
+                        1
+                    } else {
+                        -1
+                    }
+                })
+                .sum();
+            out[member] = diagonalizer.sign(slot) * parity_sum as f64 / shots.len() as f64;
+        }
+    }
+    out
+}
+
+fn bench_measurement(c: &mut Criterion) {
+    let (n, frame, plan) = ucc_plan();
+    let grouped_shots = random_shots(n, plan.num_groups(), 0xD1A6);
+    let per_observable_shots = random_shots(n, plan.num_observables(), 0xD1A6);
+    let batches: Vec<ShotBatch> = grouped_shots
+        .iter()
+        .map(|shots| ShotBatch::from_indices(n, shots))
+        .collect();
+
+    let mut group = c.benchmark_group("measurement");
+    group.sample_size(20);
+    group.bench_with_input(
+        BenchmarkId::new("diagonalize", plan.num_observables()),
+        &frame,
+        |b, frame| {
+            b.iter(|| MeasurementPlan::from_frame(black_box(frame)));
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("grouped_planes", SHOTS),
+        &grouped_shots,
+        |b, shots| {
+            b.iter(|| {
+                let batches: Vec<ShotBatch> = shots
+                    .iter()
+                    .map(|shots| ShotBatch::from_indices(n, shots))
+                    .collect();
+                plan.estimate(black_box(&batches))
+            });
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("grouped_readout", SHOTS),
+        &batches,
+        |b, batches| {
+            b.iter(|| plan.estimate(black_box(batches)));
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("per_observable_scalar", SHOTS),
+        &per_observable_shots,
+        |b, shots| {
+            b.iter(|| {
+                // One vector per observable: count every batch even though
+                // the masks repeat across groups — that is the pre-grouping
+                // shot budget.
+                shots
+                    .iter()
+                    .enumerate()
+                    .map(|(i, shots)| {
+                        let (g, slot) = plan
+                            .groups()
+                            .iter()
+                            .enumerate()
+                            .find_map(|(g, group)| {
+                                group.members().iter().position(|&m| m == i).map(|s| (g, s))
+                            })
+                            .expect("every observable is grouped");
+                        let diagonalizer = plan.groups()[g].diagonalizer();
+                        let mask: u64 = (0..n)
+                            .filter(|&q| diagonalizer.z_support(slot).get(q))
+                            .map(|q| 1u64 << q)
+                            .sum();
+                        let parity_sum: i64 = shots
+                            .iter()
+                            .map(|&s| {
+                                if (s & mask).count_ones().is_multiple_of(2) {
+                                    1
+                                } else {
+                                    -1
+                                }
+                            })
+                            .sum();
+                        diagonalizer.sign(slot) * parity_sum as f64 / shots.len() as f64
+                    })
+                    .sum::<f64>()
+            });
+        },
+    );
+    group.finish();
+}
+
+/// Noise margin for the grouped-vs-scalar smoke: grouped estimation must not
+/// be slower than the per-observable loop beyond measurement jitter. The
+/// grouped path does `groups` batches of plane kernels against
+/// `observables` batches of scalar parity loops, so in practice it wins by
+/// the shot-budget divisor times the plane-kernel speedup.
+const GROUPED_SLOWDOWN_TOLERANCE: f64 = 1.10;
+
+/// Best-of-N wall time of `f`, in nanoseconds, plus a checksum.
+fn best_of<F: FnMut() -> u64>(mut f: F) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut sink = 0u64;
+    for _ in 0..5 {
+        let start = Instant::now();
+        sink = sink.wrapping_add(f());
+        best = best.min(start.elapsed().as_nanos() as f64);
+    }
+    (best, sink)
+}
+
+/// The acceptance smoke: on the UCC-(4,8) observable set, grouped
+/// estimation (pack one batch per commuting group, bit-plane parity
+/// readout) must agree bit-for-bit with the scalar per-observable readout
+/// of the same batches, and must not run slower than estimating each
+/// observable from its own per-observable shot vector. Runs in `--test`
+/// mode too, where the criterion stand-in skips timing but this `Instant`
+/// loop does not.
+fn grouped_vs_per_observable_smoke(_c: &mut Criterion) {
+    let (n, _, plan) = ucc_plan();
+    assert!(
+        plan.shot_budget_divisor() > 1.0,
+        "UCC workload must actually group observables (divisor {})",
+        plan.shot_budget_divisor()
+    );
+    let grouped_shots = random_shots(n, plan.num_groups(), 0xD1A6);
+    let per_observable_shots = random_shots(n, plan.num_observables(), 0xD1A6);
+
+    // Correctness: plane readout equals the scalar readout of the SAME
+    // batches, bit for bit.
+    let batches: Vec<ShotBatch> = grouped_shots
+        .iter()
+        .map(|shots| ShotBatch::from_indices(n, shots))
+        .collect();
+    let planes = plan.estimate(&batches);
+    let scalar = scalar_readout(&plan, &grouped_shots);
+    for (i, (a, b)) in planes.iter().zip(&scalar).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "observable {i}: planes {a} vs scalar {b}"
+        );
+    }
+
+    // Wall clock: the full grouped path (pack + plane readout, one batch
+    // per group) against the per-observable scalar loop (one shot vector
+    // per observable).
+    let (grouped_ns, grouped_sum) = best_of(|| {
+        let batches: Vec<ShotBatch> = grouped_shots
+            .iter()
+            .map(|shots| ShotBatch::from_indices(n, black_box(shots)))
+            .collect();
+        plan.estimate(&batches)
+            .iter()
+            .map(|e| e.to_bits())
+            .fold(0u64, u64::wrapping_add)
+    });
+    let (scalar_ns, scalar_sum) = best_of(|| {
+        per_observable_shots
+            .iter()
+            .enumerate()
+            .map(|(i, shots)| {
+                let (g, slot) = plan
+                    .groups()
+                    .iter()
+                    .enumerate()
+                    .find_map(|(g, group)| {
+                        group.members().iter().position(|&m| m == i).map(|s| (g, s))
+                    })
+                    .expect("every observable is grouped");
+                let diagonalizer = plan.groups()[g].diagonalizer();
+                let mask: u64 = (0..n)
+                    .filter(|&q| diagonalizer.z_support(slot).get(q))
+                    .map(|q| 1u64 << q)
+                    .sum();
+                let parity_sum: i64 = black_box(shots)
+                    .iter()
+                    .map(|&s| {
+                        if (s & mask).count_ones().is_multiple_of(2) {
+                            1
+                        } else {
+                            -1
+                        }
+                    })
+                    .sum();
+                (diagonalizer.sign(slot) * parity_sum as f64).to_bits()
+            })
+            .fold(0u64, u64::wrapping_add)
+    });
+    // An opaque use keeps the scalar loop from being optimized away.
+    black_box(scalar_sum);
+    let expected_sum = planes
+        .iter()
+        .map(|e| e.to_bits())
+        .fold(0u64, u64::wrapping_add);
+    assert_eq!(
+        grouped_sum,
+        expected_sum.wrapping_mul(5),
+        "grouped readout drifted across smoke iterations"
+    );
+    let ratio = grouped_ns / scalar_ns;
+    println!(
+        "measurement/grouped_vs_per_observable_smoke: grouped={:.2} ms scalar={:.2} ms \
+         ratio={ratio:.3} ({} observables in {} groups, shot budget divisor {:.2})",
+        grouped_ns / 1e6,
+        scalar_ns / 1e6,
+        plan.num_observables(),
+        plan.num_groups(),
+        plan.shot_budget_divisor(),
+    );
+    assert!(
+        ratio < GROUPED_SLOWDOWN_TOLERANCE,
+        "grouped estimation is {ratio:.3}x the per-observable path (tolerance \
+         {GROUPED_SLOWDOWN_TOLERANCE})"
+    );
+}
+
+criterion_group!(benches, bench_measurement, grouped_vs_per_observable_smoke);
+criterion_main!(benches);

@@ -8,9 +8,23 @@
 //! the standard *qubit-wise commuting* (QWC) grouping: observables in one
 //! group share a single measurement-basis circuit, so the number of circuit
 //! executions drops from one per observable to one per group.
+//!
+//! It also provides the *general*-commuting composition step: for each group
+//! from [`group_commuting_frame`], [`diagonalize_commuting_frame`] synthesizes
+//! (symplectic Gram–Schmidt style) a Clifford `D` that conjugates every member
+//! to a signed Z-diagonal Pauli. Appending `D` to the circuit and reading the
+//! packed shot planes through the composed affine map — rows are Z-supports,
+//! offsets are tracked signs — estimates **all** members of a group from one
+//! shot batch via the CA-Post bit-plane kernels ([`Gf2Matrix::mul_planes`],
+//! [`ShotBatch::parity_expectations`]). [`MeasurementPlan`] bundles the full
+//! pipeline for an absorbed observable batch.
 
-use quclear_circuit::Circuit;
-use quclear_pauli::{PauliFrame, PauliOp, PauliString, SignedPauli};
+use crate::absorb::AbsorbedObservables;
+use crate::gf2::Gf2Matrix;
+use crate::shots::ShotBatch;
+use quclear_circuit::{Circuit, Gate};
+use quclear_pauli::{BitVec, PauliFrame, PauliOp, PauliString, SignedPauli};
+use quclear_tableau::conjugate_all_by_gate;
 
 /// A group of qubit-wise commuting observables together with the shared
 /// measurement basis.
@@ -121,6 +135,374 @@ pub fn group_commuting(paulis: &[PauliString]) -> Vec<Vec<usize>> {
 pub fn group_commuting_frame(frame: &PauliFrame) -> Vec<Vec<usize>> {
     let paulis: Vec<PauliString> = (0..frame.num_rows()).map(|i| frame.row_pauli(i)).collect();
     group_commuting(&paulis)
+}
+
+/// A Clifford circuit `D` that conjugates every row of a mutually commuting
+/// [`PauliFrame`] to a signed Z-diagonal Pauli, together with the composed
+/// classical readout map.
+///
+/// Appending [`Self::circuit`] to a state-preparation circuit and measuring
+/// in the computational basis turns every member `P_i` of the group into a
+/// parity observable: `⟨P_i⟩ = s_i · E[(-1)^{⟨m_i, shot⟩}]` where `m_i` is
+/// the Z-support of `D·P_i·D†` ([`Self::z_support`]) and `s_i = ±1` its
+/// tracked sign ([`Self::sign`]). The signs compose the input frame's signs
+/// (e.g. CA-Pre absorption signs) with the conjugation phases picked up
+/// during diagonalization, so [`Self::expectations`] reports expectations of
+/// the *original* observables directly.
+#[derive(Clone, Debug)]
+pub struct GroupDiagonalizer {
+    circuit: Circuit,
+    diagonal: PauliFrame,
+    z_supports: Vec<BitVec>,
+    parity_blocks: Vec<Gf2Matrix>,
+}
+
+/// Synthesizes a diagonalizing Clifford for a frame of mutually commuting
+/// Pauli rows via a symplectic Gram–Schmidt pivot sweep.
+///
+/// For each row with X-support, the first X-support qubit becomes the pivot:
+/// a CX fan-out clears the row's remaining X columns onto the pivot, an `S`
+/// removes a leftover Y at the pivot, CZs from the pivot clear the remaining
+/// Z columns, and a final `H` maps the lone `±X_pivot` to `±Z_pivot`.
+/// Commutation guarantees no other row carries Z at the pivot when the `H`
+/// lands, so pivot qubits retire monotonically and finished rows are never
+/// disturbed — `O(rows · qubits)` gates total.
+///
+/// # Panics
+///
+/// Panics if any two rows anticommute (no common eigenbasis exists), or —
+/// defensively — if the sweep fails to reach a fully Z-diagonal frame.
+#[must_use]
+pub fn diagonalize_commuting_frame(frame: &PauliFrame) -> GroupDiagonalizer {
+    let n = frame.num_qubits();
+    let rows = frame.num_rows();
+    let paulis: Vec<PauliString> = (0..rows).map(|i| frame.row_pauli(i)).collect();
+    for i in 0..rows {
+        for j in (i + 1)..rows {
+            assert!(
+                paulis[i].commutes_with(&paulis[j]),
+                "diagonalize_commuting_frame: rows {i} and {j} anticommute"
+            );
+        }
+    }
+    let mut work = frame.clone();
+    let mut circuit = Circuit::new(n);
+    let emit = |work: &mut PauliFrame, circuit: &mut Circuit, gate: Gate| {
+        conjugate_all_by_gate(work, &gate);
+        circuit.push(gate);
+    };
+    for i in 0..rows {
+        let x_support = work.row_x_support(i);
+        let Some(pivot) = (0..n).find(|&q| x_support.get(q)) else {
+            continue; // already pure-Z: nothing to do for this row
+        };
+        for q in (pivot + 1)..n {
+            if x_support.get(q) {
+                emit(
+                    &mut work,
+                    &mut circuit,
+                    Gate::Cx {
+                        control: pivot,
+                        target: q,
+                    },
+                );
+            }
+        }
+        // The CX sweep may have folded Z bits back onto the pivot
+        // (conj_cx updates Z_control ^= Z_target), so fix the Y after it.
+        if work.z_plane(pivot).get(i) {
+            emit(&mut work, &mut circuit, Gate::S(pivot));
+        }
+        for q in 0..n {
+            if q != pivot && work.z_plane(q).get(i) {
+                emit(&mut work, &mut circuit, Gate::Cz { a: pivot, b: q });
+            }
+        }
+        emit(&mut work, &mut circuit, Gate::H(pivot));
+    }
+    for q in 0..n {
+        assert_eq!(
+            work.x_plane(q).count_ones(),
+            0,
+            "diagonalization sweep left X-support on qubit {q}"
+        );
+    }
+    let z_supports: Vec<BitVec> = (0..rows).map(|i| work.row_z_support(i)).collect();
+    // The affine readout map has one row per member; members can outnumber
+    // qubits (dependent Paulis), so pack the rows into square n×n blocks for
+    // the mul_planes kernel.
+    let parity_blocks = z_supports
+        .chunks(n.max(1))
+        .map(|chunk| {
+            let mut block = chunk.to_vec();
+            block.resize(n, BitVec::zeros(n));
+            Gf2Matrix::from_bit_rows(block)
+        })
+        .collect();
+    GroupDiagonalizer {
+        circuit,
+        diagonal: work,
+        z_supports,
+        parity_blocks,
+    }
+}
+
+impl GroupDiagonalizer {
+    /// Register width in qubits.
+    #[must_use]
+    pub fn num_qubits(&self) -> usize {
+        self.diagonal.num_qubits()
+    }
+
+    /// Number of diagonalized rows (group members).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.diagonal.num_rows()
+    }
+
+    /// `true` if the group has no members.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The diagonalizing Clifford circuit `D`; append it to the
+    /// state-preparation circuit before sampling computational-basis shots.
+    #[must_use]
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// The fully Z-diagonal conjugated frame `D·P_i·D†` with composed signs.
+    #[must_use]
+    pub fn diagonal_frame(&self) -> &PauliFrame {
+        &self.diagonal
+    }
+
+    /// Row `i` after conjugation, as a signed Pauli (guaranteed Z-diagonal).
+    #[must_use]
+    pub fn diagonal_pauli(&self, i: usize) -> SignedPauli {
+        self.diagonal.get(i)
+    }
+
+    /// The qubit parity mask of diagonalized row `i` — the row of the
+    /// composed affine readout map for member `i`.
+    #[must_use]
+    pub fn z_support(&self, i: usize) -> &BitVec {
+        &self.z_supports[i]
+    }
+
+    /// All parity masks, in member order.
+    #[must_use]
+    pub fn z_supports(&self) -> &[BitVec] {
+        &self.z_supports
+    }
+
+    /// The composed sign of member `i` as `±1.0` (input-frame sign times
+    /// conjugation phase).
+    #[must_use]
+    pub fn sign(&self, i: usize) -> f64 {
+        if self.diagonal.sign(i) {
+            -1.0
+        } else {
+            1.0
+        }
+    }
+
+    /// Estimates every member of the group from a single packed shot batch
+    /// (shots sampled after appending [`Self::circuit`]), using the fused
+    /// XOR-popcount plane kernel. Entry `i` estimates `⟨P_i⟩` of original
+    /// member `i`, signs included.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch register width differs from the group's.
+    #[must_use]
+    pub fn expectations(&self, shots: &ShotBatch) -> Vec<f64> {
+        assert_eq!(
+            shots.num_qubits(),
+            self.num_qubits(),
+            "shot batch register width must match the diagonalized group"
+        );
+        let raw = shots.parity_expectations(&self.z_supports);
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, e)| self.sign(i) * e)
+            .collect()
+    }
+
+    /// Applies the composed affine map `shot ↦ A·shot ⊕ b` to every shot at
+    /// once with the CA-Post bit-plane kernel ([`Gf2Matrix::mul_planes`]):
+    /// plane `i`, bit `s` is the measured outcome bit of member `i` on shot
+    /// `s` (0 ↦ eigenvalue `+1`). Averaging `(-1)^bit` over a plane equals
+    /// the corresponding [`Self::expectations`] entry bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch register width differs from the group's.
+    #[must_use]
+    pub fn outcome_planes(&self, shots: &ShotBatch) -> Vec<BitVec> {
+        assert_eq!(
+            shots.num_qubits(),
+            self.num_qubits(),
+            "shot batch register width must match the diagonalized group"
+        );
+        let n = self.num_qubits();
+        let mut planes: Vec<BitVec> = Vec::with_capacity(self.len());
+        for (b, block) in self.parity_blocks.iter().enumerate() {
+            let produced = block.mul_planes(shots.planes());
+            let keep = (self.len() - b * n.max(1)).min(n.max(1));
+            planes.extend(produced.into_iter().take(keep));
+        }
+        for (i, plane) in planes.iter_mut().enumerate() {
+            if self.diagonal.sign(i) {
+                plane.flip_all();
+            }
+        }
+        planes
+    }
+}
+
+/// One general-commuting group of a [`MeasurementPlan`]: the member indices
+/// into the original observable list plus the group's diagonalizer.
+#[derive(Clone, Debug)]
+pub struct PlannedGroup {
+    members: Vec<usize>,
+    diagonalizer: GroupDiagonalizer,
+}
+
+impl PlannedGroup {
+    /// Indices (into the plan's observable list) of the group's members.
+    #[must_use]
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// The group's diagonalizing Clifford and composed readout map.
+    #[must_use]
+    pub fn diagonalizer(&self) -> &GroupDiagonalizer {
+        &self.diagonalizer
+    }
+}
+
+/// The end-to-end measurement-reduction plan for an observable batch:
+/// general-commuting groups, one diagonalizing Clifford per group, and the
+/// composed affine readout maps. One shot batch per *group* (instead of per
+/// *observable*) estimates everything — the shot-budget divisor is
+/// `observables / groups`.
+///
+/// # Examples
+///
+/// ```
+/// use quclear_core::{diagonalize_commuting_frame, MeasurementPlan};
+/// use quclear_pauli::{PauliFrame, SignedPauli};
+///
+/// let rows: Vec<SignedPauli> = vec!["ZZ".parse()?, "XX".parse()?, "-YY".parse()?];
+/// let plan = MeasurementPlan::from_frame(&PauliFrame::from_signed(2, &rows));
+/// assert_eq!(plan.num_groups(), 1); // ZZ, XX, YY mutually commute
+/// assert_eq!(plan.shot_budget_divisor(), 3.0);
+/// # Ok::<(), quclear_pauli::ParsePauliError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct MeasurementPlan {
+    num_qubits: usize,
+    num_observables: usize,
+    groups: Vec<PlannedGroup>,
+}
+
+impl MeasurementPlan {
+    /// Builds the plan for the rows of a [`PauliFrame`] (signs included):
+    /// greedy general-commuting grouping via [`group_commuting_frame`], then
+    /// one [`diagonalize_commuting_frame`] pass per group.
+    #[must_use]
+    pub fn from_frame(frame: &PauliFrame) -> Self {
+        let groups = group_commuting_frame(frame)
+            .into_iter()
+            .map(|members| {
+                let sub = frame.select_rows(&members);
+                PlannedGroup {
+                    diagonalizer: diagonalize_commuting_frame(&sub),
+                    members,
+                }
+            })
+            .collect();
+        MeasurementPlan {
+            num_qubits: frame.num_qubits(),
+            num_observables: frame.num_rows(),
+            groups,
+        }
+    }
+
+    /// Builds the plan for a CA-Pre absorbed observable batch; the absorbed
+    /// frame's signs flow into the diagonalizers, so estimates report
+    /// expectations of the *original* (pre-absorption) observables.
+    #[must_use]
+    pub fn from_absorbed(absorbed: &AbsorbedObservables) -> Self {
+        Self::from_frame(absorbed.frame())
+    }
+
+    /// Register width in qubits.
+    #[must_use]
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of observables covered by the plan.
+    #[must_use]
+    pub fn num_observables(&self) -> usize {
+        self.num_observables
+    }
+
+    /// Number of general-commuting groups — the number of distinct shot
+    /// batches needed.
+    #[must_use]
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The planned groups in estimation order.
+    #[must_use]
+    pub fn groups(&self) -> &[PlannedGroup] {
+        &self.groups
+    }
+
+    /// How many times fewer shot batches the plan needs compared to
+    /// per-observable estimation: `observables / groups` (`1.0` for an empty
+    /// plan).
+    #[must_use]
+    pub fn shot_budget_divisor(&self) -> f64 {
+        if self.groups.is_empty() {
+            1.0
+        } else {
+            self.num_observables as f64 / self.groups.len() as f64
+        }
+    }
+
+    /// Estimates every observable from one packed shot batch per group
+    /// (`group_shots[g]` sampled after appending group `g`'s diagonalizer
+    /// circuit), scattering per-group expectations back to original
+    /// observable order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch count differs from [`Self::num_groups`] or any
+    /// batch's register width differs from the plan's.
+    #[must_use]
+    pub fn estimate(&self, group_shots: &[ShotBatch]) -> Vec<f64> {
+        assert_eq!(
+            group_shots.len(),
+            self.groups.len(),
+            "need exactly one shot batch per commuting group"
+        );
+        let mut out = vec![0.0; self.num_observables];
+        for (group, shots) in self.groups.iter().zip(group_shots) {
+            let expectations = group.diagonalizer.expectations(shots);
+            for (&member, value) in group.members.iter().zip(expectations) {
+                out[member] = value;
+            }
+        }
+        out
+    }
 }
 
 /// A Pauli is compatible with a group basis if it is qubit-wise consistent
@@ -248,6 +630,82 @@ mod tests {
         let general = group_commuting(&paulis).len();
         let qubitwise = group_qubitwise_commuting(&observables).len();
         assert!(general <= qubitwise, "{general} > {qubitwise}");
+    }
+
+    fn frame(strings: &[&str]) -> PauliFrame {
+        let rows: Vec<SignedPauli> = strings.iter().map(|s| s.parse().unwrap()).collect();
+        PauliFrame::from_signed(rows[0].num_qubits(), &rows)
+    }
+
+    fn is_z_diagonal(p: &SignedPauli) -> bool {
+        (0..p.num_qubits()).all(|q| matches!(p.pauli().op(q), PauliOp::I | PauliOp::Z))
+    }
+
+    #[test]
+    fn diagonalizer_maps_every_row_to_signed_z() {
+        use quclear_tableau::CliffordTableau;
+        let input = frame(&["ZZ", "XX", "-YY"]);
+        let diag = diagonalize_commuting_frame(&input);
+        assert_eq!(diag.len(), 3);
+        let tableau = CliffordTableau::from_circuit(diag.circuit());
+        for i in 0..diag.len() {
+            let row = diag.diagonal_pauli(i);
+            assert!(is_z_diagonal(&row), "row {i} not Z-diagonal: {row}");
+            // Cross-check the frame conjugation against the tableau path.
+            assert_eq!(row, tableau.apply_signed(&input.get(i)), "row {i}");
+        }
+    }
+
+    #[test]
+    fn pure_z_frame_needs_no_gates() {
+        let diag = diagonalize_commuting_frame(&frame(&["ZZI", "-IZZ", "ZIZ"]));
+        assert_eq!(diag.circuit().len(), 0);
+        assert_eq!(diag.sign(0), 1.0);
+        assert_eq!(diag.sign(1), -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "anticommute")]
+    fn diagonalizer_rejects_anticommuting_rows() {
+        let _ = diagonalize_commuting_frame(&frame(&["XI", "ZI"]));
+    }
+
+    #[test]
+    fn outcome_planes_match_expectations_bit_for_bit() {
+        let diag = diagonalize_commuting_frame(&frame(&["ZZI", "XXI", "-YYI", "IIZ"]));
+        // 70 shots: deliberately not a multiple of 64.
+        let indices: Vec<u64> = (0..70u64).map(|i| (i * 2654435761) % 8).collect();
+        let shots = ShotBatch::from_indices(3, &indices);
+        let expectations = diag.expectations(&shots);
+        let planes = diag.outcome_planes(&shots);
+        assert_eq!(planes.len(), diag.len());
+        for (i, plane) in planes.iter().enumerate() {
+            let ones = (0..shots.num_shots()).filter(|&s| plane.get(s)).count();
+            let from_plane = (shots.num_shots() - 2 * ones) as f64 / shots.num_shots() as f64;
+            assert_eq!(expectations[i].to_bits(), from_plane.to_bits(), "row {i}");
+        }
+    }
+
+    #[test]
+    fn plan_groups_cover_and_divide_the_shot_budget() {
+        let plan = MeasurementPlan::from_frame(&frame(&["ZZII", "XXII", "YYII", "XZII", "IIZZ"]));
+        let covered: usize = plan.groups().iter().map(|g| g.members().len()).sum();
+        assert_eq!(covered, plan.num_observables());
+        assert!(plan.num_groups() < plan.num_observables());
+        assert!(plan.shot_budget_divisor() > 1.0);
+    }
+
+    #[test]
+    fn more_members_than_qubits_still_estimates() {
+        // Five dependent Z-diagonal members on two qubits: the affine map has
+        // more rows than qubits and must be block-chunked.
+        let diag = diagonalize_commuting_frame(&frame(&["ZI", "IZ", "ZZ", "-ZI", "-ZZ"]));
+        let shots = ShotBatch::from_indices(2, &[0, 1, 2, 3, 1, 0, 2]);
+        let expectations = diag.expectations(&shots);
+        let planes = diag.outcome_planes(&shots);
+        assert_eq!(planes.len(), 5);
+        assert_eq!(expectations[0], -expectations[3]);
+        assert_eq!(expectations[2], -expectations[4]);
     }
 
     #[test]

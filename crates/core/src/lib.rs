@@ -63,8 +63,8 @@ pub use blocks::CommutingBlocks;
 pub use extract::{basis_change_circuit, extract_clifford, ExtractionConfig, ExtractionResult};
 pub use gf2::Gf2Matrix;
 pub use grouping::{
-    group_commuting, group_commuting_frame, group_qubitwise_commuting, qubit_wise_commute,
-    MeasurementGroup,
+    diagonalize_commuting_frame, group_commuting, group_commuting_frame, group_qubitwise_commuting,
+    qubit_wise_commute, GroupDiagonalizer, MeasurementGroup, MeasurementPlan, PlannedGroup,
 };
 pub use lift::{lift, lift_qasm, LiftedProgram};
 pub use pipeline::{compile, QuClearConfig, QuClearResult};

@@ -7,10 +7,14 @@ use std::time::Instant;
 
 use quclear_circuit::qasm::from_qasm;
 use quclear_core::{
-    lift, AbsorbedObservables, LiftedProgram, QuClearConfig, QuClearResult, ShotBatch,
+    lift, AbsorbedObservables, LiftedProgram, MeasurementPlan, QuClearConfig, QuClearResult,
+    ShotBatch,
 };
 use quclear_pauli::{PauliRotation, SignedPauli};
+use quclear_sim::StateVector;
 use quclear_telemetry::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use rayon::prelude::*;
 
 use crate::deadline::Deadline;
@@ -185,6 +189,7 @@ pub struct Engine {
     evictions: Arc<Counter>,
     binds: Arc<Counter>,
     cache_entries: Arc<Gauge>,
+    measurement_groups: Arc<Gauge>,
     stage_fingerprint: Arc<Histogram>,
     stage_extract: Arc<Histogram>,
     stage_absorb_post: Arc<Histogram>,
@@ -206,6 +211,36 @@ impl Default for Engine {
     fn default() -> Self {
         Engine::new(DEFAULT_CACHE_CAPACITY)
     }
+}
+
+/// Largest register [`Engine::estimate_observables`] will simulate: the
+/// dense statevector simulator's own guard rail.
+pub const MAX_ESTIMABLE_QUBITS: usize = 26;
+
+/// The deterministic per-group sampling seed used by
+/// [`Engine::estimate_observables`]: a SplitMix64-style mix of the request
+/// seed and the group index. Public so differential tests can reproduce a
+/// group's shot batch exactly.
+#[must_use]
+pub fn group_shot_seed(seed: u64, group: usize) -> u64 {
+    let mut z = seed ^ (group as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The result of [`Engine::estimate_observables`]: per-observable sampled
+/// expectations plus the grouping that produced them.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EstimateResult {
+    /// Estimated `⟨O_i⟩` in input observable order, signs included.
+    pub expectations: Vec<f64>,
+    /// Member indices (into the input observable list) of each commuting
+    /// group; one shot batch was sampled per group.
+    pub groups: Vec<Vec<usize>>,
+    /// `observables / groups` — how many times fewer shot batches the
+    /// grouped plan needed compared to per-observable estimation.
+    pub shot_budget_divisor: f64,
 }
 
 impl Engine {
@@ -290,6 +325,10 @@ impl Engine {
             ),
             cache_entries: metrics
                 .gauge("quclear_engine_cache_entries", "templates currently cached"),
+            measurement_groups: metrics.gauge(
+                "quclear_engine_measurement_groups",
+                "commuting groups in the most recently built measurement plan",
+            ),
             stage_fingerprint: stage("fingerprint"),
             stage_extract: stage("extract"),
             stage_absorb_post: stage("absorb_post"),
@@ -299,6 +338,7 @@ impl Engine {
                 bind: stage("bind"),
                 peephole: stage("peephole"),
                 absorb_pre: stage("absorb_pre"),
+                diagonalize: stage("diagonalize"),
             },
             metrics,
             config,
@@ -841,6 +881,140 @@ impl Engine {
         let template = self.template_for_with_deadline(program, deadline)?;
         deadline.check()?;
         contain_panics(|| Ok(template.absorb_observables(observables)))
+    }
+
+    /// The measurement-reduction plan for a program + observable set, served
+    /// through the template cache: CA-Pre absorbs the set, the absorbed
+    /// frame is partitioned into general-commuting groups, and each group
+    /// gets a diagonalizing Clifford with a composed affine readout map. The
+    /// plan is memoized on the template (shared across clones), and the
+    /// grouping + diagonalization work records under the `diagonalize` stage
+    /// histogram; the group count is exported on the
+    /// `quclear_engine_measurement_groups` gauge.
+    ///
+    /// # Errors
+    ///
+    /// Propagates template-compilation failures; a register-size mismatch
+    /// between program and observables surfaces as
+    /// [`EngineError::CompilationPanicked`] (contained, like every other
+    /// compilation panic).
+    pub fn measurement_plan(
+        &self,
+        program: &[PauliRotation],
+        observables: &[SignedPauli],
+    ) -> Result<Arc<MeasurementPlan>, EngineError> {
+        self.measurement_plan_with_deadline(program, observables, Deadline::none())
+    }
+
+    /// [`Self::measurement_plan`] under a request [`Deadline`]; the check
+    /// sits between the template lookup and the diagonalization sweep.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::measurement_plan`], plus
+    /// [`EngineError::DeadlineExceeded`] once the budget is spent.
+    pub fn measurement_plan_with_deadline(
+        &self,
+        program: &[PauliRotation],
+        observables: &[SignedPauli],
+        deadline: Deadline,
+    ) -> Result<Arc<MeasurementPlan>, EngineError> {
+        let template = self.template_for_with_deadline(program, deadline)?;
+        deadline.check()?;
+        let plan = contain_panics(|| Ok(template.measurement_plan(observables)))?;
+        self.measurement_groups.set(plan.num_groups() as i64);
+        Ok(plan)
+    }
+
+    /// Estimates every observable of a program by sampled simultaneous
+    /// measurement: bind the program, simulate the *optimized* circuit once
+    /// (the extracted Clifford is absorbed into the observables — the CA
+    /// identity), then for each commuting group of the
+    /// [`Self::measurement_plan`] append the group's diagonalizing Clifford,
+    /// draw one seeded `shots`-sized batch, and read *all* group members
+    /// from that single batch through the composed affine map. The total
+    /// sample cost is `groups` batches instead of `observables` batches —
+    /// the reported [`EstimateResult::shot_budget_divisor`].
+    ///
+    /// Deterministic: the same `(program, observables, shots, seed)` always
+    /// produces the same batches (group `g` samples with
+    /// [`group_shot_seed`]`(seed, g)`) and hence the same estimates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::NotEstimable`] when `shots == 0` or the
+    /// register exceeds the dense simulator's 26-qubit budget; otherwise as
+    /// [`Self::measurement_plan`].
+    pub fn estimate_observables(
+        &self,
+        program: &[PauliRotation],
+        observables: &[SignedPauli],
+        shots: u64,
+        seed: u64,
+    ) -> Result<EstimateResult, EngineError> {
+        self.estimate_observables_with_deadline(program, observables, shots, seed, Deadline::none())
+    }
+
+    /// [`Self::estimate_observables`] under a request [`Deadline`]; the
+    /// budget is checked between the template lookup, the plan build, the
+    /// bind, and every per-group simulation.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::estimate_observables`], plus
+    /// [`EngineError::DeadlineExceeded`] once the budget is spent.
+    pub fn estimate_observables_with_deadline(
+        &self,
+        program: &[PauliRotation],
+        observables: &[SignedPauli],
+        shots: u64,
+        seed: u64,
+        deadline: Deadline,
+    ) -> Result<EstimateResult, EngineError> {
+        if shots == 0 {
+            return Err(EngineError::NotEstimable {
+                reason: "shot count must be positive".to_string(),
+            });
+        }
+        let plan = self.measurement_plan_with_deadline(program, observables, deadline)?;
+        if plan.num_qubits() > MAX_ESTIMABLE_QUBITS {
+            return Err(EngineError::NotEstimable {
+                reason: format!(
+                    "register of {} qubits exceeds the dense simulator budget of {MAX_ESTIMABLE_QUBITS}",
+                    plan.num_qubits()
+                ),
+            });
+        }
+        let groups: Vec<Vec<usize>> = plan.groups().iter().map(|g| g.members().to_vec()).collect();
+        if plan.num_groups() == 0 {
+            return Ok(EstimateResult {
+                expectations: Vec::new(),
+                groups,
+                shot_budget_divisor: plan.shot_budget_divisor(),
+            });
+        }
+        deadline.check()?;
+        let template = self.template_for_with_deadline(program, deadline)?;
+        let bound = contain_panics(|| template.bind_program(program))?;
+        let base = contain_panics(|| Ok(StateVector::from_circuit(&bound.optimized)))?;
+        let mut batches = Vec::with_capacity(plan.num_groups());
+        for (g, group) in plan.groups().iter().enumerate() {
+            deadline.check()?;
+            let batch = contain_panics(|| {
+                let mut rotated = base.clone();
+                rotated.apply_circuit(group.diagonalizer().circuit());
+                let mut rng = StdRng::seed_from_u64(group_shot_seed(seed, g));
+                let indices = rotated.sample_indices(shots as usize, &mut rng);
+                Ok(ShotBatch::from_indices(plan.num_qubits(), &indices))
+            })?;
+            batches.push(batch);
+        }
+        let expectations = plan.estimate(&batches);
+        Ok(EstimateResult {
+            expectations,
+            groups,
+            shot_budget_divisor: plan.shot_budget_divisor(),
+        })
     }
 
     /// CA-Post for measured shots, served through the template cache: the

@@ -47,6 +47,14 @@ pub enum EngineError {
     /// ([`crate::Engine::post_process_shots`]); use observable absorption
     /// instead.
     NotAbsorbable(AbsorptionError),
+    /// The request cannot be served by sampled observable estimation
+    /// ([`crate::Engine::estimate_observables`]): the register exceeds the
+    /// dense simulator's qubit budget, or the shot count is zero. Not
+    /// transient — the same request fails the same way every time.
+    NotEstimable {
+        /// Human-readable reason the estimate cannot be produced.
+        reason: String,
+    },
     /// The request's [`crate::Deadline`] expired before the pipeline
     /// finished. The work already done is not wasted — a compilation that
     /// completes after its requester detached still populates the template
@@ -80,6 +88,9 @@ impl fmt::Display for EngineError {
             }
             EngineError::NotAbsorbable(inner) => {
                 write!(f, "shot post-processing is not available: {inner}")
+            }
+            EngineError::NotEstimable { reason } => {
+                write!(f, "sampled estimation is not available: {reason}")
             }
             EngineError::DeadlineExceeded => {
                 write!(f, "request deadline exceeded before compilation finished")

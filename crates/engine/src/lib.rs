@@ -58,8 +58,8 @@ mod template;
 
 pub use deadline::Deadline;
 pub use engine::{
-    BatchJob, Engine, EngineStats, DEFAULT_CACHE_CAPACITY, DEFAULT_CACHE_SHARDS,
-    ENGINE_SINGLEFLIGHT_METRIC, ENGINE_STAGE_METRIC,
+    group_shot_seed, BatchJob, Engine, EngineStats, EstimateResult, DEFAULT_CACHE_CAPACITY,
+    DEFAULT_CACHE_SHARDS, ENGINE_SINGLEFLIGHT_METRIC, ENGINE_STAGE_METRIC, MAX_ESTIMABLE_QUBITS,
 };
 pub use error::EngineError;
 pub use fingerprint::ProgramFingerprint;

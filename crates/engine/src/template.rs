@@ -35,8 +35,8 @@ use quclear_circuit::{
     is_zero_rotation, optimize_warming, optimize_with_shared_cache, Circuit, Gate, PeepholeCache,
 };
 use quclear_core::{
-    extract_clifford, AbsorbedObservables, AbsorptionError, AbsorptionPlan, ProbabilityAbsorber,
-    QuClearConfig, QuClearResult,
+    extract_clifford, AbsorbedObservables, AbsorptionError, AbsorptionPlan, MeasurementPlan,
+    ProbabilityAbsorber, QuClearConfig, QuClearResult,
 };
 use quclear_pauli::{PauliRotation, SignedPauli};
 use quclear_tableau::CliffordTableau;
@@ -56,6 +56,9 @@ pub(crate) struct StageMetrics {
     pub(crate) peephole: Arc<Histogram>,
     /// CA-Pre conjugation work (memo misses only — hits do no stage work).
     pub(crate) absorb_pre: Arc<Histogram>,
+    /// Measurement-plan synthesis: grouping plus per-group diagonalizing
+    /// Clifford sweeps (memo misses only).
+    pub(crate) diagonalize: Arc<Histogram>,
 }
 
 /// One parameterized `Rz` in the *optimized* marker skeleton: the peephole
@@ -140,6 +143,10 @@ pub struct CompiledTemplate {
     /// template cache hit never re-conjugates an observable set it has
     /// already rewritten.
     absorbed_memo: Arc<RwLock<HashMap<u64, AbsorbedEntry>>>,
+    /// Memoized measurement-reduction plans (commuting groups + per-group
+    /// diagonalizers + composed readout maps) per observable set, shared
+    /// across clones like the CA-Pre memo.
+    measurement_memo: Arc<RwLock<HashMap<u64, MeasurementEntry>>>,
     /// Memoized CA-Post shot absorber (or the reason the extracted Clifford
     /// does not reduce to one), built on first use and shared across clones.
     probability_absorber: Arc<OnceLock<Result<Arc<ProbabilityAbsorber>, AbsorptionError>>>,
@@ -156,10 +163,21 @@ struct AbsorbedEntry {
     absorbed: Arc<AbsorbedObservables>,
 }
 
+/// One memoized measurement-reduction plan, keyed and disambiguated like
+/// [`AbsorbedEntry`].
+#[derive(Clone, Debug)]
+struct MeasurementEntry {
+    observables: Vec<SignedPauli>,
+    plan: Arc<MeasurementPlan>,
+}
+
 /// Soft cap on memoized observable sets per template: workloads measure a
 /// handful of Hamiltonians per ansatz, so this is generous, and it bounds
 /// memory if a caller streams unique sets through one template.
 const ABSORBED_MEMO_CAPACITY: usize = 16;
+
+/// Same bound for memoized measurement plans (one per observable set).
+const MEASUREMENT_MEMO_CAPACITY: usize = 16;
 
 /// Order-sensitive 64-bit hash of an observable set (axes + signs + size).
 fn observable_set_key(observables: &[SignedPauli]) -> u64 {
@@ -254,6 +272,7 @@ impl CompiledTemplate {
             optimized_skeleton,
             absorption,
             absorbed_memo: Arc::new(RwLock::new(HashMap::new())),
+            measurement_memo: Arc::new(RwLock::new(HashMap::new())),
             probability_absorber: Arc::new(OnceLock::new()),
             stage_metrics: None,
         })
@@ -514,6 +533,63 @@ impl CompiledTemplate {
             },
         );
         absorbed
+    }
+
+    /// The measurement-reduction plan for an observable set, memoized per
+    /// template: CA-Pre absorbs the set (reusing [`Self::absorb_observables`]'s
+    /// memo), then the absorbed frame is partitioned into general-commuting
+    /// groups and each group gets a diagonalizing Clifford plus a composed
+    /// affine readout map. Repeat calls with the same set return the shared
+    /// `Arc` without re-diagonalizing (hash lookup plus exact equality —
+    /// collisions recompute, never corrupt). Shared across template clones,
+    /// so an [`crate::Engine`] cache hit reuses plans from earlier requests.
+    ///
+    /// Only the grouping + diagonalization work (memo misses) is recorded in
+    /// the `diagonalize` stage histogram; the CA-Pre part records under
+    /// `absorb_pre` as usual.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an observable's qubit count differs from the template's.
+    #[must_use]
+    pub fn measurement_plan(&self, observables: &[SignedPauli]) -> Arc<MeasurementPlan> {
+        let key = observable_set_key(observables);
+        // Poison recovery mirrors `absorb_observables`: every mutation is a
+        // single structurally-safe HashMap operation, and a contained panic
+        // in one request must not disable the memo.
+        if let Some(entry) = self
+            .measurement_memo
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&key)
+        {
+            if entry.observables == observables {
+                return Arc::clone(&entry.plan);
+            }
+        }
+        let absorbed = self.absorb_observables(observables);
+        let start = Instant::now();
+        let plan = Arc::new(MeasurementPlan::from_absorbed(&absorbed));
+        if let Some(metrics) = &self.stage_metrics {
+            metrics.diagonalize.record_duration(start.elapsed());
+        }
+        let mut memo = self
+            .measurement_memo
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if memo.len() >= MEASUREMENT_MEMO_CAPACITY && !memo.contains_key(&key) {
+            if let Some(&evict) = memo.keys().next() {
+                memo.remove(&evict);
+            }
+        }
+        memo.insert(
+            key,
+            MeasurementEntry {
+                observables: observables.to_vec(),
+                plan: Arc::clone(&plan),
+            },
+        );
+        plan
     }
 
     /// The CA-Post shot absorber for this template's extracted Clifford,

@@ -1,0 +1,209 @@
+//! Engine-level tests for sampled observable estimation: the differential
+//! scalar oracle (bit-for-bit agreement with a naive per-observable
+//! diagonalize → simulate → count loop), the end-to-end statistical VQE
+//! sweep against exact statevector expectations, plan memoization across
+//! template clones, deadline handling, and panic containment.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use quclear_engine::{group_shot_seed, Deadline, Engine, EngineError};
+use quclear_pauli::{PauliOp, PauliRotation, PauliString, SignedPauli};
+use quclear_sim::StateVector;
+use quclear_workloads::{vqe_expectation_sweep, Benchmark};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The Table-3-style UCC workload: ansatz program plus a Hamiltonian-shaped
+/// observable set, with a few members negated so sign handling is exercised.
+fn ucc_workload() -> (Vec<PauliRotation>, Vec<SignedPauli>) {
+    let sweep = vqe_expectation_sweep(&Benchmark::Ucc(2, 4), 1, 13);
+    let mut observables = sweep.observables;
+    for (i, observable) in observables.iter_mut().enumerate() {
+        if i % 3 == 1 {
+            *observable = SignedPauli::new(observable.pauli().clone(), true);
+        }
+    }
+    (sweep.scenario.program_at(0), observables)
+}
+
+/// The naive scalar oracle: for one observable, find its group, re-simulate
+/// the optimized circuit plus that group's diagonalizer, re-sample the
+/// group's batch from the same derived seed, and count parities one shot at
+/// a time with no plane kernels.
+fn scalar_estimate(
+    engine: &Engine,
+    program: &[PauliRotation],
+    observables: &[SignedPauli],
+    observable: usize,
+    shots: u64,
+    seed: u64,
+) -> f64 {
+    let plan = engine.measurement_plan(program, observables).unwrap();
+    let optimized = engine.compile(program).unwrap().optimized;
+    let base = StateVector::from_circuit(&optimized);
+    let (g, slot) = plan
+        .groups()
+        .iter()
+        .enumerate()
+        .find_map(|(g, group)| {
+            group
+                .members()
+                .iter()
+                .position(|&m| m == observable)
+                .map(|slot| (g, slot))
+        })
+        .expect("every observable is covered by some group");
+    let diagonalizer = plan.groups()[g].diagonalizer();
+    let mut rotated = base.clone();
+    rotated.apply_circuit(diagonalizer.circuit());
+    let mut rng = StdRng::seed_from_u64(group_shot_seed(seed, g));
+    let indices = rotated.sample_indices(shots as usize, &mut rng);
+    let mask: u64 = (0..plan.num_qubits())
+        .filter(|&q| diagonalizer.z_support(slot).get(q))
+        .map(|q| 1u64 << q)
+        .sum();
+    let parity_sum: i64 = indices
+        .iter()
+        .map(|&shot| {
+            if (shot & mask).count_ones().is_multiple_of(2) {
+                1
+            } else {
+                -1
+            }
+        })
+        .sum();
+    diagonalizer.sign(slot) * parity_sum as f64 / indices.len() as f64
+}
+
+#[test]
+fn estimate_matches_scalar_oracle_bit_for_bit() {
+    let engine = Engine::new(8);
+    let (program, observables) = ucc_workload();
+    // 70 shots: deliberately not a multiple of the 64-bit plane width.
+    for shots in [70u64, 64, 129] {
+        let result = engine
+            .estimate_observables(&program, &observables, shots, 9)
+            .unwrap();
+        assert_eq!(result.expectations.len(), observables.len());
+        for i in 0..observables.len() {
+            let oracle = scalar_estimate(&engine, &program, &observables, i, shots, 9);
+            assert_eq!(
+                result.expectations[i].to_bits(),
+                oracle.to_bits(),
+                "observable {i} at {shots} shots"
+            );
+        }
+    }
+}
+
+#[test]
+fn estimate_is_deterministic_in_seed() {
+    let engine = Engine::new(8);
+    let (program, observables) = ucc_workload();
+    let a = engine
+        .estimate_observables(&program, &observables, 100, 21)
+        .unwrap();
+    let b = engine
+        .estimate_observables(&program, &observables, 100, 21)
+        .unwrap();
+    let c = engine
+        .estimate_observables(&program, &observables, 100, 22)
+        .unwrap();
+    assert_eq!(a, b);
+    assert_ne!(a.expectations, c.expectations);
+}
+
+#[test]
+fn vqe_sweep_converges_to_statevector_within_sampling_bound() {
+    let engine = Engine::new(8);
+    let sweep = vqe_expectation_sweep(&Benchmark::Ucc(2, 4), 3, 5);
+    let shots = 20_000u64;
+    let bound = 6.0 / (shots as f64).sqrt();
+    for point in 0..sweep.scenario.len() {
+        let program = sweep.scenario.program_at(point);
+        let result = engine
+            .estimate_observables(&program, &sweep.observables, shots, 7)
+            .unwrap();
+        // The Table-3-style UCC workload must actually group observables.
+        assert!(
+            result.shot_budget_divisor > 1.0,
+            "divisor {} at point {point}",
+            result.shot_budget_divisor
+        );
+        let full = engine.compile(&program).unwrap().full_circuit();
+        let psi = StateVector::from_circuit(&full);
+        for (i, observable) in sweep.observables.iter().enumerate() {
+            let exact = psi.expectation_signed(observable);
+            assert!(
+                (result.expectations[i] - exact).abs() < bound,
+                "point {point} observable {i}: sampled {} vs exact {exact} (bound {bound})",
+                result.expectations[i]
+            );
+        }
+    }
+}
+
+#[test]
+fn measurement_plan_is_memoized_and_shared_across_template_clones() {
+    let engine = Engine::new(8);
+    let (program, observables) = ucc_workload();
+    let first = engine.measurement_plan(&program, &observables).unwrap();
+    let second = engine.measurement_plan(&program, &observables).unwrap();
+    assert!(
+        Arc::ptr_eq(&first, &second),
+        "repeat requests must share one plan"
+    );
+    // A fresh template lookup (cache hit → clone) shares the same memo.
+    let template = engine.template_for(&program).unwrap();
+    let via_template = template.measurement_plan(&observables);
+    assert!(Arc::ptr_eq(&first, &via_template));
+}
+
+#[test]
+fn estimate_respects_an_expired_deadline() {
+    let engine = Engine::new(8);
+    let (program, observables) = ucc_workload();
+    // Warm the caches so only the deadline can fail the request.
+    engine
+        .estimate_observables(&program, &observables, 10, 1)
+        .unwrap();
+    let expired = Deadline::within(Duration::ZERO);
+    std::thread::sleep(Duration::from_millis(2));
+    let result = engine.estimate_observables_with_deadline(&program, &observables, 10, 1, expired);
+    assert!(matches!(result, Err(EngineError::DeadlineExceeded)));
+}
+
+#[test]
+fn zero_shots_and_oversized_registers_are_not_estimable() {
+    let engine = Engine::new(8);
+    let (program, observables) = ucc_workload();
+    let zero = engine.estimate_observables(&program, &observables, 0, 1);
+    assert!(matches!(zero, Err(EngineError::NotEstimable { .. })));
+
+    // 27 qubits compiles fine but exceeds the dense simulator budget.
+    let n = 27;
+    let big_program = vec![PauliRotation::new(
+        PauliString::single(n, 0, PauliOp::Z),
+        0.4,
+    )];
+    let big_observables = vec![SignedPauli::positive(PauliString::single(n, 1, PauliOp::Z))];
+    let big = engine.estimate_observables(&big_program, &big_observables, 10, 1);
+    assert!(matches!(big, Err(EngineError::NotEstimable { .. })));
+}
+
+#[test]
+fn panicking_diagonalization_is_contained_to_its_request() {
+    let engine = Engine::new(8);
+    let (program, observables) = ucc_workload();
+    // Observables on the wrong register size panic inside the contained
+    // plan-building region.
+    let mismatched = vec![SignedPauli::positive(PauliString::single(7, 0, PauliOp::Z))];
+    let bad = engine.estimate_observables(&program, &mismatched, 10, 1);
+    assert!(matches!(bad, Err(EngineError::CompilationPanicked { .. })));
+    // The engine (and the same template) keeps serving afterwards.
+    let good = engine
+        .estimate_observables(&program, &observables, 50, 1)
+        .unwrap();
+    assert_eq!(good.expectations.len(), observables.len());
+}

@@ -336,6 +336,33 @@ impl PauliFrame {
         }
     }
 
+    /// The X-support of row `i` as a qubit mask (bit `q` = row `i` has an X
+    /// component at qubit `q`) — the transpose view of [`Self::x_plane`].
+    #[must_use]
+    pub fn row_x_support(&self, i: usize) -> BitVec {
+        let mut support = BitVec::zeros(self.n);
+        for q in 0..self.n {
+            if self.x[q].get(i) {
+                support.set(q, true);
+            }
+        }
+        support
+    }
+
+    /// The Z-support of row `i` as a qubit mask (bit `q` = row `i` has a Z
+    /// component at qubit `q`). For a Z-diagonal row this is exactly the
+    /// parity mask a `ShotBatch` expectation needs.
+    #[must_use]
+    pub fn row_z_support(&self, i: usize) -> BitVec {
+        let mut support = BitVec::zeros(self.n);
+        for q in 0..self.n {
+            if self.z[q].get(i) {
+                support.set(q, true);
+            }
+        }
+        support
+    }
+
     /// Pauli weight of row `i` (number of non-identity operators).
     #[must_use]
     pub fn weight(&self, i: usize) -> usize {

@@ -478,6 +478,41 @@ impl Client {
         }
     }
 
+    /// Sampled simultaneous measurement on the server: estimates every
+    /// observable of the bound program from one seeded shot batch per
+    /// commuting group, returning `(expectations, groups,
+    /// shot_budget_divisor)`. Deterministic in its arguments, so retries are
+    /// safe.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    #[allow(clippy::type_complexity)]
+    pub fn estimate(
+        &mut self,
+        axes: &[&str],
+        angles: &[f64],
+        observables: &[&str],
+        shots: u64,
+        seed: u64,
+    ) -> Result<(Vec<f64>, Vec<Vec<usize>>, f64), ClientError> {
+        let body = self.request(RequestKind::Estimate {
+            program: axes.iter().map(|s| (*s).to_string()).collect(),
+            angles: angles.to_vec(),
+            observables: observables.iter().map(|s| (*s).to_string()).collect(),
+            shots,
+            seed,
+        })?;
+        match body {
+            ResponseBody::Estimated {
+                expectations,
+                groups,
+                shot_budget_divisor,
+            } => Ok((expectations, groups, shot_budget_divisor)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
     /// Fetches the engine + server counters.
     ///
     /// # Errors

@@ -200,6 +200,24 @@ pub enum RequestKind {
         /// Signed Pauli observables to rewrite.
         observables: Vec<String>,
     },
+    /// Sampled simultaneous measurement: bind the program, build the
+    /// measurement-reduction plan (commuting groups + diagonalizing
+    /// Cliffords + composed affine readout maps), draw one seeded shot batch
+    /// per group from the simulated optimized circuit, and return every
+    /// observable's estimate. Deterministic in `(program, angles,
+    /// observables, shots, seed)`, hence idempotent and safely retryable.
+    Estimate {
+        /// Signed Pauli axes of the program.
+        program: Vec<String>,
+        /// One rotation angle per axis.
+        angles: Vec<f64>,
+        /// Signed Pauli observables to estimate.
+        observables: Vec<String>,
+        /// Shots sampled per commuting group.
+        shots: u64,
+        /// Base RNG seed; group `g` samples with a per-group derivation.
+        seed: u64,
+    },
     /// Engine + server counters.
     Stats,
     /// Full telemetry snapshot: every engine + serve counter, gauge and
@@ -223,6 +241,7 @@ impl RequestKind {
             RequestKind::CompileQasm { .. } => "compile_qasm",
             RequestKind::BindQasm { .. } => "bind_qasm",
             RequestKind::Absorb { .. } => "absorb",
+            RequestKind::Estimate { .. } => "estimate",
             RequestKind::Stats => "stats",
             RequestKind::Metrics => "metrics",
             RequestKind::Health => "health",
@@ -378,6 +397,16 @@ pub enum ResponseBody {
         /// Indices of mutually commuting observables, greedily grouped.
         groups: Vec<Vec<usize>>,
     },
+    /// Answer to `estimate`: sampled per-observable expectations plus the
+    /// grouping that produced them.
+    Estimated {
+        /// Estimated `⟨O_i⟩` in input observable order, signs included.
+        expectations: Vec<f64>,
+        /// Member indices of each commuting group (one shot batch each).
+        groups: Vec<Vec<usize>>,
+        /// `observables / groups` — the shot-budget saving of grouping.
+        shot_budget_divisor: f64,
+    },
     /// Answer to `stats`.
     Stats(StatsSummary),
     /// Answer to `metrics`: the full telemetry snapshot.
@@ -411,6 +440,37 @@ fn str_array(items: &[String]) -> Json {
 
 fn f64_array(items: &[f64]) -> Json {
     Json::Array(items.iter().map(|&x| Json::Float(x)).collect())
+}
+
+fn groups_json(groups: &[Vec<usize>]) -> Json {
+    Json::Array(
+        groups
+            .iter()
+            .map(|g| Json::Array(g.iter().map(|&i| Json::Uint(i as u64)).collect()))
+            .collect(),
+    )
+}
+
+fn groups_from_json(tree: &Json) -> Result<Vec<Vec<usize>>, WireError> {
+    let raw = tree
+        .get("groups")
+        .and_then(Json::as_array)
+        .ok_or_else(|| WireError::new("bad_response", "missing `groups`"))?;
+    let mut groups = Vec::with_capacity(raw.len());
+    for group in raw {
+        let indices = group
+            .as_array()
+            .ok_or_else(|| WireError::new("bad_response", "group is not an array"))?
+            .iter()
+            .map(|i| {
+                i.as_u64()
+                    .map(|i| i as usize)
+                    .ok_or_else(|| WireError::new("bad_response", "group index is not an integer"))
+            })
+            .collect::<Result<Vec<usize>, WireError>>()?;
+        groups.push(indices);
+    }
+    Ok(groups)
 }
 
 impl Request {
@@ -450,6 +510,19 @@ impl Request {
                 entries.push(("program", str_array(program)));
                 entries.push(("observables", str_array(observables)));
             }
+            RequestKind::Estimate {
+                program,
+                angles,
+                observables,
+                shots,
+                seed,
+            } => {
+                entries.push(("program", str_array(program)));
+                entries.push(("angles", f64_array(angles)));
+                entries.push(("observables", str_array(observables)));
+                entries.push(("shots", Json::Uint(*shots)));
+                entries.push(("seed", Json::Uint(*seed)));
+            }
             RequestKind::Stats
             | RequestKind::Metrics
             | RequestKind::Health
@@ -487,6 +560,13 @@ impl Request {
             "absorb" => RequestKind::Absorb {
                 program: field_strings(&tree, "program")?,
                 observables: field_strings(&tree, "observables")?,
+            },
+            "estimate" => RequestKind::Estimate {
+                program: field_strings(&tree, "program")?,
+                angles: field_f64s(&tree, "angles")?,
+                observables: field_strings(&tree, "observables")?,
+                shots: field_u64(&tree, "shots")?,
+                seed: field_u64(&tree, "seed")?,
             },
             "stats" => RequestKind::Stats,
             "metrics" => RequestKind::Metrics,
@@ -580,19 +660,17 @@ impl Response {
                     } => {
                         entries.push(("kind", Json::Str("absorbed".into())));
                         entries.push(("observables", str_array(observables)));
-                        entries.push((
-                            "groups",
-                            Json::Array(
-                                groups
-                                    .iter()
-                                    .map(|g| {
-                                        Json::Array(
-                                            g.iter().map(|&i| Json::Uint(i as u64)).collect(),
-                                        )
-                                    })
-                                    .collect(),
-                            ),
-                        ));
+                        entries.push(("groups", groups_json(groups)));
+                    }
+                    ResponseBody::Estimated {
+                        expectations,
+                        groups,
+                        shot_budget_divisor,
+                    } => {
+                        entries.push(("kind", Json::Str("estimated".into())));
+                        entries.push(("expectations", f64_array(expectations)));
+                        entries.push(("groups", groups_json(groups)));
+                        entries.push(("shot_budget_divisor", Json::Float(*shot_budget_divisor)));
                     }
                     ResponseBody::Stats(stats) => {
                         entries.push(("kind", Json::Str("stats".into())));
@@ -706,27 +784,12 @@ impl Response {
             }
             "absorbed" => ResponseBody::Absorbed {
                 observables: field_strings(&tree, "observables")?,
-                groups: {
-                    let raw = tree
-                        .get("groups")
-                        .and_then(Json::as_array)
-                        .ok_or_else(|| WireError::new("bad_response", "missing `groups`"))?;
-                    let mut groups = Vec::with_capacity(raw.len());
-                    for group in raw {
-                        let indices = group
-                            .as_array()
-                            .ok_or_else(|| WireError::new("bad_response", "group is not an array"))?
-                            .iter()
-                            .map(|i| {
-                                i.as_u64().map(|i| i as usize).ok_or_else(|| {
-                                    WireError::new("bad_response", "group index is not an integer")
-                                })
-                            })
-                            .collect::<Result<Vec<usize>, WireError>>()?;
-                        groups.push(indices);
-                    }
-                    groups
-                },
+                groups: groups_from_json(&tree)?,
+            },
+            "estimated" => ResponseBody::Estimated {
+                expectations: field_f64s(&tree, "expectations")?,
+                groups: groups_from_json(&tree)?,
+                shot_budget_divisor: field_f64(&tree, "shot_budget_divisor")?,
             },
             "stats" => ResponseBody::Stats(StatsSummary {
                 hits: field_u64(&tree, "hits")?,
@@ -963,6 +1026,13 @@ mod tests {
             program: vec!["ZZ".into()],
             observables: vec!["+ZI".into(), "-IZ".into()],
         });
+        roundtrip_request(RequestKind::Estimate {
+            program: vec!["ZZ".into(), "XX".into()],
+            angles: vec![0.25, -1.5],
+            observables: vec!["+ZI".into(), "-IZ".into()],
+            shots: 4096,
+            seed: 17,
+        });
         roundtrip_request(RequestKind::Stats);
         roundtrip_request(RequestKind::Metrics);
         roundtrip_request(RequestKind::Health);
@@ -987,6 +1057,11 @@ mod tests {
             ResponseBody::Absorbed {
                 observables: vec!["+ZZ".into(), "-XI".into()],
                 groups: vec![vec![0, 1], vec![]],
+            },
+            ResponseBody::Estimated {
+                expectations: vec![0.5, -0.25, 1.0],
+                groups: vec![vec![0, 2], vec![1]],
+                shot_budget_divisor: 1.5,
             },
             ResponseBody::Stats(StatsSummary {
                 hits: 10,
@@ -1147,6 +1222,15 @@ mod tests {
         assert!(RequestKind::Absorb {
             program: vec![],
             observables: vec![],
+        }
+        .is_idempotent());
+        // Estimation is deterministic in its seed, hence safely retryable.
+        assert!(RequestKind::Estimate {
+            program: vec![],
+            angles: vec![],
+            observables: vec![],
+            shots: 1,
+            seed: 0,
         }
         .is_idempotent());
         assert!(RequestKind::Stats.is_idempotent());

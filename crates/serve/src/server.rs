@@ -64,12 +64,13 @@ pub const SERVE_ERROR_METRIC: &str = "quclear_serve_errors_total";
 
 /// Every wire name [`respond`] can attribute work to, including the
 /// `"unknown"` bucket for frames whose kind never decoded.
-const REQUEST_KIND_NAMES: [&str; 10] = [
+const REQUEST_KIND_NAMES: [&str; 11] = [
     "compile",
     "sweep",
     "compile_qasm",
     "bind_qasm",
     "absorb",
+    "estimate",
     "stats",
     "metrics",
     "health",
@@ -741,6 +742,21 @@ fn handle_request(
             program,
             observables,
         } => absorb(shared, &program, &observables, deadline),
+        RequestKind::Estimate {
+            program,
+            angles,
+            observables,
+            shots,
+            seed,
+        } => estimate(
+            shared,
+            &program,
+            &angles,
+            &observables,
+            shots,
+            seed,
+            deadline,
+        ),
         RequestKind::Stats => Ok(ResponseBody::Stats(shared.stats())),
         RequestKind::Metrics => Ok(ResponseBody::Metrics(shared.engine.metrics_snapshot())),
         RequestKind::Health => Ok(ResponseBody::Health {
@@ -875,6 +891,39 @@ fn absorb(
     })
 }
 
+fn estimate(
+    shared: &Shared,
+    program: &[String],
+    angles: &[f64],
+    observables: &[String],
+    shots: u64,
+    seed: u64,
+    deadline: Deadline,
+) -> Result<ResponseBody, WireError> {
+    let axes = parse_axes(program)?;
+    let rotations = to_rotations(&axes, angles)?;
+    let parsed: Vec<SignedPauli> = observables
+        .iter()
+        .map(|o| {
+            o.parse::<SignedPauli>().map_err(|e| {
+                WireError::new(
+                    "bad_observable",
+                    format!("observable `{o}` does not parse: {e}"),
+                )
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    let result = shared
+        .engine
+        .estimate_observables_with_deadline(&rotations, &parsed, shots, seed, deadline)
+        .map_err(|e| engine_error(&e))?;
+    Ok(ResponseBody::Estimated {
+        expectations: result.expectations,
+        groups: result.groups,
+        shot_budget_divisor: result.shot_budget_divisor,
+    })
+}
+
 fn summarize(result: &quclear_core::QuClearResult) -> CompiledSummary {
     CompiledSummary {
         optimized_qasm: quclear_circuit::qasm::to_qasm(&result.optimized),
@@ -894,6 +943,7 @@ fn engine_error(error: &EngineError) -> WireError {
         EngineError::NonFiniteAngle { .. } => "non_finite_angle",
         EngineError::CompilationPanicked { .. } => "panicked",
         EngineError::NotAbsorbable(_) => "not_absorbable",
+        EngineError::NotEstimable { .. } => "not_estimable",
         EngineError::DeadlineExceeded => "deadline_exceeded",
     };
     WireError::new(kind, error.to_string())

@@ -672,3 +672,98 @@ fn stats_carry_request_latency_digests() {
 
     server.stop();
 }
+
+#[test]
+fn estimate_roundtrips_matches_engine_and_reports_grouping() {
+    let engine = Arc::new(Engine::new(16));
+    let server = start_server(Arc::clone(&engine), 2);
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    let axes = ["ZZII", "IXXI", "IIZZ", "XXII"];
+    let angles = [0.3, -0.7, 0.2, 0.9];
+    let observables = ["+ZZII", "-IZZI", "+XXII", "+ZIII", "+IIZZ"];
+    let (expectations, groups, divisor) = client
+        .estimate(&axes, &angles, &observables, 500, 42)
+        .expect("estimate");
+    assert_eq!(expectations.len(), observables.len());
+    let covered: usize = groups.iter().map(Vec::len).sum();
+    assert_eq!(covered, observables.len());
+    assert!(divisor >= 1.0);
+    assert!(expectations.iter().all(|e| e.abs() <= 1.0));
+
+    // The wire answer is the engine's answer: estimation is deterministic in
+    // (program, angles, observables, shots, seed).
+    let program: Vec<PauliRotation> = axes
+        .iter()
+        .zip(angles)
+        .map(|(axis, angle)| PauliRotation::parse(axis, angle).expect("axis"))
+        .collect();
+    let parsed: Vec<quclear_pauli::SignedPauli> = observables
+        .iter()
+        .map(|o| o.parse().expect("observable"))
+        .collect();
+    let local = engine
+        .estimate_observables(&program, &parsed, 500, 42)
+        .expect("local estimate");
+    for (wire, local) in expectations.iter().zip(&local.expectations) {
+        assert_eq!(wire.to_bits(), local.to_bits());
+    }
+    assert_eq!(groups, local.groups);
+
+    // Zero shots is a structured, non-transient error.
+    let err = client
+        .estimate(&axes, &angles, &observables, 0, 42)
+        .unwrap_err();
+    assert_eq!(err.remote().expect("remote error").kind, "not_estimable");
+    assert!(!client.is_broken());
+
+    server.stop();
+}
+
+#[test]
+fn estimate_respects_the_server_deadline() {
+    let engine = Arc::new(Engine::new(16));
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Arc::clone(&engine),
+        ServerConfig {
+            workers: 2,
+            request_deadline: Some(std::time::Duration::ZERO),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("binding an ephemeral port");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let err = client
+        .estimate(&["ZZII"], &[0.4], &["+ZZII"], 100, 1)
+        .unwrap_err();
+    assert_eq!(
+        err.remote().expect("remote error").kind,
+        "deadline_exceeded"
+    );
+    server.stop();
+}
+
+#[test]
+fn panicking_diagonalization_answers_only_its_request() {
+    let engine = Arc::new(Engine::new(16));
+    let server = start_server(Arc::clone(&engine), 2);
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    // Observables on the wrong register size panic inside the contained
+    // plan-building region; the panic answers this request alone.
+    let err = client
+        .estimate(&["ZZII"], &[0.4], &["+ZZ"], 100, 1)
+        .unwrap_err();
+    assert_eq!(err.remote().expect("remote error").kind, "panicked");
+    assert!(!client.is_broken());
+
+    // The same connection, engine and template keep serving.
+    let (expectations, _, _) = client
+        .estimate(&["ZZII"], &[0.4], &["+ZZII"], 100, 1)
+        .expect("estimate after panic");
+    assert_eq!(expectations.len(), 1);
+    client.health().expect("health after panic");
+
+    server.stop();
+}
