@@ -1,0 +1,307 @@
+//! Schedule exploration: bounded-exhaustive DFS and seeded random modes,
+//! plus deterministic replay of a recorded trace.
+//!
+//! A schedule is the sequence of `(chosen, arity)` decisions the scheduler
+//! took (see [`crate::runtime`]). DFS enumerates schedules by backtracking
+//! over that sequence: after a run records decisions `d_0 … d_k`, the next
+//! run replays the longest prefix whose final decision can be incremented
+//! (`chosen + 1 < arity`) and lets the scheduler descend leftmost (always
+//! candidate 0) from there. When no prefix can be incremented, the space —
+//! as pruned by the preemption bound — is exhausted.
+//!
+//! Random mode drives each run from a SplitMix64 stream seeded with
+//! `base_seed + run_index`; a failure report prints the seed *and* the
+//! recorded trace, and either replays the identical interleaving.
+
+use std::sync::Arc;
+
+use crate::runtime::{run_once, RunConfig, RunPolicy};
+
+/// How [`Explorer::check`] walks the schedule space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    Dfs,
+    Random { seed: u64 },
+}
+
+/// Builder for a model-checking run over a closure.
+///
+/// ```
+/// use quclear_sched::{Explorer, sync::{Arc, Mutex}, thread};
+///
+/// let report = Explorer::dfs().max_schedules(500).check(|| {
+///     let m = Arc::new(Mutex::new(0u32));
+///     let m2 = Arc::clone(&m);
+///     let t = thread::spawn(move || *m2.lock().unwrap() += 1);
+///     *m.lock().unwrap() += 1;
+///     t.join().unwrap();
+///     assert_eq!(*m.lock().unwrap(), 2);
+/// });
+/// report.assert_passed();
+/// assert!(report.schedules > 1); // multiple interleavings really ran
+/// ```
+#[derive(Clone, Debug)]
+pub struct Explorer {
+    mode: Mode,
+    config: RunConfig,
+    max_schedules: usize,
+}
+
+impl Explorer {
+    /// Bounded-exhaustive DFS. Use for small models (2–3 threads, a few
+    /// operations each); combine with [`Explorer::max_schedules`] as a
+    /// safety net. Models explored this way must be deterministic apart
+    /// from scheduling — in particular, avoid randomized hashing deciding
+    /// control flow (e.g. use single-shard caches).
+    pub fn dfs() -> Explorer {
+        Explorer {
+            mode: Mode::Dfs,
+            config: RunConfig::default(),
+            max_schedules: 100_000,
+        }
+    }
+
+    /// Seeded random (PCT-style) exploration: `runs` schedules drawn from
+    /// seeds `seed, seed+1, …`. Use for models too large for DFS.
+    pub fn random(seed: u64, runs: usize) -> Explorer {
+        Explorer {
+            mode: Mode::Random { seed },
+            config: RunConfig::default(),
+            max_schedules: runs,
+        }
+    }
+
+    /// Caps the number of schedules explored (DFS safety net / random run
+    /// count).
+    #[must_use]
+    pub fn max_schedules(mut self, n: usize) -> Explorer {
+        self.max_schedules = n;
+        self
+    }
+
+    /// Decision points allowed per run before failing as a livelock.
+    #[must_use]
+    pub fn max_steps(mut self, n: usize) -> Explorer {
+        self.config.max_steps = n;
+        self
+    }
+
+    /// Preemption bound per run (default 2). Raising it grows the DFS
+    /// space combinatorially but covers more aggressive interleavings.
+    #[must_use]
+    pub fn max_preemptions(mut self, n: usize) -> Explorer {
+        self.config.max_preemptions = n;
+        self
+    }
+
+    /// Spurious condvar wakeups the scheduler may inject per run
+    /// (default 1; 0 disables them).
+    #[must_use]
+    pub fn spurious_wakeups(mut self, n: u32) -> Explorer {
+        self.config.spurious_wakeups = n;
+        self
+    }
+
+    /// Explores the model and returns a [`Report`]. The closure runs once
+    /// per schedule, on a fresh root thread each time; everything it
+    /// captures must be `Send + Sync` and re-created inside (the closure is
+    /// the whole model: build state, spawn shim threads, join, assert).
+    pub fn check<F>(&self, model: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let model: Arc<dyn Fn() + Send + Sync> = Arc::new(model);
+        match self.mode {
+            Mode::Random { seed } => {
+                let mut schedules = 0usize;
+                for i in 0..self.max_schedules {
+                    let run_seed = seed.wrapping_add(i as u64);
+                    let outcome =
+                        run_once(self.config, RunPolicy::random(run_seed), Arc::clone(&model));
+                    schedules += 1;
+                    if let Some(message) = outcome.failure {
+                        return Self::fail_report(
+                            message,
+                            Some(run_seed),
+                            &outcome.decisions,
+                            schedules,
+                        );
+                    }
+                }
+                Report {
+                    schedules,
+                    failure: None,
+                    exhausted: false,
+                }
+            }
+            Mode::Dfs => {
+                let mut prefix: Vec<u16> = Vec::new();
+                let mut schedules = 0usize;
+                loop {
+                    if schedules >= self.max_schedules {
+                        return Report {
+                            schedules,
+                            failure: None,
+                            exhausted: false,
+                        };
+                    }
+                    let outcome = run_once(
+                        self.config,
+                        RunPolicy::prefix(prefix.clone()),
+                        Arc::clone(&model),
+                    );
+                    schedules += 1;
+                    if outcome.diverged {
+                        return Self::fail_report(
+                            "model diverged from recorded schedule: control flow depends on \
+                             nondeterminism outside the scheduler (randomized hashing, real \
+                             time, ...) — make the model schedule-deterministic or use \
+                             Explorer::random"
+                                .to_string(),
+                            None,
+                            &outcome.decisions,
+                            schedules,
+                        );
+                    }
+                    if let Some(message) = outcome.failure {
+                        return Self::fail_report(message, None, &outcome.decisions, schedules);
+                    }
+                    // Backtrack: longest prefix whose last decision has an
+                    // unexplored sibling.
+                    let mut next = outcome.decisions;
+                    loop {
+                        match next.pop() {
+                            None => {
+                                return Report {
+                                    schedules,
+                                    failure: None,
+                                    exhausted: true,
+                                };
+                            }
+                            Some((chosen, arity)) => {
+                                if chosen + 1 < arity {
+                                    next.push((chosen + 1, arity));
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    prefix = next.iter().map(|&(c, _)| c).collect();
+                }
+            }
+        }
+    }
+
+    fn fail_report(
+        message: String,
+        seed: Option<u64>,
+        decisions: &[(u16, u16)],
+        schedules: usize,
+    ) -> Report {
+        Report {
+            schedules,
+            failure: Some(Failure {
+                message,
+                seed,
+                trace: format_trace(decisions),
+            }),
+            exhausted: false,
+        }
+    }
+}
+
+/// A violation found by exploration, with everything needed to replay it.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// Rendered panic / deadlock / divergence message.
+    pub message: String,
+    /// Seed of the failing run (random mode only).
+    pub seed: Option<u64>,
+    /// Dot-separated decision trace; feed to [`Explorer::replay_with`] (or
+    /// a `RunPolicy` prefix) to re-execute the identical interleaving.
+    pub trace: String,
+}
+
+/// Outcome of [`Explorer::check`].
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Interleavings actually executed.
+    pub schedules: usize,
+    /// First violation found, if any (exploration stops at the first).
+    pub failure: Option<Failure>,
+    /// DFS only: true when the bounded space was fully enumerated (rather
+    /// than cut off by [`Explorer::max_schedules`]).
+    pub exhausted: bool,
+}
+
+impl Report {
+    /// Panics with a replay-ready report if any schedule failed.
+    pub fn assert_passed(&self) {
+        if let Some(f) = &self.failure {
+            let seed = f.seed.map_or_else(String::new, |s| format!(" seed={s}"));
+            panic!(
+                "model check failed after {} schedule(s){seed}\n  trace: {}\n  {}",
+                self.schedules, f.trace, f.message
+            );
+        }
+    }
+
+    /// Panics unless a violation was found — for tests that pin down a
+    /// known-bad model (regression models for fixed bugs run against the
+    /// *buggy* logic re-expressed locally).
+    pub fn assert_failed(&self) -> &Failure {
+        self.failure.as_ref().unwrap_or_else(|| {
+            panic!(
+                "expected a violation but {} schedule(s) all passed",
+                self.schedules
+            )
+        })
+    }
+}
+
+impl Explorer {
+    /// Replays one recorded trace against `model` and returns its report.
+    /// The trace must come from a [`Failure`] of the same model.
+    pub fn replay_with<F>(&self, trace: &str, model: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let model: Arc<dyn Fn() + Send + Sync> = Arc::new(model);
+        let outcome = run_once(self.config, RunPolicy::prefix(parse_trace(trace)), model);
+        if outcome.diverged {
+            return Self::fail_report(
+                "replay diverged from the recorded schedule: the model (or the trace) does \
+                 not match the run that produced it"
+                    .to_string(),
+                None,
+                &outcome.decisions,
+                1,
+            );
+        }
+        Report {
+            schedules: 1,
+            failure: outcome.failure.map(|message| Failure {
+                message,
+                seed: None,
+                trace: format_trace(&outcome.decisions),
+            }),
+            exhausted: false,
+        }
+    }
+}
+
+fn format_trace(decisions: &[(u16, u16)]) -> String {
+    decisions
+        .iter()
+        .map(|&(c, _)| c.to_string())
+        .collect::<Vec<_>>()
+        .join(".")
+}
+
+fn parse_trace(trace: &str) -> Vec<u16> {
+    trace
+        .split('.')
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse::<u16>().unwrap_or(0))
+        .collect()
+}

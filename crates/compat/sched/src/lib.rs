@@ -1,0 +1,62 @@
+//! quclear-sched: a deterministic concurrency model checker.
+//!
+//! Loom/shuttle-style schedule exploration for the workspace's concurrent
+//! machinery, built in the compat-shim discipline: no dependencies, no
+//! `unsafe`, and drop-in replacements for exactly the `std::sync` /
+//! `std::time` subset the workspace uses.
+//!
+//! # How it works
+//!
+//! A model is a closure. [`Explorer::check`] runs it once per *schedule*:
+//! real OS threads execute it, but a controlled scheduler lets only one
+//! run at a time and chooses, at every visible operation (lock, unlock,
+//! atomic access, condvar park/notify, spawn/join), which thread performs
+//! the next step. The sequence of choices is recorded, so
+//!
+//! * **DFS mode** ([`Explorer::dfs`]) backtracks over the choice tree and
+//!   enumerates every interleaving (bounded by a preemption budget and a
+//!   schedule cap), and
+//! * **random mode** ([`Explorer::random`]) samples schedules from seeds,
+//!   PCT-style, for models too large to enumerate —
+//!
+//! and any failure replays exactly: the report carries the seed and the
+//! decision trace, and [`Explorer::replay_with`] re-executes it.
+//!
+//! Timeouts are scheduler choices against a virtual clock (no wall time in
+//! models — see [`time::Instant`]), condvars get budget-bounded spurious
+//! wakeups, and a panicking thread poisons locks exactly as `std` does, so
+//! unwind-path invariants (poison recovery, RAII guards) are explorable.
+//!
+//! # Writing a model
+//!
+//! Build all state inside the closure, spawn threads with
+//! [`thread::spawn`], join them, and assert the invariant at the end (or
+//! inside the threads). Keep models small — 2–3 threads, a handful of
+//! operations — and schedule-deterministic: control flow must not depend
+//! on randomized hashing or other nondeterminism the scheduler cannot see
+//! (DFS detects and reports divergence).
+//!
+//! ```
+//! use quclear_sched::{sync::{Arc, Mutex}, thread, Explorer};
+//!
+//! let report = Explorer::dfs().check(|| {
+//!     let m = Arc::new(Mutex::new(0u32));
+//!     let m2 = Arc::clone(&m);
+//!     let t = thread::spawn(move || *m2.lock().unwrap() += 1);
+//!     *m.lock().unwrap() += 1;
+//!     t.join().unwrap();
+//!     assert_eq!(*m.lock().unwrap(), 2);
+//! });
+//! report.assert_passed();
+//! assert!(report.exhausted);
+//! ```
+
+#![forbid(unsafe_code)]
+
+mod explore;
+mod runtime;
+pub mod sync;
+pub mod thread;
+pub mod time;
+
+pub use explore::{Explorer, Failure, Report};

@@ -1,0 +1,881 @@
+//! The controlled scheduler: one model run, many real threads, exactly one
+//! of them executing at a time.
+//!
+//! Every shim operation (lock, unlock, atomic access, condvar wait/notify,
+//! spawn, join, thread exit) funnels through a *decision point*: the running
+//! thread builds the set of schedulable candidates, asks the run's
+//! [`RunPolicy`] which one goes next, hands the baton over, and parks on a
+//! (real) condvar until the baton comes back. The decision sequence — one
+//! small integer per point — *is* the schedule: record it and a failing
+//! interleaving replays exactly; enumerate it and small models are explored
+//! exhaustively.
+//!
+//! # What a "candidate" is
+//!
+//! * every `Runnable` thread;
+//! * `FireTimeout(t)` for every thread parked in a timed condvar wait —
+//!   choosing it wakes `t` with `timed_out = true` and advances the virtual
+//!   clock past the wait's deadline (time in a model is logical: it moves
+//!   only when the scheduler decides a timeout fires);
+//! * `Spurious(t)` for every thread parked in any condvar wait, while the
+//!   run's spurious-wakeup budget lasts — choosing it wakes `t` with
+//!   `timed_out = false` and no notification, exactly the wakeup the
+//!   platform is allowed to invent. Code that handles condvars with an `if`
+//!   instead of a `while` fails under this choice.
+//!
+//! No candidate at a decision point is a **deadlock**: the run fails with a
+//! dump of every thread's blocked state and the schedule that got there.
+//!
+//! # Memory model
+//!
+//! Exploration is *sequentially consistent*: every atomic access is a
+//! scheduling point executed with `SeqCst` regardless of the declared
+//! [`Ordering`](std::sync::atomic::Ordering). Declared orderings are still
+//! part of the source (and audited by the `xtask` lint); the checker
+//! explores all SC interleavings, which soundly under-approximates weaker
+//! orderings — a violation found here is a real violation, while bugs that
+//! need non-SC reordering to surface are out of scope and must be argued
+//! with `// ordering:` comments instead.
+//!
+//! # Abort protocol
+//!
+//! When a run fails (root assertion, deadlock, step bound), the scheduler
+//! flips `abort`: every parked thread wakes, panics with a private
+//! [`AbortToken`], and unwinds out of the model; every shim operation
+//! degenerates into a non-blocking passthrough so the unwinds cannot get
+//! stuck on shim-level lock state. The controller then harvests the
+//! recorded failure and trace.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex};
+use std::time::Duration;
+
+/// Panic payload used to unwind model threads after a run aborts. Private:
+/// model code never observes it (any thread that would is itself unwound).
+pub(crate) struct AbortToken;
+
+/// Why a thread cannot run right now.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum RunState {
+    /// Eligible to be scheduled.
+    Runnable,
+    /// Waiting for a shim mutex (by object id) to be released.
+    BlockedMutex(usize),
+    /// Waiting for a shim rwlock to admit a reader.
+    BlockedRwRead(usize),
+    /// Waiting for a shim rwlock to admit the writer.
+    BlockedRwWrite(usize),
+    /// Parked in a condvar wait; `deadline_ns` is the virtual-clock expiry
+    /// of a timed wait (`None` = untimed).
+    BlockedCondvar { cv: usize, deadline_ns: Option<u64> },
+    /// Waiting for another model thread to finish.
+    BlockedJoin(usize),
+    /// Exited (normally or by panic).
+    Finished,
+}
+
+#[derive(Debug)]
+struct ThreadState {
+    run: RunState,
+    /// Set by the scheduler when a timed condvar wait was resolved by the
+    /// `FireTimeout` choice rather than a notification.
+    timed_out: bool,
+}
+
+impl ThreadState {
+    fn runnable(&self) -> bool {
+        self.run == RunState::Runnable
+    }
+}
+
+#[derive(Debug, Default)]
+struct LockState {
+    locked: bool,
+}
+
+#[derive(Debug, Default)]
+struct RwState {
+    readers: usize,
+    writer: bool,
+}
+
+/// Per-run tuning; see [`crate::explore::Explorer`] for the user-facing
+/// builder.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct RunConfig {
+    /// Decision points before the run fails as a livelock.
+    pub max_steps: usize,
+    /// Preemptions (switching away from a thread that could continue)
+    /// allowed per run; bounds the DFS tree polynomially.
+    pub max_preemptions: usize,
+    /// Spurious condvar wakeups the scheduler may inject per run.
+    pub spurious_wakeups: u32,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            max_steps: 20_000,
+            max_preemptions: 2,
+            spurious_wakeups: 1,
+        }
+    }
+}
+
+/// The source of scheduling decisions for one run: a replayed prefix
+/// (DFS / replay) or a seeded RNG, recording every `(chosen, arity)` pair.
+#[derive(Debug)]
+pub(crate) struct RunPolicy {
+    mode: PolicyMode,
+    /// Every decision taken this run: `(chosen index, candidate count)`.
+    pub decisions: Vec<(u16, u16)>,
+    /// Set when a replayed prefix named an out-of-range candidate — the
+    /// model diverged from the recorded run (nondeterminism outside the
+    /// scheduler's control, e.g. randomized hashing).
+    pub diverged: bool,
+}
+
+#[derive(Debug)]
+enum PolicyMode {
+    /// Follow `prefix`, then always pick candidate 0 (DFS leftmost descent).
+    Prefix(Vec<u16>),
+    /// SplitMix64 stream; uniform pick at every point.
+    Random(u64),
+}
+
+impl RunPolicy {
+    pub(crate) fn prefix(prefix: Vec<u16>) -> Self {
+        RunPolicy {
+            mode: PolicyMode::Prefix(prefix),
+            decisions: Vec::new(),
+            diverged: false,
+        }
+    }
+
+    pub(crate) fn random(seed: u64) -> Self {
+        RunPolicy {
+            // SplitMix64 state must never be 0-degenerate; the golden-ratio
+            // increment below guarantees full period from any seed.
+            mode: PolicyMode::Random(seed),
+            decisions: Vec::new(),
+            diverged: false,
+        }
+    }
+
+    fn pick(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        let step = self.decisions.len();
+        let chosen = match &mut self.mode {
+            PolicyMode::Prefix(prefix) => match prefix.get(step) {
+                Some(&c) if (c as usize) < n => c as usize,
+                Some(_) => {
+                    self.diverged = true;
+                    n - 1
+                }
+                None => 0,
+            },
+            PolicyMode::Random(state) => {
+                // SplitMix64 step.
+                *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = *state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^= z >> 31;
+                (z % n as u64) as usize
+            }
+        };
+        self.decisions
+            .push((chosen as u16, u16::try_from(n).unwrap_or(u16::MAX)));
+        chosen
+    }
+}
+
+/// One scheduling alternative at a decision point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Candidate {
+    Run(usize),
+    FireTimeout(usize),
+    Spurious(usize),
+}
+
+#[derive(Debug)]
+struct SchedState {
+    threads: Vec<ThreadState>,
+    current: usize,
+    policy: RunPolicy,
+    abort: bool,
+    failure: Option<String>,
+    clock_ns: u64,
+    locks: HashMap<usize, LockState>,
+    rwlocks: HashMap<usize, RwState>,
+    preemptions: usize,
+    spurious_left: u32,
+    finished: usize,
+    config: RunConfig,
+}
+
+impl SchedState {
+    fn candidates(&self) -> Vec<Candidate> {
+        let mut out = Vec::new();
+        for (tid, t) in self.threads.iter().enumerate() {
+            if t.runnable() {
+                out.push(Candidate::Run(tid));
+            }
+        }
+        for (tid, t) in self.threads.iter().enumerate() {
+            if let RunState::BlockedCondvar {
+                deadline_ns: Some(_),
+                ..
+            } = t.run
+            {
+                out.push(Candidate::FireTimeout(tid));
+            }
+        }
+        if self.spurious_left > 0 {
+            for (tid, t) in self.threads.iter().enumerate() {
+                if matches!(t.run, RunState::BlockedCondvar { .. }) {
+                    out.push(Candidate::Spurious(tid));
+                }
+            }
+        }
+        out
+    }
+
+    fn blocked_dump(&self) -> String {
+        self.threads
+            .iter()
+            .enumerate()
+            .map(|(tid, t)| format!("thread {tid}: {:?}", t.run))
+            .collect::<Vec<_>>()
+            .join("; ")
+    }
+}
+
+/// The shared scheduler for one model run.
+pub(crate) struct Scheduler {
+    state: StdMutex<SchedState>,
+    cv: StdCondvar,
+}
+
+/// Outcome of one completed run, harvested by the explorer.
+pub(crate) struct RunOutcome {
+    pub failure: Option<String>,
+    pub decisions: Vec<(u16, u16)>,
+    pub diverged: bool,
+}
+
+thread_local! {
+    /// The scheduler driving this thread, plus this thread's model id.
+    /// `None` outside model threads — every shim type falls back to its
+    /// `std` counterpart in that case.
+    static CONTEXT: std::cell::RefCell<Option<(Arc<Scheduler>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+    /// Rendered panic info for the most recent panic on this thread, stored
+    /// by the model-aware panic hook so failures carry file:line context.
+    static LAST_PANIC: std::cell::RefCell<Option<String>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The scheduler + model-thread-id of the calling thread, if any.
+pub(crate) fn context() -> Option<(Arc<Scheduler>, usize)> {
+    CONTEXT.with(|c| c.borrow().clone())
+}
+
+/// True when the calling thread belongs to an active model run.
+pub(crate) fn in_model() -> bool {
+    CONTEXT.with(|c| c.borrow().is_some())
+}
+
+fn set_context(ctx: Option<(Arc<Scheduler>, usize)>) {
+    CONTEXT.with(|c| *c.borrow_mut() = ctx);
+}
+
+fn take_last_panic() -> Option<String> {
+    LAST_PANIC.with(|p| p.borrow_mut().take())
+}
+
+/// Installs (once, process-wide) a panic hook that silences panics on model
+/// threads — exploration deliberately panics thousands of times — while
+/// recording their rendered message for failure reports. Panics outside
+/// model threads go to the previously installed hook unchanged.
+fn install_model_panic_hook() {
+    use std::sync::Once;
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if in_model() {
+                LAST_PANIC.with(|p| *p.borrow_mut() = Some(info.to_string()));
+            } else {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Unwinds the calling thread out of an aborted run — unless it is already
+/// unwinding, in which case it simply returns and the caller proceeds in
+/// free-run mode (a second panic during unwind would abort the process).
+fn abort_unwind() {
+    if !std::thread::panicking() {
+        std::panic::panic_any(AbortToken);
+    }
+}
+
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(ToString::to_string)
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
+#[allow(clippy::unused_self)]
+impl Scheduler {
+    fn new(policy: RunPolicy, config: RunConfig) -> Scheduler {
+        Scheduler {
+            state: StdMutex::new(SchedState {
+                threads: vec![ThreadState {
+                    run: RunState::Runnable,
+                    timed_out: false,
+                }],
+                current: 0,
+                policy,
+                abort: false,
+                failure: None,
+                clock_ns: 0,
+                locks: HashMap::new(),
+                rwlocks: HashMap::new(),
+                preemptions: 0,
+                spurious_left: config.spurious_wakeups,
+                finished: 0,
+                config,
+            }),
+            cv: StdCondvar::new(),
+        }
+    }
+
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, SchedState> {
+        // The scheduler's own mutex can only be poisoned by a bug in this
+        // module; recovering keeps the abort protocol able to drain threads.
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Records the first failure, flips `abort`, and wakes everyone.
+    fn fail(&self, st: &mut SchedState, message: String) {
+        if st.failure.is_none() {
+            st.failure = Some(message);
+        }
+        st.abort = true;
+        self.cv.notify_all();
+    }
+
+    /// Picks the next thread to run. Must be called with the state lock
+    /// held by a thread that is about to stop running (yield, block, or
+    /// finish). Returns `false` when the run aborted instead of scheduling.
+    fn decide(&self, st: &mut SchedState) -> bool {
+        if st.abort {
+            return false;
+        }
+        if st.policy.decisions.len() >= st.config.max_steps {
+            self.fail(
+                st,
+                format!(
+                    "step bound exceeded ({} decision points): livelock or a model too \
+                     large for this bound",
+                    st.config.max_steps
+                ),
+            );
+            return false;
+        }
+        let mut candidates = st.candidates();
+        if candidates.is_empty() {
+            if st.finished == st.threads.len() {
+                // Everyone exited; nothing to schedule, nothing wrong.
+                self.cv.notify_all();
+                return true;
+            }
+            let dump = st.blocked_dump();
+            self.fail(st, format!("deadlock: no schedulable thread ({dump})"));
+            return false;
+        }
+        let current_runnable = st
+            .threads
+            .get(st.current)
+            .is_some_and(ThreadState::runnable);
+        if current_runnable && st.preemptions >= st.config.max_preemptions {
+            // Preemption budget spent: the running thread keeps running.
+            candidates.retain(|c| *c == Candidate::Run(st.current));
+            debug_assert!(!candidates.is_empty());
+        }
+        let chosen = candidates[st.policy.pick(candidates.len())];
+        if current_runnable && chosen != Candidate::Run(st.current) {
+            st.preemptions += 1;
+        }
+        match chosen {
+            Candidate::Run(t) => st.current = t,
+            Candidate::FireTimeout(t) => {
+                if let RunState::BlockedCondvar {
+                    deadline_ns: Some(at),
+                    ..
+                } = st.threads[t].run
+                {
+                    // Logical time jumps to the deadline: the wait expired.
+                    st.clock_ns = st.clock_ns.max(at);
+                }
+                st.threads[t].run = RunState::Runnable;
+                st.threads[t].timed_out = true;
+                st.current = t;
+            }
+            Candidate::Spurious(t) => {
+                st.threads[t].run = RunState::Runnable;
+                st.threads[t].timed_out = false;
+                st.spurious_left -= 1;
+                st.current = t;
+            }
+        }
+        self.cv.notify_all();
+        true
+    }
+
+    /// Parks until the baton is back: this thread is `current` and
+    /// runnable. Panics with [`AbortToken`] if the run aborts meanwhile.
+    fn wait_for_turn<'a>(
+        &'a self,
+        mut st: std::sync::MutexGuard<'a, SchedState>,
+        me: usize,
+    ) -> std::sync::MutexGuard<'a, SchedState> {
+        loop {
+            if st.abort {
+                if std::thread::panicking() {
+                    // Free-run: let the unwinder proceed out of turn.
+                    return st;
+                }
+                drop(st);
+                std::panic::panic_any(AbortToken);
+            }
+            if st.current == me && st.threads[me].runnable() {
+                return st;
+            }
+            st = self
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// One decision point: the visible-operation prologue used by every
+    /// shim op. After it returns, the calling thread holds the baton.
+    pub(crate) fn yield_point(&self, me: usize) {
+        let mut st = self.lock_state();
+        if st.abort || !self.decide(&mut st) {
+            drop(st);
+            abort_unwind();
+            return;
+        }
+        drop(self.wait_for_turn(st, me));
+    }
+
+    /// Blocks the calling thread with `reason` until something wakes it.
+    fn block_on(&self, mut st: std::sync::MutexGuard<'_, SchedState>, me: usize, reason: RunState) {
+        st.threads[me].run = reason;
+        if !self.decide(&mut st) {
+            // The wake below matters even for free-runners: a blocked state
+            // left behind would wedge the controller's finished count.
+            st.threads[me].run = RunState::Runnable;
+            drop(st);
+            abort_unwind();
+            return;
+        }
+        drop(self.wait_for_turn(st, me));
+    }
+
+    // ----- mutex ---------------------------------------------------------
+
+    pub(crate) fn mutex_lock(&self, id: usize, me: usize) {
+        self.yield_point(me);
+        loop {
+            let mut st = self.lock_state();
+            if st.abort {
+                // Free-run: take it unconditionally; the real mutex inside
+                // the shim still provides mutual exclusion for unwinders.
+                return;
+            }
+            let lock = st.locks.entry(id).or_default();
+            if !lock.locked {
+                lock.locked = true;
+                return;
+            }
+            // Being scheduled after the wake below *is* the next decision;
+            // re-check without a fresh yield.
+            self.block_on(st, me, RunState::BlockedMutex(id));
+        }
+    }
+
+    pub(crate) fn mutex_unlock(&self, id: usize, me: usize) {
+        let mut st = self.lock_state();
+        st.locks.entry(id).or_default().locked = false;
+        for t in &mut st.threads {
+            if t.run == RunState::BlockedMutex(id) {
+                t.run = RunState::Runnable;
+            }
+        }
+        if st.abort {
+            self.cv.notify_all();
+            return;
+        }
+        // The release is a visible op: someone else may run before the
+        // unlocking thread's next instruction.
+        if !self.decide(&mut st) {
+            drop(st);
+            abort_unwind();
+            return;
+        }
+        drop(self.wait_for_turn(st, me));
+    }
+
+    // ----- rwlock --------------------------------------------------------
+
+    pub(crate) fn rw_read_lock(&self, id: usize, me: usize) {
+        self.yield_point(me);
+        loop {
+            let mut st = self.lock_state();
+            if st.abort {
+                return;
+            }
+            let rw = st.rwlocks.entry(id).or_default();
+            if !rw.writer {
+                rw.readers += 1;
+                return;
+            }
+            self.block_on(st, me, RunState::BlockedRwRead(id));
+        }
+    }
+
+    pub(crate) fn rw_read_unlock(&self, id: usize, me: usize) {
+        let mut st = self.lock_state();
+        let rw = st.rwlocks.entry(id).or_default();
+        rw.readers = rw.readers.saturating_sub(1);
+        if rw.readers == 0 {
+            for t in &mut st.threads {
+                if t.run == RunState::BlockedRwWrite(id) {
+                    t.run = RunState::Runnable;
+                }
+            }
+        }
+        if st.abort {
+            self.cv.notify_all();
+            return;
+        }
+        if !self.decide(&mut st) {
+            drop(st);
+            abort_unwind();
+            return;
+        }
+        drop(self.wait_for_turn(st, me));
+    }
+
+    pub(crate) fn rw_write_lock(&self, id: usize, me: usize) {
+        self.yield_point(me);
+        loop {
+            let mut st = self.lock_state();
+            if st.abort {
+                return;
+            }
+            let rw = st.rwlocks.entry(id).or_default();
+            if !rw.writer && rw.readers == 0 {
+                rw.writer = true;
+                return;
+            }
+            self.block_on(st, me, RunState::BlockedRwWrite(id));
+        }
+    }
+
+    pub(crate) fn rw_write_unlock(&self, id: usize, me: usize) {
+        let mut st = self.lock_state();
+        st.rwlocks.entry(id).or_default().writer = false;
+        for t in &mut st.threads {
+            if matches!(
+                t.run,
+                RunState::BlockedRwRead(l) | RunState::BlockedRwWrite(l) if l == id
+            ) {
+                t.run = RunState::Runnable;
+            }
+        }
+        if st.abort {
+            self.cv.notify_all();
+            return;
+        }
+        if !self.decide(&mut st) {
+            drop(st);
+            abort_unwind();
+            return;
+        }
+        drop(self.wait_for_turn(st, me));
+    }
+
+    // ----- condvar -------------------------------------------------------
+
+    /// Releases the shim-level mutex `mutex_id`, parks on `cv_id`
+    /// (optionally with a virtual-clock timeout), and returns whether the
+    /// wait resolved as a timeout. The caller reacquires the mutex via
+    /// [`Scheduler::mutex_relock`] afterwards.
+    pub(crate) fn condvar_wait(
+        &self,
+        cv_id: usize,
+        mutex_id: usize,
+        me: usize,
+        timeout: Option<Duration>,
+    ) -> bool {
+        let mut st = self.lock_state();
+        if st.abort {
+            return false;
+        }
+        st.locks.entry(mutex_id).or_default().locked = false;
+        for t in &mut st.threads {
+            if t.run == RunState::BlockedMutex(mutex_id) {
+                t.run = RunState::Runnable;
+            }
+        }
+        let deadline_ns = timeout.map(|d| st.clock_ns.saturating_add(duration_to_ns(d)));
+        st.threads[me].timed_out = false;
+        st.threads[me].run = RunState::BlockedCondvar {
+            cv: cv_id,
+            deadline_ns,
+        };
+        if !self.decide(&mut st) {
+            st.threads[me].run = RunState::Runnable;
+            drop(st);
+            abort_unwind();
+            return false;
+        }
+        let st = self.wait_for_turn(st, me);
+        let timed_out = st.threads[me].timed_out;
+        drop(st);
+        timed_out
+    }
+
+    /// Reacquires a mutex after a condvar wait, without the initial yield
+    /// of [`Scheduler::mutex_lock`] (being rescheduled after the wake was
+    /// the decision).
+    pub(crate) fn mutex_relock(&self, id: usize, me: usize) {
+        loop {
+            let mut st = self.lock_state();
+            if st.abort {
+                return;
+            }
+            let lock = st.locks.entry(id).or_default();
+            if !lock.locked {
+                lock.locked = true;
+                return;
+            }
+            self.block_on(st, me, RunState::BlockedMutex(id));
+        }
+    }
+
+    pub(crate) fn condvar_notify(&self, cv_id: usize, me: usize, all: bool) {
+        let mut st = self.lock_state();
+        let mut woken = false;
+        for t in &mut st.threads {
+            if let RunState::BlockedCondvar { cv, .. } = t.run {
+                if cv == cv_id && (all || !woken) {
+                    t.run = RunState::Runnable;
+                    t.timed_out = false;
+                    woken = true;
+                }
+            }
+        }
+        if st.abort {
+            self.cv.notify_all();
+            return;
+        }
+        if !self.decide(&mut st) {
+            drop(st);
+            abort_unwind();
+            return;
+        }
+        drop(self.wait_for_turn(st, me));
+    }
+
+    // ----- threads -------------------------------------------------------
+
+    /// Registers a child thread (runnable, waiting for its first turn) and
+    /// returns its model id.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut st = self.lock_state();
+        st.threads.push(ThreadState {
+            run: RunState::Runnable,
+            timed_out: false,
+        });
+        st.threads.len() - 1
+    }
+
+    /// First thing a freshly spawned model thread does: wait to be
+    /// scheduled.
+    pub(crate) fn thread_started(&self, me: usize) {
+        let st = self.lock_state();
+        if st.abort {
+            drop(st);
+            std::panic::panic_any(AbortToken);
+        }
+        drop(self.wait_for_turn(st, me));
+    }
+
+    /// Marks the calling thread finished, wakes joiners, and hands the
+    /// baton on. Never blocks and never panics: it runs during unwinds.
+    pub(crate) fn thread_finished(&self, me: usize) {
+        let mut st = self.lock_state();
+        st.threads[me].run = RunState::Finished;
+        st.finished += 1;
+        let me_id = me;
+        for t in &mut st.threads {
+            if t.run == RunState::BlockedJoin(me_id) {
+                t.run = RunState::Runnable;
+            }
+        }
+        if st.finished == st.threads.len() {
+            self.cv.notify_all();
+            return;
+        }
+        if !st.abort {
+            // Ignore a failed decide: `fail` already set abort + notified.
+            let _ = self.decide(&mut st);
+        } else {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Blocks until thread `target` finishes.
+    pub(crate) fn join_thread(&self, target: usize, me: usize) {
+        self.yield_point(me);
+        let st = self.lock_state();
+        if st.abort {
+            drop(st);
+            abort_unwind();
+            return;
+        }
+        if st.threads[target].run == RunState::Finished {
+            return;
+        }
+        self.block_on(st, me, RunState::BlockedJoin(target));
+    }
+
+    /// Current virtual time in nanoseconds.
+    pub(crate) fn clock_ns(&self) -> u64 {
+        self.lock_state().clock_ns
+    }
+
+    /// Root-thread failure reporting: a panic in the root (assertion)
+    /// thread fails the run with its rendered message.
+    fn fail_from_root(&self, message: String) {
+        let mut st = self.lock_state();
+        self.fail(&mut st, message);
+    }
+}
+
+fn duration_to_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Spawn used by the shim `thread` module: registers the child with the
+/// calling thread's scheduler and injects the scheduler context into the
+/// child. Outside a model it is exactly `std::thread::spawn`.
+pub(crate) fn spawn_model_thread<T: Send + 'static>(
+    f: impl FnOnce() -> T + Send + 'static,
+) -> (
+    std::thread::JoinHandle<std::thread::Result<T>>,
+    Option<usize>,
+) {
+    match context() {
+        None => (
+            std::thread::spawn(move || catch_unwind(AssertUnwindSafe(f))),
+            None,
+        ),
+        Some((sched, _parent)) => {
+            let tid = sched.register_thread();
+            let child_sched = Arc::clone(&sched);
+            let handle = std::thread::spawn(move || {
+                set_context(Some((Arc::clone(&child_sched), tid)));
+                child_sched.thread_started(tid);
+                let result = catch_unwind(AssertUnwindSafe(f));
+                if let Err(payload) = &result {
+                    // An uncaught panic on a child thread is a model failure
+                    // in its own right — std would only surface it through
+                    // `join`, which a model may never call. Models that
+                    // *expect* a panic (panicking-leader scenarios) contain
+                    // it with `catch_unwind` inside the closure.
+                    if !payload.is::<AbortToken>() {
+                        let message = take_last_panic().unwrap_or_else(|| {
+                            format!("panicked: {}", payload_message(&**payload))
+                        });
+                        child_sched.fail_from_root(format!("model thread {tid}: {message}"));
+                    }
+                }
+                child_sched.thread_finished(tid);
+                set_context(None);
+                result
+            });
+            (handle, Some(tid))
+        }
+    }
+}
+
+/// Runs `model` once under a fresh scheduler with the given policy and
+/// returns the harvested outcome. Used by the explorer; not public API.
+pub(crate) fn run_once(
+    config: RunConfig,
+    policy: RunPolicy,
+    model: Arc<dyn Fn() + Send + Sync>,
+) -> RunOutcome {
+    install_model_panic_hook();
+    let scheduler = Arc::new(Scheduler::new(policy, config));
+    let root_sched = Arc::clone(&scheduler);
+    let root = std::thread::spawn(move || {
+        set_context(Some((Arc::clone(&root_sched), 0)));
+        root_sched.thread_started(0);
+        let result = catch_unwind(AssertUnwindSafe(|| model()));
+        if let Err(payload) = result {
+            if !payload.is::<AbortToken>() {
+                let message = take_last_panic().unwrap_or_else(|| {
+                    format!("root thread panicked: {}", payload_message(&*payload))
+                });
+                root_sched.fail_from_root(message);
+            }
+        }
+        root_sched.thread_finished(0);
+        set_context(None);
+    });
+
+    // Wait for every registered model thread to finish. Children register
+    // as the run progresses, so re-read the count each wakeup.
+    {
+        let mut st = scheduler.lock_state();
+        loop {
+            if st.finished == st.threads.len() {
+                break;
+            }
+            st = scheduler
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+    let _ = root.join();
+
+    let st = scheduler.lock_state();
+    RunOutcome {
+        failure: st.failure.clone(),
+        decisions: st.policy.decisions.clone(),
+        diverged: st.policy.diverged,
+    }
+}
+
+/// Identity of a shim primitive: its inner object's address. Stable for
+/// the primitive's lifetime (shim ops take `&self`); an address reused by a
+/// later primitive inherits only quiescent (unlocked, waiter-free) state.
+pub(crate) fn object_id<T: ?Sized>(inner: &T) -> usize {
+    std::ptr::from_ref(inner).cast::<()>() as usize
+}

@@ -1,0 +1,554 @@
+//! Drop-in replacements for the `std::sync` subset the workspace uses.
+//!
+//! Outside a model run every type here defers to its `std` counterpart with
+//! zero behavioral difference. Inside a model run (a thread spawned by
+//! [`crate::Explorer::check`] or [`crate::thread::spawn`] under one), every
+//! visible operation — acquire, release, atomic access, condvar park and
+//! notify — first passes a scheduling decision point, so the explorer
+//! controls exactly which thread performs the next visible step.
+//!
+//! The shim owns *blocking and ordering*; it does not reimplement the
+//! primitives. A model-mode `lock()` first wins exclusivity from the
+//! scheduler (blocking means parking in the scheduler, never in the OS),
+//! then takes the real `std::sync::Mutex` uncontended underneath. That
+//! keeps the crate `#![forbid(unsafe_code)]`, and poisoning falls out for
+//! free: a panicking thread drops the real guard, the real mutex poisons,
+//! and the next locker sees `Err(PoisonError)` exactly as with `std`.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::time::Duration;
+
+pub use std::sync::{Arc, LockResult, PoisonError, Weak};
+
+use crate::runtime::{self, Scheduler};
+
+/// (scheduler, object id, model thread id) captured when a guard was taken
+/// under a scheduler; `None` for plain `std` operation.
+type Ctx = Option<(Arc<Scheduler>, usize, usize)>;
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+/// `std::sync::Mutex` with scheduler-controlled blocking in model runs.
+#[derive(Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let ctx = match runtime::context() {
+            None => None,
+            Some((sched, me)) => {
+                let id = runtime::object_id(&self.inner);
+                sched.mutex_lock(id, me);
+                Some((sched, id, me))
+            }
+        };
+        rebuild_mutex(self, self.inner.lock(), ctx)
+    }
+
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// Guard for [`Mutex`]; releases shim-level ownership after the real guard.
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    ctx: Ctx,
+}
+
+impl<'a, T: ?Sized> MutexGuard<'a, T> {
+    /// Takes the guard apart without running `Drop` (used by condvar
+    /// waits, which hand the release to the scheduler themselves).
+    fn dissolve(mut self) -> (&'a Mutex<T>, Option<std::sync::MutexGuard<'a, T>>, Ctx) {
+        let lock = self.lock;
+        let inner = self.inner.take();
+        let ctx = self.ctx.take();
+        std::mem::forget(self);
+        (lock, inner, ctx)
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard dissolved")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard dissolved")
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Real guard first (so the mutex is actually free), then the shim
+        // release (which may schedule another thread straight into it).
+        drop(self.inner.take());
+        if let Some((sched, id, me)) = self.ctx.take() {
+            sched.mutex_unlock(id, me);
+        }
+    }
+}
+
+fn rebuild_mutex<'a, T: ?Sized>(
+    lock: &'a Mutex<T>,
+    res: LockResult<std::sync::MutexGuard<'a, T>>,
+    ctx: Ctx,
+) -> LockResult<MutexGuard<'a, T>> {
+    match res {
+        Ok(inner) => Ok(MutexGuard {
+            lock,
+            inner: Some(inner),
+            ctx,
+        }),
+        Err(poison) => Err(PoisonError::new(MutexGuard {
+            lock,
+            inner: Some(poison.into_inner()),
+            ctx,
+        })),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------------
+
+/// Result of [`Condvar::wait_timeout`]; mirrors `std::sync::WaitTimeoutResult`
+/// (whose constructor is private, hence the local type).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    #[must_use]
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// `std::sync::Condvar` with scheduler-controlled parking in model runs.
+///
+/// Under a scheduler, timed waits never consult the OS clock: a timeout is
+/// a *scheduling choice* that advances the model's virtual clock past the
+/// deadline, so deadline paths (e.g. detach-on-expiry) are explored like
+/// any other interleaving. The scheduler may also inject spurious wakeups,
+/// within the explorer's configured budget.
+#[derive(Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    #[must_use]
+    pub const fn new() -> Condvar {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let (lock, inner, ctx) = guard.dissolve();
+        match ctx {
+            None => {
+                let inner = inner.expect("guard dissolved");
+                rebuild_mutex(lock, self.inner.wait(inner), None)
+            }
+            Some((sched, mutex_id, me)) => {
+                drop(inner);
+                let cv_id = runtime::object_id(&self.inner);
+                let _ = sched.condvar_wait(cv_id, mutex_id, me, None);
+                sched.mutex_relock(mutex_id, me);
+                rebuild_mutex(lock, lock.inner.lock(), Some((sched, mutex_id, me)))
+            }
+        }
+    }
+
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        let (lock, inner, ctx) = guard.dissolve();
+        match ctx {
+            None => {
+                let inner = inner.expect("guard dissolved");
+                match self.inner.wait_timeout(inner, timeout) {
+                    Ok((g, t)) => {
+                        let g = rebuild_mutex(lock, Ok(g), None)
+                            .unwrap_or_else(PoisonError::into_inner);
+                        Ok((g, WaitTimeoutResult(t.timed_out())))
+                    }
+                    Err(poison) => {
+                        let (g, t) = poison.into_inner();
+                        let g = rebuild_mutex(lock, Ok(g), None)
+                            .unwrap_or_else(PoisonError::into_inner);
+                        Err(PoisonError::new((g, WaitTimeoutResult(t.timed_out()))))
+                    }
+                }
+            }
+            Some((sched, mutex_id, me)) => {
+                drop(inner);
+                let cv_id = runtime::object_id(&self.inner);
+                let timed_out = sched.condvar_wait(cv_id, mutex_id, me, Some(timeout));
+                sched.mutex_relock(mutex_id, me);
+                match rebuild_mutex(lock, lock.inner.lock(), Some((sched, mutex_id, me))) {
+                    Ok(g) => Ok((g, WaitTimeoutResult(timed_out))),
+                    Err(poison) => Err(PoisonError::new((
+                        poison.into_inner(),
+                        WaitTimeoutResult(timed_out),
+                    ))),
+                }
+            }
+        }
+    }
+
+    pub fn notify_one(&self) {
+        match runtime::context() {
+            None => self.inner.notify_one(),
+            Some((sched, me)) => {
+                sched.condvar_notify(runtime::object_id(&self.inner), me, false);
+            }
+        }
+    }
+
+    pub fn notify_all(&self) {
+        match runtime::context() {
+            None => self.inner.notify_all(),
+            Some((sched, me)) => {
+                sched.condvar_notify(runtime::object_id(&self.inner), me, true);
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad("Condvar { .. }")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RwLock
+// ---------------------------------------------------------------------------
+
+/// `std::sync::RwLock` with scheduler-controlled blocking in model runs.
+/// Writer-preference is not modeled: any admissible reader/writer may be
+/// scheduled, which over-approximates real platforms (finds more bugs).
+#[derive(Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    pub const fn new(value: T) -> RwLock<T> {
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+        let ctx = match runtime::context() {
+            None => None,
+            Some((sched, me)) => {
+                let id = runtime::object_id(&self.inner);
+                sched.rw_read_lock(id, me);
+                Some((sched, id, me))
+            }
+        };
+        match self.inner.read() {
+            Ok(inner) => Ok(RwLockReadGuard {
+                inner: Some(inner),
+                ctx,
+            }),
+            Err(poison) => Err(PoisonError::new(RwLockReadGuard {
+                inner: Some(poison.into_inner()),
+                ctx,
+            })),
+        }
+    }
+
+    pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+        let ctx = match runtime::context() {
+            None => None,
+            Some((sched, me)) => {
+                let id = runtime::object_id(&self.inner);
+                sched.rw_write_lock(id, me);
+                Some((sched, id, me))
+            }
+        };
+        match self.inner.write() {
+            Ok(inner) => Ok(RwLockWriteGuard {
+                inner: Some(inner),
+                ctx,
+            }),
+            Err(poison) => Err(PoisonError::new(RwLockWriteGuard {
+                inner: Some(poison.into_inner()),
+                ctx,
+            })),
+        }
+    }
+
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// Shared-access guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+    ctx: Ctx,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard dissolved")
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLockReadGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        if let Some((sched, id, me)) = self.ctx.take() {
+            sched.rw_read_unlock(id, me);
+        }
+    }
+}
+
+/// Exclusive-access guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+    ctx: Ctx,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard dissolved")
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard dissolved")
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLockWriteGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        if let Some((sched, id, me)) = self.ctx.take() {
+            sched.rw_write_unlock(id, me);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Atomics
+// ---------------------------------------------------------------------------
+
+/// Atomics whose every access is a scheduling point in model runs.
+///
+/// Under the scheduler the run is explored *sequentially consistently*:
+/// one thread executes at a time and every access is globally ordered, so
+/// the declared [`Ordering`](std::sync::atomic::Ordering) cannot weaken
+/// anything. This is a sound under-approximation — any violation found is
+/// real; bugs that require non-SC reordering are out of scope and must be
+/// justified with `// ordering:` audit comments (enforced by `xtask lint`).
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    use crate::runtime;
+
+    fn sync_point() {
+        if let Some((sched, me)) = runtime::context() {
+            sched.yield_point(me);
+        }
+    }
+
+    macro_rules! int_atomic {
+        ($name:ident, $std:ident, $int:ty) => {
+            /// Scheduler-aware wrapper over the `std` atomic of the same
+            /// name; see the module docs for the model-run semantics.
+            #[derive(Debug, Default)]
+            pub struct $name {
+                inner: std::sync::atomic::$std,
+            }
+
+            impl $name {
+                #[must_use]
+                pub const fn new(value: $int) -> Self {
+                    Self {
+                        inner: std::sync::atomic::$std::new(value),
+                    }
+                }
+
+                #[must_use]
+                pub fn load(&self, order: Ordering) -> $int {
+                    sync_point();
+                    self.inner.load(order)
+                }
+
+                pub fn store(&self, value: $int, order: Ordering) {
+                    sync_point();
+                    self.inner.store(value, order);
+                }
+
+                pub fn swap(&self, value: $int, order: Ordering) -> $int {
+                    sync_point();
+                    self.inner.swap(value, order)
+                }
+
+                pub fn fetch_add(&self, value: $int, order: Ordering) -> $int {
+                    sync_point();
+                    self.inner.fetch_add(value, order)
+                }
+
+                pub fn fetch_sub(&self, value: $int, order: Ordering) -> $int {
+                    sync_point();
+                    self.inner.fetch_sub(value, order)
+                }
+
+                pub fn fetch_max(&self, value: $int, order: Ordering) -> $int {
+                    sync_point();
+                    self.inner.fetch_max(value, order)
+                }
+
+                pub fn fetch_min(&self, value: $int, order: Ordering) -> $int {
+                    sync_point();
+                    self.inner.fetch_min(value, order)
+                }
+
+                pub fn compare_exchange(
+                    &self,
+                    current: $int,
+                    new: $int,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$int, $int> {
+                    sync_point();
+                    self.inner.compare_exchange(current, new, success, failure)
+                }
+
+                pub fn get_mut(&mut self) -> &mut $int {
+                    self.inner.get_mut()
+                }
+
+                #[must_use]
+                pub fn into_inner(self) -> $int {
+                    self.inner.into_inner()
+                }
+            }
+        };
+    }
+
+    int_atomic!(AtomicU64, AtomicU64, u64);
+    int_atomic!(AtomicUsize, AtomicUsize, usize);
+    int_atomic!(AtomicI64, AtomicI64, i64);
+
+    /// Scheduler-aware `AtomicBool`; see the module docs.
+    #[derive(Debug, Default)]
+    pub struct AtomicBool {
+        inner: std::sync::atomic::AtomicBool,
+    }
+
+    impl AtomicBool {
+        #[must_use]
+        pub const fn new(value: bool) -> Self {
+            Self {
+                inner: std::sync::atomic::AtomicBool::new(value),
+            }
+        }
+
+        #[must_use]
+        pub fn load(&self, order: Ordering) -> bool {
+            sync_point();
+            self.inner.load(order)
+        }
+
+        pub fn store(&self, value: bool, order: Ordering) {
+            sync_point();
+            self.inner.store(value, order);
+        }
+
+        pub fn swap(&self, value: bool, order: Ordering) -> bool {
+            sync_point();
+            self.inner.swap(value, order)
+        }
+
+        pub fn compare_exchange(
+            &self,
+            current: bool,
+            new: bool,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<bool, bool> {
+            sync_point();
+            self.inner.compare_exchange(current, new, success, failure)
+        }
+
+        pub fn get_mut(&mut self) -> &mut bool {
+            self.inner.get_mut()
+        }
+
+        #[must_use]
+        pub fn into_inner(self) -> bool {
+            self.inner.into_inner()
+        }
+    }
+}

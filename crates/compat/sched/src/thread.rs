@@ -1,0 +1,65 @@
+//! Thread spawning for models: children of a model thread join the model.
+//!
+//! [`spawn`] called from inside a model run registers the child with the
+//! run's scheduler — it starts parked and runs only when scheduled, like
+//! every other model thread. Called outside a model run it is exactly
+//! `std::thread::spawn` (plus the panic-to-`join` indirection `std` already
+//! has). Models use this module directly; production code keeps spawning
+//! real threads however it already does.
+
+use crate::runtime;
+
+/// Handle to a spawned thread; mirrors `std::thread::JoinHandle`.
+pub struct JoinHandle<T> {
+    inner: std::thread::JoinHandle<std::thread::Result<T>>,
+    /// Model thread id when spawned under a scheduler.
+    tid: Option<usize>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result (`Err` holds
+    /// the panic payload, as with `std`). In a model run, the wait is a
+    /// scheduler block: other threads interleave while this one waits.
+    ///
+    /// # Errors
+    ///
+    /// The spawned closure's panic payload, exactly like
+    /// `std::thread::JoinHandle::join`.
+    pub fn join(self) -> std::thread::Result<T> {
+        if let Some(tid) = self.tid {
+            if let Some((sched, me)) = runtime::context() {
+                sched.join_thread(tid, me);
+            }
+        }
+        match self.inner.join() {
+            Ok(result) => result,
+            Err(payload) => Err(payload),
+        }
+    }
+
+    /// Whether the thread has finished running.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.inner.is_finished()
+    }
+}
+
+/// Spawns a thread; inside a model run the child is a model thread driven
+/// by the scheduler.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (inner, tid) = runtime::spawn_model_thread(f);
+    JoinHandle { inner, tid }
+}
+
+/// A pure scheduling point: in a model run, lets the scheduler hand the
+/// baton to any runnable thread; outside one, `std::thread::yield_now`.
+pub fn yield_now() {
+    match runtime::context() {
+        None => std::thread::yield_now(),
+        Some((sched, me)) => sched.yield_point(me),
+    }
+}

@@ -1,0 +1,142 @@
+//! Virtual time: an `Instant` that reads the model's logical clock.
+//!
+//! Inside a model run, [`Instant::now`] returns the scheduler's virtual
+//! clock — nanoseconds that advance **only** when the scheduler fires a
+//! timed wait's deadline (see [`crate::sync::Condvar::wait_timeout`]).
+//! Real wall-clock time never leaks in, so a model's deadline logic
+//! (`now >= at`, `at - now`) is a pure function of the explored schedule
+//! and every run replays bit-identically. Outside a model run this is
+//! `std::time::Instant` with the same API subset.
+//!
+//! The two representations never mix in practice (a value created inside a
+//! model run is consumed inside it); comparing or subtracting across them
+//! panics rather than inventing an ordering.
+
+use std::cmp::Ordering as CmpOrdering;
+use std::ops::{Add, Sub};
+use std::time::Duration;
+
+use crate::runtime;
+
+/// Drop-in `std::time::Instant` subset with a virtual-clock representation
+/// for model runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Instant(Repr);
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum Repr {
+    Real(std::time::Instant),
+    /// Nanoseconds on the owning scheduler's virtual clock.
+    Virtual(u64),
+}
+
+impl Instant {
+    /// The current instant: wall clock outside a model run, the
+    /// scheduler's virtual clock inside one.
+    #[must_use]
+    pub fn now() -> Instant {
+        match runtime::context() {
+            None => Instant(Repr::Real(std::time::Instant::now())),
+            Some((sched, _)) => Instant(Repr::Virtual(sched.clock_ns())),
+        }
+    }
+
+    /// `self - earlier`, saturating to zero when `earlier` is later.
+    #[must_use]
+    pub fn saturating_duration_since(&self, earlier: Instant) -> Duration {
+        match (self.0, earlier.0) {
+            (Repr::Real(a), Repr::Real(b)) => a.saturating_duration_since(b),
+            (Repr::Virtual(a), Repr::Virtual(b)) => Duration::from_nanos(a.saturating_sub(b)),
+            _ => mixed_repr(),
+        }
+    }
+
+    /// `self - earlier`; panics if `earlier` is later (as `std` does).
+    #[must_use]
+    pub fn duration_since(&self, earlier: Instant) -> Duration {
+        match (self.0, earlier.0) {
+            (Repr::Real(a), Repr::Real(b)) => a.duration_since(b),
+            (Repr::Virtual(a), Repr::Virtual(b)) => {
+                assert!(a >= b, "duration_since: earlier instant is later");
+                Duration::from_nanos(a - b)
+            }
+            _ => mixed_repr(),
+        }
+    }
+
+    /// Time since this instant was captured.
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        Instant::now().saturating_duration_since(*self)
+    }
+
+    /// `self + duration`, `None` on overflow.
+    #[must_use]
+    pub fn checked_add(&self, duration: Duration) -> Option<Instant> {
+        match self.0 {
+            Repr::Real(a) => a.checked_add(duration).map(|i| Instant(Repr::Real(i))),
+            Repr::Virtual(a) => u64::try_from(duration.as_nanos())
+                .ok()
+                .and_then(|d| a.checked_add(d))
+                .map(|ns| Instant(Repr::Virtual(ns))),
+        }
+    }
+
+    /// `self - duration`, `None` on underflow.
+    #[must_use]
+    pub fn checked_sub(&self, duration: Duration) -> Option<Instant> {
+        match self.0 {
+            Repr::Real(a) => a.checked_sub(duration).map(|i| Instant(Repr::Real(i))),
+            Repr::Virtual(a) => u64::try_from(duration.as_nanos())
+                .ok()
+                .and_then(|d| a.checked_sub(d))
+                .map(|ns| Instant(Repr::Virtual(ns))),
+        }
+    }
+}
+
+impl PartialOrd for Instant {
+    fn partial_cmp(&self, other: &Instant) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Instant {
+    fn cmp(&self, other: &Instant) -> CmpOrdering {
+        match (self.0, other.0) {
+            (Repr::Real(a), Repr::Real(b)) => a.cmp(&b),
+            (Repr::Virtual(a), Repr::Virtual(b)) => a.cmp(&b),
+            _ => mixed_repr(),
+        }
+    }
+}
+
+impl Add<Duration> for Instant {
+    type Output = Instant;
+    fn add(self, rhs: Duration) -> Instant {
+        self.checked_add(rhs)
+            .expect("overflow when adding duration to instant")
+    }
+}
+
+impl Sub<Duration> for Instant {
+    type Output = Instant;
+    fn sub(self, rhs: Duration) -> Instant {
+        self.checked_sub(rhs)
+            .expect("underflow when subtracting duration from instant")
+    }
+}
+
+impl Sub<Instant> for Instant {
+    type Output = Duration;
+    fn sub(self, rhs: Instant) -> Duration {
+        self.duration_since(rhs)
+    }
+}
+
+fn mixed_repr() -> ! {
+    panic!(
+        "cannot mix a real-clock Instant with a virtual-clock Instant: one was \
+         created inside a model run and the other outside it"
+    )
+}

@@ -1,0 +1,354 @@
+//! End-to-end tests for the model checker itself: known-racy models must
+//! fail (with replayable traces), known-correct models must pass, and the
+//! scheduler's special powers — deadlock detection, virtual-time timeouts,
+//! spurious wakeups, poisoning — must each be demonstrable.
+
+use std::time::Duration;
+
+use quclear_sched::sync::atomic::{AtomicU64, Ordering};
+use quclear_sched::sync::{Arc, Condvar, Mutex, PoisonError};
+use quclear_sched::time::Instant;
+use quclear_sched::{thread, Explorer};
+
+/// The canonical lost update: two unsynchronized read-modify-write
+/// sequences on one atomic. DFS must find the interleaving where both
+/// loads happen before either store.
+fn lost_update_model() {
+    let counter = Arc::new(AtomicU64::new(0));
+    let c2 = Arc::clone(&counter);
+    let t = thread::spawn(move || {
+        let v = c2.load(Ordering::SeqCst);
+        c2.store(v + 1, Ordering::SeqCst);
+    });
+    let v = counter.load(Ordering::SeqCst);
+    counter.store(v + 1, Ordering::SeqCst);
+    t.join().unwrap();
+    assert_eq!(counter.load(Ordering::SeqCst), 2, "lost update");
+}
+
+#[test]
+fn dfs_finds_lost_update() {
+    let report = Explorer::dfs()
+        .max_schedules(10_000)
+        .check(lost_update_model);
+    let failure = report.assert_failed();
+    assert!(
+        failure.message.contains("lost update"),
+        "unexpected failure: {}",
+        failure.message
+    );
+    assert!(!failure.trace.is_empty());
+}
+
+#[test]
+fn fetch_add_fixes_lost_update_and_exhausts() {
+    let report = Explorer::dfs().max_schedules(10_000).check(|| {
+        let counter = Arc::new(AtomicU64::new(0));
+        let c2 = Arc::clone(&counter);
+        let t = thread::spawn(move || {
+            c2.fetch_add(1, Ordering::SeqCst);
+        });
+        counter.fetch_add(1, Ordering::SeqCst);
+        t.join().unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
+    });
+    report.assert_passed();
+    assert!(report.exhausted, "small model should be fully enumerated");
+    assert!(
+        report.schedules > 1,
+        "exploration must try multiple interleavings, got {}",
+        report.schedules
+    );
+}
+
+#[test]
+fn mutexed_increment_passes() {
+    let report = Explorer::dfs().max_schedules(10_000).check(|| {
+        let m = Arc::new(Mutex::new(0u32));
+        let m2 = Arc::clone(&m);
+        let t = thread::spawn(move || {
+            let mut g = m2.lock().unwrap();
+            *g += 1;
+        });
+        {
+            let mut g = m.lock().unwrap();
+            *g += 1;
+        }
+        t.join().unwrap();
+        assert_eq!(*m.lock().unwrap(), 2);
+    });
+    report.assert_passed();
+    assert!(report.exhausted);
+}
+
+/// A violation's recorded trace replays to the identical failure — the
+/// acceptance-criteria determinism check.
+#[test]
+fn violation_replays_deterministically() {
+    let report = Explorer::dfs()
+        .max_schedules(10_000)
+        .check(lost_update_model);
+    let failure = report.assert_failed().clone();
+    for _ in 0..3 {
+        let replay = Explorer::dfs().replay_with(&failure.trace, lost_update_model);
+        let replayed = replay
+            .failure
+            .as_ref()
+            .expect("replay of a failing trace must fail");
+        assert_eq!(replayed.message, failure.message);
+        assert_eq!(replayed.trace, failure.trace);
+    }
+}
+
+#[test]
+fn random_mode_finds_lost_update_and_seed_replays() {
+    let report = Explorer::random(42, 500).check(lost_update_model);
+    let failure = report.assert_failed().clone();
+    let seed = failure.seed.expect("random failures carry their seed");
+    // Rerunning from the failing seed alone reproduces the violation in
+    // the first schedule.
+    let rerun = Explorer::random(seed, 1).check(lost_update_model);
+    let refailure = rerun.assert_failed();
+    assert_eq!(refailure.message, failure.message);
+    assert_eq!(refailure.trace, failure.trace);
+}
+
+/// Classic AB/BA lock ordering: DFS must find the deadlock and say so.
+#[test]
+fn dfs_detects_lock_order_deadlock() {
+    let report = Explorer::dfs().max_schedules(10_000).check(|| {
+        let a = Arc::new(Mutex::new(()));
+        let b = Arc::new(Mutex::new(()));
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let t = thread::spawn(move || {
+            let _ga = a2.lock().unwrap();
+            let _gb = b2.lock().unwrap();
+        });
+        let _gb = b.lock().unwrap();
+        let _ga = a.lock().unwrap();
+        drop((_ga, _gb));
+        t.join().unwrap();
+    });
+    let failure = report.assert_failed();
+    assert!(
+        failure.message.contains("deadlock"),
+        "expected a deadlock report, got: {}",
+        failure.message
+    );
+}
+
+/// An `if`-guarded condvar wait misses spurious wakeups; the scheduler
+/// injects one and the model observes `done == false` after waking.
+#[test]
+fn spurious_wakeup_breaks_if_guarded_wait() {
+    let report = Explorer::dfs()
+        .spurious_wakeups(1)
+        .max_schedules(20_000)
+        .check(|| {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let p2 = Arc::clone(&pair);
+            let t = thread::spawn(move || {
+                let (m, cv) = &*p2;
+                let mut done = m.lock().unwrap();
+                *done = true;
+                drop(done);
+                cv.notify_all();
+            });
+            let (m, cv) = &*pair;
+            let mut done = m.lock().unwrap();
+            // BUG under test: `if` instead of `while`.
+            if !*done {
+                done = cv.wait(done).unwrap();
+            }
+            assert!(*done, "woke without the predicate (spurious wakeup)");
+            drop(done);
+            t.join().unwrap();
+        });
+    let failure = report.assert_failed();
+    assert!(
+        failure.message.contains("spurious"),
+        "expected the spurious-wakeup assertion, got: {}",
+        failure.message
+    );
+}
+
+/// The same model with a proper `while` loop survives spurious wakeups.
+#[test]
+fn while_guarded_wait_survives_spurious_wakeups() {
+    let report = Explorer::dfs()
+        .spurious_wakeups(2)
+        .max_schedules(50_000)
+        .check(|| {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let p2 = Arc::clone(&pair);
+            let t = thread::spawn(move || {
+                let (m, cv) = &*p2;
+                *m.lock().unwrap() = true;
+                cv.notify_all();
+            });
+            let (m, cv) = &*pair;
+            let mut done = m.lock().unwrap();
+            while !*done {
+                done = cv.wait(done).unwrap();
+            }
+            assert!(*done);
+            drop(done);
+            t.join().unwrap();
+        });
+    report.assert_passed();
+    assert!(report.exhausted);
+}
+
+/// Timed waits resolve by scheduler choice, not wall clock: with no
+/// notifier at all, the only way forward is the timeout firing, and the
+/// virtual clock must have advanced past the deadline.
+#[test]
+fn wait_timeout_fires_under_virtual_time() {
+    let report = Explorer::dfs().max_schedules(10_000).check(|| {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let (m, cv) = &*pair;
+        let before = Instant::now();
+        let deadline = before + Duration::from_millis(50);
+        let mut done = m.lock().unwrap();
+        let mut timed_out = false;
+        while !*done {
+            let now = Instant::now();
+            if now >= deadline {
+                timed_out = true;
+                break;
+            }
+            let (g, result) = cv.wait_timeout(done, deadline - now).unwrap();
+            done = g;
+            if result.timed_out() {
+                timed_out = true;
+                break;
+            }
+        }
+        drop(done);
+        assert!(
+            timed_out,
+            "no notifier exists; only the timeout can resolve"
+        );
+        assert!(Instant::now() >= deadline, "clock must pass the deadline");
+    });
+    report.assert_passed();
+    assert!(report.exhausted);
+}
+
+/// A panicking guard holder poisons the mutex for the next locker, same
+/// as `std`; poison recovery via `PoisonError::into_inner` works.
+#[test]
+fn panicking_holder_poisons_mutex() {
+    let report = Explorer::dfs().max_schedules(10_000).check(|| {
+        let m = Arc::new(Mutex::new(7u32));
+        let m2 = Arc::clone(&m);
+        let t = thread::spawn(move || {
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _g = m2.lock().unwrap();
+                panic!("holder dies");
+            }));
+            assert!(caught.is_err());
+        });
+        t.join().unwrap();
+        // After the holder's panic the lock is poisoned but recoverable.
+        let g = m.lock().unwrap_or_else(PoisonError::into_inner);
+        assert_eq!(*g, 7);
+    });
+    report.assert_passed();
+}
+
+/// Uncaught panics on child threads fail the model even when nobody joins
+/// the thread (std would silently swallow them until `join`).
+#[test]
+fn uncaught_child_panic_fails_the_model() {
+    let report = Explorer::dfs().max_schedules(100).check(|| {
+        let t = thread::spawn(|| panic!("child exploded"));
+        // Deliberately ignore the join result.
+        let _ = t.join();
+    });
+    let failure = report.assert_failed();
+    assert!(
+        failure.message.contains("child exploded"),
+        "expected the child's panic message, got: {}",
+        failure.message
+    );
+}
+
+/// The shim types degrade to plain `std` behavior outside a model run.
+#[test]
+fn shims_pass_through_outside_models() {
+    let m = Mutex::new(1u32);
+    *m.lock().unwrap() += 1;
+    assert_eq!(*m.lock().unwrap(), 2);
+
+    let counter = AtomicU64::new(0);
+    counter.fetch_add(3, Ordering::Relaxed);
+    assert_eq!(counter.load(Ordering::Relaxed), 3);
+
+    let pair = Arc::new((Mutex::new(false), Condvar::new()));
+    let p2 = Arc::clone(&pair);
+    let t = thread::spawn(move || {
+        let (m, cv) = &*p2;
+        *m.lock().unwrap() = true;
+        cv.notify_all();
+    });
+    let (m, cv) = &*pair;
+    let mut done = m.lock().unwrap();
+    while !*done {
+        let (g, _timeout) = cv.wait_timeout(done, Duration::from_secs(5)).unwrap();
+        done = g;
+    }
+    drop(done);
+    t.join().unwrap();
+
+    let a = Instant::now();
+    let b = a + Duration::from_millis(1);
+    assert!(b > a);
+    assert_eq!(b.saturating_duration_since(a), Duration::from_millis(1));
+}
+
+/// Exploration count is reported and grows with preemption budget.
+#[test]
+fn preemption_budget_scales_exploration() {
+    let model = || {
+        let c = Arc::new(AtomicU64::new(0));
+        let c2 = Arc::clone(&c);
+        let t = thread::spawn(move || {
+            c2.fetch_add(1, Ordering::SeqCst);
+            c2.fetch_add(1, Ordering::SeqCst);
+        });
+        c.fetch_add(1, Ordering::SeqCst);
+        t.join().unwrap();
+        assert_eq!(c.load(Ordering::SeqCst), 3);
+    };
+    let narrow = Explorer::dfs()
+        .max_preemptions(0)
+        .max_schedules(100_000)
+        .check(model);
+    let wide = Explorer::dfs()
+        .max_preemptions(2)
+        .max_schedules(100_000)
+        .check(model);
+    narrow.assert_passed();
+    wide.assert_passed();
+    assert!(
+        wide.schedules > narrow.schedules,
+        "preemptions must widen the schedule space: {} vs {}",
+        wide.schedules,
+        narrow.schedules
+    );
+}
+
+/// Replaying a trace that names choices the model's schedule tree does not
+/// have (wrong model, stale trace) is reported as divergence rather than
+/// silently exploring something else.
+#[test]
+fn replay_of_mismatched_trace_reports_divergence() {
+    let report = Explorer::dfs().replay_with("9.9.9.9", lost_update_model);
+    let failure = report.assert_failed();
+    assert!(
+        failure.message.contains("diverged"),
+        "expected divergence report, got: {}",
+        failure.message
+    );
+}

@@ -192,6 +192,10 @@ impl Gf2Matrix {
             let mut out = BitVec::zeros(shots);
             let srcs: Vec<&[u64]> = row.iter_ones().map(|c| planes[c].words()).collect();
             simd::xor_many_into(out.words_mut(), &srcs);
+            debug_assert!(
+                out.tail_is_clear(),
+                "fused xor must not set bits past the shot count"
+            );
             out
         };
         if self.n * words >= MUL_PLANES_PAR_WORDS && rayon::current_num_threads() > 1 {

@@ -131,6 +131,10 @@ impl ShotBatch {
                 }
             }
         }
+        debug_assert!(
+            planes.iter().all(BitVec::tail_is_clear),
+            "plane stitch must not write past the shot count"
+        );
         ShotBatch {
             n,
             shots: count,

@@ -16,9 +16,10 @@
 //! stage (and every job of a batch) without re-arithmetic: the budget is
 //! shared, not per-stage.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use crate::error::EngineError;
+use crate::sync::Instant;
 
 /// An absolute time budget for one request. [`Deadline::none`] (the
 /// default) never expires; every undated engine entry point uses it.

@@ -1,9 +1,13 @@
 //! The thread-safe compilation engine: template cache + batch front-end.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+// Stage timing below uses the real wall clock on purpose: stage metrics
+// are observability, not modeled state, and their `Instant`s never meet
+// the deadline/singleflight `Instant`s from `crate::sync`.
 use std::time::Instant;
+
+use crate::sync::atomic::{AtomicBool, Ordering};
+use crate::sync::{Arc, Mutex, PoisonError};
 
 use quclear_circuit::qasm::from_qasm;
 use quclear_core::{
@@ -444,6 +448,7 @@ impl Engine {
                     Ok(_) => self.hits.inc(),
                     Err(_) => self.misses.inc(),
                 };
+                // ordering: Release pairs with stats()'s Acquire read.
                 self.coalesced_waits.add_ordered(1, Ordering::Release);
             }
         }
@@ -1086,6 +1091,9 @@ impl Engine {
     /// reason: the `coalesced_waits`-first Acquire read order above, which a
     /// name-ordered registry sweep would not preserve.
     pub fn stats(&self) -> EngineStats {
+        // ordering: Acquire, and read *first* — pairs with the Release
+        // increment above so `coalesced_waits <= hits + misses` holds in
+        // every snapshot (model-checked in tests/sched_models.rs).
         let coalesced_waits = self.coalesced_waits.get_ordered(Ordering::Acquire);
         let hits = self.hits.get();
         let misses = self.misses.get();

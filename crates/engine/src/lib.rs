@@ -54,6 +54,7 @@ mod fingerprint;
 mod lru;
 mod sharded;
 pub mod singleflight;
+mod sync;
 mod template;
 
 pub use deadline::Deadline;

@@ -41,10 +41,10 @@
 //! panics. The worst case is a recency stamp that was never bumped, which
 //! only perturbs LRU order.
 
+use crate::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use crate::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::collections::HashMap;
 use std::hash::{BuildHasher, Hash, RandomState};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Acquires a read lock, recovering from poisoning (see the module docs).
 fn read_lock<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
@@ -115,6 +115,8 @@ impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
 
     /// Number of cached entries across all shards.
     pub fn len(&self) -> usize {
+        // ordering: Relaxed — advisory size; the value is only exact while
+        // the relevant shard locks are held (readers tolerate staleness).
         self.len.load(Ordering::Relaxed)
     }
 
@@ -129,6 +131,8 @@ impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
     }
 
     fn tick(&self) -> u64 {
+        // ordering: Relaxed — stamp uniqueness comes from the RMW's
+        // atomicity; stamps order *recency*, they synchronize nothing.
         self.clock.fetch_add(1, Ordering::Relaxed)
     }
 
@@ -138,6 +142,8 @@ impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
     pub fn get(&self, key: &K) -> Option<Arc<V>> {
         let map = read_lock(&self.shard(key).map);
         let entry = map.get(key)?;
+        // ordering: Relaxed — a recency hint; a racing stale store only
+        // perturbs LRU victim choice, never correctness.
         entry.last_used.store(self.tick(), Ordering::Relaxed);
         Some(Arc::clone(&entry.value))
     }
@@ -155,6 +161,8 @@ impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
             // `Drop` cannot leave the shard inconsistent under a (recovered)
             // poisoned lock.
             let old = std::mem::replace(&mut entry.value, value);
+            // ordering: Relaxed — recency hint, written under the shard
+            // write lock anyway.
             entry.last_used.store(stamp, Ordering::Relaxed);
             drop(map);
             drop(old);
@@ -163,6 +171,9 @@ impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
         // Reserve the slot *before* deciding about eviction: concurrent
         // inserts into different shards each observe the true running
         // total, so exactly the inserts that push past capacity evict.
+        // ordering: Relaxed — the RMW's atomicity hands every insert a
+        // distinct `prior`; the eviction decision uses the returned value,
+        // not cross-thread visibility of other data.
         let prior = self.len.fetch_add(1, Ordering::Relaxed);
         let mut evicted = None;
         // The victim's value is parked here and dropped only after the map
@@ -172,6 +183,8 @@ impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
             // Prefer a victim in the shard whose lock is already held.
             if let Some(lru) = lru_key(&map) {
                 victim_value = map.remove(&lru);
+                // ordering: Relaxed — paired bookkeeping for the removal
+                // above, both under this shard's write lock.
                 self.len.fetch_sub(1, Ordering::Relaxed);
                 evicted = Some(lru);
             }
@@ -201,6 +214,8 @@ impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
         // Bounded retries: each failed round means another thread removed
         // the chosen victim (itself shrinking the cache) in the window.
         for _ in 0..=self.shards.len() {
+            // ordering: Relaxed — over-budget probe for the retry loop; the
+            // actual removal below re-checks under the shard write lock.
             if self.len.load(Ordering::Relaxed) <= self.capacity {
                 return None;
             }
@@ -208,6 +223,8 @@ impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
             for (idx, shard) in self.shards.iter().enumerate() {
                 let map = read_lock(&shard.map);
                 for (k, e) in map.iter() {
+                    // ordering: Relaxed — recency hint read; an imprecise
+                    // stamp only shifts which entry gets evicted.
                     let stamp = e.last_used.load(Ordering::Relaxed);
                     if victim.as_ref().is_none_or(|(s, _, _)| stamp < *s) {
                         victim = Some((stamp, idx, k.clone()));
@@ -217,6 +234,8 @@ impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
             let (_, idx, key) = victim?;
             let mut map = write_lock(&self.shards[idx].map);
             if let Some(removed) = map.remove(&key) {
+                // ordering: Relaxed — paired bookkeeping for the removal
+                // above, both under this shard's write lock.
                 self.len.fetch_sub(1, Ordering::Relaxed);
                 drop(map);
                 drop(removed);
@@ -234,6 +253,8 @@ impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
             // value destructor can run: the shard map is already empty (and
             // consistent with `len`) when the drops happen outside the lock.
             let detached = std::mem::take(&mut *map);
+            // ordering: Relaxed — bookkeeping for the take above, under the
+            // shard write lock.
             self.len.fetch_sub(detached.len(), Ordering::Relaxed);
             drop(map);
             drop(detached);
@@ -247,6 +268,7 @@ impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
         for shard in &self.shards {
             let map = read_lock(&shard.map);
             for (k, e) in map.iter() {
+                // ordering: Relaxed — diagnostics read of the recency hint.
                 stamped.push((e.last_used.load(Ordering::Relaxed), k.clone()));
             }
         }
@@ -258,6 +280,8 @@ impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
 /// The key with the smallest recency stamp in one shard map.
 fn lru_key<K: Clone, V>(map: &HashMap<K, Entry<V>>) -> Option<K> {
     map.iter()
+        // ordering: Relaxed — recency hint; imprecision only shifts the
+        // victim choice.
         .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
         .map(|(k, _)| k.clone())
 }
@@ -267,6 +291,7 @@ impl<K, V> std::fmt::Debug for ShardedCache<K, V> {
         f.debug_struct("ShardedCache")
             .field("shards", &self.shards.len())
             .field("capacity", &self.capacity)
+            // ordering: Relaxed — Debug output.
             .field("len", &self.len.load(Ordering::Relaxed))
             .finish()
     }

@@ -26,10 +26,9 @@
 //! a clone. Negative results are *not* remembered once the flight closes —
 //! the next request for the key starts a fresh flight.
 
+use crate::sync::{Arc, Condvar, Instant, Mutex, PoisonError};
 use std::collections::HashMap;
 use std::hash::Hash;
-use std::sync::{Arc, Condvar, Mutex, PoisonError};
-use std::time::Instant;
 
 /// How a [`SingleFlight::run`] call obtained its value.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -218,7 +217,7 @@ where
     /// The in-flight table, recovering from poisoning: the map holds only
     /// `Arc`s and every mutation is a single `insert`/`remove`, so it is
     /// structurally valid at every panic point.
-    fn lock_inflight(&self) -> std::sync::MutexGuard<'_, HashMap<K, Arc<Flight<V>>>> {
+    fn lock_inflight(&self) -> crate::sync::MutexGuard<'_, HashMap<K, Arc<Flight<V>>>> {
         self.inflight.lock().unwrap_or_else(PoisonError::into_inner)
     }
 }

@@ -196,6 +196,10 @@ impl PauliFrame {
         if !paulis.len().is_multiple_of(64) {
             frame.signs.words_mut()[paulis.len() / 64] = word;
         }
+        debug_assert!(
+            frame.signs.tail_is_clear(),
+            "sign ingestion must not write past the row count"
+        );
         frame
     }
 
@@ -241,6 +245,10 @@ impl PauliFrame {
                 }
             }
         }
+        debug_assert!(
+            self.x.iter().chain(&self.z).all(BitVec::tail_is_clear),
+            "plane transpose must not write past the row count"
+        );
     }
 
     /// Overwrites row `i` with the given Pauli and sign.
@@ -504,6 +512,10 @@ impl PauliFrame {
             zc.words_mut(),
             zt.words(),
         );
+        debug_assert!(
+            self.signs.tail_is_clear() && xt.tail_is_clear() && zc.tail_is_clear(),
+            "CX sweep must not set bits past the row count"
+        );
     }
 
     /// Conjugates every row by `CZ(a, b)`.
@@ -522,6 +534,10 @@ impl PauliFrame {
             xb.words(),
             za.words_mut(),
             zb.words_mut(),
+        );
+        debug_assert!(
+            self.signs.tail_is_clear() && za.tail_is_clear() && zb.tail_is_clear(),
+            "CZ sweep must not set bits past the row count"
         );
     }
 

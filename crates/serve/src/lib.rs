@@ -67,6 +67,7 @@ mod client;
 pub mod faults;
 pub mod protocol;
 mod server;
+mod sync;
 
 pub use client::{Client, ClientError, RetryPolicy};
 #[cfg(any(test, feature = "faults"))]

@@ -35,11 +35,12 @@ use std::collections::BTreeMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver};
-use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+use crate::sync::atomic::{AtomicBool, Ordering};
+use crate::sync::{Arc, Mutex, PoisonError};
 
 use quclear_engine::{Deadline, Engine, EngineError};
 use quclear_pauli::{PauliRotation, SignedPauli};
@@ -327,6 +328,7 @@ pub struct Server {
 impl std::fmt::Debug for Shared {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Shared")
+            // ordering: Relaxed — Debug output.
             .field("shutdown", &self.shutdown.load(Ordering::Relaxed))
             .field("requests_served", &self.metrics.requests_served.get())
             .finish()
@@ -576,6 +578,8 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
     #[cfg(any(test, feature = "faults"))]
     let mut faults = shared.config.faults.as_ref().map(|plan| {
         plan.connection(
+            // ordering: Relaxed — the RMW's atomicity hands each
+            // connection a distinct fault-stream index; nothing else reads.
             shared
                 .fault_connections
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed),

@@ -1,0 +1,18 @@
+//! Crate-local alias for the sync primitives the server's stop/drain and
+//! admission machinery uses.
+//!
+//! In production builds (the default) every name here is exactly its
+//! `std::sync` counterpart — this module compiles away to re-exports. With
+//! the `sched-model` feature the same names come from `quclear-sched`,
+//! whose drop-in types route every acquire/release/atomic access through a
+//! deterministic scheduler for the model-check suite
+//! (`tests/sched_models.rs`). The server's `mpsc` channel, thread spawns,
+//! and wall-clock `Instant`s stay `std`: the real accept loop needs real
+//! sockets, so the drain protocol is modeled abstractly in the test suite
+//! rather than by running `Server` under the scheduler.
+
+#[cfg(feature = "sched-model")]
+pub(crate) use quclear_sched::sync::{atomic, Arc, Mutex, PoisonError};
+
+#[cfg(not(feature = "sched-model"))]
+pub(crate) use std::sync::{atomic, Arc, Mutex, PoisonError};

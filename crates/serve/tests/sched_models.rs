@@ -1,0 +1,132 @@
+//! Schedule-exhaustive model of the server's stop/drain protocol.
+//!
+//! Built only with `--features sched-model`. The server's admission and
+//! teardown bookkeeping (`accept_loop` + `Server::join_threads` in
+//! `src/server.rs`) is re-expressed here over shim sync types — real TCP
+//! listeners cannot run under the deterministic scheduler, but the protocol
+//! is pure bookkeeping: a shutdown flag, a queue, and the `queue_depth`
+//! gauge that must end at zero. Run with:
+//!
+//! ```text
+//! cargo test -p quclear-serve --features sched-model --test sched_models
+//! ```
+
+use std::collections::VecDeque;
+
+use quclear_sched::sync::atomic::{AtomicBool, Ordering};
+use quclear_sched::sync::{Arc, Mutex};
+use quclear_sched::{thread, Explorer};
+use quclear_telemetry::Gauge;
+
+/// The protocol state shared by the accept loop, a worker, and teardown.
+struct Drain {
+    shutdown: AtomicBool,
+    queue: Mutex<VecDeque<u32>>,
+    depth: Gauge,
+}
+
+impl Drain {
+    fn new() -> Self {
+        Drain {
+            shutdown: AtomicBool::new(false),
+            queue: Mutex::new(VecDeque::new()),
+            depth: Gauge::new(),
+        }
+    }
+
+    /// `accept_loop`'s admission bookkeeping: check shutdown, count the
+    /// connection into the gauge, then queue it (inc-before-send, exactly
+    /// like `src/server.rs`).
+    fn accept(&self, conn: u32) {
+        if self.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        self.depth.inc();
+        self.queue.lock().unwrap().push_back(conn);
+    }
+
+    /// A worker taking (at most) one queued connection before exiting.
+    fn work_one(&self) {
+        let taken = self.queue.lock().unwrap().pop_front();
+        if taken.is_some() {
+            self.depth.dec();
+        }
+    }
+
+    /// `join_threads`' teardown: runs after accept + workers exited; drains
+    /// whatever never reached a worker. Returns the number drained.
+    fn drain_queue(&self) -> usize {
+        let drained = {
+            let mut queue = self.queue.lock().unwrap();
+            std::iter::from_fn(|| queue.pop_front()).count()
+        };
+        for _ in 0..drained {
+            self.depth.dec();
+        }
+        drained
+    }
+}
+
+/// The shipped protocol: connections counted into `queue_depth` at admission
+/// are decremented exactly once — by the worker that took them or by the
+/// teardown drain — so the gauge reads zero after `Server::stop` in every
+/// interleaving of accepts, worker progress, and the shutdown flag.
+#[test]
+fn stop_drain_always_zeroes_queue_depth() {
+    let report = Explorer::dfs().check(|| {
+        let d = Arc::new(Drain::new());
+        let (d1, d2) = (Arc::clone(&d), Arc::clone(&d));
+        let accept = thread::spawn(move || {
+            d1.accept(1);
+            d1.accept(2);
+        });
+        let worker = thread::spawn(move || d2.work_one());
+        // Server::stop — shutdown flag first, then join, then drain.
+        d.shutdown.store(true, Ordering::Release);
+        accept.join().unwrap();
+        worker.join().unwrap();
+        d.drain_queue();
+        assert_eq!(
+            d.depth.get(),
+            0,
+            "every queued connection is drained (workers or teardown)"
+        );
+        assert!(d.queue.lock().unwrap().is_empty());
+    });
+    report.assert_passed();
+    assert!(report.exhausted, "bounded DFS space fully enumerated");
+    eprintln!(
+        "stop/drain protocol model: {} interleavings explored",
+        report.schedules
+    );
+}
+
+/// Pinned regression for the PR7 teardown bug: dropping queued connections
+/// with the channel *without* decrementing `queue_depth` leaves the gauge
+/// nonzero forever after a restart — a lying dashboard. The buggy teardown
+/// is re-expressed locally; the checker must find an interleaving where
+/// undrained admissions outlive the workers, and it must replay.
+#[test]
+fn drain_without_decrement_is_detected() {
+    fn model() {
+        let d = Arc::new(Drain::new());
+        let (d1, d2) = (Arc::clone(&d), Arc::clone(&d));
+        let accept = thread::spawn(move || {
+            d1.accept(1);
+            d1.accept(2);
+        });
+        let worker = thread::spawn(move || d2.work_one());
+        d.shutdown.store(true, Ordering::Release);
+        accept.join().unwrap();
+        worker.join().unwrap();
+        // The pre-fix teardown: the queue is dropped, the gauge is not.
+        d.queue.lock().unwrap().clear();
+        assert_eq!(d.depth.get(), 0, "queue_depth must drain to zero");
+    }
+    let report = Explorer::dfs().check(model);
+    let failure = report.assert_failed().clone();
+    assert!(failure.message.contains("drain to zero"));
+    let replay = Explorer::dfs().replay_with(&failure.trace, model);
+    let replayed = replay.failure.expect("replay must reproduce the violation");
+    assert_eq!(replayed.message, failure.message);
+}

@@ -597,6 +597,11 @@ impl CliffordTableau {
             }
             out.sign_plane_mut().words_mut()[w0..w1].copy_from_slice(&block.p1);
         }
+        debug_assert!(
+            (0..n).all(|j| out.x_plane(j).tail_is_clear() && out.z_plane(j).tail_is_clear())
+                && out.sign_plane().tail_is_clear(),
+            "block stitch must not write past the batch width"
+        );
         out
     }
 

@@ -3,8 +3,8 @@
 //! A [`Histogram`] spreads recorded values over [`NUM_BUCKETS`] fixed
 //! power-of-two buckets: bucket `0` holds the value `0`, bucket `i ≥ 1`
 //! holds values in `[2^(i-1), 2^i)`, and the last bucket is unbounded
-//! above. The record path is three relaxed atomic read-modify-writes
-//! (bucket count, running sum, running max) — no locks, no allocation, no
+//! above. The record path is three atomic read-modify-writes (running sum,
+//! running max, then the bucket count) — no locks, no allocation, no
 //! branches beyond the bucket-index computation — so instrumentation can
 //! stay enabled in release builds on hot paths.
 //!
@@ -16,8 +16,9 @@
 //! latency dashboards and regression gates (property-tested against a
 //! sort-based oracle in `tests/histogram_correctness.rs`).
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+use crate::sync::atomic::{AtomicU64, Ordering};
 
 /// Number of buckets: one for zero, then one per power of two up to the
 /// unbounded top bucket (`[2^62, u64::MAX]`).
@@ -97,12 +98,23 @@ impl Histogram {
         }
     }
 
-    /// Records one sample. Lock-free: three relaxed atomic RMWs.
+    /// Records one sample. Lock-free: three atomic RMWs.
+    ///
+    /// The sample's *value* lands in `sum`/`max` **before** its bucket count
+    /// is published: a snapshot that counts the sample therefore always sees
+    /// its value too, so `sum`/`max` can run ahead of `count` but never
+    /// behind it. (The model checker found the inverted order producing
+    /// snapshots with `count == 1, sum == 0` — see
+    /// `tests/sched_models.rs`.)
     #[inline]
     pub fn record(&self, value: u64) {
-        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        // ordering: Relaxed — the Release bucket publish below carries
+        // these additions to any snapshot that counts this sample.
         self.sum.fetch_add(value, Ordering::Relaxed);
         self.max.fetch_max(value, Ordering::Relaxed);
+        // ordering: Release publishes the sum/max additions above to the
+        // snapshot path, whose bucket loads are Acquire.
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Release);
     }
 
     /// Records a duration as whole nanoseconds (saturating at `u64::MAX`).
@@ -121,10 +133,15 @@ impl Histogram {
     /// but stale, like every other metric read in this workspace.
     #[must_use]
     pub fn snapshot(&self) -> HistogramSnapshot {
+        // ordering: Acquire pairs with record()'s Release bucket increment,
+        // so every sample this snapshot counts has its value visible in the
+        // sum/max loads below (read after the buckets on purpose).
         let buckets: [u64; NUM_BUCKETS] =
-            std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed));
+            std::array::from_fn(|i| self.buckets[i].load(Ordering::Acquire));
         HistogramSnapshot {
             buckets,
+            // ordering: Relaxed — running *ahead* of count is allowed;
+            // running behind is ruled out by the Acquire bucket loads.
             sum: self.sum.load(Ordering::Relaxed),
             max: self.max.load(Ordering::Relaxed),
         }

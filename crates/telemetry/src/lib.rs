@@ -57,6 +57,7 @@ mod metric;
 mod registry;
 mod snapshot;
 mod span;
+mod sync;
 
 pub use histogram::{
     bucket_index, bucket_lower_bound, bucket_upper_bound, Histogram, HistogramSnapshot, NUM_BUCKETS,

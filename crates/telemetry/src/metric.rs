@@ -1,7 +1,7 @@
 //! Scalar metrics: monotone counters and signed gauges.
 
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::Arc;
+use crate::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use crate::sync::Arc;
 
 /// A monotonically increasing event counter.
 ///
@@ -26,6 +26,8 @@ impl Counter {
     /// Adds `n` (relaxed).
     #[inline]
     pub fn add(&self, n: u64) {
+        // ordering: Relaxed — statistical counter; call sites with a
+        // cross-counter invariant use add_ordered/get_ordered instead.
         self.value.fetch_add(n, Ordering::Relaxed);
     }
 
@@ -45,6 +47,7 @@ impl Counter {
     #[must_use]
     #[inline]
     pub fn get(&self) -> u64 {
+        // ordering: Relaxed — statistical read; see Counter::add.
         self.value.load(Ordering::Relaxed)
     }
 
@@ -72,12 +75,16 @@ impl Gauge {
     /// Sets the gauge to an absolute value.
     #[inline]
     pub fn set(&self, value: i64) {
+        // ordering: Relaxed — instantaneous reading; observers tolerate
+        // staleness (dashboards, Debug output).
         self.value.store(value, Ordering::Relaxed);
     }
 
     /// Adds `n` (which may be negative).
     #[inline]
     pub fn add(&self, n: i64) {
+        // ordering: Relaxed — the RMW's atomicity keeps paired inc/dec
+        // balanced (the GaugeGuard invariant); no ordering is needed.
         self.value.fetch_add(n, Ordering::Relaxed);
     }
 
@@ -97,6 +104,7 @@ impl Gauge {
     #[must_use]
     #[inline]
     pub fn get(&self) -> i64 {
+        // ordering: Relaxed — instantaneous reading; see Gauge::set.
         self.value.load(Ordering::Relaxed)
     }
 

@@ -1,9 +1,11 @@
 //! The metric registry: named handles out, coherent snapshots in.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock, PoisonError, RwLock};
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+
+use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use crate::sync::{Arc, PoisonError, RwLock};
 
 use crate::histogram::Histogram;
 use crate::metric::{Counter, Gauge};
@@ -84,11 +86,11 @@ pub struct MetricsRegistry {
     slow_threshold_ns: AtomicU64,
 }
 
-fn read<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+fn read<T>(lock: &RwLock<T>) -> crate::sync::RwLockReadGuard<'_, T> {
     lock.read().unwrap_or_else(PoisonError::into_inner)
 }
 
-fn write<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+fn write<T>(lock: &RwLock<T>) -> crate::sync::RwLockWriteGuard<'_, T> {
     lock.write().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -234,6 +236,8 @@ impl MetricsRegistry {
     /// span guard's drop — sinks should be cheap (a channel send, a line to
     /// a log) and must not panic.
     pub fn set_event_sink(&self, sink: Arc<dyn EventSink>, slow_threshold: Duration) {
+        // ordering: Relaxed — the threshold is published by the Release
+        // store of `sink_armed` below; readers Acquire that flag first.
         self.slow_threshold_ns.store(
             u64::try_from(slow_threshold.as_nanos()).unwrap_or(u64::MAX),
             Ordering::Relaxed,
@@ -266,6 +270,8 @@ impl MetricsRegistry {
         let slow = if self.sink_armed.load(Ordering::Acquire) {
             read(&self.sink)
                 .clone()
+                // ordering: Relaxed — ordered after the armed flag's
+                // Acquire load above, which pairs with set_event_sink.
                 .map(|sink| (sink, self.slow_threshold_ns.load(Ordering::Relaxed)))
         } else {
             None

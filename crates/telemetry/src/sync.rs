@@ -1,0 +1,19 @@
+//! Crate-local alias for the sync primitives the telemetry hot paths use.
+//!
+//! In production builds (the default) every name here is exactly its
+//! `std::sync` counterpart — this module compiles away to re-exports. With
+//! the `sched-model` feature the same names come from `quclear-sched`,
+//! whose drop-in types route every acquire/release/atomic access through a
+//! deterministic scheduler so the model-check suite
+//! (`tests/sched_models.rs`) can explore interleavings exhaustively and
+//! replay any violation. Production code must import sync primitives from
+//! here, never from `std::sync` directly, or the checker cannot see them
+//! (enforced by `cargo run -p xtask -- lint`).
+
+#[cfg(feature = "sched-model")]
+pub(crate) use quclear_sched::sync::{
+    atomic, Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
+
+#[cfg(not(feature = "sched-model"))]
+pub(crate) use std::sync::{atomic, Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};

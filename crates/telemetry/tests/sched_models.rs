@@ -1,0 +1,137 @@
+//! Schedule-exhaustive models for the telemetry primitives.
+//!
+//! Built only with `--features sched-model`: the crate's sync primitives
+//! (see `src/sync.rs`) are routed through the `quclear-sched` deterministic
+//! scheduler, so every test below explores thread interleavings exhaustively
+//! (bounded DFS) instead of trusting whatever the OS scheduler happens to
+//! produce. Run with:
+//!
+//! ```text
+//! cargo test -p quclear-telemetry --features sched-model --test sched_models
+//! ```
+
+use quclear_sched::sync::atomic::{AtomicU64, Ordering};
+use quclear_sched::sync::Arc;
+use quclear_sched::{thread, Explorer};
+use quclear_telemetry::{Gauge, Histogram};
+
+/// Every sample a snapshot *counts* must be present in the snapshot's `sum`
+/// and `max`: the documented contract is "`sum` and `max` may reflect a few
+/// **more** samples than `count`", never fewer. The model checker originally
+/// broke this invariant against the real `Histogram` (see
+/// `buggy_bucket_first_record_order_is_detected` for the pinned bug); the
+/// current sum-before-bucket record order upholds it in every interleaving.
+#[test]
+fn histogram_snapshot_never_undercounts_sum() {
+    let report = Explorer::dfs().check(|| {
+        let h = Arc::new(Histogram::new());
+        let h2 = Arc::clone(&h);
+        let recorder = thread::spawn(move || h2.record(1000));
+        let snap = h.snapshot();
+        if snap.count() == 1 {
+            assert_eq!(snap.sum(), 1000, "counted sample missing from sum");
+            assert_eq!(snap.max(), 1000, "counted sample missing from max");
+        }
+        recorder.join().unwrap();
+        let settled = h.snapshot();
+        assert_eq!(settled.count(), 1);
+        assert_eq!(settled.sum(), 1000);
+        assert_eq!(settled.max(), 1000);
+    });
+    report.assert_passed();
+    assert!(report.exhausted, "model is small enough to enumerate fully");
+    eprintln!(
+        "histogram record/snapshot coherence: {} interleavings explored",
+        report.schedules
+    );
+}
+
+/// Pinned regression for the schedule bug the checker found in
+/// `Histogram::record`: incrementing the bucket *before* adding to `sum`
+/// (while `snapshot` reads buckets before `sum`) lets a snapshot count a
+/// sample whose value is missing from `sum`, so `mean()` under-reports. The
+/// pre-fix order is re-expressed here on raw atomics; the checker must still
+/// find the violation, and the violation must replay from its trace.
+#[test]
+fn buggy_bucket_first_record_order_is_detected() {
+    fn model() {
+        let bucket = Arc::new(AtomicU64::new(0));
+        let sum = Arc::new(AtomicU64::new(0));
+        let (b2, s2) = (Arc::clone(&bucket), Arc::clone(&sum));
+        let recorder = thread::spawn(move || {
+            // The pre-fix record order: count the sample, then its value.
+            b2.fetch_add(1, Ordering::SeqCst);
+            s2.fetch_add(1000, Ordering::SeqCst);
+        });
+        // The snapshot order (unchanged by the fix): buckets, then sum.
+        let count = bucket.load(Ordering::SeqCst);
+        let observed_sum = sum.load(Ordering::SeqCst);
+        if count == 1 {
+            assert_eq!(observed_sum, 1000, "counted sample missing from sum");
+        }
+        recorder.join().unwrap();
+    }
+    let report = Explorer::dfs().check(model);
+    let failure = report.assert_failed().clone();
+    assert!(failure.message.contains("missing from sum"));
+    // The violation replays deterministically from its recorded trace.
+    let replay = Explorer::dfs().replay_with(&failure.trace, model);
+    let replayed = replay.failure.expect("replay must reproduce the violation");
+    assert_eq!(replayed.message, failure.message);
+}
+
+/// `GaugeGuard` must restore the gauge on every unwind path, and a
+/// concurrent observer must only ever read 0 or 1 while one guard cycles.
+#[test]
+fn gauge_guard_restores_on_every_unwind_path() {
+    let report = Explorer::dfs().check(|| {
+        let g = Arc::new(Gauge::new());
+        let g2 = Arc::clone(&g);
+        let worker = thread::spawn(move || {
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _guard = g2.track();
+                panic!("unwind through the guard");
+            }));
+            assert!(caught.is_err());
+        });
+        // Observed at every explored interleaving point: in-flight count is
+        // 0 or 1, never negative, never 2.
+        let seen = g.get();
+        assert!(seen == 0 || seen == 1, "gauge out of range: {seen}");
+        worker.join().unwrap();
+        assert_eq!(g.get(), 0, "guard must restore the gauge after unwind");
+    });
+    report.assert_passed();
+    assert!(report.exhausted);
+    eprintln!(
+        "gauge-guard unwind safety: {} interleavings explored",
+        report.schedules
+    );
+}
+
+/// Two concurrent recorders + one snapshot: the snapshot's `count` is
+/// coherent by construction (`count == Σ buckets`), bounded mid-flight, and
+/// exact once both recorders joined.
+#[test]
+fn histogram_concurrent_records_settle_exactly() {
+    let report = Explorer::dfs().check(|| {
+        let h = Arc::new(Histogram::new());
+        let (h1, h2) = (Arc::clone(&h), Arc::clone(&h));
+        let r1 = thread::spawn(move || h1.record(8));
+        let r2 = thread::spawn(move || h2.record(16));
+        let mid = h.snapshot();
+        assert!(mid.count() <= 2);
+        assert!(mid.sum() <= 24);
+        r1.join().unwrap();
+        r2.join().unwrap();
+        let settled = h.snapshot();
+        assert_eq!(settled.count(), 2);
+        assert_eq!(settled.sum(), 24);
+        assert_eq!(settled.max(), 16);
+    });
+    report.assert_passed();
+    eprintln!(
+        "histogram two-recorder coherence: {} interleavings explored",
+        report.schedules
+    );
+}
