@@ -302,6 +302,13 @@ fn parse_trace(trace: &str) -> Vec<u16> {
     trace
         .split('.')
         .filter(|s| !s.is_empty())
-        .map(|s| s.parse::<u16>().unwrap_or(0))
+        .map(|s| {
+            // A corrupted token must not silently replay a different
+            // schedule: defaulting would break the bit-exact replay
+            // contract, so reject the trace outright.
+            s.parse::<u16>().unwrap_or_else(|_| {
+                panic!("malformed schedule trace: token {s:?} in {trace:?} is not a u16")
+            })
+        })
         .collect()
 }

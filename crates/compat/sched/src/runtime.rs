@@ -678,19 +678,29 @@ impl Scheduler {
 
     pub(crate) fn condvar_notify(&self, cv_id: usize, me: usize, all: bool) {
         let mut st = self.lock_state();
-        let mut woken = false;
-        for t in &mut st.threads {
-            if let RunState::BlockedCondvar { cv, .. } = t.run {
-                if cv == cv_id && (all || !woken) {
-                    t.run = RunState::Runnable;
-                    t.timed_out = false;
-                    woken = true;
-                }
-            }
-        }
         if st.abort {
             self.cv.notify_all();
             return;
+        }
+        let waiters: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| matches!(t.run, RunState::BlockedCondvar { cv, .. } if cv == cv_id))
+            .map(|(tid, _)| tid)
+            .collect();
+        if all {
+            for &tid in &waiters {
+                st.threads[tid].run = RunState::Runnable;
+                st.threads[tid].timed_out = false;
+            }
+        } else if !waiters.is_empty() {
+            // Which parked thread a notify_one wakes is unspecified on real
+            // platforms, so it is a decision point: DFS must enumerate every
+            // waiter, not silently always wake the lowest tid.
+            let tid = waiters[st.policy.pick(waiters.len())];
+            st.threads[tid].run = RunState::Runnable;
+            st.threads[tid].timed_out = false;
         }
         if !self.decide(&mut st) {
             drop(st);
@@ -799,8 +809,15 @@ pub(crate) fn spawn_model_thread<T: Send + 'static>(
             let child_sched = Arc::clone(&sched);
             let handle = std::thread::spawn(move || {
                 set_context(Some((Arc::clone(&child_sched), tid)));
-                child_sched.thread_started(tid);
-                let result = catch_unwind(AssertUnwindSafe(f));
+                // `thread_started` must sit inside the catch_unwind: it can
+                // panic with AbortToken when the run aborts before this
+                // child's first turn, and an unwind escaping the closure
+                // would skip `thread_finished`, wedging the controller's
+                // finished-count wait forever.
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    child_sched.thread_started(tid);
+                    f()
+                }));
                 if let Err(payload) = &result {
                     // An uncaught panic on a child thread is a model failure
                     // in its own right — std would only surface it through
@@ -835,8 +852,12 @@ pub(crate) fn run_once(
     let root_sched = Arc::clone(&scheduler);
     let root = std::thread::spawn(move || {
         set_context(Some((Arc::clone(&root_sched), 0)));
-        root_sched.thread_started(0);
-        let result = catch_unwind(AssertUnwindSafe(|| model()));
+        // Same rule as spawned children: `thread_started` can abort-unwind
+        // and must not escape past `thread_finished` below.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            root_sched.thread_started(0);
+            model();
+        }));
         if let Err(payload) = result {
             if !payload.is::<AbortToken>() {
                 let message = take_last_panic().unwrap_or_else(|| {
